@@ -1,0 +1,42 @@
+"""Shared reporting helper for the benchmark suite.
+
+Every benchmark regenerates one of the paper's figures (or checks one
+of its quantitative claims) and emits the rows both to stdout and to
+``benchmarks/reports/<experiment>.txt`` so EXPERIMENTS.md can cite a
+durable artifact.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence
+
+REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
+
+
+def emit(experiment: str, lines: Iterable[str]) -> str:
+    """Print and persist one experiment's report; returns the path."""
+    os.makedirs(REPORT_DIR, exist_ok=True)
+    path = os.path.join(REPORT_DIR, f"{experiment}.txt")
+    text = "\n".join(lines)
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print(f"\n===== {experiment} =====")
+    print(text)
+    return path
+
+
+def table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> List[str]:
+    """Format an aligned text table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
+    return lines

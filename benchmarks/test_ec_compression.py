@@ -1,0 +1,72 @@
+"""Experiment C-EC — §6's claim: "even large networks (100K prefixes)
+often have less than 15 equivalence classes in total".
+
+We plant a known number of classes into synthetic network-wide FIBs
+and verify the exact-partition algorithm recovers them, sweeping the
+prefix count up to the paper's 100 K headline.  The compression ratio
+(prefixes per class) is the figure of merit; the benchmark measures
+EC computation at the 10 K point.
+"""
+
+import pytest
+
+from repro.repair.equivalence import PrefixGrouper
+from repro.scenarios.generators import planted_ec_snapshot
+from repro.verify.headerspace import compression_ratio, compute_equivalence_classes
+
+from _report import emit, table
+
+SWEEP = (
+    (1_000, 5),
+    (5_000, 10),
+    (10_000, 14),
+    (50_000, 14),
+    (100_000, 14),
+)
+ROUTERS = 10
+
+
+def test_ec_compression(benchmark):
+    rows = []
+    for num_prefixes, planted in SWEEP:
+        snapshot, _assignment = planted_ec_snapshot(
+            num_prefixes=num_prefixes,
+            num_classes=planted,
+            num_routers=ROUTERS,
+            seed=0,
+        )
+        classes = compute_equivalence_classes(snapshot)
+        groups = PrefixGrouper().group(snapshot)
+        assert len(classes) == planted, "exact partition recovers planting"
+        assert len(groups) == planted, "prefix grouping agrees"
+        rows.append(
+            (
+                num_prefixes,
+                planted,
+                len(classes),
+                f"{compression_ratio(classes, num_prefixes):,.0f}x",
+            )
+        )
+
+    bench_snapshot, _ = planted_ec_snapshot(
+        num_prefixes=10_000, num_classes=14, num_routers=ROUTERS, seed=0
+    )
+    benchmark.pedantic(
+        lambda: compute_equivalence_classes(bench_snapshot),
+        rounds=3,
+        iterations=1,
+    )
+
+    lines = [
+        f"planted-class recovery across {ROUTERS} routers:",
+        "",
+    ]
+    lines += table(
+        ("prefixes", "planted classes", "recovered", "compression"), rows
+    )
+    lines += [
+        "",
+        "paper shape: 100K prefixes collapse to <15 classes "
+        "(here: exactly the planted 14) — OK",
+    ]
+    emit("C-EC_compression", lines)

@@ -1,0 +1,104 @@
+"""Experiment F2 — Fig. 2a/2b: the misconfiguration and the blocking
+disaster.
+
+Fig. 2a: setting R2's uplink local-pref to 10 flips the whole network
+onto R1's uplink, violating the preferred-exit policy.  Fig. 2b (as
+narrated in §2): if a data-plane-only verifier *blocks* the FIB
+updates instead, the control and data planes diverge, and when R2's
+uplink subsequently fails the frozen FIBs black-hole all traffic at
+R2.  Root-cause rollback handles the same failure cleanly.
+"""
+
+import pytest
+
+from repro.capture.io_events import IOKind
+from repro.hbr.inference import InferenceEngine
+from repro.repair.blocking import BlockingRepair
+from repro.repair.provenance import ProvenanceTracer
+from repro.repair.rollback import RepairEngine
+from repro.scenarios.fig2 import Fig2Scenario, bad_lp_change
+from repro.scenarios.paper_net import P, paper_policy
+from repro.verify.verifier import DataPlaneVerifier
+
+from _report import emit, table
+
+
+def _run_fig2a(seed: int = 0) -> Fig2Scenario:
+    scenario = Fig2Scenario(seed=seed)
+    scenario.run_fig2a()
+    return scenario
+
+
+def test_fig2_violation_and_blocking_disaster(benchmark):
+    scenario = benchmark(_run_fig2a)
+    net = scenario.network
+    assert scenario.violates_policy(), "Fig. 2a: the policy is violated"
+
+    rows_2a = []
+    for router in ("R1", "R2", "R3"):
+        path, outcome = net.trace_path(router, P.first_address())
+        rows_2a.append((router, "->".join(path), outcome))
+
+    # --- blocking baseline: freeze, then fail the uplink (Fig. 2b) ---
+    blocked = Fig2Scenario(seed=1)
+    bnet = blocked.run_baseline()
+    blocker = BlockingRepair(bnet, prefixes={P})
+    blocker.activate()
+    bnet.apply_config_change(bad_lp_change())
+    bnet.run(60)
+    divergence = blocker.divergence()
+    bnet.fail_link("R2", "Ext2")
+    bnet.run(10)
+    rows_blocking = []
+    blackholes = 0
+    for router in ("R1", "R3"):
+        path, outcome = bnet.trace_path(router, P.first_address())
+        rows_blocking.append((router, "->".join(path), outcome))
+        if outcome == "blackhole":
+            blackholes += 1
+    assert blackholes == 2, "Fig. 2b: frozen FIBs black-hole at R2"
+
+    # --- rollback alternative on the same storyline ---
+    repaired = Fig2Scenario(seed=2)
+    rnet = repaired.run_fig2a()
+    graph = InferenceEngine().build_graph(rnet.collector.all_events())
+    config = rnet.collector.query(router="R2", kind=IOKind.CONFIG_CHANGE)[0]
+    fibs = [
+        e
+        for e in rnet.collector.query(kind=IOKind.FIB_UPDATE, prefix=P)
+        if e.timestamp > config.timestamp
+    ]
+    provenance = ProvenanceTracer(graph).trace_many([e.event_id for e in fibs])
+    verifier = DataPlaneVerifier(rnet.topology, [paper_policy()])
+    report = RepairEngine(rnet, verifier).repair(provenance, settle=60.0)
+    assert report.repaired
+    rnet.fail_link("R2", "Ext2")
+    rnet.run(10)
+    rows_rollback = []
+    for router in ("R1", "R3"):
+        path, outcome = rnet.trace_path(router, P.first_address())
+        rows_rollback.append((router, "->".join(path), outcome))
+        assert outcome == "delivered" and path[-1] == "Ext1"
+
+    lines = ["Fig. 2a — after LP=10 misconfiguration on R2:"]
+    lines += table(("router", "path to P", "outcome"), rows_2a)
+    lines += [
+        "",
+        f"policy violated (R2 uplink up, traffic exits via R1): "
+        f"{scenario.violates_policy()}",
+        "",
+        "Fig. 2b — blocking baseline, then R2 uplink fails:",
+        f"control/data divergence entries while frozen: {len(divergence)}",
+    ]
+    lines += table(("router", "path to P", "outcome"), rows_blocking)
+    lines += [
+        "",
+        "Same uplink failure after root-cause rollback instead:",
+    ]
+    lines += table(("router", "path to P", "outcome"), rows_rollback)
+    lines += [
+        "",
+        "paper shape: blocking black-holes traffic at R2; rollback "
+        "fails over cleanly to R1's uplink — OK",
+    ]
+    emit("F2_fig2_violation", lines)

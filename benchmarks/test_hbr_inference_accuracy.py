@@ -1,0 +1,121 @@
+"""Experiment C-INF — §4.2's claim: "we expect a combination of these
+(and other) techniques will be necessary to obtain suitable accuracy".
+
+Scores each inference technique against the simulator's ground-truth
+dependency channel on random networks under route churn:
+
+* naive (prefix+timestamp filters alone — the strawman the paper
+  rules out),
+* rule matching,
+* pattern matching (miner trained on a separate policy-compliant run),
+* rules + patterns combined.
+
+The benchmark measures rule-based graph construction on the largest
+trace.
+"""
+
+import pytest
+
+from repro.hbr.inference import (
+    InferenceConfig,
+    InferenceEngine,
+    PatternMiner,
+    score_inference,
+)
+from repro.scenarios.generators import (
+    build_random_network,
+    churn_workload,
+    external_prefixes,
+)
+
+from _report import emit, table
+
+SEEDS = (3, 7, 11)
+
+
+def _capture(seed):
+    net, specs = build_random_network(6, uplinks=2, seed=seed)
+    net.start()
+    churn_workload(net, specs, external_prefixes(5), events=10, start=2.0, seed=seed)
+    net.run(40)
+    return net
+
+
+@pytest.fixture(scope="module")
+def captures():
+    return {seed: _capture(seed) for seed in SEEDS}
+
+
+@pytest.fixture(scope="module")
+def miner(captures):
+    trainer = PatternMiner(window=1.0)
+    training_net = _capture(seed=99)  # separate policy-compliant run
+    trainer.train(training_net.collector.all_events())
+    return trainer
+
+
+def _avg_scores(captures, engine_factory):
+    precision = recall = f1 = 0.0
+    for net in captures.values():
+        engine = engine_factory()
+        graph = engine.build_graph(net.collector.all_events())
+        obs = {e.event_id for e in net.collector}
+        score = score_inference(graph, net.ground_truth, observable_ids=obs)
+        precision += score.precision
+        recall += score.recall
+        f1 += score.f1
+    n = len(captures)
+    return precision / n, recall / n, f1 / n
+
+
+def test_hbr_inference_accuracy(benchmark, captures, miner):
+    techniques = {
+        "naive (prefix+time only)": lambda: InferenceEngine(
+            config=InferenceConfig(naive_prefix_timestamp=True)
+        ),
+        "rule matching": lambda: InferenceEngine(),
+        "pattern matching": lambda: InferenceEngine(
+            config=InferenceConfig(use_rules=False, use_patterns=True),
+            miner=miner,
+        ),
+        "rules + patterns": lambda: InferenceEngine(
+            config=InferenceConfig(use_rules=True, use_patterns=True),
+            miner=miner,
+        ),
+    }
+    results = {
+        name: _avg_scores(captures, factory)
+        for name, factory in techniques.items()
+    }
+
+    naive_p = results["naive (prefix+time only)"][0]
+    rules_p, rules_r, _ = results["rule matching"]
+    patterns_p, patterns_r, _ = results["pattern matching"]
+    combined = results["rules + patterns"]
+    assert rules_p > 10 * naive_p, "rules beat the naive strawman by far"
+    assert rules_r >= 0.95
+    assert patterns_r >= 0.5, "patterns find a useful share automatically"
+    assert combined[2] >= results["pattern matching"][2]
+
+    biggest = max(captures.values(), key=lambda n: len(n.collector))
+    events = biggest.collector.all_events()
+    benchmark(lambda: InferenceEngine().build_graph(events))
+
+    rows = [
+        (name, f"{p:.3f}", f"{r:.3f}", f"{f:.3f}")
+        for name, (p, r, f) in results.items()
+    ]
+    lines = [
+        f"HBR inference accuracy vs simulator ground truth "
+        f"(mean over seeds {SEEDS}, random 6-router nets + churn):",
+        "",
+    ]
+    lines += table(("technique", "precision", "recall", "f1"), rows)
+    lines += [
+        "",
+        "paper shape: prefixes/timestamps alone are only filters "
+        "(naive precision collapses); rules are accurate but need "
+        "protocol knowledge; patterns are automatic but noisier; the "
+        "combination is the strongest automatic option — OK",
+    ]
+    emit("C-INF_inference_accuracy", lines)

@@ -1,0 +1,91 @@
+"""Experiment C-PKT — §5 footnote 4: per-packet policy compliance.
+
+Three verification verdicts on the same Fig. 1b convergence window:
+
+* the naive snapshotter claims a forwarding loop (Fig. 1c);
+* the consistent snapshotter never alarms (defers while stale);
+* the per-packet analyzer proves the strongest statement of all:
+  *no physically realisable packet* — injected at any instant, at any
+  router — ever loops, because FIB updates propagate in the inverse
+  direction of the packets (§5's collision argument).
+
+The benchmark measures full journey enumeration over the window.
+"""
+
+import pytest
+
+from repro.scenarios.fig1 import Fig1Scenario
+from repro.scenarios.paper_net import P
+from repro.snapshot.base import VerifierView
+from repro.snapshot.naive import NaiveSnapshotter
+from repro.verify.perpacket import PerPacketAnalyzer
+from repro.verify.policy import LoopFreedomPolicy
+from repro.verify.verifier import DataPlaneVerifier
+
+from _report import emit, table
+
+
+def test_perpacket_footnote(benchmark):
+    scenario = Fig1Scenario(seed=0)
+    net = scenario.run_fig1b()
+    window = (scenario.t_r2_route - 0.05, scenario.t_converged + 0.55)
+
+    # Naive snapshot verdicts through the window (with R2 lag).
+    view = VerifierView(net.collector, lags={"R2": 0.5})
+    naive = NaiveSnapshotter(view)
+    verifier = DataPlaneVerifier(net.topology, [LoopFreedomPolicy(prefixes=[P])])
+    naive_alarms = 0
+    t = window[0]
+    while t <= window[1]:
+        if not verifier.verify(naive.snapshot(t)).ok:
+            naive_alarms += 1
+        t += 0.01
+
+    analyzer = PerPacketAnalyzer(net.collector.all_events(), net.topology, P)
+    assert not analyzer.ever_loops(window)
+    outcomes = analyzer.all_outcomes(window)
+
+    journeys = {}
+    total_journeys = 0
+    for source in ("R1", "R2", "R3"):
+        source_journeys = analyzer.distinct_journeys(source, window)
+        journeys[source] = source_journeys
+        total_journeys += len(source_journeys)
+        assert all(j.outcome != "loop" for j in source_journeys)
+
+    benchmark(
+        lambda: [
+            analyzer.distinct_journeys(s, window) for s in ("R1", "R2", "R3")
+        ]
+    )
+
+    rows = []
+    for source in ("R1", "R2", "R3"):
+        for journey in journeys[source]:
+            rows.append(
+                (
+                    source,
+                    f"{journey.inject_time:.3f}s",
+                    " -> ".join(journey.path),
+                    journey.outcome,
+                )
+            )
+
+    lines = [
+        "all physically realisable packet journeys during the Fig. 1b "
+        "convergence window:",
+        "",
+    ]
+    lines += table(("source", "injected at", "journey", "outcome"), rows)
+    lines += [
+        "",
+        f"distinct journeys enumerated: {total_journeys}; loops: 0",
+        f"naive snapshot loop alarms over the same window: {naive_alarms}",
+        f"outcome sets per source: "
+        f"{ {s: sorted(o) for s, o in sorted(outcomes.items())} }",
+        "",
+        "paper shape: footnote 4 realised — the FIB-timeline "
+        "enumeration proves per-packet loop freedom even while "
+        "instantaneous reconstructions hallucinate a loop — OK",
+    ]
+    emit("C-PKT_perpacket", lines)

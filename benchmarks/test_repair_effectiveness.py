@@ -1,0 +1,241 @@
+"""Experiment C-REP — §6/§8: repair effectiveness and its
+preconditions.
+
+Runs misconfiguration campaigns on random networks and compares the
+three repair strategies: blocking (baseline), offline root-cause
+rollback, and the online pipeline guard.  Metrics: did the policy end
+compliant, are control and data planes in sync, and how long the data
+plane spent in violation.
+
+Also probes §8's determinism precondition: with the Cisco
+arrival-order tie-break ("oldest route") active, replaying the same
+inputs in a different order can converge differently; the
+deterministic profile (Add-Path regime) removes the divergence.
+"""
+
+import pytest
+
+from repro.core.pipeline import IntegratedControlPlane, PipelineMode
+from repro.net.config import ConfigChange, local_pref_map
+from repro.protocols.bgp_decision import VendorProfile, best_path
+from repro.protocols.routes import BgpRoute
+from repro.net.addr import Prefix
+from repro.scenarios.generators import build_random_network, external_prefixes
+from repro.verify.policy import LoopFreedomPolicy, PreferredExitPolicy
+
+from _report import emit, table
+
+SEEDS = (5, 17, 29)
+
+
+def _setup(seed):
+    net, specs = build_random_network(6, uplinks=2, seed=seed)
+    net.start()
+    prefix = external_prefixes(1)[0]
+    for spec in specs:
+        net.announce_prefix(spec.external, prefix)
+    net.run(40)
+    preferred = max(specs, key=lambda s: s.local_pref)
+    fallback = min(specs, key=lambda s: s.local_pref)
+    policy = PreferredExitPolicy(
+        prefix=prefix,
+        preferred_exit=preferred.router,
+        fallback_exit=fallback.router,
+        uplink_of={
+            preferred.router: preferred.external,
+            fallback.router: fallback.external,
+        },
+    )
+    sabotage = ConfigChange(
+        preferred.router,
+        "set_route_map",
+        key=f"{preferred.router.lower()}-uplink-lp",
+        value=local_pref_map(f"{preferred.router.lower()}-uplink-lp", 1),
+        description="sabotage preferred uplink",
+    )
+    return net, prefix, policy, preferred, sabotage
+
+
+def _violating(net, policy, prefix):
+    required = policy.required_exit(net.topology)
+    if required is None:
+        return False
+    uplink = policy.uplink_of[required]
+    for router in net.topology.internal_routers():
+        path, outcome = net.trace_path(router, prefix.first_address())
+        if outcome != "delivered" or uplink not in path:
+            return True
+    return False
+
+
+def _violation_time(net, policy, prefix, horizon, step=0.2):
+    total = 0.0
+    elapsed = 0.0
+    while elapsed < horizon:
+        net.run(step)
+        elapsed += step
+        if _violating(net, policy, prefix):
+            total += step
+    return total
+
+
+def _episode(strategy, seed):
+    net, prefix, policy, preferred, sabotage = _setup(seed)
+    pipeline = None
+    if strategy == "pipeline (repair)":
+        pipeline = IntegratedControlPlane(
+            net, [policy, LoopFreedomPolicy(prefixes=[prefix])],
+            mode=PipelineMode.REPAIR,
+        ).arm()
+    elif strategy == "pipeline (predict)":
+        pipeline = IntegratedControlPlane(
+            net, [policy, LoopFreedomPolicy(prefixes=[prefix])],
+            mode=PipelineMode.PREDICT,
+        ).arm()
+        # Train on one offense, then measure the repeat offense.
+        net.apply_config_change(sabotage)
+        net.run(90)
+        from repro.net.config import ConfigChange, local_pref_map
+
+        map_name = f"{preferred.router.lower()}-uplink-lp"
+        sabotage = ConfigChange(
+            preferred.router,
+            "set_route_map",
+            key=map_name,
+            value=local_pref_map(map_name, 1),
+            description="sabotage preferred uplink",
+        )
+    elif strategy == "blocking":
+        from repro.repair.blocking import BlockingRepair
+
+        blocker = BlockingRepair(net, prefixes={prefix})
+        blocker.activate()
+    net.apply_config_change(sabotage)
+    violation_time = _violation_time(net, policy, prefix, horizon=90.0)
+    if strategy == "offline rollback":
+        # Detection + repair after the damage (the §6 first variant).
+        pipe = IntegratedControlPlane(
+            net, [policy], mode=PipelineMode.REPAIR
+        )
+        pipe.detect_and_repair(settle=60.0)
+        violation_time += _violation_time(net, policy, prefix, horizon=5.0)
+    compliant = not _violating(net, policy, prefix)
+    map_name = f"{preferred.router.lower()}-uplink-lp"
+    lp = net.configs.get(preferred.router).route_maps[map_name]
+    reverted = lp.clauses[0].set_local_pref == preferred.local_pref
+    # Plane sync: every BGP best resolves to the installed FIB hop.
+    in_sync = True
+    for router in net.topology.internal_routers():
+        runtime = net.runtime(router)
+        best = runtime.bgp.rib.best(prefix)
+        fib = runtime.fib.get(prefix)
+        if best is None or fib is None:
+            continue
+        resolved = runtime.resolve_next_hop(best.next_hop)
+        if resolved is None or resolved[0] != fib.next_hop_router:
+            in_sync = False
+    return {
+        "compliant": compliant,
+        "reverted": reverted,
+        "in_sync": in_sync,
+        "violation_time": violation_time,
+    }
+
+
+def test_repair_effectiveness(benchmark):
+    strategies = (
+        "blocking",
+        "offline rollback",
+        "pipeline (repair)",
+        "pipeline (predict)",
+    )
+    rows = []
+    summary = {}
+    for strategy in strategies:
+        results = [_episode(strategy, seed) for seed in SEEDS]
+        compliant = sum(r["compliant"] for r in results)
+        reverted = sum(r["reverted"] for r in results)
+        in_sync = sum(r["in_sync"] for r in results)
+        mean_viol = sum(r["violation_time"] for r in results) / len(results)
+        summary[strategy] = (compliant, reverted, in_sync, mean_viol)
+        rows.append(
+            (
+                strategy,
+                f"{compliant}/{len(SEEDS)}",
+                f"{reverted}/{len(SEEDS)}",
+                f"{in_sync}/{len(SEEDS)}",
+                f"{mean_viol:.1f} s",
+            )
+        )
+    n = len(SEEDS)
+    assert summary["pipeline (repair)"][0] == n
+    assert summary["pipeline (repair)"][1] == n
+    assert summary["pipeline (repair)"][2] == n
+    assert summary["pipeline (repair)"][3] == 0.0, "guard: zero violation time"
+    assert summary["pipeline (predict)"][0] == n
+    assert summary["pipeline (predict)"][1] == n
+    assert summary["pipeline (predict)"][3] == 0.0
+    assert summary["offline rollback"][1] == n
+    assert summary["blocking"][1] == 0, "blocking never fixes the cause"
+    assert summary["blocking"][2] == 0, "blocking leaves planes diverged"
+
+    benchmark.pedantic(
+        lambda: _episode("pipeline (repair)", SEEDS[0]), rounds=2, iterations=1
+    )
+
+    # --- §8 determinism ablation -------------------------------------
+    prefix = Prefix.parse("203.0.113.0/24")
+    older = BgpRoute(
+        prefix=prefix, next_hop=1, ebgp_learned=True,
+        received_at=1.0, peer_router_id=9,
+    )
+    newer = BgpRoute(
+        prefix=prefix, next_hop=2, ebgp_learned=True,
+        received_at=2.0, peer_router_id=1,
+    )
+    cisco = VendorProfile.cisco()
+    deterministic = cisco.deterministic()
+    order_a = best_path([older, newer], cisco)
+    # Re-arrival in the opposite order swaps the received_at stamps.
+    older_swapped = BgpRoute(
+        prefix=prefix, next_hop=1, ebgp_learned=True,
+        received_at=2.0, peer_router_id=9,
+    )
+    newer_swapped = BgpRoute(
+        prefix=prefix, next_hop=2, ebgp_learned=True,
+        received_at=1.0, peer_router_id=1,
+    )
+    order_b = best_path([older_swapped, newer_swapped], cisco)
+    det_a = best_path([older, newer], deterministic)
+    det_b = best_path([older_swapped, newer_swapped], deterministic)
+    assert order_a.next_hop != order_b.next_hop, "arrival order decides"
+    assert det_a.next_hop == det_b.next_hop, "Add-Path regime is stable"
+
+    lines = [
+        f"misconfiguration campaigns on random 6-router networks "
+        f"(seeds {SEEDS}); sabotage of the preferred uplink's LP:",
+        "",
+    ]
+    lines += table(
+        (
+            "strategy",
+            "policy compliant",
+            "cause reverted",
+            "planes in sync",
+            "mean time in violation",
+        ),
+        rows,
+    )
+    lines += [
+        "",
+        "§8 determinism precondition:",
+        f"  cisco profile, arrival order A -> best nh={order_a.next_hop}; "
+        f"order B -> best nh={order_b.next_hop} (diverges)",
+        f"  deterministic (Add-Path) profile -> nh={det_a.next_hop} both "
+        f"orders (stable)",
+        "",
+        "paper shape: rollback repairs the root cause and keeps planes "
+        "in sync; the online guard additionally keeps violation time at "
+        "zero; blocking does neither; BGP determinism needs Add-Path — OK",
+    ]
+    emit("C-REP_repair_effectiveness", lines)

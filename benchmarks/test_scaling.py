@@ -1,0 +1,106 @@
+"""Experiment C-SCALE — implicit claim: the machinery must scale.
+
+Measures, as the network grows: capture volume, HBG construction
+time, snapshot consistency-check time, and provenance-trace time.
+The expectation (and the paper's implicit bet) is roughly linear
+growth in the event volume, which itself grows with routers x churn.
+The benchmark measures HBG construction at the largest size.
+"""
+
+import time
+
+import pytest
+
+from repro.capture.io_events import IOKind
+from repro.hbr.inference import InferenceEngine
+from repro.repair.provenance import ProvenanceTracer
+from repro.scenarios.generators import (
+    build_random_network,
+    churn_workload,
+    external_prefixes,
+)
+from repro.snapshot.base import VerifierView
+from repro.snapshot.consistent import ConsistentSnapshotter
+
+from _report import emit, table
+
+SIZES = (4, 8, 12, 16)
+
+
+def _capture(n, seed=0):
+    net, specs = build_random_network(n, uplinks=2, seed=seed)
+    net.start()
+    churn_workload(
+        net, specs, external_prefixes(4), events=10, start=2.0, seed=seed
+    )
+    net.run(60)
+    return net
+
+
+def test_scaling(benchmark):
+    rows = []
+    largest_events = None
+    for n in SIZES:
+        net = _capture(n)
+        events = net.collector.all_events()
+        engine = InferenceEngine()
+
+        t0 = time.perf_counter()
+        graph = engine.build_graph(events)
+        t_build = time.perf_counter() - t0
+
+        snapshotter = ConsistentSnapshotter(
+            VerifierView(net.collector),
+            internal_routers=net.topology.internal_routers(),
+            engine=engine,
+        )
+        t0 = time.perf_counter()
+        _snapshot, report = snapshotter.snapshot(net.sim.now)
+        t_check = time.perf_counter() - t0
+        assert report.consistent
+
+        fib_events = net.collector.events_of_kind(IOKind.FIB_UPDATE)
+        target = max(fib_events, key=lambda e: e.timestamp)
+        tracer = ProvenanceTracer(graph)
+        t0 = time.perf_counter()
+        tracer.trace(target.event_id)
+        t_trace = time.perf_counter() - t0
+
+        rows.append(
+            (
+                n,
+                len(events),
+                graph.edge_count(),
+                f"{t_build * 1000:.1f} ms",
+                f"{t_check * 1000:.1f} ms",
+                f"{t_trace * 1000:.2f} ms",
+            )
+        )
+        largest_events = events
+
+    benchmark(lambda: InferenceEngine().build_graph(largest_events))
+
+    lines = [
+        "cost of the paper's machinery vs network size "
+        "(10 churn events, 2 uplinks, 4 prefixes):",
+        "",
+    ]
+    lines += table(
+        (
+            "routers",
+            "events",
+            "HBG edges",
+            "HBG build",
+            "consistency check",
+            "provenance trace",
+        ),
+        rows,
+    )
+    lines += [
+        "",
+        "shape: HBG build and consistency check grow super-linearly in "
+        "event volume (each event scans a time-window of candidates, "
+        "and dense iBGP meshes make windows busier); provenance stays "
+        "sub-millisecond since it touches only one episode's ancestry.",
+    ]
+    emit("C-SCALE_scaling", lines)

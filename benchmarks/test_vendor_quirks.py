@@ -1,0 +1,79 @@
+"""Experiment C-VENDOR — §2's model-gap claim:
+
+    "Other control plane verifiers model all protocols and path
+    selection criteria used in this network, but ignore
+    vendor-specific implementation details that may apply in other
+    scenarios — e.g., differences in BGP path selection rules across
+    vendors [9, 21]."
+
+Identical configurations and identical input sequences, run under the
+Cisco and Junos decision processes: the chosen exit differs, so a
+single-vendor model necessarily mispredicts one of the two networks
+while our capture-based approach observes each network's actual
+decisions.  Also reports the §8 remedy: the deterministic (Add-Path)
+profile restores agreement.
+"""
+
+import pytest
+
+from repro.protocols.router import RouterRuntime
+from repro.scenarios.vendor import (
+    FIRST_PEER,
+    SECOND_PEER,
+    VP,
+    VendorDivergenceScenario,
+    _build,
+)
+
+from _report import emit, table
+
+
+def _deterministic_exit(vendor: str, seed: int = 0) -> str:
+    net = _build(vendor, seed, None)
+    net.deterministic_bgp = True
+    net.runtimes = {r.name: RouterRuntime(r, net) for r in net.topology}
+    net.start()
+    net.announce_prefix(FIRST_PEER, VP)
+    net.run(1.0)
+    net.announce_prefix(SECOND_PEER, VP)
+    net.run(5.0)
+    return net.runtime("B1").bgp.rib.best(VP).from_peer
+
+
+def test_vendor_quirks(benchmark):
+    rows = []
+    for seed in (0, 1, 2):
+        cisco = VendorDivergenceScenario(vendor="cisco", seed=seed)
+        cisco.run()
+        juniper = VendorDivergenceScenario(vendor="juniper", seed=seed)
+        juniper.run()
+        cisco_exit = cisco.chosen_exit()
+        juniper_exit = juniper.chosen_exit()
+        assert cisco_exit == FIRST_PEER, "Cisco: oldest route wins"
+        assert juniper_exit == SECOND_PEER, "Junos: lowest router-id wins"
+        rows.append((seed, cisco_exit, juniper_exit, cisco_exit != juniper_exit))
+
+    det_cisco = _deterministic_exit("cisco")
+    det_juniper = _deterministic_exit("juniper")
+    assert det_cisco == det_juniper, "Add-Path regime restores agreement"
+
+    benchmark(lambda: VendorDivergenceScenario(vendor="cisco", seed=0).run())
+
+    lines = [
+        "identical configs + identical announcement order, two vendors "
+        f"(peer {FIRST_PEER}: announces first, router-id 99; "
+        f"peer {SECOND_PEER}: announces second, router-id 1):",
+        "",
+    ]
+    lines += table(("seed", "cisco exit", "juniper exit", "diverge"), rows)
+    lines += [
+        "",
+        f"deterministic (Add-Path) profile: cisco -> {det_cisco}, "
+        f"juniper -> {det_juniper} (agree)",
+        "",
+        "paper shape: a single-vendor control-plane model mispredicts "
+        "the other vendor's network; observing actual decisions (our "
+        "approach) sidesteps the gap; §8's Add-Path regime removes the "
+        "order-dependence entirely — OK",
+    ]
+    emit("C-VENDOR_quirks", lines)

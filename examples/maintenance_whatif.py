@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Pre-change vetting with what-if forking (§8).
+
+Most outages start as maintenance-window config changes.  This
+example shows the workflow the paper's §8 sketches on top of
+CrystalNet-style emulation: before touching the live network, fork an
+emulated copy, apply the proposed change there, and read the verdict.
+
+Three proposals are vetted against the preferred-exit policy:
+
+1. raising R2's uplink local-pref 30 -> 40 (harmless);
+2. the Fig. 2a fat-finger, 30 -> 10 (violates);
+3. a planned maintenance shutdown of the R2-Ext2 link (safe:
+   the policy falls back to R1's uplink).
+
+Run:  python examples/maintenance_whatif.py
+"""
+
+from repro.net.config import ConfigChange, local_pref_map
+from repro.scenarios import Fig1Scenario, paper_policy
+from repro.whatif.engine import WhatIfEngine, config_change, link_failure
+
+
+def vet(engine, label, injections):
+    print(f"\nProposal: {label}")
+    result = engine.ask(injections)
+    verdict = "APPROVE" if result.safe else "REJECT"
+    print(f"  verdict: {verdict}")
+    for violation in result.violations:
+        print(f"    would cause: {violation}")
+    if result.deltas:
+        print(f"  forwarding changes ({len(result.deltas)}):")
+        for delta in result.deltas:
+            print(f"    {delta}")
+    else:
+        print("  no forwarding changes")
+    return result
+
+
+def main():
+    print("Converging the live network (Fig. 1b state, exit via R2)...")
+    scenario = Fig1Scenario(seed=0)
+    live = scenario.run_fig1b()
+    engine = WhatIfEngine(live, [paper_policy()], settle=60.0)
+
+    raise_lp = ConfigChange(
+        "R2",
+        "set_route_map",
+        key="r2-uplink-lp",
+        value=local_pref_map("r2-uplink-lp", 40),
+        description="raise uplink LP to 40",
+    )
+    vet(engine, "raise R2 uplink local-pref 30 -> 40",
+        [config_change(raise_lp)])
+
+    fat_finger = ConfigChange(
+        "R2",
+        "set_route_map",
+        key="r2-uplink-lp",
+        value=local_pref_map("r2-uplink-lp", 10),
+        description="set uplink LP to 10",
+    )
+    vet(engine, "the Fig. 2a fat-finger (LP 30 -> 10)",
+        [config_change(fat_finger)])
+
+    vet(engine, "planned shutdown of the R2-Ext2 link",
+        [link_failure("R2", "Ext2")])
+
+    print("\nThe live network was never modified:")
+    lp = live.configs.get("R2").route_maps["r2-uplink-lp"].clauses[0]
+    print(f"  R2 uplink local-pref is still {lp.set_local_pref}")
+    print(f"  R2-Ext2 link is "
+          f"{'up' if live.topology.link_between('R2', 'Ext2').up else 'down'}")
+
+
+if __name__ == "__main__":
+    main()

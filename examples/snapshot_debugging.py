@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""The Fig. 1c phantom loop, and how consistent snapshots avoid it.
+
+A data-plane verifier reconstructs the network's FIBs from router
+logs, but logs arrive with per-router lag.  During route propagation
+this produces snapshots mixing new and stale FIBs — here, the classic
+Fig. 1c artefact: R1 and R3 have switched to the route via R2 while
+R2's new FIB has not reached the verifier, so the reconstruction
+shows a loop R1 <-> R2 that never existed.
+
+This example probes the convergence window with both snapshotters and
+prints, instant by instant, what each one concludes.
+
+Run:  python examples/snapshot_debugging.py
+"""
+
+from repro.scenarios.fig1 import Fig1Scenario
+from repro.scenarios.paper_net import P
+from repro.snapshot.base import VerifierView
+from repro.snapshot.consistent import ConsistentSnapshotter
+from repro.snapshot.naive import NaiveSnapshotter
+from repro.verify.policy import LoopFreedomPolicy
+from repro.verify.verifier import DataPlaneVerifier
+
+R2_LOG_LAG = 0.5
+
+
+def main():
+    print("Running Fig. 1a -> Fig. 1b (route via R2 appears)...")
+    scenario = Fig1Scenario(seed=0)
+    net = scenario.run_fig1b()
+    print(f"Ext2 announced P at t={scenario.t_r2_route:.3f}s; "
+          f"R2's logs reach the verifier {R2_LOG_LAG * 1000:.0f} ms late.\n")
+
+    view = VerifierView(net.collector, lags={"R2": R2_LOG_LAG})
+    naive = NaiveSnapshotter(view)
+    consistent = ConsistentSnapshotter(
+        view, internal_routers=net.topology.internal_routers()
+    )
+    verifier = DataPlaneVerifier(net.topology, [LoopFreedomPolicy(prefixes=[P])])
+
+    print(f"{'t (s)':>8}  {'naive verdict':<28}  consistent snapshotter")
+    print("-" * 78)
+    t = scenario.t_r2_route
+    while t <= scenario.t_converged + R2_LOG_LAG + 0.05:
+        naive_result = verifier.verify(naive.snapshot(t))
+        if naive_result.ok:
+            naive_text = "ok"
+        else:
+            v = naive_result.violations[0]
+            naive_text = f"ALARM: {'->'.join(v.path)}"
+        snapshot, report = consistent.snapshot(t, prefix=P)
+        if report.consistent:
+            result = verifier.verify(snapshot)
+            cons_text = "ok (verified)" if result.ok else "ALARM"
+        else:
+            cons_text = f"deferred, wait for {sorted(report.missing_routers)}"
+        print(f"{t:8.3f}  {naive_text:<28}  {cons_text}")
+        t += 0.05
+
+    print("\nThe naive verifier raised alarms for a loop that the real")
+    print("data plane never contained; the HBG-based snapshotter instead")
+    print("reported exactly which router's logs it was missing (§5/§7).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Operator-facing rendering of captures, HBGs, and incidents.
+
+The paper's Figs. 4 and 5 are *renderings* of captured episodes: a
+per-router lane diagram of control-plane I/Os (Fig. 5) and a causal
+graph (Fig. 4).  This package produces both from any capture:
+
+* :func:`~repro.analysis.timeline.render_timeline` — Fig. 5-style
+  per-router lanes in plain text;
+* :class:`~repro.analysis.report.IncidentReporter` — a full incident
+  write-up: violations, causal chain, root causes, blast radius, and
+  repair actions, suitable for handing to a network operator.
+"""
+
+from repro.analysis.timeline import render_timeline
+from repro.analysis.report import IncidentReporter
+
+__all__ = ["IncidentReporter", "render_timeline"]

@@ -1,0 +1,112 @@
+"""Full incident write-ups for network operators.
+
+§6: the system should "report the configuration change as problematic
+to the operator.  If the change was intended, the operator can simply
+adapt the policy accordingly."  :class:`IncidentReporter` assembles
+everything an operator needs for that decision: the violations, the
+causal chain rendered as a timeline, the root causes with their
+classification, the blast radius, and what (if anything) was already
+repaired automatically.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.analysis.timeline import render_timeline
+from repro.capture.io_events import IOEvent
+from repro.hbr.graph import HappensBeforeGraph
+from repro.repair.provenance import ProvenanceResult
+from repro.repair.rollback import RepairReport
+from repro.verify.policy import Violation
+
+
+class IncidentReporter:
+    """Render one incident (violations + provenance + repair) as text."""
+
+    def __init__(self, graph: HappensBeforeGraph):
+        self.graph = graph
+
+    def render(
+        self,
+        violations: Sequence[Violation],
+        provenance: Optional[ProvenanceResult] = None,
+        repair: Optional[RepairReport] = None,
+        title: str = "policy violation incident",
+    ) -> str:
+        lines: List[str] = [
+            "=" * 72,
+            f"INCIDENT REPORT: {title}",
+            "=" * 72,
+        ]
+        lines.append("")
+        lines.append(f"Violations detected ({len(violations)}):")
+        for violation in violations:
+            lines.append(f"  * {violation}")
+        if provenance is not None:
+            lines.extend(self._provenance_section(provenance))
+        if repair is not None:
+            lines.append("")
+            lines.append("Automatic repair:")
+            lines.append("  " + repair.describe().replace("\n", "\n  "))
+        lines.append("")
+        lines.append("Operator guidance:")
+        lines.extend(self._guidance(provenance, repair))
+        return "\n".join(lines)
+
+    def _provenance_section(self, provenance: ProvenanceResult) -> List[str]:
+        lines = ["", "Root-cause analysis (happens-before graph):"]
+        for cause in provenance.root_causes:
+            marker = (
+                "actionable"
+                if cause in provenance.actionable_causes
+                else "environmental"
+            )
+            lines.append(f"  root cause [{marker}]: {cause.describe()}")
+        chain_events: List[IOEvent] = []
+        for chain in provenance.chains.values():
+            chain_events.extend(chain)
+        if chain_events:
+            lines.append("")
+            lines.append("Causal timeline (cause -> fault):")
+            timeline = render_timeline(
+                {e.event_id: e for e in chain_events}.values()
+            )
+            lines.extend("  " + line for line in timeline.splitlines())
+        radius = len(provenance.ancestry)
+        lines.append("")
+        lines.append(
+            f"Blast radius: {radius} control-plane events implicated "
+            f"across {len({self.graph.event(i).router for i in provenance.ancestry} | {provenance.target.router})} router(s)."
+        )
+        return lines
+
+    def _guidance(
+        self,
+        provenance: Optional[ProvenanceResult],
+        repair: Optional[RepairReport],
+    ) -> List[str]:
+        lines = []
+        if repair is not None and repair.repaired:
+            lines.append(
+                "  The root-cause configuration change was reverted "
+                "automatically."
+            )
+            lines.append(
+                "  If the change was intended, adapt the policy and "
+                "re-apply it (§6)."
+            )
+        elif provenance is not None and provenance.actionable_causes:
+            lines.append(
+                "  Revert the root-cause change(s) listed above, or adapt "
+                "the policy if the change was intended."
+            )
+        if provenance is not None and provenance.environmental_causes:
+            lines.append(
+                "  Environmental causes (external routes / hardware) "
+                "cannot be repaired in software (§8); investigate the "
+                "underlying event."
+            )
+        if not lines:
+            lines.append("  No actionable root cause was identified.")
+        return lines

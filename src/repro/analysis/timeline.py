@@ -1,0 +1,104 @@
+"""Fig. 5-style per-router lane rendering of a captured episode.
+
+The paper's Fig. 5 lays control-plane I/Os out in one column per
+router, ordered by time, with the elapsed delay annotated between
+consecutive events.  :func:`render_timeline` produces the same layout
+in plain text from any slice of a capture.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.capture.io_events import IOEvent, IOKind
+
+#: Compact one-line labels per event kind (Fig. 5's cell style).
+_KIND_LABELS = {
+    IOKind.CONFIG_CHANGE: "Config",
+    IOKind.HARDWARE_STATUS: "Link",
+    IOKind.ROUTE_RECEIVE: "Recv",
+    IOKind.ROUTE_SEND: "Send",
+    IOKind.RIB_UPDATE: "RIB",
+    IOKind.FIB_UPDATE: "FIB",
+}
+
+
+def _cell_text(event: IOEvent) -> str:
+    label = _KIND_LABELS[event.kind]
+    if event.kind is IOKind.CONFIG_CHANGE:
+        detail = str(event.attr("description") or event.attr("key") or "")
+        return f"{label}: {detail}"
+    if event.kind is IOKind.HARDWARE_STATUS:
+        return f"{label}: {event.attr('link')} {event.attr('status')}"
+    parts = [label]
+    if event.action is not None and event.kind in (
+        IOKind.ROUTE_SEND,
+        IOKind.ROUTE_RECEIVE,
+    ):
+        parts.append(event.action.value)
+    if event.prefix is not None:
+        parts.append(str(event.prefix))
+    if event.peer:
+        arrow = "->" if event.kind is IOKind.ROUTE_SEND else "<-"
+        parts.append(f"{arrow}{event.peer}")
+    nh = event.attr("next_hop_router")
+    if nh and event.kind is IOKind.FIB_UPDATE:
+        parts.append(f"via {nh}")
+    return " ".join(parts)
+
+
+def render_timeline(
+    events: Iterable[IOEvent],
+    routers: Optional[Sequence[str]] = None,
+    since: Optional[float] = None,
+    until: Optional[float] = None,
+    column_width: int = 34,
+) -> str:
+    """Render events as per-router lanes with inter-event delays.
+
+    ``routers`` fixes the lane order (defaults to sorted router names
+    present); ``since``/``until`` clip the window.  Each row is one
+    event; the delay annotation on the left is measured from the
+    previous rendered row, mirroring Fig. 5's "+4ms" style.
+    """
+    selected = [
+        e
+        for e in events
+        if (since is None or e.timestamp >= since)
+        and (until is None or e.timestamp <= until)
+    ]
+    selected.sort(key=lambda e: (e.timestamp, e.event_id))
+    if not selected:
+        return "(no events in window)"
+    lane_names = list(routers) if routers else sorted(
+        {e.router for e in selected}
+    )
+    lanes = {name: index for index, name in enumerate(lane_names)}
+
+    header_cells = ["t (delay)".ljust(14)] + [
+        name.center(column_width) for name in lane_names
+    ]
+    rule = "-" * (14 + (column_width + 1) * len(lane_names))
+    lines = ["  ".join(header_cells), rule]
+
+    base = selected[0].timestamp
+    previous = base
+    for event in selected:
+        if event.router not in lanes:
+            continue
+        gap = event.timestamp - previous
+        previous = event.timestamp
+        if gap >= 1.0:
+            delay_text = f"+{gap:.1f}s"
+        elif gap > 0:
+            delay_text = f"+{gap * 1000:.1f}ms"
+        else:
+            delay_text = ""
+        stamp = f"{event.timestamp - base:9.4f} {delay_text}".ljust(14)
+        cells = [" " * column_width] * len(lane_names)
+        text = _cell_text(event)
+        if len(text) > column_width:
+            text = text[: column_width - 1] + "…"
+        cells[lanes[event.router]] = text.ljust(column_width)
+        lines.append("  ".join([stamp] + cells))
+    return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""Control-plane I/O capture: the paper's interposition layer (§4).
+
+Routers emit :class:`~repro.capture.io_events.IOEvent` records at
+every control-plane boundary crossing.  The :class:`~repro.capture.
+logger.RouterLogger` is the per-router shim (what the paper gets from
+IOS ``debug`` / Junos traceoptions), and the :class:`~repro.capture.
+collector.Collector` is the central (or per-router, for the
+distributed mode) event store that HBR inference consumes.
+
+Ground-truth dependencies — which the real system would *not* have —
+are recorded on a separate channel (:class:`~repro.capture.
+ground_truth.GroundTruth`) purely so the benchmarks can score the
+accuracy of HBR inference.
+"""
+
+from repro.capture.io_events import Direction, IOEvent, IOKind, RouteAction
+from repro.capture.ground_truth import GroundTruth
+from repro.capture.logger import RouterLogger
+from repro.capture.collector import Collector
+
+__all__ = [
+    "Collector",
+    "Direction",
+    "GroundTruth",
+    "IOEvent",
+    "IOKind",
+    "RouteAction",
+    "RouterLogger",
+]

@@ -1,0 +1,307 @@
+"""FRR-flavoured log adapter: textual router logs <-> IOEvents.
+
+§4.2: "most commercial router platforms provide a mechanism for
+logging control plane I/Os locally or to a remote server [10, 20],
+and open-source platforms [3] could be readily extended to provide
+such functionality."  A real deployment of this system on
+Mininet/FRR would consume ``bgpd``/``zebra`` debug logs; this module
+defines the line grammar such a shim produces and parses it back into
+:class:`~repro.capture.io_events.IOEvent` records, so the entire HBR
+pipeline runs unchanged off textual logs.
+
+Line grammar (one event per line, syslog-ish)::
+
+    <ts> <router> bgpd: <peer> rcvd UPDATE <prefix> nexthop <ip> path <asns> [localpref <n>] [med <n>]
+    <ts> <router> bgpd: <peer> rcvd WITHDRAW <prefix>
+    <ts> <router> bgpd: <peer> send UPDATE <prefix> nexthop <ip> path <asns> [localpref <n>] [med <n>]
+    <ts> <router> bgpd: <peer> send WITHDRAW <prefix>
+    <ts> <router> bgpd: best path <prefix> via <peer-or-local> localpref <n>
+    <ts> <router> bgpd: best path <prefix> removed
+    <ts> <router> zebra: route add <prefix> via <router> dev <iface> proto <proto>
+    <ts> <router> zebra: route del <prefix>
+    <ts> <router> zebra: interface <iface> state <up|down>
+    <ts> <router> vtysh: config change #<id> '<description>'
+
+Timestamps are seconds (float) to preserve the simulator's resolution;
+a real shim would emit epoch time, which parses identically.
+
+:func:`render_event` writes this grammar and :class:`FrrLogParser`
+reads it; ``parse(render(event))`` preserves every field the HBR
+machinery consumes (router, kind, protocol, prefix, action, peer, and
+the attributes the rules inspect).  Events the grammar does not cover
+(OSPF LSAs, EIGRP vectors) are rendered as opaque ``#`` comment lines
+and skipped on parse.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Optional
+
+from repro.capture.io_events import IOEvent, IOKind, RouteAction
+from repro.net.addr import Prefix
+
+
+class FrrParseError(ValueError):
+    """Raised for lines that look like events but do not parse."""
+
+
+# -- rendering ----------------------------------------------------------------
+
+
+def _path_text(event: IOEvent) -> str:
+    return str(event.attr("as_path") or "")
+
+
+def render_event(event: IOEvent) -> str:
+    """One grammar line for ``event`` (comment line if not covered)."""
+    ts = f"{event.timestamp:.6f}"
+    head = f"{ts} {event.router}"
+    if event.kind is IOKind.CONFIG_CHANGE:
+        change_id = event.attr("change_id", 0)
+        description = event.attr("description") or event.attr("kind") or ""
+        return f"{head} vtysh: config change #{change_id} '{description}'"
+    if event.kind is IOKind.HARDWARE_STATUS:
+        return (
+            f"{head} zebra: interface {event.attr('link')} "
+            f"state {event.attr('status')}"
+        )
+    if event.protocol == "bgp" and event.kind in (
+        IOKind.ROUTE_RECEIVE,
+        IOKind.ROUTE_SEND,
+    ):
+        verb = "rcvd" if event.kind is IOKind.ROUTE_RECEIVE else "send"
+        if event.action is RouteAction.WITHDRAW:
+            return f"{head} bgpd: {event.peer} {verb} WITHDRAW {event.prefix}"
+        text = (
+            f"{head} bgpd: {event.peer} {verb} UPDATE {event.prefix} "
+            f"nexthop {event.attr('next_hop')} path {_path_text(event)}"
+        )
+        if event.attr("local_pref") is not None:
+            text += f" localpref {event.attr('local_pref')}"
+        if event.attr("med") is not None:
+            text += f" med {event.attr('med')}"
+        return text
+    if event.protocol == "bgp" and event.kind is IOKind.RIB_UPDATE:
+        if event.action is RouteAction.WITHDRAW:
+            return f"{head} bgpd: best path {event.prefix} removed"
+        via = event.attr("via") or "local"
+        return (
+            f"{head} bgpd: best path {event.prefix} via {via} "
+            f"localpref {event.attr('local_pref', 100)}"
+        )
+    if event.kind is IOKind.FIB_UPDATE:
+        if event.action is RouteAction.WITHDRAW:
+            return f"{head} zebra: route del {event.prefix}"
+        return (
+            f"{head} zebra: route add {event.prefix} "
+            f"via {event.attr('next_hop_router') or 'local'} "
+            f"dev {event.attr('out_interface') or 'lo'} "
+            f"proto {event.protocol}"
+        )
+    return f"# {head} unsupported: {event.describe()}"
+
+
+def render_events(events: Iterable[IOEvent]) -> str:
+    return "\n".join(render_event(e) for e in events)
+
+
+# -- parsing -----------------------------------------------------------------
+
+_HEAD = r"(?P<ts>\d+(?:\.\d+)?) (?P<router>\S+) "
+
+_PATTERNS = [
+    (
+        "bgp_update",
+        re.compile(
+            _HEAD
+            + r"bgpd: (?P<peer>\S+) (?P<verb>rcvd|send) UPDATE "
+            r"(?P<prefix>\S+) nexthop (?P<nexthop>\S+) path (?P<path>\S*)"
+            r"(?: localpref (?P<lp>\d+))?(?: med (?P<med>\d+))?$"
+        ),
+    ),
+    (
+        "bgp_withdraw",
+        re.compile(
+            _HEAD
+            + r"bgpd: (?P<peer>\S+) (?P<verb>rcvd|send) WITHDRAW (?P<prefix>\S+)$"
+        ),
+    ),
+    (
+        "bgp_best",
+        re.compile(
+            _HEAD
+            + r"bgpd: best path (?P<prefix>\S+) via (?P<via>\S+) "
+            r"localpref (?P<lp>\d+)$"
+        ),
+    ),
+    (
+        "bgp_best_removed",
+        re.compile(_HEAD + r"bgpd: best path (?P<prefix>\S+) removed$"),
+    ),
+    (
+        "fib_add",
+        re.compile(
+            _HEAD
+            + r"zebra: route add (?P<prefix>\S+) via (?P<via>\S+) "
+            r"dev (?P<dev>\S+) proto (?P<proto>\S+)$"
+        ),
+    ),
+    (
+        "fib_del",
+        re.compile(_HEAD + r"zebra: route del (?P<prefix>\S+)$"),
+    ),
+    (
+        "interface",
+        re.compile(
+            _HEAD + r"zebra: interface (?P<iface>\S+) state (?P<state>up|down)$"
+        ),
+    ),
+    (
+        "config",
+        re.compile(
+            _HEAD + r"vtysh: config change #(?P<id>\d+) '(?P<desc>.*)'$"
+        ),
+    ),
+]
+
+
+class FrrLogParser:
+    """Parse grammar lines back into IOEvents.
+
+    Parsed events receive fresh event ids — a real shim has no access
+    to another collector's numbering, and nothing in the HBR pipeline
+    depends on ids carrying meaning.
+    """
+
+    def __init__(self) -> None:
+        self.lines_parsed = 0
+        self.lines_skipped = 0
+
+    def parse_line(self, line: str) -> Optional[IOEvent]:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            self.lines_skipped += 1
+            return None
+        for name, pattern in _PATTERNS:
+            match = pattern.match(line)
+            if match is None:
+                continue
+            self.lines_parsed += 1
+            return self._build(name, match)
+        raise FrrParseError(f"unparseable log line: {line!r}")
+
+    def parse(self, text: str) -> List[IOEvent]:
+        events = []
+        for line in text.splitlines():
+            event = self.parse_line(line)
+            if event is not None:
+                events.append(event)
+        return events
+
+    def _build(self, name: str, match: re.Match) -> IOEvent:
+        ts = float(match["ts"])
+        router = match["router"]
+        if name == "bgp_update":
+            kind = (
+                IOKind.ROUTE_RECEIVE
+                if match["verb"] == "rcvd"
+                else IOKind.ROUTE_SEND
+            )
+            attrs = {
+                "next_hop": match["nexthop"],
+                "as_path": match["path"],
+            }
+            if match["lp"] is not None:
+                attrs["local_pref"] = int(match["lp"])
+            if match["med"] is not None:
+                attrs["med"] = int(match["med"])
+            return IOEvent.create(
+                router,
+                kind,
+                ts,
+                protocol="bgp",
+                prefix=Prefix.parse(match["prefix"]),
+                action=RouteAction.ANNOUNCE,
+                peer=match["peer"],
+                attrs=attrs,
+            )
+        if name == "bgp_withdraw":
+            kind = (
+                IOKind.ROUTE_RECEIVE
+                if match["verb"] == "rcvd"
+                else IOKind.ROUTE_SEND
+            )
+            return IOEvent.create(
+                router,
+                kind,
+                ts,
+                protocol="bgp",
+                prefix=Prefix.parse(match["prefix"]),
+                action=RouteAction.WITHDRAW,
+                peer=match["peer"],
+            )
+        if name == "bgp_best":
+            return IOEvent.create(
+                router,
+                IOKind.RIB_UPDATE,
+                ts,
+                protocol="bgp",
+                prefix=Prefix.parse(match["prefix"]),
+                action=RouteAction.ANNOUNCE,
+                attrs={
+                    "via": match["via"],
+                    "local_pref": int(match["lp"]),
+                },
+            )
+        if name == "bgp_best_removed":
+            return IOEvent.create(
+                router,
+                IOKind.RIB_UPDATE,
+                ts,
+                protocol="bgp",
+                prefix=Prefix.parse(match["prefix"]),
+                action=RouteAction.WITHDRAW,
+            )
+        if name == "fib_add":
+            via = match["via"]
+            return IOEvent.create(
+                router,
+                IOKind.FIB_UPDATE,
+                ts,
+                protocol=match["proto"],
+                prefix=Prefix.parse(match["prefix"]),
+                action=RouteAction.ANNOUNCE,
+                attrs={
+                    "next_hop_router": None if via == "local" else via,
+                    "out_interface": match["dev"],
+                    "discard": False,
+                },
+            )
+        if name == "fib_del":
+            return IOEvent.create(
+                router,
+                IOKind.FIB_UPDATE,
+                ts,
+                protocol="bgp",
+                prefix=Prefix.parse(match["prefix"]),
+                action=RouteAction.WITHDRAW,
+            )
+        if name == "interface":
+            return IOEvent.create(
+                router,
+                IOKind.HARDWARE_STATUS,
+                ts,
+                attrs={"link": match["iface"], "status": match["state"]},
+            )
+        if name == "config":
+            return IOEvent.create(
+                router,
+                IOKind.CONFIG_CHANGE,
+                ts,
+                attrs={
+                    "change_id": int(match["id"]),
+                    "description": match["desc"],
+                },
+            )
+        raise FrrParseError(f"unknown pattern {name!r}")

@@ -1,0 +1,71 @@
+"""Ground-truth dependency channel (evaluation only).
+
+The simulator *created* every dependency between control-plane I/Os,
+so it can record them exactly.  A real deployment has no such oracle
+— that is the whole reason the paper proposes HBR *inference* — so
+this channel is kept strictly separate from the observable
+:class:`~repro.capture.io_events.IOEvent` stream and is consumed only
+by the benchmarks that score inference precision/recall (experiment
+C-INF in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
+
+
+class GroundTruth:
+    """Exact cause → effect edges between event ids."""
+
+    def __init__(self) -> None:
+        self._causes: Dict[int, Set[int]] = defaultdict(set)
+        self._effects: Dict[int, Set[int]] = defaultdict(set)
+
+    def record(self, cause_id: int, effect_id: int) -> None:
+        """Record that event ``cause_id`` happened-before ``effect_id``."""
+        if cause_id == effect_id:
+            raise ValueError(f"event {cause_id} cannot cause itself")
+        self._causes[effect_id].add(cause_id)
+        self._effects[cause_id].add(effect_id)
+
+    def record_all(self, cause_ids: Iterable[int], effect_id: int) -> None:
+        for cause_id in cause_ids:
+            self.record(cause_id, effect_id)
+
+    def causes_of(self, event_id: int) -> Set[int]:
+        return set(self._causes.get(event_id, ()))
+
+    def effects_of(self, event_id: int) -> Set[int]:
+        return set(self._effects.get(event_id, ()))
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """All (cause, effect) pairs."""
+        for effect, causes in self._causes.items():
+            for cause in sorted(causes):
+                yield (cause, effect)
+
+    def edge_set(self) -> Set[Tuple[int, int]]:
+        return set(self.edges())
+
+    def transitive_causes(self, event_id: int) -> Set[int]:
+        """All ancestors of ``event_id`` under the true dependency order."""
+        seen: Set[int] = set()
+        stack: List[int] = [event_id]
+        while stack:
+            current = stack.pop()
+            for cause in self._causes.get(current, ()):
+                if cause not in seen:
+                    seen.add(cause)
+                    stack.append(cause)
+        return seen
+
+    def root_causes(self, event_id: int) -> Set[int]:
+        """True ancestors of ``event_id`` that themselves have no cause."""
+        ancestors = self.transitive_causes(event_id)
+        if not ancestors:
+            return set()
+        return {a for a in ancestors if not self._causes.get(a)}
+
+    def __len__(self) -> int:
+        return sum(len(causes) for causes in self._causes.values())

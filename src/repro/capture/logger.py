@@ -1,0 +1,115 @@
+"""Per-router capture shim.
+
+The paper (§4.2): "most commercial router platforms provide a
+mechanism for logging control plane I/Os locally or to a remote
+server".  :class:`RouterLogger` plays that role for our simulated
+routers: every boundary crossing goes through :meth:`log`, which
+timestamps the event with the router's *local clock* (simulation time
+plus a per-router clock skew) and forwards it to the collector.
+
+Clock skew matters: the paper's timestamp-based inference technique
+explicitly cannot rely on perfectly synchronised wall clocks, so the
+shim lets scenarios inject bounded skew and the inference benchmarks
+measure its effect.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Mapping, Optional
+
+from repro.capture.io_events import IOEvent, IOKind, RouteAction
+from repro.net.addr import Prefix
+
+LogSink = Callable[[IOEvent], None]
+
+
+class RouterLogger:
+    """Capture shim for one router.
+
+    ``clock_skew`` (seconds, may be negative) offsets the timestamps
+    this router reports; ``drop_rate`` lets failure-injection tests
+    simulate lost log messages (a real syslog stream is UDP).
+    """
+
+    def __init__(
+        self,
+        router: str,
+        sink: LogSink,
+        clock_skew: float = 0.0,
+        drop_rate: float = 0.0,
+        rng: Optional[Any] = None,
+    ):
+        if drop_rate < 0.0 or drop_rate > 1.0:
+            raise ValueError(f"drop_rate must be in [0, 1], got {drop_rate}")
+        if drop_rate > 0.0 and rng is None:
+            raise ValueError("drop_rate > 0 requires an rng")
+        self.router = router
+        self.clock_skew = clock_skew
+        self.drop_rate = drop_rate
+        self._sink = sink
+        self._rng = rng
+        self.events_logged = 0
+        self.events_dropped = 0
+
+    def log(
+        self,
+        kind: IOKind,
+        sim_time: float,
+        protocol: Optional[str] = None,
+        prefix: Optional[Prefix] = None,
+        action: Optional[RouteAction] = None,
+        peer: Optional[str] = None,
+        attrs: Optional[Mapping[str, Any]] = None,
+    ) -> IOEvent:
+        """Create, timestamp, and emit one I/O event.
+
+        The event is always *created* (the router did perform the I/O)
+        and always returned, so the caller can wire ground truth; only
+        delivery to the collector is subject to ``drop_rate``.
+        """
+        event = IOEvent.create(
+            router=self.router,
+            kind=kind,
+            timestamp=sim_time + self.clock_skew,
+            protocol=protocol,
+            prefix=prefix,
+            action=action,
+            peer=peer,
+            attrs=attrs,
+        )
+        if self.drop_rate > 0.0 and self._rng.random() < self.drop_rate:
+            self.events_dropped += 1
+            return event
+        self._sink(event)
+        self.events_logged += 1
+        return event
+
+
+class BufferingSink:
+    """A sink that buffers events for batched delivery.
+
+    Models routers that ship logs periodically rather than per-event;
+    the snapshot-consistency benchmarks use this to create windows in
+    which the collector's view is incomplete (the Fig. 1c situation).
+    """
+
+    def __init__(self, downstream: LogSink):
+        self._downstream = downstream
+        self._buffer: List[IOEvent] = []
+
+    def __call__(self, event: IOEvent) -> None:
+        self._buffer.append(event)
+
+    def flush(self) -> int:
+        """Deliver all buffered events; returns how many were sent."""
+        count = len(self._buffer)
+        for event in self._buffer:
+            self._downstream(event)
+        self._buffer.clear()
+        return count
+
+    def pending(self) -> int:
+        return len(self._buffer)
+
+    def peek(self) -> Iterable[IOEvent]:
+        return tuple(self._buffer)

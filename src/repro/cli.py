@@ -1,0 +1,180 @@
+"""Command-line interface: run the paper's scenarios from a shell.
+
+Usage::
+
+    python -m repro demo fig1          # Figs. 1a/1b convergence
+    python -m repro demo fig2          # the misconfiguration episode
+    python -m repro demo fig5          # §7 feasibility replay (timeline)
+    python -m repro demo pipeline      # Fig. 3 guard catching Fig. 2a
+    python -m repro demo vendor        # Cisco vs Junos divergence
+    python -m repro audit --routers 8  # random-network toolbox tour
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _demo_fig1(args: argparse.Namespace) -> int:
+    from repro.scenarios.fig1 import Fig1Scenario
+    from repro.scenarios.paper_net import P
+
+    scenario = Fig1Scenario(seed=args.seed)
+    net = scenario.run_fig1b()
+    print("Fig. 1a -> 1b convergence complete.")
+    for router in ("R1", "R2", "R3"):
+        path, outcome = net.trace_path(router, P.first_address())
+        print(f"  {router}: {' -> '.join(path)} [{outcome}]")
+    print(f"events captured: {len(net.collector)}")
+    return 0
+
+
+def _demo_fig2(args: argparse.Namespace) -> int:
+    from repro.scenarios.fig2 import Fig2Scenario
+    from repro.scenarios.paper_net import P
+
+    scenario = Fig2Scenario(seed=args.seed)
+    net = scenario.run_fig2a()
+    print("Applied the Fig. 2a misconfiguration (LP 30 -> 10 on R2).")
+    for router in ("R1", "R2", "R3"):
+        path, outcome = net.trace_path(router, P.first_address())
+        print(f"  {router}: {' -> '.join(path)} [{outcome}]")
+    print(f"policy violated: {scenario.violates_policy()}")
+    return 0
+
+
+def _demo_fig5(args: argparse.Namespace) -> int:
+    from repro.analysis.timeline import render_timeline
+    from repro.scenarios.fig5 import Fig5Scenario
+
+    scenario = Fig5Scenario(seed=args.seed)
+    net = scenario.run_localpref_change()
+    print("§7 feasibility replay — captured control-plane I/O timeline:")
+    print()
+    print(
+        render_timeline(
+            net.collector.all_events(),
+            routers=["R1", "R2", "R3"],
+            since=scenario.t_change,
+        )
+    )
+    return 0
+
+
+def _demo_pipeline(args: argparse.Namespace) -> int:
+    from repro.core.pipeline import IntegratedControlPlane, PipelineMode
+    from repro.scenarios.fig2 import Fig2Scenario, bad_lp_change
+    from repro.scenarios.paper_net import P, paper_policy
+    from repro.verify.policy import LoopFreedomPolicy
+
+    scenario = Fig2Scenario(seed=args.seed)
+    net = scenario.run_baseline()
+    pipeline = IntegratedControlPlane(
+        net,
+        [paper_policy(), LoopFreedomPolicy(prefixes=[P])],
+        mode=PipelineMode.REPAIR,
+    ).arm()
+    net.apply_config_change(bad_lp_change())
+    net.run(120)
+    print(pipeline.summary())
+    print(f"\npolicy violated after the episode: {scenario.violates_policy()}")
+    return 0
+
+
+def _demo_vendor(args: argparse.Namespace) -> int:
+    from repro.scenarios.vendor import divergence
+
+    cisco_exit, juniper_exit = divergence(seed=args.seed)
+    print("Identical configs and inputs, two vendors:")
+    print(f"  cisco   chooses exit via {cisco_exit} (oldest eBGP route)")
+    print(f"  juniper chooses exit via {juniper_exit} (lowest router id)")
+    print(f"  diverge: {cisco_exit != juniper_exit}")
+    return 0
+
+
+_DEMOS = {
+    "fig1": _demo_fig1,
+    "fig2": _demo_fig2,
+    "fig5": _demo_fig5,
+    "pipeline": _demo_pipeline,
+    "vendor": _demo_vendor,
+}
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    return _DEMOS[args.scenario](args)
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.hbr.inference import InferenceEngine, score_inference
+    from repro.repair.equivalence import PrefixGrouper
+    from repro.scenarios.generators import (
+        build_random_network,
+        churn_workload,
+        external_prefixes,
+    )
+    from repro.snapshot.base import DataPlaneSnapshot
+    from repro.verify.headerspace import compute_equivalence_classes
+
+    net, specs = build_random_network(
+        args.routers, uplinks=args.uplinks, seed=args.seed
+    )
+    net.start()
+    prefixes = external_prefixes(args.prefixes)
+    for prefix in prefixes:
+        for spec in specs:
+            net.announce_prefix(spec.external, prefix)
+    churn_workload(
+        net, specs, prefixes, events=args.events, start=5.0, seed=args.seed
+    )
+    net.run(60)
+    print(f"captured {len(net.collector)} control-plane I/O events")
+    graph = InferenceEngine().build_graph(net.collector.all_events())
+    observable = {e.event_id for e in net.collector}
+    score = score_inference(graph, net.ground_truth, observable_ids=observable)
+    print(f"HBR inference: {score}")
+    snapshot = DataPlaneSnapshot.from_live_network(net)
+    classes = compute_equivalence_classes(snapshot)
+    groups = PrefixGrouper().group(snapshot)
+    print(
+        f"equivalence classes: {len(classes)} over "
+        f"{len(snapshot.all_prefixes())} prefixes "
+        f"({PrefixGrouper.compression(groups):.1f} prefixes/group)"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Integrating Verification and Repair into the Control Plane "
+            "(HotNets 2017) — reproduction toolkit"
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run one of the paper's scenarios")
+    demo.add_argument("scenario", choices=sorted(_DEMOS))
+    demo.set_defaults(func=_cmd_demo)
+
+    audit = sub.add_parser("audit", help="toolbox tour on a random network")
+    audit.add_argument("--routers", type=int, default=8)
+    audit.add_argument("--uplinks", type=int, default=2)
+    audit.add_argument("--prefixes", type=int, default=6)
+    audit.add_argument("--events", type=int, default=12)
+    audit.set_defaults(func=_cmd_audit)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""The paper's primary contribution, integrated (Fig. 3).
+
+:class:`~repro.core.pipeline.IntegratedControlPlane` interposes on
+every router's FIB boundary ("CAPTURE CONTROL PLANE I/OS" -> "DATA
+PLANE VERIFIER" -> "TRACE PROVENANCE" -> "BLOCK I/OS" in Fig. 3):
+updates that would introduce a policy violation are caught *before*
+they are installed, their provenance is traced through the
+incrementally-maintained HBG, and — in repair mode — the root-cause
+configuration change is automatically reverted.
+"""
+
+from repro.core.pipeline import (
+    IntegratedControlPlane,
+    PipelineIncident,
+    PipelineMode,
+)
+
+__all__ = ["IntegratedControlPlane", "PipelineIncident", "PipelineMode"]

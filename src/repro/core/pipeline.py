@@ -1,0 +1,390 @@
+"""The integrated verification/repair pipeline (Fig. 3).
+
+    "Our proposal is for each router to capture all control plane
+    inputs and outputs, send them to a centralized data plane
+    verifier, and only allow the data plane to be updated if the
+    inputs and outputs are deemed correct."  (§1)
+
+The pipeline subscribes to the capture collector (maintaining the
+HBG incrementally via streaming inference) and installs a guard at
+every internal router's FIB boundary.  When a FIB write is attempted:
+
+1. the verifier's current snapshot reconstruction is updated with
+   the *hypothetical* post-write state;
+2. only violations *introduced* by the write are counted —
+   legitimate convergence transitions that shrink or preserve the
+   violation set pass through;
+3. an offending write is blocked (in ``BLOCK``/``REPAIR`` modes), its
+   provenance is traced from its causing RIB update back to HBG
+   leaves, and in ``REPAIR`` mode the root-cause configuration change
+   is reverted through the versioned config store — once per change,
+   however many routers' updates it poisoned.
+
+The pipeline also offers the offline path (``detect_and_repair``)
+corresponding to §6's first variant: verify a consistent snapshot
+after the fact, trace each violating FIB entry, and revert.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.capture.io_events import IOEvent, IOKind
+from repro.hbr.inference import InferenceEngine
+from repro.net.addr import Prefix
+from repro.protocols.fib import FibEntry
+from repro.repair.provenance import ProvenanceResult, ProvenanceTracer
+from repro.repair.rollback import RepairEngine, RepairReport
+from repro.snapshot.base import DataPlaneSnapshot, SnapshotEntry, VerifierView
+from repro.snapshot.consistent import ConsistentSnapshotter
+from repro.verify.policy import Policy, Violation
+from repro.verify.verifier import DataPlaneVerifier
+
+
+class PipelineMode(enum.Enum):
+    """What the pipeline does about a bad update."""
+
+    MONITOR = "monitor"  # detect and record only
+    BLOCK = "block"  # block the update (the §2 strawman)
+    REPAIR = "repair"  # block + revert the root cause (the paper)
+    #: §6's "more advanced mitigation technique": like REPAIR, but
+    #: additionally consult the learned outcome predictor on every
+    #: incoming CONFIG_CHANGE and revert recognised-bad changes
+    #: immediately — "prior to any violation detection", before even
+    #: the soft reconfiguration fires.
+    PREDICT = "predict"
+
+
+@dataclass
+class PipelineIncident:
+    """One caught-bad-update episode."""
+
+    at: float
+    router: str
+    prefix: Optional[Prefix]
+    introduced_violations: List[Violation]
+    provenance: Optional[ProvenanceResult]
+    blocked: bool
+    repair: Optional[RepairReport] = None
+    #: True when the predictor caught the change before any damage.
+    predicted: bool = False
+
+    def describe(self) -> str:
+        if self.predicted:
+            header = (
+                f"incident @{self.at:.3f}s: config change on "
+                f"{self.router} predicted to violate policy; reverted "
+                f"before any FIB damage"
+            )
+        else:
+            header = (
+                f"incident @{self.at:.3f}s: FIB update for {self.prefix} "
+                f"on {self.router} would introduce "
+                f"{len(self.introduced_violations)} violation(s) "
+                f"({'blocked' if self.blocked else 'allowed'})"
+            )
+        lines = [header]
+        for violation in self.introduced_violations:
+            lines.append(f"  {violation}")
+        if self.provenance is not None:
+            lines.append("  " + self.provenance.describe().replace("\n", "\n  "))
+        if self.repair is not None:
+            lines.append("  " + self.repair.describe().replace("\n", "\n  "))
+        return "\n".join(lines)
+
+
+class IntegratedControlPlane:
+    """Fig. 3, operational: capture -> verify -> trace -> block/repair."""
+
+    def __init__(
+        self,
+        network,
+        policies: Sequence[Policy],
+        mode: PipelineMode = PipelineMode.REPAIR,
+        engine: Optional[InferenceEngine] = None,
+        repair_settle: float = 60.0,
+    ):
+        self.network = network
+        self.mode = mode
+        self.engine = engine or InferenceEngine()
+        self.verifier = DataPlaneVerifier(network.topology, policies)
+        self.repair_engine = RepairEngine(network, self.verifier)
+        self.repair_settle = repair_settle
+        self.incidents: List[PipelineIncident] = []
+        self.updates_checked = 0
+        self.updates_blocked = 0
+        #: Config change ids already reverted (dedup across incidents).
+        self._reverted_change_ids: Set[int] = set()
+        #: The learned model behind PREDICT mode; trained automatically
+        #: from every incident's root cause.
+        from repro.repair.predictor import OutcomePredictor
+
+        self.predictor = OutcomePredictor()
+        #: True while the pipeline itself is applying a revert, so the
+        #: predictor never fires on the pipeline's own config changes.
+        self._repairing = False
+        self._stream = self.engine.streaming()
+        network.collector.subscribe(self._observe)
+        # Catch up on any events captured before attachment.
+        for event in network.collector:
+            self._stream.observe(event)
+        self._armed = False
+
+    def _observe(self, event: IOEvent) -> None:
+        self._stream.observe(event)
+        if (
+            self.mode is PipelineMode.PREDICT
+            and self._armed
+            and not self._repairing
+            and event.kind is IOKind.CONFIG_CHANGE
+        ):
+            self._consider_prediction(event)
+
+    def _consider_prediction(self, event: IOEvent) -> None:
+        """§6 early repair: revert recognised-bad changes on sight."""
+        change_id = event.attr("change_id")
+        if change_id is None or int(change_id) in self._reverted_change_ids:
+            return
+        prediction = self.predictor.predict(event)
+        if not prediction.will_violate:
+            return
+        change = self._find_change_by_id(int(change_id))
+        if change is None:
+            return
+        self._reverted_change_ids.add(int(change_id))
+        try:
+            inverse = change.inverted()
+        except Exception:  # noqa: BLE001 - uninvertible: leave to the guard
+            return
+        self._reverted_change_ids.add(inverse.change_id)
+        self._repairing = True
+        try:
+            self.network.apply_config_change(inverse)
+        finally:
+            self._repairing = False
+        self.incidents.append(
+            PipelineIncident(
+                at=self.network.sim.now,
+                router=event.router,
+                prefix=None,
+                introduced_violations=[],
+                provenance=None,
+                blocked=True,
+                predicted=True,
+            )
+        )
+
+    def _find_change_by_id(self, change_id: int):
+        for router in self.network.configs.routers():
+            for change in self.network.configs.changes(router):
+                if change.change_id == change_id:
+                    return change
+        return None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def arm(self) -> "IntegratedControlPlane":
+        """Install the FIB guard on every internal router."""
+        self.network.set_fib_guard(self._guard)
+        self._armed = True
+        return self
+
+    def disarm(self) -> None:
+        self.network.set_fib_guard(None)
+        self._armed = False
+
+    @property
+    def hbg(self):
+        """The incrementally-maintained happens-before graph."""
+        return self._stream.graph
+
+    # -- the guard ---------------------------------------------------------------
+
+    def _current_snapshot(self) -> DataPlaneSnapshot:
+        """The verifier's reconstruction from events captured so far.
+
+        The pipeline is co-located with the collector (zero delivery
+        lag), so this is simply the replay of all FIB events.
+        """
+        return DataPlaneSnapshot.from_fib_events(
+            self.network.collector.events_of_kind(IOKind.FIB_UPDATE),
+            taken_at=self.network.sim.now,
+        )
+
+    def _guard(
+        self,
+        router: str,
+        old: Optional[FibEntry],
+        new: Optional[FibEntry],
+    ) -> bool:
+        self.updates_checked += 1
+        entry = new if new is not None else old
+        if entry is None:
+            return True
+        prefix = entry.prefix
+        snapshot = self._current_snapshot()
+        hypothetical: Optional[SnapshotEntry] = None
+        if new is not None:
+            hypothetical = SnapshotEntry(
+                router=router,
+                prefix=prefix,
+                next_hop_router=new.next_hop_router,
+                out_interface=new.out_interface,
+                protocol=new.protocol,
+                discard=new.discard,
+                source_event_id=0,
+                timestamp=self.network.sim.now,
+            )
+        introduced, _result = self.verifier.new_violations_from(
+            snapshot, hypothetical, router, prefix
+        )
+        if not introduced:
+            return True
+        provenance = self._trace_pending_update(router, prefix)
+        blocked = self.mode is not PipelineMode.MONITOR
+        incident = PipelineIncident(
+            at=self.network.sim.now,
+            router=router,
+            prefix=prefix,
+            introduced_violations=introduced,
+            provenance=provenance,
+            blocked=blocked,
+        )
+        self.incidents.append(incident)
+        if blocked:
+            self.updates_blocked += 1
+        if provenance is not None:
+            self._learn_from_incident(provenance, introduced)
+        if (
+            self.mode in (PipelineMode.REPAIR, PipelineMode.PREDICT)
+            and provenance is not None
+        ):
+            incident.repair = self._repair_once(provenance)
+        return not blocked
+
+    def _learn_from_incident(
+        self,
+        provenance: ProvenanceResult,
+        violations: List[Violation],
+    ) -> None:
+        """Feed the predictor: this input signature led to a violation."""
+        detail = violations[0].policy if violations else ""
+        for cause in provenance.actionable_causes:
+            if cause.kind is IOKind.CONFIG_CHANGE:
+                self.predictor.learn_from_event(
+                    cause, group_id=None, violated=True, detail=detail
+                )
+
+    def _trace_pending_update(
+        self, router: str, prefix: Prefix
+    ) -> Optional[ProvenanceResult]:
+        """Provenance of the not-yet-installed FIB update.
+
+        The FIB event does not exist (the write is pending), but its
+        would-be parent does: the latest RIB_UPDATE for the same
+        router and prefix.  Trace from there.
+        """
+        candidates = [
+            event
+            for event in self.network.collector.query(
+                router=router, kind=IOKind.RIB_UPDATE, prefix=prefix
+            )
+            if event.event_id in self._stream.graph
+        ]
+        if not candidates:
+            return None
+        latest = max(candidates, key=lambda e: (e.timestamp, e.event_id))
+        tracer = ProvenanceTracer(self._stream.graph)
+        return tracer.trace(latest.event_id)
+
+    def _repair_once(
+        self, provenance: ProvenanceResult
+    ) -> Optional[RepairReport]:
+        """Revert root causes not already reverted this session."""
+        new_ids = {
+            change_id
+            for change_id in provenance.config_change_ids()
+            if change_id not in self._reverted_change_ids
+        }
+        if not new_ids:
+            return None
+        self._reverted_change_ids.update(new_ids)
+        # Note: settle=0 here; the revert propagates through the
+        # already-running simulation rather than a nested run() call
+        # (the guard fires *inside* a simulation event).
+        self._repairing = True
+        try:
+            report = self.repair_engine.repair(
+                provenance, settle=0.0, only_change_ids=new_ids
+            )
+        finally:
+            self._repairing = False
+        # The reverts themselves are config changes; they must never be
+        # treated as root causes to revert later (that would oscillate).
+        for action in report.actions:
+            if action.inverse_applied is not None:
+                self._reverted_change_ids.add(action.inverse_applied.change_id)
+        return report
+
+    # -- offline detection (the monitoring path) -----------------------------------
+
+    def detect_and_repair(
+        self,
+        view: Optional[VerifierView] = None,
+        at: Optional[float] = None,
+        wait_deadline: float = 5.0,
+        settle: float = 60.0,
+    ) -> Tuple[List[Violation], Optional[RepairReport]]:
+        """§6 variant 1: verify a consistent snapshot, trace, revert.
+
+        Uses the consistent snapshotter (waiting for stragglers up to
+        ``wait_deadline`` seconds past ``at``) so the verifier never
+        acts on a phantom violation.
+        """
+        when = at if at is not None else self.network.sim.now
+        view = view or VerifierView(self.network.collector)
+        snapshotter = ConsistentSnapshotter(
+            view,
+            internal_routers=self.network.topology.internal_routers(),
+            engine=self.engine,
+        )
+        snapshot, report, got_at = snapshotter.wait_until_consistent(
+            when, when + wait_deadline
+        )
+        if snapshot is None:
+            return [], None
+        result = self.verifier.verify(snapshot)
+        if result.ok:
+            return [], None
+        graph = self.engine.build_graph(view.visible_events(got_at))
+        tracer = ProvenanceTracer(graph)
+        violating_event_ids: List[int] = []
+        for violation in result.violations:
+            for hop in violation.path:
+                entry = (
+                    snapshot.entry(hop, violation.prefix)
+                    if violation.prefix is not None
+                    else None
+                )
+                if entry is not None and entry.source_event_id in graph:
+                    violating_event_ids.append(entry.source_event_id)
+        if not violating_event_ids:
+            return result.violations, None
+        provenance = tracer.trace_many(violating_event_ids)
+        repair = self.repair_engine.repair(provenance, settle=settle)
+        return result.violations, repair
+
+    # -- reporting -----------------------------------------------------------------
+
+    def summary(self) -> str:
+        lines = [
+            f"pipeline[{self.mode.value}]: {self.updates_checked} updates "
+            f"checked, {self.updates_blocked} blocked, "
+            f"{len(self.incidents)} incident(s), "
+            f"{len(self._reverted_change_ids)} change(s) reverted"
+        ]
+        for incident in self.incidents:
+            lines.append(incident.describe())
+        return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""Happens-before relationships and the happens-before graph (§4).
+
+The paper's central claim: observing a router's control-plane I/Os
+and tracking dependencies *between* them — without modelling router
+internals — suffices to verify and repair the network.  This package
+implements:
+
+* :mod:`repro.hbr.graph` — the happens-before graph (HBG) of §4.3;
+* :mod:`repro.hbr.rules` — the declarative protocol rules of §4.1;
+* :mod:`repro.hbr.inference` — the four inference techniques of
+  §4.2 (prefix filtering, timestamps, rule matching, pattern
+  matching) and the combined engine;
+* :mod:`repro.hbr.distributed` — per-router subgraphs and partial
+  path exchange (§5, "Construction and analysis of the HBG can also
+  be distributed").
+"""
+
+from repro.hbr.graph import Edge, EdgeEvidence, HappensBeforeGraph
+from repro.hbr.rules import HbrRule, default_rules
+from repro.hbr.inference import (
+    InferenceConfig,
+    InferenceEngine,
+    PatternMiner,
+    score_inference,
+)
+from repro.hbr.distributed import DistributedHbg, RouterSubgraph
+
+__all__ = [
+    "DistributedHbg",
+    "Edge",
+    "EdgeEvidence",
+    "HappensBeforeGraph",
+    "HbrRule",
+    "InferenceConfig",
+    "InferenceEngine",
+    "PatternMiner",
+    "RouterSubgraph",
+    "default_rules",
+    "score_inference",
+]

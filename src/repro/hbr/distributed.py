@@ -1,0 +1,182 @@
+"""Distributed HBG construction and analysis (§5, final paragraph).
+
+    "Each router can store its own happens-before subgraph containing
+    that router's control plane I/Os.  Partial paths through the HBG
+    can be passed to neighboring routers that can expand the paths
+    based on their happens-before subgraph."
+
+:class:`RouterSubgraph` holds one router's I/Os and intra-router
+edges; :class:`DistributedHbg` coordinates path expansion across
+subgraphs by exchanging :class:`PartialPath` messages over the
+cross-router (send→receive) edges.  The message counter lets the
+C-DIST benchmark compare communication cost against shipping every
+event to a central collector.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.capture.io_events import IOEvent, IOKind
+from repro.hbr.graph import HappensBeforeGraph
+from repro.hbr.inference import InferenceEngine
+
+
+@dataclass(frozen=True)
+class PartialPath:
+    """A (reversed) causal path being extended across routers.
+
+    ``event_ids`` runs effect→cause: element 0 is the violating event
+    the trace started from, the last element is the current frontier.
+    """
+
+    event_ids: Tuple[int, ...]
+
+    @property
+    def frontier(self) -> int:
+        return self.event_ids[-1]
+
+    def extended(self, event_id: int) -> "PartialPath":
+        return PartialPath(self.event_ids + (event_id,))
+
+
+class RouterSubgraph:
+    """One router's share of the HBG."""
+
+    def __init__(self, router: str, engine: Optional[InferenceEngine] = None):
+        self.router = router
+        self.engine = engine or InferenceEngine()
+        self._events: List[IOEvent] = []
+        self.graph = HappensBeforeGraph()
+
+    def ingest(self, event: IOEvent) -> None:
+        if event.router != self.router:
+            raise ValueError(
+                f"event of {event.router} offered to subgraph of {self.router}"
+            )
+        self._events.append(event)
+
+    def build(self) -> HappensBeforeGraph:
+        """(Re)infer intra-router edges from this router's own events."""
+        self.graph = self.engine.build_graph(self._events)
+        return self.graph
+
+    def events(self) -> List[IOEvent]:
+        return list(self._events)
+
+    def local_parents(self, event_id: int) -> List[IOEvent]:
+        return [event for event, _ in self.graph.parents(event_id)]
+
+    def find_matching_send(self, receive: IOEvent) -> Optional[IOEvent]:
+        """Our ROUTE_SEND that a neighbor's ROUTE_RECEIVE matches.
+
+        Used when a neighbor hands us a partial path whose frontier is
+        a receive-from-us: the cross-router HBR [we send] → [they
+        receive] is resolved against our local events.
+        """
+        best: Optional[IOEvent] = None
+        for event in self._events:
+            if event.kind is not IOKind.ROUTE_SEND:
+                continue
+            if event.peer != receive.router:
+                continue
+            if event.protocol != receive.protocol:
+                continue
+            if event.prefix != receive.prefix:
+                continue
+            if event.action != receive.action:
+                continue
+            if event.timestamp > receive.timestamp + \
+                    self.engine.config.clock_skew_tolerance:
+                continue
+            if best is None or event.timestamp > best.timestamp:
+                best = event
+        return best
+
+
+class DistributedHbg:
+    """A set of router subgraphs plus the path-expansion protocol."""
+
+    def __init__(self, engine: Optional[InferenceEngine] = None):
+        self.engine = engine or InferenceEngine()
+        self.subgraphs: Dict[str, RouterSubgraph] = {}
+        #: Count of partial paths passed between routers (the cost
+        #: metric for the distributed-vs-central comparison).
+        self.messages_exchanged = 0
+
+    def ingest(self, event: IOEvent) -> None:
+        subgraph = self.subgraphs.get(event.router)
+        if subgraph is None:
+            subgraph = RouterSubgraph(event.router, self.engine)
+            self.subgraphs[event.router] = subgraph
+        subgraph.ingest(event)
+
+    def ingest_all(self, events: Iterable[IOEvent]) -> None:
+        for event in events:
+            self.ingest(event)
+
+    def build_all(self) -> None:
+        for subgraph in self.subgraphs.values():
+            subgraph.build()
+
+    def _find_event(self, event_id: int) -> Tuple[str, IOEvent]:
+        for router, subgraph in self.subgraphs.items():
+            if event_id in subgraph.graph:
+                return router, subgraph.graph.event(event_id)
+        raise KeyError(f"event {event_id} not in any subgraph")
+
+    def trace_root_causes(self, event_id: int) -> List[IOEvent]:
+        """Distributed provenance: expand partial paths to leaves.
+
+        Mirrors §6's root-cause walk but without a global graph: each
+        expansion step uses only one router's subgraph, and crossing
+        to another router costs one exchanged message.
+        """
+        start_router, _ = self._find_event(event_id)
+        roots: Dict[int, IOEvent] = {}
+        queue: deque = deque()
+        queue.append((start_router, PartialPath((event_id,))))
+        visited: Set[int] = set()
+        while queue:
+            router, path = queue.popleft()
+            frontier_id = path.frontier
+            if frontier_id in visited:
+                continue
+            visited.add(frontier_id)
+            subgraph = self.subgraphs[router]
+            frontier = subgraph.graph.event(frontier_id)
+            parents = subgraph.local_parents(frontier_id)
+            extended = False
+            for parent in parents:
+                extended = True
+                queue.append((router, path.extended(parent.event_id)))
+            if frontier.kind is IOKind.ROUTE_RECEIVE and frontier.peer:
+                neighbor = self.subgraphs.get(frontier.peer)
+                if neighbor is not None:
+                    send = neighbor.find_matching_send(frontier)
+                    if send is not None:
+                        extended = True
+                        self.messages_exchanged += 1
+                        queue.append(
+                            (frontier.peer, path.extended(send.event_id))
+                        )
+            if not extended:
+                roots[frontier.event_id] = frontier
+        return [roots[i] for i in sorted(roots)]
+
+    def merged_graph(self) -> HappensBeforeGraph:
+        """Union of all subgraphs plus inferred cross-router edges.
+
+        Equivalent to what the central collector would build; used to
+        validate that distribution loses nothing.
+        """
+        merged = HappensBeforeGraph()
+        all_events: List[IOEvent] = []
+        for subgraph in self.subgraphs.values():
+            all_events.extend(subgraph.events())
+        return self.engine.build_graph(all_events)
+
+    def routers(self) -> List[str]:
+        return sorted(self.subgraphs)

@@ -1,0 +1,372 @@
+"""The happens-before graph (HBG) of §4.3.
+
+    "Vertices correspond to specific control plane I/Os, and directed
+    edges represent HBRs."
+
+The HBG is a DAG by construction (edges always point forward in the
+cause→effect direction; cycles are rejected at insertion).  Each edge
+carries :class:`EdgeEvidence` recording *which* inference technique
+produced it and with what confidence — §4.2 proposes "adapting the
+behavior of our system according to a statistical confidence attached
+to each inferred HBR", so confidence is first-class here and every
+traversal can be thresholded.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.capture.io_events import IOEvent
+
+
+class HbgError(ValueError):
+    """Raised for invalid HBG operations (unknown vertex, cycle...)."""
+
+
+@dataclass(frozen=True)
+class EdgeEvidence:
+    """Provenance of one inferred HBR edge."""
+
+    technique: str  # "rule" | "pattern" | "ground_truth" | ...
+    rule: str = ""
+    confidence: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.confidence <= 1.0:
+            raise HbgError(f"confidence out of range: {self.confidence}")
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed happens-before edge: cause -> effect."""
+
+    cause: int
+    effect: int
+    evidence: EdgeEvidence
+
+
+class HappensBeforeGraph:
+    """A DAG of control-plane I/O events."""
+
+    def __init__(self) -> None:
+        self._events: Dict[int, IOEvent] = {}
+        self._out: Dict[int, Dict[int, EdgeEvidence]] = defaultdict(dict)
+        self._in: Dict[int, Dict[int, EdgeEvidence]] = defaultdict(dict)
+
+    # -- construction ------------------------------------------------------
+
+    def add_event(self, event: IOEvent) -> None:
+        """Add a vertex (idempotent for the same event id)."""
+        existing = self._events.get(event.event_id)
+        if existing is not None and existing is not event and existing != event:
+            raise HbgError(f"conflicting events for id {event.event_id}")
+        self._events[event.event_id] = event
+
+    def add_edge(
+        self, cause_id: int, effect_id: int, evidence: EdgeEvidence
+    ) -> bool:
+        """Add cause -> effect; returns False if it would create a cycle.
+
+        When the edge already exists, the higher-confidence evidence
+        is kept.
+        """
+        if cause_id not in self._events:
+            raise HbgError(f"unknown cause vertex {cause_id}")
+        if effect_id not in self._events:
+            raise HbgError(f"unknown effect vertex {effect_id}")
+        if cause_id == effect_id:
+            return False
+        current = self._out[cause_id].get(effect_id)
+        if current is not None:
+            if evidence.confidence > current.confidence:
+                self._out[cause_id][effect_id] = evidence
+                self._in[effect_id][cause_id] = evidence
+            return True
+        if self._reaches(effect_id, cause_id):
+            return False
+        self._out[cause_id][effect_id] = evidence
+        self._in[effect_id][cause_id] = evidence
+        return True
+
+    def _reaches(self, start: int, target: int) -> bool:
+        if start == target:
+            return True
+        seen = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for child in self._out.get(node, ()):
+                if child == target:
+                    return True
+                if child not in seen:
+                    seen.add(child)
+                    stack.append(child)
+        return False
+
+    # -- queries ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __contains__(self, event_id: int) -> bool:
+        return event_id in self._events
+
+    def event(self, event_id: int) -> IOEvent:
+        try:
+            return self._events[event_id]
+        except KeyError:
+            raise HbgError(f"no event {event_id} in HBG") from None
+
+    def events(self) -> List[IOEvent]:
+        return [self._events[i] for i in sorted(self._events)]
+
+    def edge_count(self) -> int:
+        return sum(len(targets) for targets in self._out.values())
+
+    def edges(self) -> Iterator[Edge]:
+        for cause in sorted(self._out):
+            for effect in sorted(self._out[cause]):
+                yield Edge(cause, effect, self._out[cause][effect])
+
+    def edge_set(self) -> Set[Tuple[int, int]]:
+        return {(e.cause, e.effect) for e in self.edges()}
+
+    def parents(
+        self, event_id: int, min_confidence: float = 0.0
+    ) -> List[Tuple[IOEvent, EdgeEvidence]]:
+        """Direct causes of ``event_id`` above the confidence bar."""
+        result = []
+        for cause, evidence in sorted(self._in.get(event_id, {}).items()):
+            if evidence.confidence >= min_confidence:
+                result.append((self._events[cause], evidence))
+        return result
+
+    def children(
+        self, event_id: int, min_confidence: float = 0.0
+    ) -> List[Tuple[IOEvent, EdgeEvidence]]:
+        result = []
+        for effect, evidence in sorted(self._out.get(event_id, {}).items()):
+            if evidence.confidence >= min_confidence:
+                result.append((self._events[effect], evidence))
+        return result
+
+    def ancestors(
+        self, event_id: int, min_confidence: float = 0.0
+    ) -> Set[int]:
+        """All transitive causes of ``event_id``."""
+        self.event(event_id)
+        seen: Set[int] = set()
+        stack = [event_id]
+        while stack:
+            node = stack.pop()
+            for cause, evidence in self._in.get(node, {}).items():
+                if evidence.confidence < min_confidence:
+                    continue
+                if cause not in seen:
+                    seen.add(cause)
+                    stack.append(cause)
+        return seen
+
+    def descendants(
+        self, event_id: int, min_confidence: float = 0.0
+    ) -> Set[int]:
+        self.event(event_id)
+        seen: Set[int] = set()
+        stack = [event_id]
+        while stack:
+            node = stack.pop()
+            for effect, evidence in self._out.get(node, {}).items():
+                if evidence.confidence < min_confidence:
+                    continue
+                if effect not in seen:
+                    seen.add(effect)
+                    stack.append(effect)
+        return seen
+
+    def root_causes(
+        self, event_id: int, min_confidence: float = 0.0
+    ) -> List[IOEvent]:
+        """§6: "Any leaf nodes we encounter represent the root cause(s)."
+
+        Walks ancestors of ``event_id``; returns those with no parents
+        (above the confidence bar).  If the event itself has no
+        parents it is its own root cause.
+        """
+        ancestors = self.ancestors(event_id, min_confidence)
+        if not ancestors:
+            return [self.event(event_id)]
+        leaves = [
+            self._events[a]
+            for a in sorted(ancestors)
+            if not any(
+                ev.confidence >= min_confidence
+                for ev in self._in.get(a, {}).values()
+            )
+        ]
+        return leaves
+
+    def causal_chain(
+        self, from_id: int, to_id: int, min_confidence: float = 0.0
+    ) -> Optional[List[IOEvent]]:
+        """One shortest cause→effect path from ``from_id`` to ``to_id``."""
+        self.event(from_id)
+        self.event(to_id)
+        if from_id == to_id:
+            return [self.event(from_id)]
+        parent_of: Dict[int, int] = {}
+        queue = deque([from_id])
+        seen = {from_id}
+        while queue:
+            node = queue.popleft()
+            for effect, evidence in sorted(self._out.get(node, {}).items()):
+                if evidence.confidence < min_confidence or effect in seen:
+                    continue
+                parent_of[effect] = node
+                if effect == to_id:
+                    path = [to_id]
+                    while path[-1] != from_id:
+                        path.append(parent_of[path[-1]])
+                    return [self._events[i] for i in reversed(path)]
+                seen.add(effect)
+                queue.append(effect)
+        return None
+
+    def topological_order(self) -> List[IOEvent]:
+        """Kahn's algorithm; ties broken by event id for determinism."""
+        in_degree = {i: len(self._in.get(i, {})) for i in self._events}
+        ready = sorted(i for i, d in in_degree.items() if d == 0)
+        order: List[IOEvent] = []
+        ready_set = deque(ready)
+        while ready_set:
+            node = ready_set.popleft()
+            order.append(self._events[node])
+            newly_ready = []
+            for effect in self._out.get(node, {}):
+                in_degree[effect] -= 1
+                if in_degree[effect] == 0:
+                    newly_ready.append(effect)
+            for effect in sorted(newly_ready):
+                ready_set.append(effect)
+        if len(order) != len(self._events):
+            raise HbgError("cycle detected in HBG (should be impossible)")
+        return order
+
+    def events_of_router(self, router: str) -> List[IOEvent]:
+        return [e for e in self.events() if e.router == router]
+
+    def subgraph_for_router(self, router: str) -> "HappensBeforeGraph":
+        """This router's happens-before subgraph (§5, distributed mode):
+        the router's own events plus edges between them."""
+        sub = HappensBeforeGraph()
+        ids = set()
+        for event in self.events_of_router(router):
+            sub.add_event(event)
+            ids.add(event.event_id)
+        for edge in self.edges():
+            if edge.cause in ids and edge.effect in ids:
+                sub.add_edge(edge.cause, edge.effect, edge.evidence)
+        return sub
+
+    def merge(self, other: "HappensBeforeGraph") -> None:
+        """Union ``other`` into this graph."""
+        for event in other.events():
+            self.add_event(event)
+        for edge in other.edges():
+            self.add_edge(edge.cause, edge.effect, edge.evidence)
+
+    # -- export -------------------------------------------------------------------
+
+    def to_dot(self, min_confidence: float = 0.0) -> str:
+        """Graphviz DOT text (for the Fig. 4 / Fig. 5 style renders)."""
+        lines = ["digraph hbg {", "  rankdir=TB;", "  node [shape=box];"]
+        for event in self.events():
+            label = event.describe().replace('"', "'")
+            lines.append(
+                f'  e{event.event_id} [label="{label}\\n@{event.timestamp:.4f}s"];'
+            )
+        for edge in self.edges():
+            if edge.evidence.confidence < min_confidence:
+                continue
+            style = "solid" if edge.evidence.technique == "rule" else "dashed"
+            lines.append(
+                f"  e{edge.cause} -> e{edge.effect} "
+                f'[style={style}, label="{edge.evidence.confidence:.2f}"];'
+            )
+        lines.append("}")
+        return "\n".join(lines)
+
+    def to_records(self) -> Dict[str, list]:
+        """Serialise the graph (events + edges) to plain dicts."""
+        return {
+            "events": [event.to_record() for event in self.events()],
+            "edges": [
+                {
+                    "cause": edge.cause,
+                    "effect": edge.effect,
+                    "technique": edge.evidence.technique,
+                    "rule": edge.evidence.rule,
+                    "confidence": edge.evidence.confidence,
+                }
+                for edge in self.edges()
+            ],
+        }
+
+    @classmethod
+    def from_records(cls, records: Dict[str, list]) -> "HappensBeforeGraph":
+        """Inverse of :meth:`to_records` (event ids preserved)."""
+        graph = cls()
+        for record in records.get("events", ()):
+            graph.add_event(IOEvent.from_record(record))
+        for record in records.get("edges", ()):
+            graph.add_edge(
+                int(record["cause"]),
+                int(record["effect"]),
+                EdgeEvidence(
+                    technique=record.get("technique", "rule"),
+                    rule=record.get("rule", ""),
+                    confidence=float(record.get("confidence", 1.0)),
+                ),
+            )
+        return graph
+
+    def prune_before(self, cutoff: float) -> int:
+        """Drop events older than ``cutoff`` (and their edges).
+
+        Long-running deployments cannot keep the HBG forever; §5's
+        consistency walk and §6's provenance only ever need the
+        suffix covering in-flight convergence plus the operator's
+        investigation horizon.  Returns how many events were dropped.
+        """
+        doomed = [
+            event_id
+            for event_id, event in self._events.items()
+            if event.timestamp < cutoff
+        ]
+        for event_id in doomed:
+            for effect in list(self._out.get(event_id, ())):
+                del self._in[effect][event_id]
+            for cause in list(self._in.get(event_id, ())):
+                del self._out[cause][event_id]
+            self._out.pop(event_id, None)
+            self._in.pop(event_id, None)
+            del self._events[event_id]
+        return len(doomed)
+
+    def to_networkx(self):
+        """Export as a ``networkx.DiGraph`` for ad-hoc analysis."""
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        for event in self.events():
+            graph.add_node(event.event_id, event=event)
+        for edge in self.edges():
+            graph.add_edge(
+                edge.cause,
+                edge.effect,
+                technique=edge.evidence.technique,
+                rule=edge.evidence.rule,
+                confidence=edge.evidence.confidence,
+            )
+        return graph

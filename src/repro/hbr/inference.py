@@ -1,0 +1,420 @@
+"""HBR inference: the four techniques of §4.2 and their combination.
+
+    "Prefixes ... can only be used to filter I/Os for possible HBRs."
+    "Timestamps can be used to filter the HBRs considered/generated
+    by other strategies, but timestamps cannot be used as the sole
+    mechanism for identifying HBRs."
+    "Rule matching ... requires understanding protocol standards."
+    "Pattern matching ... has the benefit of being fully automated,
+    but we risk missing an important HBR."
+    "In practice, we expect a combination of these (and other)
+    techniques will be necessary to obtain suitable accuracy."
+
+:class:`InferenceEngine` implements all four:
+
+* prefix filtering and timestamp ordering are *filters* applied to
+  every candidate pair (exactly as the paper prescribes);
+* rule matching consults the declarative rule set of
+  :mod:`repro.hbr.rules`;
+* pattern matching uses a :class:`PatternMiner` trained on a
+  policy-compliant capture, attaching a statistical confidence to
+  each inferred edge;
+* a deliberately weak ``naive`` mode links every prefix/timestamp
+  compatible pair — the strawman the paper's quotes above warn
+  about, used as the ablation baseline in benchmark C-INF.
+
+:func:`score_inference` computes precision/recall against the
+simulator's ground-truth channel.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.capture.ground_truth import GroundTruth
+from repro.capture.io_events import IOEvent
+from repro.hbr.graph import EdgeEvidence, HappensBeforeGraph
+from repro.hbr.rules import HbrRule, default_rules
+
+
+@dataclass
+class InferenceConfig:
+    """Knobs for the combined engine."""
+
+    use_rules: bool = True
+    use_patterns: bool = False
+    #: Link every prefix/timestamp-compatible pair (ablation strawman).
+    naive_prefix_timestamp: bool = False
+    #: Allowed clock disagreement between routers (seconds).
+    clock_skew_tolerance: float = 0.050
+    #: Window for the naive mode (seconds).
+    naive_window: float = 1.0
+    #: Minimum mined-pattern confidence to emit an edge.
+    pattern_confidence_threshold: float = 0.6
+    #: Divide rule confidence by the number of equally plausible
+    #: candidates (ambiguity makes an edge less trustworthy).
+    ambiguity_discount: bool = True
+    #: Link all candidates instead of only the most recent one.
+    link_all_candidates: bool = False
+
+
+# -- pattern mining ----------------------------------------------------------
+
+
+Signature = Tuple[str, str, str]
+Relation = Tuple[bool, bool, bool]  # (same_router, peer_symmetric, same_prefix)
+PatternKey = Tuple[Signature, Signature, Relation]
+
+
+def _signature(event: IOEvent) -> Signature:
+    return (
+        event.kind.value,
+        event.protocol or "-",
+        event.action.value if event.action else "-",
+    )
+
+
+def _relation(ante: IOEvent, cons: IOEvent) -> Relation:
+    return (
+        ante.router == cons.router,
+        ante.peer == cons.router and cons.peer == ante.router,
+        ante.prefix is not None and ante.prefix == cons.prefix,
+    )
+
+
+class PatternMiner:
+    """§4.2 "Pattern matching": mine recurring I/O pair shapes.
+
+    Training scans a (presumed policy-compliant) capture: for every
+    event B it looks back ``window`` seconds at prefix-compatible
+    events A and counts how often each (signature(A), signature(B),
+    relation) shape occurs, normalised by the number of B-signature
+    occurrences.  The resulting ratio is the statistical confidence
+    the paper proposes attaching to inferred HBRs.
+    """
+
+    def __init__(self, window: float = 2.0):
+        self.window = window
+        self._pair_counts: Dict[PatternKey, int] = defaultdict(int)
+        self._cons_totals: Dict[Signature, int] = defaultdict(int)
+        self.trained_events = 0
+
+    def train(self, events: Sequence[IOEvent]) -> None:
+        ordered = sorted(events, key=lambda e: (e.timestamp, e.event_id))
+        times = [e.timestamp for e in ordered]
+        for index, cons in enumerate(ordered):
+            self._cons_totals[_signature(cons)] += 1
+            self.trained_events += 1
+            start = bisect.bisect_left(times, cons.timestamp - self.window)
+            seen_keys: Set[PatternKey] = set()
+            for ante in ordered[start:index]:
+                if not _prefix_compatible(ante, cons):
+                    continue
+                key = (_signature(ante), _signature(cons), _relation(ante, cons))
+                if key in seen_keys:
+                    continue
+                seen_keys.add(key)
+                self._pair_counts[key] += 1
+
+    def confidence(self, ante: IOEvent, cons: IOEvent) -> float:
+        key = (_signature(ante), _signature(cons), _relation(ante, cons))
+        total = self._cons_totals.get(key[1], 0)
+        if total == 0:
+            return 0.0
+        return self._pair_counts.get(key, 0) / total
+
+    def known_patterns(self, min_confidence: float = 0.0) -> List[Tuple[PatternKey, float]]:
+        result = []
+        for key, count in self._pair_counts.items():
+            total = self._cons_totals.get(key[1], 0)
+            if total == 0:
+                continue
+            confidence = count / total
+            if confidence >= min_confidence:
+                result.append((key, confidence))
+        result.sort(key=lambda item: (-item[1], item[0]))
+        return result
+
+
+def _prefix_compatible(a: IOEvent, b: IOEvent) -> bool:
+    """The paper's prefix filter: same prefix, or either side has none
+    (config/hardware/LSA events carry no prefix but can still relate)."""
+    if a.prefix is None or b.prefix is None:
+        return True
+    return a.prefix == b.prefix
+
+
+# -- the combined engine ----------------------------------------------------------
+
+
+class InferenceEngine:
+    """Builds an HBG from an observable I/O stream."""
+
+    def __init__(
+        self,
+        rules: Optional[Sequence[HbrRule]] = None,
+        config: Optional[InferenceConfig] = None,
+        miner: Optional[PatternMiner] = None,
+    ):
+        self.rules: Tuple[HbrRule, ...] = tuple(
+            rules if rules is not None else default_rules()
+        )
+        self.config = config or InferenceConfig()
+        self.miner = miner
+        if self.config.use_patterns and self.miner is None:
+            raise ValueError("use_patterns requires a trained PatternMiner")
+
+    # -- batch ------------------------------------------------------------
+
+    def build_graph(self, events: Iterable[IOEvent]) -> HappensBeforeGraph:
+        """Infer the full HBG for a finished capture."""
+        ordered = sorted(events, key=lambda e: (e.timestamp, e.event_id))
+        graph = HappensBeforeGraph()
+        for event in ordered:
+            graph.add_event(event)
+        times = [e.timestamp for e in ordered]
+        for index, cons in enumerate(ordered):
+            for ante, evidence in self._edges_into(cons, ordered, times, index):
+                graph.add_edge(ante.event_id, cons.event_id, evidence)
+        return graph
+
+    def _candidates_before(
+        self,
+        cons: IOEvent,
+        ordered: Sequence[IOEvent],
+        times: Sequence[float],
+        cons_index: int,
+        window: float,
+    ) -> List[IOEvent]:
+        """Events within [cons.t - window, cons.t + skew], excluding cons.
+
+        The forward allowance implements the timestamp technique's
+        skew tolerance: a cause on another (skewed) router may carry a
+        slightly *later* logged timestamp than its effect.
+        """
+        skew = self.config.clock_skew_tolerance
+        start = bisect.bisect_left(times, cons.timestamp - window)
+        end = bisect.bisect_right(times, cons.timestamp + skew)
+        result = []
+        for ante in ordered[start:end]:
+            if ante.event_id == cons.event_id:
+                continue
+            # Same-router events have a shared clock: require strict
+            # non-decreasing order there (no skew allowance).
+            if ante.router == cons.router and ante.timestamp > cons.timestamp:
+                continue
+            if ante.router == cons.router and ante.timestamp == cons.timestamp:
+                if ante.event_id > cons.event_id:
+                    continue
+            result.append(ante)
+        return result
+
+    def _edges_into(
+        self,
+        cons: IOEvent,
+        ordered: Sequence[IOEvent],
+        times: Sequence[float],
+        cons_index: int,
+    ) -> List[Tuple[IOEvent, EdgeEvidence]]:
+        edges: List[Tuple[IOEvent, EdgeEvidence]] = []
+        linked: Set[int] = set()
+
+        if self.config.naive_prefix_timestamp:
+            for ante in self._candidates_before(
+                cons, ordered, times, cons_index, self.config.naive_window
+            ):
+                if not _prefix_compatible(ante, cons):
+                    continue
+                if ante.event_id in linked:
+                    continue
+                linked.add(ante.event_id)
+                edges.append(
+                    (ante, EdgeEvidence(technique="naive", confidence=0.1))
+                )
+            return edges
+
+        if self.config.use_rules:
+            for rule in self.rules:
+                if not rule.consequent.matches(cons):
+                    continue
+                candidates = [
+                    ante
+                    for ante in self._candidates_before(
+                        cons, ordered, times, cons_index, rule.window
+                    )
+                    if rule.pair_matches(ante, cons)
+                ]
+                if not candidates:
+                    continue
+                if self.config.link_all_candidates or rule.pick == "all":
+                    chosen = candidates
+                else:
+                    chosen = [
+                        max(candidates, key=lambda e: (e.timestamp, e.event_id))
+                    ]
+                confidence = rule.base_confidence
+                if self.config.ambiguity_discount and len(candidates) > 1:
+                    if len(chosen) > 1:
+                        # Linking all of N candidates: each is 1/N likely.
+                        confidence = max(0.05, confidence / len(candidates))
+                    else:
+                        # Picked the latest of several: mildly less sure.
+                        confidence *= 0.9
+                for ante in chosen:
+                    if ante.event_id in linked:
+                        continue
+                    linked.add(ante.event_id)
+                    edges.append(
+                        (
+                            ante,
+                            EdgeEvidence(
+                                technique="rule",
+                                rule=rule.name,
+                                confidence=confidence,
+                            ),
+                        )
+                    )
+
+        if self.config.use_patterns and self.miner is not None:
+            threshold = self.config.pattern_confidence_threshold
+            best_per_key: Dict[PatternKey, Tuple[float, IOEvent, float]] = {}
+            for ante in self._candidates_before(
+                cons, ordered, times, cons_index, self.miner.window
+            ):
+                if ante.event_id in linked:
+                    continue
+                if not _prefix_compatible(ante, cons):
+                    continue
+                confidence = self.miner.confidence(ante, cons)
+                if confidence < threshold:
+                    continue
+                key = (_signature(ante), _signature(cons), _relation(ante, cons))
+                current = best_per_key.get(key)
+                rank = (ante.timestamp, ante.event_id)
+                if current is None or rank > (current[0], current[1].event_id):
+                    best_per_key[key] = (ante.timestamp, ante, confidence)
+            for _, ante, confidence in best_per_key.values():
+                if ante.event_id in linked:
+                    continue
+                linked.add(ante.event_id)
+                edges.append(
+                    (
+                        ante,
+                        EdgeEvidence(
+                            technique="pattern", confidence=confidence
+                        ),
+                    )
+                )
+        return edges
+
+    # -- streaming ------------------------------------------------------------
+
+    def streaming(self) -> "StreamingInference":
+        return StreamingInference(self)
+
+
+class StreamingInference:
+    """Incremental HBG construction for the online pipeline.
+
+    ``observe`` adds one event and links it backwards; it also checks
+    whether the new event is the (skew-delayed) *cause* of recently
+    observed events, re-running inference for consequents inside the
+    skew horizon.
+    """
+
+    def __init__(self, engine: InferenceEngine):
+        self.engine = engine
+        self.graph = HappensBeforeGraph()
+        self._ordered: List[IOEvent] = []
+        self._times: List[float] = []
+
+    def observe(self, event: IOEvent) -> None:
+        position = bisect.bisect_right(self._times, event.timestamp)
+        self._ordered.insert(position, event)
+        self._times.insert(position, event.timestamp)
+        self.graph.add_event(event)
+        self._link(event, position)
+        # The new event may be the cause of already-observed events
+        # whose logged timestamps are within the skew horizon ahead.
+        horizon = event.timestamp + self.engine.config.clock_skew_tolerance
+        index = position + 1
+        while index < len(self._ordered) and self._times[index] <= horizon:
+            self._link(self._ordered[index], index)
+            index += 1
+
+    def _link(self, cons: IOEvent, index: int) -> None:
+        for ante, evidence in self.engine._edges_into(
+            cons, self._ordered, self._times, index
+        ):
+            self.graph.add_edge(ante.event_id, cons.event_id, evidence)
+
+    def __len__(self) -> int:
+        return len(self._ordered)
+
+
+# -- scoring against ground truth ----------------------------------------------
+
+
+@dataclass(frozen=True)
+class InferenceScore:
+    """Precision/recall of an inferred HBG against ground truth."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 1.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 1.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"precision={self.precision:.3f} recall={self.recall:.3f} "
+            f"f1={self.f1:.3f} (tp={self.true_positives} "
+            f"fp={self.false_positives} fn={self.false_negatives})"
+        )
+
+
+def score_inference(
+    graph: HappensBeforeGraph,
+    ground_truth: GroundTruth,
+    observable_ids: Optional[Set[int]] = None,
+    min_confidence: float = 0.0,
+) -> InferenceScore:
+    """Compare inferred edges with the simulator's true dependencies.
+
+    ``observable_ids`` restricts ground truth to events the collector
+    actually saw (edges to/from unobservable events — external
+    routers, dropped log lines — cannot be inferred and are excluded
+    from the recall denominator).
+    """
+    inferred = {
+        (e.cause, e.effect)
+        for e in graph.edges()
+        if e.evidence.confidence >= min_confidence
+    }
+    truth = ground_truth.edge_set()
+    if observable_ids is not None:
+        truth = {
+            (c, f)
+            for c, f in truth
+            if c in observable_ids and f in observable_ids
+        }
+    tp = len(inferred & truth)
+    fp = len(inferred - truth)
+    fn = len(truth - inferred)
+    return InferenceScore(tp, fp, fn)

@@ -1,0 +1,43 @@
+"""Network substrate: addressing, topology, configuration, simulation.
+
+This subpackage provides everything the paper's feasibility study got
+from GNS3 and Cisco VM images: a topology model, a vendor-neutral
+configuration model, and a deterministic discrete-event simulator that
+reproduces the asynchrony (propagation delay, FIB-install delay,
+reconfiguration lag) that makes data-plane snapshots inconsistent.
+"""
+
+from repro.net.addr import Prefix, PrefixTrie, format_ip, parse_ip
+from repro.net.topology import Interface, Link, Router, Topology
+from repro.net.config import (
+    BgpNeighborConfig,
+    ConfigChange,
+    ConfigStore,
+    OspfInterfaceConfig,
+    RouteMap,
+    RouteMapClause,
+    RouterConfig,
+    StaticRouteConfig,
+)
+from repro.net.simulator import Event, Simulator
+
+__all__ = [
+    "BgpNeighborConfig",
+    "ConfigChange",
+    "ConfigStore",
+    "Event",
+    "Interface",
+    "Link",
+    "OspfInterfaceConfig",
+    "Prefix",
+    "PrefixTrie",
+    "RouteMap",
+    "RouteMapClause",
+    "Router",
+    "RouterConfig",
+    "Simulator",
+    "StaticRouteConfig",
+    "Topology",
+    "format_ip",
+    "parse_ip",
+]

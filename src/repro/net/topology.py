@@ -1,0 +1,365 @@
+"""Topology model: routers, interfaces, links, and builders.
+
+A :class:`Topology` is the static wiring of the network — which
+routers exist, how their interfaces connect, and which routers sit in
+which autonomous system.  Protocol sessions (BGP neighbors, OSPF
+adjacencies) are configured separately in :mod:`repro.net.config`;
+the topology only answers "who is physically reachable from whom".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.net.addr import Prefix, format_ip, parse_ip
+
+
+class TopologyError(ValueError):
+    """Raised for inconsistent topology construction."""
+
+
+@dataclass(frozen=True)
+class Interface:
+    """A router interface: a name, an address, and the prefix it sits in."""
+
+    router: str
+    name: str
+    address: int
+    prefix: Prefix
+
+    def __post_init__(self) -> None:
+        if not self.prefix.contains_address(self.address):
+            raise TopologyError(
+                f"interface {self.router}:{self.name} address "
+                f"{format_ip(self.address)} outside {self.prefix}"
+            )
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.router, self.name)
+
+    def __str__(self) -> str:
+        return f"{self.router}:{self.name}({format_ip(self.address)})"
+
+
+@dataclass
+class Link:
+    """A point-to-point link between two interfaces.
+
+    ``delay`` is the one-way propagation delay in seconds used by the
+    simulator; ``up`` is the current hardware status (a link-down is a
+    control-plane *input* in the paper's taxonomy).
+    """
+
+    a: Interface
+    b: Interface
+    delay: float = 0.008
+    up: bool = True
+
+    def __post_init__(self) -> None:
+        if self.a.key == self.b.key:
+            raise TopologyError(f"self-link at {self.a}")
+        if self.delay < 0:
+            raise TopologyError(f"negative link delay: {self.delay}")
+
+    @property
+    def key(self) -> Tuple[Tuple[str, str], Tuple[str, str]]:
+        return tuple(sorted((self.a.key, self.b.key)))  # type: ignore[return-value]
+
+    def endpoints(self) -> Tuple[str, str]:
+        return (self.a.router, self.b.router)
+
+    def other_end(self, router: str) -> Interface:
+        """The interface on the far side from ``router``."""
+        if self.a.router == router:
+            return self.b
+        if self.b.router == router:
+            return self.a
+        raise TopologyError(f"{router} is not on link {self.key}")
+
+    def interface_of(self, router: str) -> Interface:
+        """The interface on ``router``'s side of this link."""
+        if self.a.router == router:
+            return self.a
+        if self.b.router == router:
+            return self.b
+        raise TopologyError(f"{router} is not on link {self.key}")
+
+    def __str__(self) -> str:
+        state = "up" if self.up else "down"
+        return f"{self.a}<->{self.b}[{state},{self.delay * 1000:.1f}ms]"
+
+
+@dataclass
+class Router:
+    """A router: a name, an AS number, a loopback address, and a vendor.
+
+    ``vendor`` selects the BGP decision-process profile (the paper's
+    §2 motivation: vendor-specific tie-break quirks).  ``external``
+    marks routers outside the administrative domain — their I/Os are
+    not captured, which is what terminates the §5 snapshot walk.
+    """
+
+    name: str
+    asn: int = 65000
+    loopback: int = 0
+    vendor: str = "cisco"
+    external: bool = False
+    interfaces: Dict[str, Interface] = field(default_factory=dict)
+
+    def add_interface(self, interface: Interface) -> None:
+        if interface.router != self.name:
+            raise TopologyError(
+                f"interface {interface} belongs to {interface.router}, "
+                f"not {self.name}"
+            )
+        if interface.name in self.interfaces:
+            raise TopologyError(f"duplicate interface {interface}")
+        self.interfaces[interface.name] = interface
+
+    def __str__(self) -> str:
+        return f"{self.name}(AS{self.asn})"
+
+
+class Topology:
+    """A named collection of routers and links with adjacency queries."""
+
+    def __init__(self, name: str = "net"):
+        self.name = name
+        self.routers: Dict[str, Router] = {}
+        self.links: Dict[Tuple[Tuple[str, str], Tuple[str, str]], Link] = {}
+        self._adjacency: Dict[str, List[Link]] = {}
+
+    # -- construction ---------------------------------------------------
+
+    def add_router(self, router: Router) -> Router:
+        if router.name in self.routers:
+            raise TopologyError(f"duplicate router {router.name}")
+        self.routers[router.name] = router
+        self._adjacency[router.name] = []
+        return router
+
+    def router(self, name: str) -> Router:
+        try:
+            return self.routers[name]
+        except KeyError:
+            raise TopologyError(f"unknown router {name!r}") from None
+
+    def add_link(self, link: Link) -> Link:
+        for iface in (link.a, link.b):
+            router = self.router(iface.router)
+            if iface.name not in router.interfaces:
+                router.add_interface(iface)
+        if link.key in self.links:
+            raise TopologyError(f"duplicate link {link.key}")
+        self.links[link.key] = link
+        self._adjacency[link.a.router].append(link)
+        self._adjacency[link.b.router].append(link)
+        return link
+
+    def connect(
+        self,
+        router_a: str,
+        router_b: str,
+        subnet: Prefix,
+        delay: float = 0.008,
+        iface_a: Optional[str] = None,
+        iface_b: Optional[str] = None,
+    ) -> Link:
+        """Wire two routers with a fresh point-to-point link.
+
+        The first host address in ``subnet`` goes to ``router_a`` and
+        the second to ``router_b``.  Interface names default to
+        ``eth<N>``.
+        """
+        if subnet.num_addresses() < 2:
+            raise TopologyError(f"subnet {subnet} too small for a link")
+        name_a = iface_a or f"eth{len(self.router(router_a).interfaces)}"
+        name_b = iface_b or f"eth{len(self.router(router_b).interfaces)}"
+        a = Interface(router_a, name_a, subnet.first_address(), subnet)
+        b = Interface(router_b, name_b, subnet.first_address() + 1, subnet)
+        return self.add_link(Link(a, b, delay=delay))
+
+    # -- queries --------------------------------------------------------
+
+    def links_of(self, router: str) -> List[Link]:
+        self.router(router)
+        return list(self._adjacency[router])
+
+    def neighbors(self, router: str, only_up: bool = True) -> List[str]:
+        """Adjacent router names (by default across up links only)."""
+        result = []
+        for link in self._adjacency.get(router, []):
+            if only_up and not link.up:
+                continue
+            result.append(link.other_end(router).router)
+        return result
+
+    def link_between(self, router_a: str, router_b: str) -> Optional[Link]:
+        for link in self._adjacency.get(router_a, []):
+            if link.other_end(router_a).router == router_b:
+                return link
+        return None
+
+    def internal_routers(self) -> List[str]:
+        return sorted(r.name for r in self.routers.values() if not r.external)
+
+    def external_routers(self) -> List[str]:
+        return sorted(r.name for r in self.routers.values() if r.external)
+
+    def interface_prefixes(self, router: str) -> List[Prefix]:
+        return [i.prefix for i in self.router(router).interfaces.values()]
+
+    def owner_of_address(self, address: int) -> Optional[str]:
+        """Which router owns ``address`` on one of its interfaces."""
+        for router in self.routers.values():
+            for iface in router.interfaces.values():
+                if iface.address == address:
+                    return router.name
+        return None
+
+    def validate(self) -> List[str]:
+        """Sanity checks; returns a list of problems (empty if clean)."""
+        problems: List[str] = []
+        seen_addresses: Dict[int, str] = {}
+        for router in self.routers.values():
+            for iface in router.interfaces.values():
+                owner = seen_addresses.get(iface.address)
+                if owner is not None and owner != router.name:
+                    problems.append(
+                        f"address {format_ip(iface.address)} on both "
+                        f"{owner} and {router.name}"
+                    )
+                seen_addresses[iface.address] = router.name
+        for link in self.links.values():
+            if link.a.prefix != link.b.prefix:
+                problems.append(f"link {link.key} endpoints in different subnets")
+        for name in self.routers:
+            if not self._adjacency[name] and len(self.routers) > 1:
+                problems.append(f"router {name} has no links")
+        return problems
+
+    def __iter__(self) -> Iterator[Router]:
+        return iter(self.routers.values())
+
+    def __len__(self) -> int:
+        return len(self.routers)
+
+    def __str__(self) -> str:
+        return (
+            f"Topology({self.name}: {len(self.routers)} routers, "
+            f"{len(self.links)} links)"
+        )
+
+
+# -- builders ------------------------------------------------------------
+
+
+def _link_subnets() -> Iterator[Prefix]:
+    """An endless supply of distinct /30 transfer subnets."""
+    base = parse_ip("10.255.0.0")
+    index = 0
+    while True:
+        yield Prefix(base + index * 4, 30)
+        index += 1
+
+
+def line_topology(n: int, asn: int = 65000, delay: float = 0.008) -> Topology:
+    """R0 - R1 - ... - R(n-1) in a single AS."""
+    if n < 1:
+        raise TopologyError("need at least one router")
+    topo = Topology(f"line{n}")
+    subnets = _link_subnets()
+    for i in range(n):
+        topo.add_router(
+            Router(f"R{i}", asn=asn, loopback=parse_ip("192.168.0.1") + i)
+        )
+    for i in range(n - 1):
+        topo.connect(f"R{i}", f"R{i + 1}", next(subnets), delay=delay)
+    return topo
+
+
+def ring_topology(n: int, asn: int = 65000, delay: float = 0.008) -> Topology:
+    """A cycle of ``n`` routers in a single AS."""
+    if n < 3:
+        raise TopologyError("a ring needs at least three routers")
+    topo = line_topology(n, asn=asn, delay=delay)
+    topo.name = f"ring{n}"
+    topo.connect(f"R{n - 1}", "R0", Prefix(parse_ip("10.254.0.0"), 30), delay=delay)
+    return topo
+
+
+def grid_topology(
+    rows: int, cols: int, asn: int = 65000, delay: float = 0.008
+) -> Topology:
+    """A rows x cols grid; router names are ``R<r>_<c>``."""
+    if rows < 1 or cols < 1:
+        raise TopologyError("grid dimensions must be positive")
+    topo = Topology(f"grid{rows}x{cols}")
+    subnets = _link_subnets()
+    for r in range(rows):
+        for c in range(cols):
+            topo.add_router(
+                Router(
+                    f"R{r}_{c}",
+                    asn=asn,
+                    loopback=parse_ip("192.168.0.1") + r * cols + c,
+                )
+            )
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                topo.connect(f"R{r}_{c}", f"R{r}_{c + 1}", next(subnets), delay=delay)
+            if r + 1 < rows:
+                topo.connect(f"R{r}_{c}", f"R{r + 1}_{c}", next(subnets), delay=delay)
+    return topo
+
+
+def full_mesh_topology(n: int, asn: int = 65000, delay: float = 0.008) -> Topology:
+    """Every pair of routers directly connected."""
+    if n < 2:
+        raise TopologyError("a mesh needs at least two routers")
+    topo = Topology(f"mesh{n}")
+    subnets = _link_subnets()
+    for i in range(n):
+        topo.add_router(
+            Router(f"R{i}", asn=asn, loopback=parse_ip("192.168.0.1") + i)
+        )
+    for i in range(n):
+        for j in range(i + 1, n):
+            topo.connect(f"R{i}", f"R{j}", next(subnets), delay=delay)
+    return topo
+
+
+def paper_topology(delay: float = 0.008) -> Topology:
+    """The three-router network of the paper's Figs. 1, 2, 4, and 5.
+
+    R1, R2, R3 in AS 65000 form an iBGP triangle; external routers
+    Ext1 (peering with R1) and Ext2 (peering with R2) in AS 65001 and
+    AS 65002 provide the two uplinks.  The external prefix P of the
+    examples is ``203.0.113.0/24`` (exported via :func:`paper_prefix`).
+    """
+    topo = Topology("hotnets17")
+    subnets = _link_subnets()
+    for i, name in enumerate(("R1", "R2", "R3")):
+        topo.add_router(
+            Router(name, asn=65000, loopback=parse_ip("192.168.0.1") + i)
+        )
+    topo.add_router(
+        Router("Ext1", asn=65001, loopback=parse_ip("192.168.1.1"), external=True)
+    )
+    topo.add_router(
+        Router("Ext2", asn=65002, loopback=parse_ip("192.168.1.2"), external=True)
+    )
+    topo.connect("R1", "R2", next(subnets), delay=delay)
+    topo.connect("R1", "R3", next(subnets), delay=delay)
+    topo.connect("R2", "R3", next(subnets), delay=delay)
+    topo.connect("R1", "Ext1", next(subnets), delay=delay)
+    topo.connect("R2", "Ext2", next(subnets), delay=delay)
+    return topo
+
+
+def paper_prefix() -> Prefix:
+    """The external prefix P used throughout the paper's examples."""
+    return Prefix.parse("203.0.113.0/24")

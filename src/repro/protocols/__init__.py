@@ -1,0 +1,31 @@
+"""Routing protocol engines: BGP, OSPF, static, redistribution.
+
+These modules replace the Cisco IOS images of the paper's feasibility
+study with faithful Python implementations of the protocol state
+machines the paper's scenarios exercise: the BGP decision process
+with vendor-specific tie-breaks, iBGP full-mesh dissemination with
+soft reconfiguration and Add-Path, OSPF link-state flooding with SPF,
+and admin-distance route selection into the FIB.
+"""
+
+from repro.protocols.routes import BgpRoute, ConnectedRoute, OspfRoute, StaticRoute
+from repro.protocols.rib import BgpRib, OspfRib
+from repro.protocols.fib import Fib, FibEntry
+from repro.protocols.bgp_decision import VendorProfile, best_path
+from repro.protocols.router import RouterRuntime
+from repro.protocols.network import Network
+
+__all__ = [
+    "BgpRib",
+    "BgpRoute",
+    "ConnectedRoute",
+    "Fib",
+    "FibEntry",
+    "Network",
+    "OspfRib",
+    "OspfRoute",
+    "RouterRuntime",
+    "StaticRoute",
+    "VendorProfile",
+    "best_path",
+]

@@ -1,0 +1,403 @@
+"""The BGP speaker: sessions, policy application, and path selection.
+
+Pure protocol state and logic for one router.  All scheduling,
+message transmission, and I/O capture live in the surrounding
+:class:`~repro.protocols.router.RouterRuntime`; keeping this class
+side-effect-free makes the decision process directly unit-testable.
+
+Implemented semantics (the subset the paper's scenarios and typical
+enterprise networks exercise):
+
+* eBGP and iBGP sessions with per-neighbor import/export route-maps;
+* the full decision process via :mod:`repro.protocols.bgp_decision`
+  with per-router vendor profiles;
+* iBGP full-mesh rules: iBGP-learned paths are not re-advertised to
+  iBGP peers; local-pref propagates on iBGP only;
+* eBGP export: own-ASN prepend, next-hop rewrite, loop rejection on
+  import when the own ASN appears in the path;
+* next-hop-self on iBGP sessions;
+* soft reconfiguration: raw (pre-policy) copies of received routes
+  are retained so a policy change can be re-applied without asking
+  the neighbor to re-send (exactly Cisco's
+  ``soft-reconfiguration inbound``, the mechanism in the paper's §7
+  feasibility study);
+* Add-Path: sessions configured with ``add_path`` advertise the top
+  ``ADD_PATH_LIMIT`` ranked paths, each with a distinct path id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.net.addr import Prefix
+from repro.net.config import BgpNeighborConfig, RouterConfig
+from repro.protocols.bgp_decision import VendorProfile, best_path, rank_paths
+from repro.protocols.rib import BgpRib
+from repro.protocols.routes import BgpRoute, Origin
+
+#: How many ranked paths an Add-Path session advertises.
+ADD_PATH_LIMIT = 4
+
+#: Cisco default weight for locally originated routes.
+LOCAL_WEIGHT = 32768
+
+
+@dataclass
+class SessionState:
+    """Runtime state of one configured BGP session."""
+
+    config: BgpNeighborConfig
+    up: bool = True
+
+
+class BgpProcess:
+    """BGP state for one router."""
+
+    def __init__(
+        self,
+        router: str,
+        config: RouterConfig,
+        profile: VendorProfile,
+    ):
+        self.router = router
+        self.config = config
+        self.profile = profile
+        self.rib = BgpRib(add_path=True)
+        self.sessions: Dict[str, SessionState] = {
+            peer: SessionState(config=neighbor)
+            for peer, neighbor in config.bgp_neighbors.items()
+        }
+        #: Raw pre-import-policy routes per peer, for soft reconfiguration.
+        self._raw_in: Dict[str, Dict[Tuple[Prefix, int], BgpRoute]] = {}
+        #: Routes injected from other protocols (redistribution); they
+        #: compete in the decision process like locally originated ones.
+        self.redistributed: Dict[Prefix, BgpRoute] = {}
+
+    # -- sessions -------------------------------------------------------------
+
+    def session(self, peer: str) -> Optional[SessionState]:
+        return self.sessions.get(peer)
+
+    def up_peers(self) -> List[str]:
+        return sorted(p for p, s in self.sessions.items() if s.up)
+
+    def set_session_state(self, peer: str, up: bool) -> bool:
+        """Mark a session up/down; True when the state changed."""
+        state = self.sessions.get(peer)
+        if state is None or state.up == up:
+            return False
+        state.up = up
+        return True
+
+    def refresh_sessions(self) -> Tuple[List[str], List[str]]:
+        """Reconcile session table with (possibly changed) config.
+
+        Returns (added_peers, removed_peers).
+        """
+        added, removed = [], []
+        for peer, neighbor in self.config.bgp_neighbors.items():
+            state = self.sessions.get(peer)
+            if state is None:
+                self.sessions[peer] = SessionState(config=neighbor)
+                added.append(peer)
+            elif state.config != neighbor:
+                state.config = neighbor
+        for peer in list(self.sessions):
+            if peer not in self.config.bgp_neighbors:
+                del self.sessions[peer]
+                removed.append(peer)
+        return added, removed
+
+    def is_ebgp(self, peer: str) -> bool:
+        state = self.sessions.get(peer)
+        if state is None:
+            raise KeyError(f"{self.router}: no BGP session with {peer}")
+        return state.config.is_external(self.config.asn)
+
+    # -- import ------------------------------------------------------------------
+
+    def apply_import_policy(
+        self, peer: str, route: BgpRoute
+    ) -> Optional[BgpRoute]:
+        """Run the import route-map; None means the route is rejected."""
+        route_map = self.config.import_map_for(peer)
+        if route_map is None:
+            return route
+        clause = route_map.first_match(route.prefix)
+        if clause is None or not clause.permit:
+            return None
+        updated = route
+        if clause.set_local_pref is not None:
+            updated = replace(updated, local_pref=clause.set_local_pref)
+        if clause.set_med is not None:
+            updated = replace(updated, med=clause.set_med)
+        if clause.prepend_asns:
+            updated = replace(
+                updated, as_path=clause.prepend_asns + updated.as_path
+            )
+        return updated
+
+    def receive(self, peer: str, route: BgpRoute) -> Optional[BgpRoute]:
+        """Process a received announcement.
+
+        Stores the raw copy (for soft reconfiguration), applies import
+        policy and AS-loop rejection, updates the Adj-RIB-In, and
+        returns the policed route (None when rejected — in which case
+        any previous path from this peer with the same path id is
+        removed, since the announcement *replaces* it).
+        """
+        state = self.sessions.get(peer)
+        if state is None or not state.up:
+            return None
+        self._raw_in.setdefault(peer, {})[(route.prefix, route.path_id)] = route
+        if self.is_ebgp(peer) and self.config.asn in route.as_path:
+            # AS-path loop: reject and drop any stale path.
+            self.rib.withdraw_in(peer, route.prefix, route.path_id)
+            return None
+        # RFC 4456 loop prevention for reflected routes.
+        if route.originator_id and route.originator_id == self.config.router_id:
+            self.rib.withdraw_in(peer, route.prefix, route.path_id)
+            return None
+        if self.config.router_id in route.cluster_list:
+            self.rib.withdraw_in(peer, route.prefix, route.path_id)
+            return None
+        policed = self.apply_import_policy(peer, route)
+        if policed is None:
+            self.rib.withdraw_in(peer, route.prefix, route.path_id)
+            return None
+        self.rib.update_in(peer, policed)
+        return policed
+
+    def withdraw(self, peer: str, prefix: Prefix, path_id: int = 0) -> bool:
+        """Process a received withdrawal; True if state changed."""
+        raw = self._raw_in.get(peer)
+        if raw is not None:
+            raw.pop((prefix, path_id), None)
+        return self.rib.withdraw_in(peer, prefix, path_id)
+
+    def session_down_cleanup(self, peer: str) -> List[Prefix]:
+        """Drop all state from ``peer``; returns affected prefixes."""
+        self._raw_in.pop(peer, None)
+        return self.rib.drop_peer(peer)
+
+    def soft_reconfigure(self, peer: Optional[str] = None) -> Set[Prefix]:
+        """Re-apply import policy from stored raw routes.
+
+        Returns the set of prefixes whose Adj-RIB-In may have changed
+        (the caller re-runs the decision process for each).  This is
+        the 25-seconds-later step in the paper's Fig. 5 timeline.
+        """
+        peers = [peer] if peer is not None else list(self._raw_in)
+        affected: Set[Prefix] = set()
+        for name in peers:
+            state = self.sessions.get(name)
+            if state is None or not state.up:
+                continue
+            raw = self._raw_in.get(name, {})
+            # Re-police every raw route; drop Adj-RIB-In paths whose raw
+            # announcement disappeared or is now denied.
+            seen: Set[Tuple[Prefix, int]] = set()
+            for (prefix, path_id), route in sorted(
+                raw.items(), key=lambda item: (item[0][0].key(), item[0][1])
+            ):
+                policed = self.apply_import_policy(name, route)
+                if policed is None or (
+                    self.is_ebgp(name) and self.config.asn in route.as_path
+                ):
+                    self.rib.withdraw_in(name, prefix, path_id)
+                else:
+                    self.rib.update_in(name, policed)
+                    seen.add((prefix, path_id))
+                affected.add(prefix)
+            for prefix in self.rib.adj_in(name):
+                affected.add(prefix)
+        return affected
+
+    # -- decision --------------------------------------------------------------
+
+    def redistribute_in(
+        self, prefix: Prefix, source_protocol: str
+    ) -> BgpRoute:
+        """Inject a route from another protocol into BGP.
+
+        Redistributed routes carry origin INCOMPLETE (the classic
+        "question mark" of redistributed prefixes) and local weight,
+        mirroring IOS behaviour.
+        """
+        route = BgpRoute(
+            prefix=prefix,
+            next_hop=0,
+            as_path=(),
+            local_pref=100,
+            origin=Origin.INCOMPLETE,
+            weight=LOCAL_WEIGHT,
+            from_peer=None,
+            peer_router_id=self.config.router_id,
+            locally_originated=True,
+            ebgp_learned=False,
+        )
+        self.redistributed[prefix] = route
+        return route
+
+    def redistribute_out(self, prefix: Prefix) -> Optional[BgpRoute]:
+        """Remove a previously redistributed route."""
+        return self.redistributed.pop(prefix, None)
+
+    def local_route(self, prefix: Prefix, received_at: float = 0.0) -> BgpRoute:
+        """The locally-originated path for an ``originated_prefix``."""
+        return BgpRoute(
+            prefix=prefix,
+            next_hop=0,
+            as_path=(),
+            local_pref=100,
+            origin=Origin.IGP,
+            weight=LOCAL_WEIGHT,
+            from_peer=None,
+            peer_router_id=self.config.router_id,
+            locally_originated=True,
+            ebgp_learned=False,
+            received_at=received_at,
+        )
+
+    def candidates(
+        self, prefix: Prefix, igp_metric_of: Optional[Dict[int, int]] = None
+    ) -> List[BgpRoute]:
+        """All paths competing for ``prefix``, IGP metrics resolved."""
+        paths = self.rib.paths_for(prefix)
+        if prefix in self.config.originated_prefixes:
+            paths.append(self.local_route(prefix))
+        injected = self.redistributed.get(prefix)
+        if injected is not None:
+            paths.append(injected)
+        if igp_metric_of:
+            paths = [
+                p.with_igp_metric(igp_metric_of.get(p.next_hop, p.igp_metric))
+                for p in paths
+            ]
+        return paths
+
+    def decide(
+        self, prefix: Prefix, igp_metric_of: Optional[Dict[int, int]] = None
+    ) -> Optional[BgpRoute]:
+        """Run the decision process; returns the winner (or None)."""
+        return best_path(self.candidates(prefix, igp_metric_of), self.profile)
+
+    # -- export -------------------------------------------------------------------
+
+    def apply_export_policy(
+        self, peer: str, route: BgpRoute
+    ) -> Optional[BgpRoute]:
+        route_map = self.config.export_map_for(peer)
+        if route_map is None:
+            return route
+        clause = route_map.first_match(route.prefix)
+        if clause is None or not clause.permit:
+            return None
+        updated = route
+        if clause.set_local_pref is not None:
+            updated = replace(updated, local_pref=clause.set_local_pref)
+        if clause.set_med is not None:
+            updated = replace(updated, med=clause.set_med)
+        if clause.prepend_asns:
+            updated = replace(updated, as_path=clause.prepend_asns + updated.as_path)
+        return updated
+
+    def export_route(
+        self,
+        peer: str,
+        route: BgpRoute,
+        own_address_toward_peer: int,
+        path_id: int = 0,
+    ) -> Optional[BgpRoute]:
+        """Build the advertisement of ``route`` for ``peer``.
+
+        Returns None when BGP rules or export policy suppress it:
+        never advertise back to the peer the path came from, and
+        never re-advertise an iBGP-learned path to another iBGP peer
+        (full-mesh rule) — *unless* route reflection applies (RFC
+        4456: a reflector passes client routes to everyone and
+        non-client routes to clients, stamping ORIGINATOR_ID and
+        prepending its own id to the CLUSTER_LIST).
+        """
+        state = self.sessions.get(peer)
+        if state is None or not state.up:
+            return None
+        if route.from_peer == peer:
+            return None
+        ebgp_session = self.is_ebgp(peer)
+        reflecting = False
+        if (
+            not ebgp_session
+            and not route.ebgp_learned
+            and not route.locally_originated
+        ):
+            learned_from = self.sessions.get(route.from_peer or "")
+            from_client = (
+                learned_from is not None
+                and learned_from.config.route_reflector_client
+            )
+            to_client = state.config.route_reflector_client
+            if not (from_client or to_client):
+                return None  # plain full-mesh rule: do not re-advertise
+            reflecting = True
+        policed = self.apply_export_policy(peer, route)
+        if policed is None:
+            return None
+        if ebgp_session:
+            exported = replace(
+                policed,
+                as_path=(self.config.asn,) + policed.as_path,
+                next_hop=own_address_toward_peer,
+                local_pref=100,  # local-pref is not transmitted on eBGP
+                weight=0,
+                from_peer=None,
+                locally_originated=False,
+                path_id=path_id,
+            )
+        else:
+            next_hop = policed.next_hop
+            if state.config.next_hop_self or policed.locally_originated:
+                next_hop = own_address_toward_peer
+            originator = policed.originator_id
+            cluster_list = policed.cluster_list
+            if reflecting:
+                # A reflector must not change next-hop; it stamps the
+                # loop-prevention attributes instead.
+                next_hop = policed.next_hop
+                if originator == 0 and policed.peer_router_id:
+                    originator = policed.peer_router_id
+                cluster_list = (self.config.router_id,) + cluster_list
+            exported = replace(
+                policed,
+                next_hop=next_hop,
+                weight=0,
+                from_peer=None,
+                locally_originated=False,
+                path_id=path_id,
+                originator_id=originator,
+                cluster_list=cluster_list,
+            )
+        return exported
+
+    def paths_to_advertise(
+        self,
+        peer: str,
+        prefix: Prefix,
+        igp_metric_of: Optional[Dict[int, int]] = None,
+    ) -> List[BgpRoute]:
+        """Ranked candidate paths this session should advertise.
+
+        One best path normally; the top ``ADD_PATH_LIMIT`` when the
+        session runs Add-Path.
+        """
+        state = self.sessions.get(peer)
+        if state is None or not state.up:
+            return []
+        candidates = self.candidates(prefix, igp_metric_of)
+        if not candidates:
+            return []
+        if state.config.add_path:
+            return rank_paths(candidates, self.profile)[:ADD_PATH_LIMIT]
+        best = best_path(candidates, self.profile)
+        return [best] if best is not None else []

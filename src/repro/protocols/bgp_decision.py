@@ -1,0 +1,269 @@
+"""The BGP decision process, with vendor-specific tie-break profiles.
+
+The paper's §2 motivates integrated verification precisely because
+control-plane models "ignore vendor-specific implementation details
+... e.g., differences in BGP path selection rules across vendors
+[9, 21]".  We therefore implement the decision process as an ordered
+list of named comparison steps and ship two real profiles:
+
+* **cisco** — follows the IOS best-path algorithm [9]: weight,
+  local-pref, locally-originated, AS-path length, origin, MED
+  (same-neighbor-AS only), eBGP-over-iBGP, IGP metric, *oldest
+  eBGP route*, router id, neighbor address.
+* **juniper** — follows Junos path selection [21]: no weight step,
+  and no oldest-route step (Junos goes straight from IGP metric to
+  router id), making selection independent of arrival order.
+
+The "oldest route" step is the canonical source of BGP
+nondeterminism the paper's §8 worries about: the winner depends on
+arrival order, so replaying the same inputs in a different order can
+converge differently.  Profiles can be built with that step removed
+(``deterministic()``), which models enabling Add-Path/bestpath
+compare-routerid as §8 prescribes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.protocols.routes import BgpRoute
+
+#: A comparison step returns <0 when ``a`` is better, >0 when ``b``
+#: is better, 0 to fall through to the next step.
+Comparator = Callable[[BgpRoute, BgpRoute], int]
+
+
+def _cmp(a: int, b: int) -> int:
+    """Three-way compare of ints (lower value = negative result)."""
+    if a < b:
+        return -1
+    if a > b:
+        return 1
+    return 0
+
+
+def compare_weight(a: BgpRoute, b: BgpRoute) -> int:
+    """Highest weight wins (Cisco-proprietary, local significance)."""
+    return _cmp(b.weight, a.weight)
+
+
+def compare_local_pref(a: BgpRoute, b: BgpRoute) -> int:
+    """Highest local preference wins."""
+    return _cmp(b.local_pref, a.local_pref)
+
+
+def compare_locally_originated(a: BgpRoute, b: BgpRoute) -> int:
+    """Locally originated paths beat learned paths."""
+    return _cmp(int(not a.locally_originated), int(not b.locally_originated))
+
+
+def compare_as_path(a: BgpRoute, b: BgpRoute) -> int:
+    """Shortest AS path wins."""
+    return _cmp(len(a.as_path), len(b.as_path))
+
+
+def compare_origin(a: BgpRoute, b: BgpRoute) -> int:
+    """Lowest origin wins (IGP < EGP < INCOMPLETE)."""
+    return _cmp(int(a.origin), int(b.origin))
+
+
+def compare_med_same_as(a: BgpRoute, b: BgpRoute) -> int:
+    """Lowest MED wins, but only between paths from the same
+    neighboring AS (the default on both Cisco and Juniper)."""
+    if a.neighbor_as() != b.neighbor_as():
+        return 0
+    return _cmp(a.med, b.med)
+
+
+def compare_med_always(a: BgpRoute, b: BgpRoute) -> int:
+    """Lowest MED wins regardless of neighbor AS (the
+    ``always-compare-med`` knob — a deployment-specific quirk)."""
+    return _cmp(a.med, b.med)
+
+
+def compare_ebgp_over_ibgp(a: BgpRoute, b: BgpRoute) -> int:
+    """eBGP-learned paths beat iBGP-learned paths."""
+    return _cmp(int(not a.ebgp_learned), int(not b.ebgp_learned))
+
+
+def compare_igp_metric(a: BgpRoute, b: BgpRoute) -> int:
+    """Lowest IGP metric to the BGP next hop wins."""
+    return _cmp(a.igp_metric, b.igp_metric)
+
+
+def compare_oldest(a: BgpRoute, b: BgpRoute) -> int:
+    """Oldest received eBGP path wins (Cisco stability heuristic).
+
+    Only applies when both paths are eBGP-learned; this is the
+    arrival-order-dependent step that makes BGP nondeterministic.
+    """
+    if not (a.ebgp_learned and b.ebgp_learned):
+        return 0
+    return _cmp(a.received_at, b.received_at)
+
+
+def compare_cluster_list(a: BgpRoute, b: BgpRoute) -> int:
+    """Shortest CLUSTER_LIST wins (RFC 4456: fewer reflection hops)."""
+    return _cmp(len(a.cluster_list), len(b.cluster_list))
+
+
+def compare_router_id(a: BgpRoute, b: BgpRoute) -> int:
+    """Lowest advertising-router id wins (ORIGINATOR_ID substitutes
+    for reflected routes, per RFC 4456)."""
+    a_id = a.originator_id or a.peer_router_id
+    b_id = b.originator_id or b.peer_router_id
+    return _cmp(a_id, b_id)
+
+
+def compare_peer_address(a: BgpRoute, b: BgpRoute) -> int:
+    """Lowest neighbor address wins (the final deterministic step)."""
+    return _cmp(a.peer_address, b.peer_address)
+
+
+_STEPS: dict = {
+    "weight": compare_weight,
+    "local_pref": compare_local_pref,
+    "locally_originated": compare_locally_originated,
+    "as_path": compare_as_path,
+    "origin": compare_origin,
+    "med": compare_med_same_as,
+    "med_always": compare_med_always,
+    "ebgp_over_ibgp": compare_ebgp_over_ibgp,
+    "igp_metric": compare_igp_metric,
+    "oldest": compare_oldest,
+    "cluster_list": compare_cluster_list,
+    "router_id": compare_router_id,
+    "peer_address": compare_peer_address,
+}
+
+CISCO_ORDER: Tuple[str, ...] = (
+    "weight",
+    "local_pref",
+    "locally_originated",
+    "as_path",
+    "origin",
+    "med",
+    "ebgp_over_ibgp",
+    "igp_metric",
+    "oldest",
+    "cluster_list",
+    "router_id",
+    "peer_address",
+)
+
+JUNIPER_ORDER: Tuple[str, ...] = (
+    "local_pref",
+    "as_path",
+    "origin",
+    "med",
+    "ebgp_over_ibgp",
+    "igp_metric",
+    "cluster_list",
+    "router_id",
+    "peer_address",
+)
+
+
+class VendorProfile:
+    """An ordered BGP decision process."""
+
+    def __init__(self, name: str, step_names: Sequence[str]):
+        unknown = [s for s in step_names if s not in _STEPS]
+        if unknown:
+            raise ValueError(f"unknown decision steps: {unknown}")
+        self.name = name
+        self.step_names: Tuple[str, ...] = tuple(step_names)
+        self._steps: List[Comparator] = [_STEPS[s] for s in step_names]
+
+    @classmethod
+    def cisco(cls) -> "VendorProfile":
+        return cls("cisco", CISCO_ORDER)
+
+    @classmethod
+    def juniper(cls) -> "VendorProfile":
+        return cls("juniper", JUNIPER_ORDER)
+
+    @classmethod
+    def for_vendor(cls, vendor: str) -> "VendorProfile":
+        if vendor == "cisco":
+            return cls.cisco()
+        if vendor == "juniper":
+            return cls.juniper()
+        raise ValueError(f"unknown vendor {vendor!r}")
+
+    def deterministic(self) -> "VendorProfile":
+        """This profile with arrival-order-dependent steps removed.
+
+        Models §8's prescription: "BGP determinism can be guaranteed
+        with the help of extra mechanisms such as BGP Add-Path".
+        """
+        remaining = [s for s in self.step_names if s != "oldest"]
+        return VendorProfile(f"{self.name}-deterministic", remaining)
+
+    def without(self, step_name: str) -> "VendorProfile":
+        """Profile with one step removed (ablation support)."""
+        remaining = [s for s in self.step_names if s != step_name]
+        if len(remaining) == len(self.step_names):
+            raise ValueError(f"step {step_name!r} not in profile {self.name}")
+        return VendorProfile(f"{self.name}-no-{step_name}", remaining)
+
+    def compare(self, a: BgpRoute, b: BgpRoute) -> int:
+        """Full three-way comparison; 0 only for truly identical ranks."""
+        for step in self._steps:
+            result = step(a, b)
+            if result != 0:
+                return result
+        return 0
+
+    def explain(self, a: BgpRoute, b: BgpRoute) -> Tuple[int, Optional[str]]:
+        """Like :meth:`compare` but also names the deciding step."""
+        for name, step in zip(self.step_names, self._steps):
+            result = step(a, b)
+            if result != 0:
+                return result, name
+        return 0, None
+
+    def __repr__(self) -> str:
+        return f"VendorProfile({self.name!r})"
+
+
+def best_path(
+    candidates: Sequence[BgpRoute], profile: VendorProfile
+) -> Optional[BgpRoute]:
+    """Run the decision process over ``candidates``.
+
+    A linear scan keeping the current winner, exactly how routers
+    evaluate paths; stable with respect to input order except where
+    the profile itself is order-dependent (the ``oldest`` step).
+    """
+    winner: Optional[BgpRoute] = None
+    for candidate in candidates:
+        if winner is None:
+            winner = candidate
+            continue
+        if profile.compare(candidate, winner) < 0:
+            winner = candidate
+    return winner
+
+
+def rank_paths(
+    candidates: Sequence[BgpRoute], profile: VendorProfile
+) -> List[BgpRoute]:
+    """All candidates sorted best-first under ``profile``.
+
+    Uses an insertion sort with the profile's comparator because the
+    relation need not be a strict weak ordering when vendor quirks
+    are in play; the result is still deterministic for a given input
+    order.
+    """
+    ranked: List[BgpRoute] = []
+    for candidate in candidates:
+        placed = False
+        for index, existing in enumerate(ranked):
+            if profile.compare(candidate, existing) < 0:
+                ranked.insert(index, candidate)
+                placed = True
+                break
+        if not placed:
+            ranked.append(candidate)
+    return ranked

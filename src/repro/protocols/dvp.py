@@ -1,0 +1,158 @@
+"""EIGRP-style distance-vector protocol ("dvp", wire name ``eigrp``).
+
+§4.1 uses EIGRP as the canonical example of a protocol-specific HBR
+that *differs* from BGP's:
+
+    "with BGP [R install P in BGP RIB] → [R send BGP advertisement
+    for P], whereas with EIGRP [R install P in FIB] → [R send EIGRP
+    advertisement for P]."
+
+This module implements a deliberately small distance-vector protocol
+with exactly that ordering: a router only advertises a route after
+the corresponding FIB entry is installed.  It exists so the HBR
+machinery can be exercised against two protocols with *different*
+output orderings in the same capture — the rule-matching technique
+must apply the right rule per protocol.
+
+Semantics: hop-count-style metrics (link cost 1), split horizon with
+poisoned reverse (withdrawals propagate as infinite-metric updates),
+one update message per prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.net.addr import Prefix
+
+#: Metric representing unreachability (poison).
+INFINITY = 16
+
+
+@dataclass(frozen=True)
+class DvRoute:
+    """One distance-vector table entry."""
+
+    prefix: Prefix
+    metric: int
+    via_router: Optional[str]  # None for locally originated
+
+    protocol = "eigrp"
+
+    @property
+    def reachable(self) -> bool:
+        return self.metric < INFINITY
+
+    def __str__(self) -> str:
+        via = self.via_router or "local"
+        return f"{self.prefix} metric={self.metric} via {via}"
+
+
+@dataclass(frozen=True)
+class DvUpdate:
+    """A distance-vector advertisement for one prefix."""
+
+    sender: str
+    receiver: str
+    prefix: Prefix
+    metric: int
+    send_event_id: int = 0
+
+
+class DistanceVectorProcess:
+    """The distance-vector speaker on one router.
+
+    Pure protocol state; the surrounding runtime owns scheduling,
+    capture, and the FIB-before-send ordering.
+    """
+
+    def __init__(self, router: str):
+        self.router = router
+        self._table: Dict[Prefix, DvRoute] = {}
+
+    # -- local origination --------------------------------------------------
+
+    def originate(self, prefix: Prefix) -> Optional[DvRoute]:
+        """Install a locally originated route; returns it if new."""
+        current = self._table.get(prefix)
+        route = DvRoute(prefix=prefix, metric=0, via_router=None)
+        if current == route:
+            return None
+        self._table[prefix] = route
+        return route
+
+    def withdraw_origin(self, prefix: Prefix) -> Optional[DvRoute]:
+        current = self._table.get(prefix)
+        if current is None or current.via_router is not None:
+            return None
+        poisoned = DvRoute(prefix=prefix, metric=INFINITY, via_router=None)
+        self._table[prefix] = poisoned
+        return poisoned
+
+    # -- neighbor updates -------------------------------------------------------
+
+    def receive(
+        self, neighbor: str, prefix: Prefix, metric: int, link_cost: int = 1
+    ) -> Optional[DvRoute]:
+        """Bellman-Ford step; returns the new table entry when changed."""
+        offered = min(metric + link_cost, INFINITY)
+        current = self._table.get(prefix)
+        if current is None:
+            if offered >= INFINITY:
+                return None
+            route = DvRoute(prefix=prefix, metric=offered, via_router=neighbor)
+            self._table[prefix] = route
+            return route
+        if current.via_router == neighbor:
+            # Updates from the current successor always apply (including
+            # poison), per distance-vector semantics.
+            if offered == current.metric:
+                return None
+            route = DvRoute(prefix=prefix, metric=offered, via_router=neighbor)
+            self._table[prefix] = route
+            return route
+        if offered < current.metric:
+            route = DvRoute(prefix=prefix, metric=offered, via_router=neighbor)
+            self._table[prefix] = route
+            return route
+        return None
+
+    def neighbor_lost(self, neighbor: str) -> List[DvRoute]:
+        """Poison every route learned via ``neighbor``."""
+        poisoned = []
+        for prefix, route in list(self._table.items()):
+            if route.via_router == neighbor and route.reachable:
+                new = DvRoute(prefix=prefix, metric=INFINITY, via_router=neighbor)
+                self._table[prefix] = new
+                poisoned.append(new)
+        return poisoned
+
+    # -- advertisement content -----------------------------------------------------
+
+    def advertised_metric(self, prefix: Prefix, to_neighbor: str) -> Optional[int]:
+        """What to tell ``to_neighbor`` about ``prefix``.
+
+        Split horizon with poisoned reverse: routes learned *from* the
+        neighbor are advertised back as unreachable.
+        """
+        route = self._table.get(prefix)
+        if route is None:
+            return None
+        if route.via_router == to_neighbor:
+            return INFINITY
+        return route.metric
+
+    # -- introspection ------------------------------------------------------------------
+
+    def get(self, prefix: Prefix) -> Optional[DvRoute]:
+        return self._table.get(prefix)
+
+    def routes(self) -> Dict[Prefix, DvRoute]:
+        return dict(self._table)
+
+    def reachable_routes(self) -> Iterator[DvRoute]:
+        return (r for r in self._table.values() if r.reachable)
+
+    def __len__(self) -> int:
+        return len(self._table)

@@ -1,0 +1,137 @@
+"""Forwarding information base and admin-distance route selection.
+
+The FIB maps prefixes to forwarding actions.  When several protocols
+offer a route for the same prefix, the route with the lowest
+administrative distance wins (connected < static < eBGP < OSPF <
+iBGP, Cisco defaults).  FIB changes are the *outputs* the paper's
+verifier consumes, so the FIB exposes a change journal and an install
+guard hook the pipeline (§6, footnote 2) uses to hold updates until
+they have been verified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.net.addr import Prefix, PrefixTrie, format_ip
+
+
+@dataclass(frozen=True)
+class FibEntry:
+    """One installed forwarding entry.
+
+    ``next_hop_router`` of None with ``discard`` False means the
+    prefix is locally delivered (a connected subnet or the router's
+    own origination); ``discard`` True is an explicit drop (null
+    route).
+    """
+
+    prefix: Prefix
+    next_hop: Optional[int]
+    next_hop_router: Optional[str]
+    out_interface: Optional[str]
+    protocol: str
+    metric: int = 0
+    discard: bool = False
+
+    def forwards(self) -> bool:
+        return self.next_hop_router is not None and not self.discard
+
+    def __str__(self) -> str:
+        if self.discard:
+            return f"{self.prefix} discard [{self.protocol}]"
+        if self.next_hop_router is None:
+            return f"{self.prefix} local [{self.protocol}]"
+        return (
+            f"{self.prefix} via {self.next_hop_router}"
+            f"({format_ip(self.next_hop or 0)}) dev {self.out_interface} "
+            f"[{self.protocol}]"
+        )
+
+
+#: Guard signature: (router, old_entry, new_entry) -> allow?  ``new``
+#: of None means removal.  Returning False blocks the FIB write (the
+#: baseline "block updates" behaviour of §2/§6).
+InstallGuard = Callable[[str, Optional[FibEntry], Optional[FibEntry]], bool]
+
+
+class Fib:
+    """The forwarding table of one router."""
+
+    def __init__(self, router: str):
+        self.router = router
+        self._trie: PrefixTrie = PrefixTrie()
+        #: (time-ordered) journal of (installed_or_removed, entry) pairs.
+        self.journal: List[Tuple[str, FibEntry]] = []
+        self.install_guard: Optional[InstallGuard] = None
+        self.blocked_writes = 0
+
+    def install(self, entry: FibEntry) -> bool:
+        """Install/replace ``entry``; returns True if the FIB changed."""
+        old = self._trie.get(entry.prefix)
+        if old == entry:
+            return False
+        if self.install_guard is not None:
+            if not self.install_guard(self.router, old, entry):
+                self.blocked_writes += 1
+                return False
+        self._trie.insert(entry.prefix, entry)
+        self.journal.append(("install", entry))
+        return True
+
+    def remove(self, prefix: Prefix) -> Optional[FibEntry]:
+        """Remove the entry for ``prefix``; returns it if present."""
+        old = self._trie.get(prefix)
+        if old is None:
+            return None
+        if self.install_guard is not None:
+            if not self.install_guard(self.router, old, None):
+                self.blocked_writes += 1
+                return None
+        self._trie.delete(prefix)
+        self.journal.append(("remove", old))
+        return old
+
+    def get(self, prefix: Prefix) -> Optional[FibEntry]:
+        return self._trie.get(prefix)
+
+    def lookup(self, address: int) -> Optional[FibEntry]:
+        """Longest-prefix-match forwarding decision for ``address``."""
+        match = self._trie.longest_match(address)
+        if match is None:
+            return None
+        return match[1]
+
+    def entries(self) -> List[FibEntry]:
+        return [entry for _, entry in self._trie.items()]
+
+    def snapshot(self) -> Dict[Prefix, FibEntry]:
+        return {entry.prefix: entry for entry in self.entries()}
+
+    def __len__(self) -> int:
+        return len(self._trie)
+
+    def __iter__(self) -> Iterator[FibEntry]:
+        return iter(self.entries())
+
+
+def select_route(
+    candidates: List[FibEntry], admin_distance: Dict[str, int]
+) -> Optional[FibEntry]:
+    """Pick the winning FIB entry among per-protocol candidates.
+
+    Lowest administrative distance wins; ties go to the lowest
+    protocol-internal metric, then to the lexicographically smallest
+    next-hop router name for determinism.
+    """
+    if not candidates:
+        return None
+
+    def key(entry: FibEntry) -> Tuple[int, int, str]:
+        distance = admin_distance.get(entry.protocol)
+        if distance is None:
+            raise ValueError(f"no admin distance for protocol {entry.protocol!r}")
+        return (distance, entry.metric, entry.next_hop_router or "")
+
+    return min(candidates, key=key)

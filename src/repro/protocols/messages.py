@@ -1,0 +1,79 @@
+"""Protocol messages exchanged between simulated routers.
+
+Messages carry the ``send_event_id`` of the ROUTE_SEND capture event
+that emitted them.  The receiving router uses it only to wire ground
+truth (send happened-before receive); the observable receive event it
+logs does *not* include the sender's event id — inference has to
+re-discover the pairing from prefix/peer/timestamp, as it would in a
+real network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.net.addr import Prefix
+from repro.protocols.routes import BgpRoute
+
+
+@dataclass(frozen=True)
+class BgpUpdate:
+    """A BGP UPDATE announcing one path for one prefix."""
+
+    sender: str
+    receiver: str
+    route: BgpRoute
+    send_event_id: int = 0
+
+    @property
+    def prefix(self) -> Prefix:
+        return self.route.prefix
+
+
+@dataclass(frozen=True)
+class BgpWithdraw:
+    """A BGP UPDATE withdrawing one prefix (optionally one path id)."""
+
+    sender: str
+    receiver: str
+    prefix: Prefix
+    path_id: int = 0
+    send_event_id: int = 0
+
+
+@dataclass(frozen=True)
+class LinkStateAdvertisement:
+    """An OSPF router-LSA: who I am adjacent to and what I originate.
+
+    ``adjacencies`` is a tuple of (neighbor_router, cost) pairs and
+    ``stub_prefixes`` a tuple of (prefix, cost) pairs.  ``seq`` is the
+    LSA sequence number; higher supersedes lower.
+    """
+
+    origin: str
+    seq: int
+    adjacencies: Tuple[Tuple[str, int], ...]
+    stub_prefixes: Tuple[Tuple[Prefix, int], ...]
+
+    def is_newer_than(self, other: Optional["LinkStateAdvertisement"]) -> bool:
+        if other is None:
+            return True
+        if self.origin != other.origin:
+            raise ValueError("comparing LSAs from different origins")
+        return self.seq > other.seq
+
+
+@dataclass(frozen=True)
+class LsaFlood:
+    """An LSA in flight from ``sender`` to ``receiver``."""
+
+    sender: str
+    receiver: str
+    lsa: LinkStateAdvertisement
+    send_event_id: int = 0
+
+    @property
+    def prefix(self) -> Optional[Prefix]:
+        """LSAs are not per-prefix; None keeps the event schema uniform."""
+        return None

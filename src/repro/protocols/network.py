@@ -1,0 +1,354 @@
+"""The network runtime: topology + configs + simulator + routers.
+
+:class:`Network` is the top-level object scenarios drive.  It owns
+the simulator, the capture collector, the ground-truth channel, and
+one :class:`~repro.protocols.router.RouterRuntime` per router, and it
+provides the operator-facing verbs the paper's scenarios need:
+announce a prefix from an external router, change a configuration,
+fail a link, and inspect the resulting data plane.
+
+External routers (``Router.external=True``) participate in the
+protocols but their I/Os are *not* captured — they are outside the
+administrative domain, which is what terminates the §5 snapshot walk
+("...or the router from which the update was received is external to
+the network").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.capture.collector import Collector
+from repro.capture.ground_truth import GroundTruth
+from repro.capture.io_events import IOEvent
+from repro.capture.logger import RouterLogger
+from repro.net.addr import Prefix
+from repro.net.config import ConfigChange, ConfigStore, RouterConfig
+from repro.net.simulator import DelayModel, Simulator
+from repro.net.topology import Router, Topology
+from repro.protocols.fib import FibEntry, InstallGuard
+from repro.protocols.messages import BgpUpdate, BgpWithdraw, LsaFlood
+from repro.protocols.router import RouterRuntime
+
+
+class NetworkError(RuntimeError):
+    """Raised for invalid operations on the network runtime."""
+
+
+def _null_sink(event: IOEvent) -> None:
+    """Sink for external routers: their I/Os are not observable."""
+
+
+class Network:
+    """A running network of simulated routers."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        configs: Iterable[RouterConfig],
+        seed: int = 0,
+        delays: Optional[DelayModel] = None,
+        per_router_delays: Optional[Dict[str, DelayModel]] = None,
+        clock_skews: Optional[Dict[str, float]] = None,
+        log_drop_rate: float = 0.0,
+        deterministic_bgp: bool = False,
+    ):
+        self.topology = topology
+        self.configs = ConfigStore(configs)
+        self.sim = Simulator(seed=seed)
+        self.collector = Collector()
+        self.ground_truth = GroundTruth()
+        self.delays = delays or DelayModel()
+        self._per_router_delays = per_router_delays or {}
+        self._clock_skews = clock_skews or {}
+        self._log_drop_rate = log_drop_rate
+        self.deterministic_bgp = deterministic_bgp
+        self.runtimes: Dict[str, RouterRuntime] = {}
+        self.dropped_messages = 0
+        self._started = False
+        missing = [
+            r.name for r in topology if r.name not in set(self.configs.routers())
+        ]
+        if missing:
+            raise NetworkError(f"routers without configs: {missing}")
+        for router in topology:
+            self.runtimes[router.name] = RouterRuntime(router, self)
+
+    # -- wiring helpers used by RouterRuntime ------------------------------
+
+    def delays_for(self, router: str) -> DelayModel:
+        return self._per_router_delays.get(router, self.delays)
+
+    def logger_for(self, router: Router) -> RouterLogger:
+        sink = _null_sink if router.external else self.collector.ingest
+        return RouterLogger(
+            router.name,
+            sink,
+            clock_skew=self._clock_skews.get(router.name, 0.0),
+            drop_rate=0.0 if router.external else self._log_drop_rate,
+            rng=self.sim.rng if self._log_drop_rate > 0 else None,
+        )
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> "Network":
+        """Bring every router up (connected routes, origins, OSPF)."""
+        if self._started:
+            raise NetworkError("network already started")
+        self._started = True
+        for name in sorted(self.runtimes):
+            self.runtimes[name].start()
+        return self
+
+    def run(self, duration: float) -> None:
+        """Advance simulation time by ``duration`` seconds."""
+        self.sim.run(until=self.sim.now + duration)
+
+    def converge(self, max_time: float = 600.0) -> float:
+        """Run until no events remain; returns the convergence time."""
+        start = self.sim.now
+        self.sim.run(until=start + max_time)
+        if self.sim.pending():
+            raise NetworkError(
+                f"network did not converge within {max_time}s "
+                f"({self.sim.pending()} events pending)"
+            )
+        return self.sim.now - start
+
+    def runtime(self, router: str) -> RouterRuntime:
+        try:
+            return self.runtimes[router]
+        except KeyError:
+            raise NetworkError(f"unknown router {router!r}") from None
+
+    # -- message fabric ----------------------------------------------------------
+
+    def _path_delay(self, sender: str, receiver: str) -> Optional[float]:
+        """One-way delay from ``sender`` to ``receiver`` over up links.
+
+        Direct links use the link delay; multihop (iBGP over the IGP)
+        uses the sum of link delays along a shortest (fewest-hop)
+        up path.  None when no up path exists.
+        """
+        link = self.topology.link_between(sender, receiver)
+        if link is not None and link.up:
+            return link.delay
+        # BFS over up links.
+        visited: Dict[str, float] = {sender: 0.0}
+        queue = deque([sender])
+        while queue:
+            node = queue.popleft()
+            for hop in self.topology.links_of(node):
+                if not hop.up:
+                    continue
+                far = hop.other_end(node).router
+                if far in visited:
+                    continue
+                visited[far] = visited[node] + hop.delay
+                if far == receiver:
+                    return visited[far]
+                queue.append(far)
+        return None
+
+    def path_exists(self, a: str, b: str) -> bool:
+        return self._path_delay(a, b) is not None
+
+    def deliver_bgp(self, msg) -> None:
+        """Schedule delivery of a BGP message (update or withdraw)."""
+        delay = self._path_delay(msg.sender, msg.receiver)
+        if delay is None:
+            self.dropped_messages += 1
+            return
+        receiver = self.runtime(msg.receiver)
+        if isinstance(msg, BgpUpdate):
+            action: Callable[[], None] = lambda: receiver.handle_bgp_update(msg)
+            label = f"deliver:update:{msg.sender}->{msg.receiver}:{msg.prefix}"
+        elif isinstance(msg, BgpWithdraw):
+            action = lambda: receiver.handle_bgp_withdraw(msg)
+            label = f"deliver:withdraw:{msg.sender}->{msg.receiver}:{msg.prefix}"
+        else:
+            raise NetworkError(f"unknown BGP message type {type(msg).__name__}")
+        self.sim.schedule(delay, action, label=label)
+
+    def deliver_dv(self, msg) -> None:
+        """Deliver an EIGRP-style distance-vector update (single hop)."""
+        link = self.topology.link_between(msg.sender, msg.receiver)
+        if link is None or not link.up:
+            self.dropped_messages += 1
+            return
+        receiver = self.runtime(msg.receiver)
+        self.sim.schedule(
+            link.delay,
+            lambda: receiver.handle_dv_update(msg),
+            label=f"deliver:dv:{msg.sender}->{msg.receiver}:{msg.prefix}",
+        )
+
+    def deliver_lsa(self, msg: LsaFlood) -> None:
+        delay = self._path_delay(msg.sender, msg.receiver)
+        if delay is None:
+            self.dropped_messages += 1
+            return
+        receiver = self.runtime(msg.receiver)
+        self.sim.schedule(
+            delay,
+            lambda: receiver.handle_lsa(msg),
+            label=f"deliver:lsa:{msg.sender}->{msg.receiver}",
+        )
+
+    # -- operator verbs -----------------------------------------------------------
+
+    def announce_prefix(
+        self, router: str, prefix: Prefix, at: Optional[float] = None
+    ) -> None:
+        """Have ``router`` begin originating ``prefix`` into BGP.
+
+        Models "R2 receives an advertisement for P on its uplink"
+        (Fig. 1b) when invoked on an external router peering with R2.
+        """
+        runtime = self.runtime(router)
+
+        def do_announce() -> None:
+            config = self.configs.get(router)
+            new_list = list(config.originated_prefixes)
+            if prefix not in new_list:
+                new_list.append(prefix)
+            change = ConfigChange(
+                router,
+                "set_originated",
+                value=new_list,
+                description=f"originate {prefix}",
+            )
+            self.configs.apply(change)
+            runtime.apply_config_change(change)
+
+        self._at(at, do_announce, f"announce:{router}:{prefix}")
+
+    def withdraw_prefix(
+        self, router: str, prefix: Prefix, at: Optional[float] = None
+    ) -> None:
+        """Have ``router`` stop originating ``prefix``."""
+        runtime = self.runtime(router)
+
+        def do_withdraw() -> None:
+            config = self.configs.get(router)
+            new_list = [p for p in config.originated_prefixes if p != prefix]
+            change = ConfigChange(
+                router,
+                "set_originated",
+                value=new_list,
+                description=f"withdraw {prefix}",
+            )
+            self.configs.apply(change)
+            runtime.apply_config_change(change)
+
+        self._at(at, do_withdraw, f"withdraw:{router}:{prefix}")
+
+    def apply_config_change(
+        self, change: ConfigChange, at: Optional[float] = None
+    ) -> None:
+        """Apply a configuration change (the Fig. 2a operator action)."""
+        runtime = self.runtime(change.router)
+
+        def do_change() -> None:
+            self.configs.apply(change)
+            runtime.apply_config_change(change)
+
+        self._at(at, do_change, f"config:{change.router}:{change.kind}")
+
+    def set_link_status(
+        self, router_a: str, router_b: str, up: bool, at: Optional[float] = None
+    ) -> None:
+        """Fail or restore the link between two routers."""
+        link = self.topology.link_between(router_a, router_b)
+        if link is None:
+            raise NetworkError(f"no link between {router_a} and {router_b}")
+
+        def do_set() -> None:
+            if link.up == up:
+                return
+            link.up = up
+            # Both endpoints observe the hardware status change.
+            for name in link.endpoints():
+                self.runtime(name).handle_link_status(link, up)
+
+        state = "up" if up else "down"
+        self._at(at, do_set, f"link:{router_a}-{router_b}:{state}")
+
+    def fail_link(
+        self, router_a: str, router_b: str, at: Optional[float] = None
+    ) -> None:
+        self.set_link_status(router_a, router_b, up=False, at=at)
+
+    def restore_link(
+        self, router_a: str, router_b: str, at: Optional[float] = None
+    ) -> None:
+        self.set_link_status(router_a, router_b, up=True, at=at)
+
+    def _at(
+        self, at: Optional[float], action: Callable[[], None], label: str
+    ) -> None:
+        if at is None:
+            action()
+            return
+        self.sim.schedule_at(at, action, label=label, priority=5)
+
+    # -- FIB guards (the paper's footnote-2 interposition point) -------------
+
+    def set_fib_guard(self, guard: Optional[InstallGuard]) -> None:
+        """Install ``guard`` on every internal router's FIB."""
+        for name, runtime in self.runtimes.items():
+            if not runtime.router.external:
+                runtime.fib.install_guard = guard
+
+    # -- data-plane inspection --------------------------------------------------
+
+    def forwarding_state(self) -> Dict[str, Dict[Prefix, FibEntry]]:
+        """The *actual* current data plane (oracle, not a snapshot)."""
+        return {
+            name: runtime.fib_snapshot()
+            for name, runtime in self.runtimes.items()
+        }
+
+    def trace_path(
+        self, source: str, address: int, max_hops: int = 64
+    ) -> Tuple[List[str], str]:
+        """Walk the real FIBs from ``source`` toward ``address``.
+
+        Returns (path, outcome) where outcome is one of ``delivered``
+        (reached a local-delivery FIB entry, or crossed into an
+        external router — once traffic exits the administrative
+        domain it is out of scope, the paper's exit-point semantics),
+        ``blackhole`` (no FIB entry / dead link), ``discard`` (null
+        route), or ``loop``.
+        """
+        path = [source]
+        current = source
+        seen: Set[str] = {source}
+        for _ in range(max_hops):
+            runtime = self.runtime(current)
+            if runtime.router.external and current != source:
+                return path, "delivered"
+            entry = runtime.fib.lookup(address)
+            if entry is None:
+                return path, "blackhole"
+            if entry.discard:
+                return path, "discard"
+            if entry.next_hop_router is None:
+                return path, "delivered"
+            link = self.topology.link_between(current, entry.next_hop_router)
+            if link is None or not link.up:
+                return path, "blackhole"
+            current = entry.next_hop_router
+            path.append(current)
+            if current in seen:
+                return path, "loop"
+            seen.add(current)
+        return path, "loop"
+
+    def describe(self) -> str:
+        lines = [str(self.topology), f"time={self.sim.now:.3f}s"]
+        for name in sorted(self.runtimes):
+            if not self.runtimes[name].router.external:
+                lines.append(self.runtimes[name].describe_state())
+        return "\n".join(lines)

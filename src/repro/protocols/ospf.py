@@ -1,0 +1,172 @@
+"""OSPF: link-state database, flooding, and shortest-path-first.
+
+A deliberately single-area OSPF sufficient for the paper's needs:
+providing IGP reachability for iBGP next hops (the ``igp_metric``
+step of the BGP decision process) and demonstrating that the generic
+HBRs of §4.1 hold across protocols, not just for BGP.
+
+The engine is event-driven: adjacency or prefix changes bump the
+router's LSA sequence number, the new LSA floods hop-by-hop with
+link delays, and each receiving router schedules a (debounced) SPF
+run.  SPF is Dijkstra over the bidirectionally-confirmed adjacency
+graph, as required by the OSPF spec — a one-way adjacency claim must
+not attract traffic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.net.addr import Prefix
+from repro.protocols.messages import LinkStateAdvertisement
+from repro.protocols.rib import OspfRib
+from repro.protocols.routes import OspfRoute
+
+
+class OspfProcess:
+    """The OSPF speaker on one router.
+
+    The surrounding :class:`~repro.protocols.router.RouterRuntime`
+    owns scheduling and capture; this class owns pure protocol state:
+    the LSDB, own-LSA generation, and SPF.
+    """
+
+    def __init__(self, router: str):
+        self.router = router
+        self.lsdb: Dict[str, LinkStateAdvertisement] = {}
+        self.rib = OspfRib()
+        self._own_seq = 0
+        self._spf_pending = False
+
+    # -- own LSA ------------------------------------------------------------
+
+    def originate(
+        self,
+        adjacencies: Iterable[Tuple[str, int]],
+        stub_prefixes: Iterable[Tuple[Prefix, int]],
+    ) -> LinkStateAdvertisement:
+        """Build the next version of this router's LSA and store it."""
+        self._own_seq += 1
+        lsa = LinkStateAdvertisement(
+            origin=self.router,
+            seq=self._own_seq,
+            adjacencies=tuple(sorted(adjacencies)),
+            stub_prefixes=tuple(sorted(stub_prefixes, key=lambda sp: sp[0].key())),
+        )
+        self.lsdb[self.router] = lsa
+        return lsa
+
+    def own_lsa(self) -> Optional[LinkStateAdvertisement]:
+        return self.lsdb.get(self.router)
+
+    # -- flooding ------------------------------------------------------------
+
+    def accept(self, lsa: LinkStateAdvertisement) -> bool:
+        """Install a received LSA; True when it was new (re-flood it)."""
+        current = self.lsdb.get(lsa.origin)
+        if current is not None and not lsa.is_newer_than(current):
+            return False
+        self.lsdb[lsa.origin] = lsa
+        return True
+
+    # -- SPF ------------------------------------------------------------------
+
+    def _adjacency_graph(self) -> Dict[str, List[Tuple[str, int]]]:
+        """Bidirectionally-confirmed adjacency graph from the LSDB."""
+        claims: Dict[str, Dict[str, int]] = {}
+        for lsa in self.lsdb.values():
+            claims[lsa.origin] = dict(lsa.adjacencies)
+        graph: Dict[str, List[Tuple[str, int]]] = {r: [] for r in claims}
+        for router, neighbors in claims.items():
+            for neighbor, cost in neighbors.items():
+                reverse = claims.get(neighbor, {})
+                if router in reverse:
+                    graph[router].append((neighbor, cost))
+        return graph
+
+    def run_spf(self) -> List[OspfRoute]:
+        """Dijkstra from this router; returns the new routing table.
+
+        Routes point at the *first hop* on the shortest path; ties on
+        distance are broken by router name for determinism.  The
+        caller is responsible for swapping the result into
+        :attr:`rib` (so it can diff and emit per-change I/O events).
+        """
+        graph = self._adjacency_graph()
+        if self.router not in graph:
+            return []
+        distances: Dict[str, int] = {self.router: 0}
+        first_hop: Dict[str, Optional[str]] = {self.router: None}
+        heap: List[Tuple[int, str, Optional[str]]] = [(0, self.router, None)]
+        visited: Set[str] = set()
+        while heap:
+            dist, node, via = heapq.heappop(heap)
+            if node in visited:
+                continue
+            visited.add(node)
+            first_hop[node] = via
+            for neighbor, cost in sorted(graph.get(node, ())):
+                if neighbor in visited:
+                    continue
+                candidate = dist + cost
+                if candidate < distances.get(neighbor, 1 << 62):
+                    distances[neighbor] = candidate
+                    hop = via if via is not None else neighbor
+                    heapq.heappush(heap, (candidate, neighbor, hop))
+
+        routes: List[OspfRoute] = []
+        for lsa in self.lsdb.values():
+            if lsa.origin == self.router:
+                continue
+            if lsa.origin not in visited:
+                continue
+            hop = first_hop[lsa.origin]
+            if hop is None:
+                continue
+            base = distances[lsa.origin]
+            for prefix, cost in lsa.stub_prefixes:
+                routes.append(
+                    OspfRoute(
+                        prefix=prefix,
+                        next_hop=0,  # filled by the runtime, which knows addresses
+                        next_hop_router=hop,
+                        metric=base + cost,
+                    )
+                )
+        return routes
+
+    def reachable_routers(self) -> Set[str]:
+        """Routers reachable in the current bidirectional graph."""
+        graph = self._adjacency_graph()
+        seen = {self.router}
+        stack = [self.router]
+        while stack:
+            node = stack.pop()
+            for neighbor, _ in graph.get(node, ()):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    stack.append(neighbor)
+        return seen
+
+    def metric_to_router(self, target: str) -> Optional[int]:
+        """Shortest-path cost to ``target``, or None if unreachable."""
+        graph = self._adjacency_graph()
+        if self.router not in graph:
+            return None
+        distances: Dict[str, int] = {self.router: 0}
+        heap: List[Tuple[int, str]] = [(0, self.router)]
+        visited: Set[str] = set()
+        while heap:
+            dist, node = heapq.heappop(heap)
+            if node in visited:
+                continue
+            visited.add(node)
+            if node == target:
+                return dist
+            for neighbor, cost in graph.get(node, ()):
+                candidate = dist + cost
+                if candidate < distances.get(neighbor, 1 << 62):
+                    distances[neighbor] = candidate
+                    heapq.heappush(heap, (candidate, neighbor))
+        return None

@@ -1,0 +1,181 @@
+"""Routing information bases.
+
+A BGP speaker keeps three RIB layers (RFC 4271):
+
+* **Adj-RIB-In** — one per neighbor, holding the paths received on
+  that session after import policy.  With Add-Path, multiple paths
+  per prefix per neighbor are retained.
+* **Loc-RIB** — the best path per prefix chosen by the decision
+  process.
+* **Adj-RIB-Out** — one per neighbor, what we last advertised, so we
+  send withdrawals/updates only on change (and can answer soft
+  reconfiguration requests).
+
+OSPF has a single RIB produced by SPF.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.net.addr import Prefix
+from repro.protocols.routes import BgpRoute, OspfRoute
+
+
+class BgpRib:
+    """The three-layer BGP RIB for one router."""
+
+    def __init__(self, add_path: bool = False):
+        #: Adj-RIB-In: peer -> prefix -> list of paths (one unless add_path).
+        self._adj_in: Dict[str, Dict[Prefix, List[BgpRoute]]] = defaultdict(dict)
+        #: Loc-RIB: prefix -> chosen best path.
+        self._loc: Dict[Prefix, BgpRoute] = {}
+        #: Adj-RIB-Out: peer -> prefix -> tuple of last advertised paths
+        #: (a single path normally; several under Add-Path).
+        self._adj_out: Dict[str, Dict[Prefix, Tuple[BgpRoute, ...]]] = defaultdict(dict)
+        self.add_path = add_path
+
+    # -- Adj-RIB-In -------------------------------------------------------
+
+    def update_in(self, peer: str, route: BgpRoute) -> None:
+        """Record a path received from ``peer`` (replaces same path-id)."""
+        paths = self._adj_in[peer].setdefault(route.prefix, [])
+        if self.add_path:
+            paths[:] = [p for p in paths if p.path_id != route.path_id]
+            paths.append(route)
+        else:
+            paths[:] = [route]
+
+    def withdraw_in(
+        self, peer: str, prefix: Prefix, path_id: Optional[int] = None
+    ) -> bool:
+        """Remove path(s) for ``prefix`` from ``peer``; True if removed."""
+        table = self._adj_in.get(peer)
+        if table is None or prefix not in table:
+            return False
+        if path_id is None:
+            del table[prefix]
+            return True
+        paths = table[prefix]
+        before = len(paths)
+        paths[:] = [p for p in paths if p.path_id != path_id]
+        if not paths:
+            del table[prefix]
+        return len(paths) < before
+
+    def drop_peer(self, peer: str) -> List[Prefix]:
+        """Forget everything learned from ``peer`` (session down)."""
+        table = self._adj_in.pop(peer, {})
+        self._adj_out.pop(peer, None)
+        return sorted(table)
+
+    def paths_for(self, prefix: Prefix) -> List[BgpRoute]:
+        """All candidate paths for ``prefix`` across all neighbors."""
+        result = []
+        for table in self._adj_in.values():
+            result.extend(table.get(prefix, ()))
+        return result
+
+    def adj_in(self, peer: str) -> Dict[Prefix, List[BgpRoute]]:
+        return {p: list(paths) for p, paths in self._adj_in.get(peer, {}).items()}
+
+    def peers_with_state(self) -> List[str]:
+        return sorted(self._adj_in)
+
+    def known_prefixes(self) -> Set[Prefix]:
+        known: Set[Prefix] = set(self._loc)
+        for table in self._adj_in.values():
+            known.update(table)
+        return known
+
+    # -- Loc-RIB ------------------------------------------------------------
+
+    def set_best(self, route: BgpRoute) -> Optional[BgpRoute]:
+        """Install the decision-process winner; returns the old best."""
+        old = self._loc.get(route.prefix)
+        self._loc[route.prefix] = route
+        return old
+
+    def clear_best(self, prefix: Prefix) -> Optional[BgpRoute]:
+        return self._loc.pop(prefix, None)
+
+    def best(self, prefix: Prefix) -> Optional[BgpRoute]:
+        return self._loc.get(prefix)
+
+    def loc_rib(self) -> Dict[Prefix, BgpRoute]:
+        return dict(self._loc)
+
+    # -- Adj-RIB-Out ----------------------------------------------------------
+
+    def last_advertised(self, peer: str, prefix: Prefix) -> Tuple[BgpRoute, ...]:
+        return self._adj_out.get(peer, {}).get(prefix, ())
+
+    def record_advertised(
+        self, peer: str, prefix: Prefix, routes: Tuple[BgpRoute, ...]
+    ) -> None:
+        if routes:
+            self._adj_out[peer][prefix] = routes
+        else:
+            self._adj_out.get(peer, {}).pop(prefix, None)
+
+    def record_withdrawn(self, peer: str, prefix: Prefix) -> Tuple[BgpRoute, ...]:
+        return self._adj_out.get(peer, {}).pop(prefix, ())
+
+    def advertised_prefixes(self, peer: str) -> List[Prefix]:
+        return sorted(self._adj_out.get(peer, {}))
+
+
+class OspfRib:
+    """The OSPF routing table produced by the latest SPF run."""
+
+    def __init__(self) -> None:
+        self._routes: Dict[Prefix, OspfRoute] = {}
+
+    def replace_all(self, routes: Iterable[OspfRoute]) -> Tuple[
+        List[OspfRoute], List[OspfRoute], List[Tuple[OspfRoute, OspfRoute]]
+    ]:
+        """Swap in a fresh SPF result.
+
+        Returns (added, removed, changed) so the router runtime can
+        emit exactly one RIB_UPDATE I/O per actual change rather than
+        re-announcing the whole table after every SPF.
+        """
+        new_table: Dict[Prefix, OspfRoute] = {}
+        for route in routes:
+            existing = new_table.get(route.prefix)
+            if existing is None or route.metric < existing.metric:
+                new_table[route.prefix] = route
+        added = [r for p, r in new_table.items() if p not in self._routes]
+        removed = [r for p, r in self._routes.items() if p not in new_table]
+        changed = [
+            (self._routes[p], new_table[p])
+            for p in new_table
+            if p in self._routes and new_table[p] != self._routes[p]
+        ]
+        self._routes = new_table
+        return added, removed, changed
+
+    def get(self, prefix: Prefix) -> Optional[OspfRoute]:
+        return self._routes.get(prefix)
+
+    def routes(self) -> Dict[Prefix, OspfRoute]:
+        return dict(self._routes)
+
+    def metric_to(self, address: int) -> Optional[int]:
+        """Cost of the best OSPF route covering ``address``."""
+        best: Optional[OspfRoute] = None
+        best_length = -1
+        for prefix, route in self._routes.items():
+            if prefix.contains_address(address) and prefix.length > best_length:
+                best = route
+                best_length = prefix.length
+        if best is None:
+            return None
+        return best.metric
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __iter__(self) -> Iterator[OspfRoute]:
+        return iter(self._routes.values())

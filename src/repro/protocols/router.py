@@ -1,0 +1,1150 @@
+"""The router runtime: protocol engines + FIB + capture, scheduled.
+
+One :class:`RouterRuntime` per router wires the pure protocol state
+machines (:mod:`repro.protocols.bgp`, :mod:`repro.protocols.ospf`)
+to the simulator clock, the message fabric, the FIB, and the capture
+shim.  Every control-plane boundary crossing produces exactly one
+:class:`~repro.capture.io_events.IOEvent`, and every internal
+dependency between events is recorded on the ground-truth channel —
+the oracle the inference benchmarks are scored against.
+
+Causality invariants maintained here (these *are* the generic HBRs
+of §4.1):
+
+* ``ROUTE_RECEIVE → RIB_UPDATE``  (input before dependent RIB change)
+* ``RIB_UPDATE → FIB_UPDATE``      (BGP installs RIB before FIB)
+* ``RIB_UPDATE → ROUTE_SEND``      (BGP announces only RIB winners)
+* ``FIB_UPDATE before ROUTE_SEND`` in time (the Fig. 1c property:
+  neighbors can only learn a route after the sender's FIB has it)
+* ``CONFIG_CHANGE → soft reconfiguration → RIB/FIB/sends``
+* ``HARDWARE_STATUS → session loss → withdrawals``
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.capture.io_events import IOEvent, IOKind, RouteAction
+from repro.capture.logger import RouterLogger
+from repro.net.addr import Prefix, format_ip
+from repro.net.config import ConfigChange, RouterConfig
+from repro.net.simulator import DelayModel
+from repro.net.topology import Link, Router, Topology
+from repro.protocols.bgp import BgpProcess
+from repro.protocols.bgp_decision import VendorProfile
+from repro.protocols.fib import Fib, FibEntry
+from repro.protocols.messages import (
+    BgpUpdate,
+    BgpWithdraw,
+    LinkStateAdvertisement,
+    LsaFlood,
+)
+from repro.protocols.ospf import OspfProcess
+from repro.protocols.routes import BgpRoute
+
+#: Depth limit for recursive next-hop resolution.
+MAX_RESOLVE_DEPTH = 4
+
+
+class RouterRuntime:
+    """Everything that runs *on* one simulated router."""
+
+    def __init__(self, router: Router, network: "Any"):
+        self.name = router.name
+        self.router = router
+        self.network = network
+        self.topology: Topology = network.topology
+        self.sim = network.sim
+        self.delays: DelayModel = network.delays_for(router.name)
+        self.config: RouterConfig = network.configs.get(router.name)
+        profile = VendorProfile.for_vendor(router.vendor)
+        if network.deterministic_bgp:
+            profile = profile.deterministic()
+        self.profile = profile
+        self.bgp = BgpProcess(self.name, self.config, profile)
+        self.ospf: Optional[OspfProcess] = (
+            OspfProcess(self.name) if self.config.ospf_interfaces else None
+        )
+        from repro.protocols.dvp import DistanceVectorProcess
+
+        self.dv: Optional[DistanceVectorProcess] = (
+            DistanceVectorProcess(self.name) if self.config.dv_enabled else None
+        )
+        self.fib = Fib(self.name)
+        self.logger: RouterLogger = network.logger_for(router)
+        self._ground = network.ground_truth
+        self._spf_scheduled = False
+        self._spf_causes: List[int] = []
+        #: (prefix -> event_id) of the last advertisement batch's cause,
+        #: kept for diagnostics.
+        self.messages_sent = 0
+        self.messages_received = 0
+
+    # ------------------------------------------------------------------
+    # logging helpers
+    # ------------------------------------------------------------------
+
+    def _log(
+        self,
+        kind: IOKind,
+        causes: Sequence[IOEvent],
+        protocol: Optional[str] = None,
+        prefix: Optional[Prefix] = None,
+        action: Optional[RouteAction] = None,
+        peer: Optional[str] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> IOEvent:
+        event = self.logger.log(
+            kind,
+            self.sim.now,
+            protocol=protocol,
+            prefix=prefix,
+            action=action,
+            peer=peer,
+            attrs=attrs,
+        )
+        for cause in causes:
+            self._ground.record(cause.event_id, event.event_id)
+        return event
+
+    # ------------------------------------------------------------------
+    # startup
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Install initial state: connected routes, statics, origins, OSPF."""
+        # Sessions over links that are down at boot must start down,
+        # or a later link recovery will not trigger re-advertisement.
+        for peer, state in self.bgp.sessions.items():
+            state.up = self._peer_reachable(peer, state.config)
+        self._install_connected_routes()
+        self._install_loopback()
+        for prefix in self._static_prefixes():
+            self.refresh_fib(prefix, causes=())
+        for prefix in self.config.originated_prefixes:
+            self.run_bgp_decision(prefix, causes=())
+        if self.ospf is not None:
+            self._reoriginate_lsa(causes=())
+            self._schedule_spf(causes=())
+        if self.dv is not None:
+            for prefix in self.config.dv_originated:
+                route = self.dv.originate(prefix)
+                if route is not None:
+                    self._dv_apply(route, causes=())
+
+    def _install_connected_routes(self) -> None:
+        for link in self.topology.links_of(self.name):
+            if not link.up:
+                continue
+            iface = link.interface_of(self.name)
+            self.refresh_fib(iface.prefix, causes=())
+
+    def _install_loopback(self) -> None:
+        if self.router.loopback:
+            loopback = Prefix(self.router.loopback, 32)
+            entry = FibEntry(
+                prefix=loopback,
+                next_hop=None,
+                next_hop_router=None,
+                out_interface="lo0",
+                protocol="connected",
+            )
+            if self.fib.install(entry):
+                self._log(
+                    IOKind.FIB_UPDATE,
+                    causes=(),
+                    protocol="connected",
+                    prefix=loopback,
+                    action=RouteAction.ANNOUNCE,
+                    attrs={"out_interface": "lo0"},
+                )
+
+    def _static_prefixes(self) -> List[Prefix]:
+        return [s.prefix for s in self.config.static_routes]
+
+    # ------------------------------------------------------------------
+    # next-hop resolution
+    # ------------------------------------------------------------------
+
+    def _connected_subnets(self) -> List[Tuple[Prefix, str, Link]]:
+        """(subnet, interface name, link) for every up link."""
+        result = []
+        for link in self.topology.links_of(self.name):
+            if not link.up:
+                continue
+            iface = link.interface_of(self.name)
+            result.append((iface.prefix, iface.name, link))
+        return result
+
+    def resolve_next_hop(
+        self, address: int, depth: int = 0
+    ) -> Optional[Tuple[str, str, int]]:
+        """Resolve a BGP/static next-hop address to forwarding data.
+
+        Returns (next_hop_router, out_interface, next_hop_address) or
+        None when the address is unreachable.  Resolution prefers a
+        directly connected subnet, then the OSPF RIB, then statics,
+        recursing at most :data:`MAX_RESOLVE_DEPTH` times.
+        """
+        if depth > MAX_RESOLVE_DEPTH:
+            return None
+        for subnet, iface_name, link in self._connected_subnets():
+            if not subnet.contains_address(address):
+                continue
+            far = link.other_end(self.name)
+            if far.address == address:
+                return (far.router, iface_name, address)
+            owner = self.topology.owner_of_address(address)
+            if owner is not None and owner != self.name:
+                return (owner, iface_name, address)
+            return None
+        if self.ospf is not None:
+            best: Optional[Tuple[int, Any]] = None
+            for prefix, route in self.ospf.rib.routes().items():
+                if prefix.contains_address(address):
+                    if best is None or prefix.length > best[0]:
+                        best = (prefix.length, route)
+            if best is not None:
+                route = best[1]
+                adj = self._adjacent_via(route.next_hop_router)
+                if adj is not None:
+                    return adj
+        for static in self.config.static_routes:
+            if static.discard or static.next_hop is None:
+                continue
+            if static.prefix.contains_address(address):
+                return self.resolve_next_hop(static.next_hop, depth + 1)
+        return None
+
+    def _adjacent_via(self, neighbor: str) -> Optional[Tuple[str, str, int]]:
+        """Forwarding data for a directly adjacent ``neighbor``."""
+        link = self.topology.link_between(self.name, neighbor)
+        if link is None or not link.up:
+            return None
+        mine = link.interface_of(self.name)
+        theirs = link.other_end(self.name)
+        return (neighbor, mine.name, theirs.address)
+
+    def _igp_metrics_for(self, candidates: Iterable[BgpRoute]) -> Dict[int, int]:
+        """IGP cost to each candidate next hop (resolvable ones only)."""
+        metrics: Dict[int, int] = {}
+        for route in candidates:
+            if route.next_hop in metrics or route.locally_originated:
+                continue
+            for subnet, _, _ in self._connected_subnets():
+                if subnet.contains_address(route.next_hop):
+                    metrics[route.next_hop] = 0
+                    break
+            else:
+                if self.ospf is not None:
+                    cost = self.ospf.rib.metric_to(route.next_hop)
+                    if cost is not None:
+                        metrics[route.next_hop] = cost
+        return metrics
+
+    def _is_resolvable(self, route: BgpRoute) -> bool:
+        if route.locally_originated:
+            return True
+        return self.resolve_next_hop(route.next_hop) is not None
+
+    # ------------------------------------------------------------------
+    # BGP: receive path
+    # ------------------------------------------------------------------
+
+    def handle_bgp_update(self, msg: BgpUpdate) -> None:
+        """A BGP announcement arrived on the wire."""
+        self.messages_received += 1
+        session = self.bgp.session(msg.sender)
+        if session is None or not session.up:
+            return
+        route = msg.route
+        attrs: Dict[str, Any] = {
+            "next_hop": format_ip(route.next_hop),
+            "as_path": ",".join(str(a) for a in route.as_path),
+            "med": route.med,
+            "path_id": route.path_id,
+        }
+        if not self.bgp.is_ebgp(msg.sender):
+            attrs["local_pref"] = route.local_pref
+        ev_recv = self._log(
+            IOKind.ROUTE_RECEIVE,
+            causes=(),
+            protocol="bgp",
+            prefix=route.prefix,
+            action=RouteAction.ANNOUNCE,
+            peer=msg.sender,
+            attrs=attrs,
+        )
+        if msg.send_event_id:
+            self._ground.record(msg.send_event_id, ev_recv.event_id)
+        delay = self.sim.jitter(self.delays.rib_update)
+        self.sim.schedule(
+            delay,
+            lambda: self._process_bgp_announce(msg, ev_recv),
+            label=f"{self.name}:bgp-process:{route.prefix}",
+        )
+
+    def _process_bgp_announce(self, msg: BgpUpdate, ev_recv: IOEvent) -> None:
+        route = msg.route
+        peer_config = self.network.configs.get(msg.sender)
+        enriched = replace(
+            route,
+            from_peer=msg.sender,
+            ebgp_learned=self.bgp.is_ebgp(msg.sender),
+            received_at=self.sim.now,
+            peer_address=route.next_hop if route.next_hop else 0,
+            peer_router_id=peer_config.router_id,
+            peer_asn=peer_config.asn,
+        )
+        if self.bgp.is_ebgp(msg.sender):
+            # eBGP resets local-pref to the local default before import
+            # policy; import maps may then override it (this is how the
+            # paper's LP-20/LP-30 policies are applied).
+            enriched = replace(enriched, local_pref=100)
+        self.bgp.receive(msg.sender, enriched)
+        self.run_bgp_decision(route.prefix, causes=(ev_recv,))
+
+    def handle_bgp_withdraw(self, msg: BgpWithdraw) -> None:
+        """A BGP withdrawal arrived on the wire."""
+        self.messages_received += 1
+        session = self.bgp.session(msg.sender)
+        if session is None or not session.up:
+            return
+        ev_recv = self._log(
+            IOKind.ROUTE_RECEIVE,
+            causes=(),
+            protocol="bgp",
+            prefix=msg.prefix,
+            action=RouteAction.WITHDRAW,
+            peer=msg.sender,
+            attrs={"path_id": msg.path_id},
+        )
+        if msg.send_event_id:
+            self._ground.record(msg.send_event_id, ev_recv.event_id)
+        delay = self.sim.jitter(self.delays.rib_update)
+        self.sim.schedule(
+            delay,
+            lambda: self._process_bgp_withdraw(msg, ev_recv),
+            label=f"{self.name}:bgp-withdraw:{msg.prefix}",
+        )
+
+    def _process_bgp_withdraw(self, msg: BgpWithdraw, ev_recv: IOEvent) -> None:
+        changed = self.bgp.withdraw(msg.sender, msg.prefix, msg.path_id)
+        if changed:
+            self.run_bgp_decision(msg.prefix, causes=(ev_recv,))
+
+    # ------------------------------------------------------------------
+    # BGP: decision + FIB + advertisement
+    # ------------------------------------------------------------------
+
+    def run_bgp_decision(
+        self, prefix: Prefix, causes: Sequence[IOEvent]
+    ) -> None:
+        """Re-run the decision process for ``prefix``.
+
+        Emits a RIB_UPDATE when the Loc-RIB best changes, then
+        schedules the dependent FIB refresh and advertisements in the
+        order the paper relies on: RIB, then FIB, then sends.
+        """
+        candidates = [
+            c
+            for c in self.bgp.candidates(prefix)
+            if self._is_resolvable(c)
+        ]
+        metrics = self._igp_metrics_for(candidates)
+        candidates = [
+            c.with_igp_metric(metrics.get(c.next_hop, 0)) for c in candidates
+        ]
+        from repro.protocols.bgp_decision import best_path
+
+        new_best = best_path(candidates, self.profile)
+        old_best = self.bgp.rib.best(prefix)
+        if new_best == old_best:
+            # Best unchanged; Add-Path sessions may still need refreshed
+            # advertisement sets when backup paths changed.
+            if any(s.config.add_path for s in self.bgp.sessions.values()):
+                self._schedule_advertise(prefix, causes)
+            return
+        if new_best is None:
+            self.bgp.rib.clear_best(prefix)
+            ev_rib = self._log(
+                IOKind.RIB_UPDATE,
+                causes=causes,
+                protocol="bgp",
+                prefix=prefix,
+                action=RouteAction.WITHDRAW,
+            )
+        else:
+            self.bgp.rib.set_best(new_best)
+            ev_rib = self._log(
+                IOKind.RIB_UPDATE,
+                causes=causes,
+                protocol="bgp",
+                prefix=prefix,
+                action=RouteAction.ANNOUNCE,
+                peer=new_best.from_peer,
+                attrs={
+                    "local_pref": new_best.local_pref,
+                    "next_hop": format_ip(new_best.next_hop),
+                    "as_path": ",".join(str(a) for a in new_best.as_path),
+                    "via": new_best.from_peer or "local",
+                },
+            )
+        fib_delay = self.sim.jitter(self.delays.fib_install)
+        self.sim.schedule(
+            fib_delay,
+            lambda: self.refresh_fib(prefix, causes=(ev_rib,)),
+            label=f"{self.name}:fib:{prefix}",
+        )
+        send_delay = fib_delay + self.sim.jitter(self.delays.advertisement)
+        self.sim.schedule(
+            send_delay,
+            lambda: self.advertise(prefix, causes=(ev_rib,)),
+            label=f"{self.name}:advertise:{prefix}",
+        )
+
+    def _schedule_advertise(
+        self, prefix: Prefix, causes: Sequence[IOEvent]
+    ) -> None:
+        delay = self.sim.jitter(self.delays.fib_install) + self.sim.jitter(
+            self.delays.advertisement
+        )
+        frozen = tuple(causes)
+        self.sim.schedule(
+            delay,
+            lambda: self.advertise(prefix, causes=frozen),
+            label=f"{self.name}:advertise:{prefix}",
+        )
+
+    # ------------------------------------------------------------------
+    # FIB refresh
+    # ------------------------------------------------------------------
+
+    def _fib_candidates(self, prefix: Prefix) -> List[FibEntry]:
+        """Per-protocol candidate FIB entries for exactly ``prefix``."""
+        candidates: List[FibEntry] = []
+        for subnet, iface_name, _ in self._connected_subnets():
+            if subnet == prefix:
+                candidates.append(
+                    FibEntry(
+                        prefix=prefix,
+                        next_hop=None,
+                        next_hop_router=None,
+                        out_interface=iface_name,
+                        protocol="connected",
+                    )
+                )
+        for static in self.config.static_routes:
+            if static.prefix != prefix:
+                continue
+            if static.discard:
+                candidates.append(
+                    FibEntry(
+                        prefix=prefix,
+                        next_hop=None,
+                        next_hop_router=None,
+                        out_interface=None,
+                        protocol="static",
+                        discard=True,
+                    )
+                )
+                continue
+            resolved = self.resolve_next_hop(static.next_hop or 0)
+            if resolved is not None:
+                nh_router, iface, nh_addr = resolved
+                candidates.append(
+                    FibEntry(
+                        prefix=prefix,
+                        next_hop=nh_addr,
+                        next_hop_router=nh_router,
+                        out_interface=iface,
+                        protocol="static",
+                    )
+                )
+        if self.ospf is not None:
+            route = self.ospf.rib.get(prefix)
+            if route is not None:
+                adj = self._adjacent_via(route.next_hop_router)
+                if adj is not None:
+                    nh_router, iface, nh_addr = adj
+                    candidates.append(
+                        FibEntry(
+                            prefix=prefix,
+                            next_hop=nh_addr,
+                            next_hop_router=nh_router,
+                            out_interface=iface,
+                            protocol="ospf",
+                            metric=route.metric,
+                        )
+                    )
+        if self.dv is not None:
+            dv_route = self.dv.get(prefix)
+            if dv_route is not None and dv_route.reachable:
+                if dv_route.via_router is None:
+                    candidates.append(
+                        FibEntry(
+                            prefix=prefix,
+                            next_hop=None,
+                            next_hop_router=None,
+                            out_interface=None,
+                            protocol="eigrp",
+                            metric=dv_route.metric,
+                        )
+                    )
+                else:
+                    adj = self._adjacent_via(dv_route.via_router)
+                    if adj is not None:
+                        nh_router, iface, nh_addr = adj
+                        candidates.append(
+                            FibEntry(
+                                prefix=prefix,
+                                next_hop=nh_addr,
+                                next_hop_router=nh_router,
+                                out_interface=iface,
+                                protocol="eigrp",
+                                metric=dv_route.metric,
+                            )
+                        )
+        best = self.bgp.rib.best(prefix)
+        if best is not None and not best.locally_originated:
+            resolved = self.resolve_next_hop(best.next_hop)
+            if resolved is not None:
+                nh_router, iface, nh_addr = resolved
+                candidates.append(
+                    FibEntry(
+                        prefix=prefix,
+                        next_hop=nh_addr,
+                        next_hop_router=nh_router,
+                        out_interface=iface,
+                        protocol=best.rib_protocol,
+                        metric=best.med,
+                    )
+                )
+        return candidates
+
+    def refresh_fib(self, prefix: Prefix, causes: Sequence[IOEvent]) -> None:
+        """Recompute and (maybe) rewrite the FIB entry for ``prefix``."""
+        from repro.protocols.fib import select_route
+
+        winner = select_route(
+            self._fib_candidates(prefix), self.config.admin_distance
+        )
+        current = self.fib.get(prefix)
+        if winner == current:
+            return
+        if winner is None:
+            removed = self.fib.remove(prefix)
+            if removed is not None:
+                self._log(
+                    IOKind.FIB_UPDATE,
+                    causes=causes,
+                    protocol=removed.protocol,
+                    prefix=prefix,
+                    action=RouteAction.WITHDRAW,
+                    attrs={"next_hop_router": removed.next_hop_router},
+                )
+            return
+        if self.fib.install(winner):
+            self._log(
+                IOKind.FIB_UPDATE,
+                causes=causes,
+                protocol=winner.protocol,
+                prefix=prefix,
+                action=RouteAction.ANNOUNCE,
+                attrs={
+                    "next_hop_router": winner.next_hop_router,
+                    "out_interface": winner.out_interface,
+                    "next_hop": format_ip(winner.next_hop or 0),
+                    "discard": winner.discard,
+                },
+            )
+
+    # ------------------------------------------------------------------
+    # advertisement
+    # ------------------------------------------------------------------
+
+    def advertise(self, prefix: Prefix, causes: Sequence[IOEvent]) -> None:
+        """Diff Adj-RIB-Out per peer and send the necessary updates."""
+        for peer in self.bgp.up_peers():
+            self._advertise_to_peer(peer, prefix, causes)
+
+    def _own_address_toward(self, peer: str) -> int:
+        link = self.topology.link_between(self.name, peer)
+        if link is not None:
+            return link.interface_of(self.name).address
+        # Multihop (iBGP) session: use the loopback.
+        return self.router.loopback
+
+    def _advertise_to_peer(
+        self, peer: str, prefix: Prefix, causes: Sequence[IOEvent]
+    ) -> None:
+        ranked = self.bgp.paths_to_advertise(peer, prefix)
+        own_addr = self._own_address_toward(peer)
+        exported: List[BgpRoute] = []
+        for index, path in enumerate(ranked):
+            out = self.bgp.export_route(peer, path, own_addr, path_id=index)
+            if out is not None:
+                exported.append(out)
+        previous = self.bgp.rib.last_advertised(peer, prefix)
+        new_tuple = tuple(exported)
+        if new_tuple == previous:
+            return
+        previous_ids = {r.path_id for r in previous}
+        new_ids = {r.path_id for r in new_tuple}
+        # Withdraw dropped path ids first, then (re-)announce the rest.
+        for path_id in sorted(previous_ids - new_ids):
+            self._send_withdraw(peer, prefix, path_id, causes)
+        previous_by_id = {r.path_id: r for r in previous}
+        for route in new_tuple:
+            if previous_by_id.get(route.path_id) == route:
+                continue
+            self._send_update(peer, route, causes)
+        self.bgp.rib.record_advertised(peer, prefix, new_tuple)
+
+    def _send_update(
+        self, peer: str, route: BgpRoute, causes: Sequence[IOEvent]
+    ) -> None:
+        attrs: Dict[str, Any] = {
+            "next_hop": format_ip(route.next_hop),
+            "as_path": ",".join(str(a) for a in route.as_path),
+            "med": route.med,
+            "path_id": route.path_id,
+        }
+        if not self.bgp.is_ebgp(peer):
+            attrs["local_pref"] = route.local_pref
+        ev_send = self._log(
+            IOKind.ROUTE_SEND,
+            causes=causes,
+            protocol="bgp",
+            prefix=route.prefix,
+            action=RouteAction.ANNOUNCE,
+            peer=peer,
+            attrs=attrs,
+        )
+        self.messages_sent += 1
+        self.network.deliver_bgp(
+            BgpUpdate(
+                sender=self.name,
+                receiver=peer,
+                route=route,
+                send_event_id=ev_send.event_id,
+            )
+        )
+
+    def _send_withdraw(
+        self,
+        peer: str,
+        prefix: Prefix,
+        path_id: int,
+        causes: Sequence[IOEvent],
+    ) -> None:
+        ev_send = self._log(
+            IOKind.ROUTE_SEND,
+            causes=causes,
+            protocol="bgp",
+            prefix=prefix,
+            action=RouteAction.WITHDRAW,
+            peer=peer,
+            attrs={"path_id": path_id},
+        )
+        self.messages_sent += 1
+        self.network.deliver_bgp(
+            BgpWithdraw(
+                sender=self.name,
+                receiver=peer,
+                prefix=prefix,
+                path_id=path_id,
+                send_event_id=ev_send.event_id,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # configuration changes
+    # ------------------------------------------------------------------
+
+    def apply_config_change(self, change: ConfigChange) -> IOEvent:
+        """Apply an (already stored) config change and schedule effects.
+
+        The CONFIG_CHANGE input event is the root-cause leaf the
+        repair machinery of §6 looks for.
+        """
+        ev_cfg = self._log(
+            IOKind.CONFIG_CHANGE,
+            causes=(),
+            attrs={
+                "kind": change.kind,
+                "key": change.key,
+                "change_id": change.change_id,
+                "description": change.description or change.kind,
+            },
+        )
+        if change.kind in ("set_route_map", "set_neighbor", "remove_neighbor"):
+            self.bgp.refresh_sessions()
+            delay = self.sim.jitter(self.delays.config_to_reconfig)
+            self.sim.schedule(
+                delay,
+                lambda: self._soft_reconfigure(ev_cfg),
+                label=f"{self.name}:soft-reconfig",
+            )
+        elif change.kind == "set_static":
+            affected: Set[Prefix] = set(self._static_prefixes())
+            if isinstance(change.previous, list):
+                affected.update(s.prefix for s in change.previous)
+            for prefix in sorted(affected):
+                self.refresh_fib(prefix, causes=(ev_cfg,))
+        elif change.kind == "set_originated":
+            affected = set(self.config.originated_prefixes)
+            if isinstance(change.previous, list):
+                affected.update(change.previous)
+            for prefix in sorted(affected):
+                self.run_bgp_decision(prefix, causes=(ev_cfg,))
+        elif change.kind == "set_dv_originated" and self.dv is not None:
+            current = set(self.config.dv_originated)
+            previous = set(change.previous or [])
+            for prefix in sorted(current - previous):
+                route = self.dv.originate(prefix)
+                if route is not None:
+                    self._dv_apply(route, causes=(ev_cfg,))
+            for prefix in sorted(previous - current):
+                route = self.dv.withdraw_origin(prefix)
+                if route is not None:
+                    self._dv_apply(route, causes=(ev_cfg,))
+        elif change.kind == "set_ospf_cost" and self.ospf is not None:
+            self._reoriginate_lsa(causes=(ev_cfg,))
+            self._schedule_spf(causes=(ev_cfg,))
+        return ev_cfg
+
+    def _soft_reconfigure(self, ev_cfg: IOEvent) -> None:
+        """Cisco-style inbound soft reconfiguration (the Fig. 5 step)."""
+        affected = self.bgp.soft_reconfigure()
+        affected.update(self.config.originated_prefixes)
+        for prefix in sorted(affected):
+            self.run_bgp_decision(prefix, causes=(ev_cfg,))
+
+    # ------------------------------------------------------------------
+    # hardware status
+    # ------------------------------------------------------------------
+
+    def handle_link_status(self, link: Link, up: bool) -> IOEvent:
+        """Our side of ``link`` changed state."""
+        iface = link.interface_of(self.name)
+        ev_hw = self._log(
+            IOKind.HARDWARE_STATUS,
+            causes=(),
+            attrs={"link": iface.name, "status": "up" if up else "down"},
+        )
+        self.refresh_fib(iface.prefix, causes=(ev_hw,))
+        far = link.other_end(self.name).router
+        self._reconcile_session(far, ev_hw)
+        if not up:
+            self._dv_handle_link_down(far, ev_hw)
+        if self.ospf is not None and iface.name in self.config.ospf_interfaces:
+            self._reoriginate_lsa(causes=(ev_hw,))
+            self._schedule_spf(causes=(ev_hw,))
+        return ev_hw
+
+    def _peer_reachable(self, peer: str, config) -> bool:
+        """eBGP sessions are single-hop: they need the direct link up.
+        iBGP sessions ride the IGP: they need any up path."""
+        if config.is_external(self.config.asn):
+            link = self.topology.link_between(self.name, peer)
+            return link is not None and link.up
+        return self.network.path_exists(self.name, peer)
+
+    def _reconcile_session(self, peer: str, ev_hw: IOEvent) -> None:
+        """Bring the session with ``peer`` up/down to match reachability."""
+        state = self.bgp.session(peer)
+        if state is None:
+            return
+        reachable = self._peer_reachable(peer, state.config)
+        if state.up and not reachable:
+            self.bgp.set_session_state(peer, up=False)
+            affected = self.bgp.session_down_cleanup(peer)
+            for prefix in affected:
+                self.run_bgp_decision(prefix, causes=(ev_hw,))
+        elif not state.up and reachable:
+            self.bgp.set_session_state(peer, up=True)
+            # Re-advertise our Loc-RIB to the recovered peer.
+            for prefix in sorted(self.bgp.rib.loc_rib()):
+                self._schedule_advertise(prefix, causes=(ev_hw,))
+
+    # ------------------------------------------------------------------
+    # OSPF
+    # ------------------------------------------------------------------
+
+    def _ospf_adjacencies(self) -> List[Tuple[str, int]]:
+        result = []
+        for link in self.topology.links_of(self.name):
+            if not link.up:
+                continue
+            iface = link.interface_of(self.name)
+            cfg = self.config.ospf_interfaces.get(iface.name)
+            if cfg is None or cfg.passive:
+                continue
+            far = link.other_end(self.name)
+            far_config = self.network.configs.get(far.router)
+            if far.name not in far_config.ospf_interfaces:
+                continue
+            result.append((far.router, cfg.cost))
+        return result
+
+    def _ospf_stubs(self) -> List[Tuple[Prefix, int]]:
+        stubs: List[Tuple[Prefix, int]] = []
+        if self.router.loopback:
+            stubs.append((Prefix(self.router.loopback, 32), 0))
+        for link in self.topology.links_of(self.name):
+            if not link.up:
+                continue
+            iface = link.interface_of(self.name)
+            cfg = self.config.ospf_interfaces.get(iface.name)
+            if cfg is None:
+                continue
+            stubs.append((iface.prefix, cfg.cost))
+        return stubs
+
+    def _reoriginate_lsa(self, causes: Sequence[IOEvent]) -> None:
+        if self.ospf is None:
+            return
+        lsa = self.ospf.originate(self._ospf_adjacencies(), self._ospf_stubs())
+        self._flood_lsa(lsa, causes, exclude=None)
+
+    def _flood_lsa(
+        self,
+        lsa: LinkStateAdvertisement,
+        causes: Sequence[IOEvent],
+        exclude: Optional[str],
+    ) -> None:
+        for neighbor, _cost in self._ospf_adjacencies():
+            if neighbor == exclude:
+                continue
+            ev_send = self._log(
+                IOKind.ROUTE_SEND,
+                causes=causes,
+                protocol="ospf",
+                prefix=None,
+                action=RouteAction.ANNOUNCE,
+                peer=neighbor,
+                attrs={"lsa_origin": lsa.origin, "lsa_seq": lsa.seq},
+            )
+            self.messages_sent += 1
+            self.network.deliver_lsa(
+                LsaFlood(
+                    sender=self.name,
+                    receiver=neighbor,
+                    lsa=lsa,
+                    send_event_id=ev_send.event_id,
+                )
+            )
+
+    def handle_lsa(self, msg: LsaFlood) -> None:
+        if self.ospf is None:
+            return
+        self.messages_received += 1
+        ev_recv = self._log(
+            IOKind.ROUTE_RECEIVE,
+            causes=(),
+            protocol="ospf",
+            prefix=None,
+            action=RouteAction.ANNOUNCE,
+            peer=msg.sender,
+            attrs={"lsa_origin": msg.lsa.origin, "lsa_seq": msg.lsa.seq},
+        )
+        if msg.send_event_id:
+            self._ground.record(msg.send_event_id, ev_recv.event_id)
+        if not self.ospf.accept(msg.lsa):
+            return
+        self._flood_lsa(msg.lsa, causes=(ev_recv,), exclude=msg.sender)
+        self._schedule_spf(causes=(ev_recv,))
+
+    def _schedule_spf(self, causes: Sequence[IOEvent]) -> None:
+        if self.ospf is None:
+            return
+        self._spf_causes.extend(c.event_id for c in causes)
+        if self._spf_scheduled:
+            return
+        self._spf_scheduled = True
+        delay = self.sim.jitter(self.delays.spf_compute)
+        self.sim.schedule(delay, self._run_spf, label=f"{self.name}:spf")
+
+    def _run_spf(self) -> None:
+        if self.ospf is None:
+            return
+        self._spf_scheduled = False
+        cause_ids = list(dict.fromkeys(self._spf_causes))
+        self._spf_causes.clear()
+
+        class _CauseProxy:
+            """Minimal stand-in so _log can wire stored cause ids."""
+
+            __slots__ = ("event_id",)
+
+            def __init__(self, event_id: int):
+                self.event_id = event_id
+
+        causes = tuple(_CauseProxy(i) for i in cause_ids)
+        routes = self.ospf.run_spf()
+        added, removed, changed = self.ospf.rib.replace_all(routes)
+        rib_events: List[IOEvent] = []
+        for route in added:
+            rib_events.append(
+                self._log(
+                    IOKind.RIB_UPDATE,
+                    causes=causes,  # type: ignore[arg-type]
+                    protocol="ospf",
+                    prefix=route.prefix,
+                    action=RouteAction.ANNOUNCE,
+                    attrs={"metric": route.metric, "via": route.next_hop_router},
+                )
+            )
+        for route in removed:
+            rib_events.append(
+                self._log(
+                    IOKind.RIB_UPDATE,
+                    causes=causes,  # type: ignore[arg-type]
+                    protocol="ospf",
+                    prefix=route.prefix,
+                    action=RouteAction.WITHDRAW,
+                )
+            )
+        for _old, new in changed:
+            rib_events.append(
+                self._log(
+                    IOKind.RIB_UPDATE,
+                    causes=causes,  # type: ignore[arg-type]
+                    protocol="ospf",
+                    prefix=new.prefix,
+                    action=RouteAction.ANNOUNCE,
+                    attrs={"metric": new.metric, "via": new.next_hop_router},
+                )
+            )
+        if not rib_events:
+            return
+        fib_delay = self.sim.jitter(self.delays.fib_install)
+        frozen = tuple(rib_events)
+        for event in frozen:
+            self.sim.schedule(
+                fib_delay,
+                lambda e=event: self.refresh_fib(e.prefix, causes=(e,)),
+                label=f"{self.name}:fib:{event.prefix}",
+            )
+            self._maybe_redistribute(
+                "ospf",
+                event.prefix,
+                available=event.action is RouteAction.ANNOUNCE,
+                causes=(event,),
+            )
+        # IGP metrics feed the BGP decision process; re-run it for all
+        # known prefixes since next-hop costs may have shifted.
+        if self.bgp.rib.known_prefixes():
+            self.sim.schedule(
+                fib_delay,
+                lambda: self._rerun_bgp_after_igp(frozen),
+                label=f"{self.name}:bgp-after-spf",
+            )
+
+    def _rerun_bgp_after_igp(self, causes: Sequence[IOEvent]) -> None:
+        for prefix in sorted(self.bgp.rib.known_prefixes()):
+            self.run_bgp_decision(prefix, causes=causes)
+            # Even when the best path is unchanged, its *resolution*
+            # may now point through a different IGP next hop; the FIB
+            # must follow (BGP recursion over the new SPF result).
+            self.refresh_fib(prefix, causes=causes)
+
+    # ------------------------------------------------------------------
+    # redistribution (§4.1: "route redistribution ... mechanisms")
+    # ------------------------------------------------------------------
+
+    def _maybe_redistribute(
+        self,
+        source_protocol: str,
+        prefix: Prefix,
+        available: bool,
+        causes: Sequence[IOEvent],
+    ) -> None:
+        """Inject/remove ``prefix`` into targets configured to import
+        from ``source_protocol``.
+
+        Creates the cross-protocol HBR chain the paper alludes to:
+        [R update P in <source> RIB] → [R update P in BGP RIB] →
+        downstream advertisements.
+        """
+        for redist in self.config.redistributions:
+            if redist.source != source_protocol:
+                continue
+            if redist.target != "bgp":
+                continue  # only BGP as a target is modelled
+            permitted = available
+            route_map = self.config.route_map(redist.route_map)
+            if route_map is not None:
+                clause = route_map.first_match(prefix)
+                if clause is None or not clause.permit:
+                    permitted = False
+            if permitted:
+                self.bgp.redistribute_in(prefix, source_protocol)
+            elif self.bgp.redistribute_out(prefix) is None:
+                continue  # was not injected; nothing to update
+            self.run_bgp_decision(prefix, causes=causes)
+
+    # ------------------------------------------------------------------
+    # distance-vector protocol (EIGRP-style: FIB install BEFORE send)
+    # ------------------------------------------------------------------
+
+    def _dv_neighbors(self) -> List[str]:
+        """Adjacent routers also running the DV protocol (up links)."""
+        result = []
+        for link in self.topology.links_of(self.name):
+            if not link.up:
+                continue
+            far = link.other_end(self.name).router
+            if self.network.configs.get(far).dv_enabled:
+                result.append(far)
+        return sorted(result)
+
+    def _dv_apply(self, route, causes: Sequence[IOEvent]) -> None:
+        """A DV table entry changed: RIB event, then FIB, then sends.
+
+        The send is scheduled from *inside* the FIB step — the EIGRP
+        ordering of §4.1: [R install P in FIB] → [R send EIGRP
+        advertisement for P].
+        """
+        from repro.protocols.dvp import INFINITY
+
+        action = (
+            RouteAction.ANNOUNCE if route.reachable else RouteAction.WITHDRAW
+        )
+        ev_rib = self._log(
+            IOKind.RIB_UPDATE,
+            causes=causes,
+            protocol="eigrp",
+            prefix=route.prefix,
+            action=action,
+            attrs={"metric": route.metric, "via": route.via_router or "local"},
+        )
+        delay = self.sim.jitter(self.delays.fib_install)
+        self.sim.schedule(
+            delay,
+            lambda: self._dv_install(route, ev_rib),
+            label=f"{self.name}:dv-fib:{route.prefix}",
+        )
+        self._maybe_redistribute(
+            "eigrp", route.prefix, route.reachable, causes=(ev_rib,)
+        )
+
+    def _dv_install(self, route, ev_rib: IOEvent) -> None:
+        self.refresh_fib(route.prefix, causes=(ev_rib,))
+        fib_events = [
+            e
+            for e in self.network.collector.query(
+                router=self.name, kind=IOKind.FIB_UPDATE, prefix=route.prefix
+            )
+        ]
+        # The send's cause is the FIB event when one was just written
+        # (the EIGRP HBR); if the FIB did not change (e.g. another
+        # protocol's route still wins), fall back to the RIB event.
+        cause: IOEvent = ev_rib
+        if fib_events:
+            latest = max(fib_events, key=lambda e: (e.timestamp, e.event_id))
+            if abs(latest.timestamp - self.sim.now - self.logger.clock_skew) < 1e-9:
+                cause = latest
+        delay = self.sim.jitter(self.delays.advertisement)
+        self.sim.schedule(
+            delay,
+            lambda: self._dv_send_all(route.prefix, causes=(cause,)),
+            label=f"{self.name}:dv-send:{route.prefix}",
+        )
+
+    def _dv_send_all(self, prefix: Prefix, causes: Sequence[IOEvent]) -> None:
+        if self.dv is None:
+            return
+        from repro.protocols.dvp import DvUpdate, INFINITY
+
+        for neighbor in self._dv_neighbors():
+            metric = self.dv.advertised_metric(prefix, neighbor)
+            if metric is None:
+                continue
+            action = (
+                RouteAction.ANNOUNCE if metric < INFINITY else RouteAction.WITHDRAW
+            )
+            ev_send = self._log(
+                IOKind.ROUTE_SEND,
+                causes=causes,
+                protocol="eigrp",
+                prefix=prefix,
+                action=action,
+                peer=neighbor,
+                attrs={"metric": metric},
+            )
+            self.messages_sent += 1
+            self.network.deliver_dv(
+                DvUpdate(
+                    sender=self.name,
+                    receiver=neighbor,
+                    prefix=prefix,
+                    metric=metric,
+                    send_event_id=ev_send.event_id,
+                )
+            )
+
+    def handle_dv_update(self, msg) -> None:
+        if self.dv is None:
+            return
+        from repro.protocols.dvp import INFINITY
+
+        self.messages_received += 1
+        action = (
+            RouteAction.ANNOUNCE if msg.metric < INFINITY else RouteAction.WITHDRAW
+        )
+        ev_recv = self._log(
+            IOKind.ROUTE_RECEIVE,
+            causes=(),
+            protocol="eigrp",
+            prefix=msg.prefix,
+            action=action,
+            peer=msg.sender,
+            attrs={"metric": msg.metric},
+        )
+        if msg.send_event_id:
+            self._ground.record(msg.send_event_id, ev_recv.event_id)
+        delay = self.sim.jitter(self.delays.rib_update)
+        self.sim.schedule(
+            delay,
+            lambda: self._process_dv_update(msg, ev_recv),
+            label=f"{self.name}:dv-process:{msg.prefix}",
+        )
+
+    def _process_dv_update(self, msg, ev_recv: IOEvent) -> None:
+        if self.dv is None:
+            return
+        changed = self.dv.receive(msg.sender, msg.prefix, msg.metric)
+        if changed is not None:
+            self._dv_apply(changed, causes=(ev_recv,))
+
+    def _dv_handle_link_down(self, far: str, ev_hw: IOEvent) -> None:
+        if self.dv is None:
+            return
+        if far in self._dv_neighbors():
+            return  # another up link still reaches the neighbor
+        for poisoned in self.dv.neighbor_lost(far):
+            self._dv_apply(poisoned, causes=(ev_hw,))
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def fib_snapshot(self) -> Dict[Prefix, FibEntry]:
+        return self.fib.snapshot()
+
+    def describe_state(self) -> str:
+        lines = [f"=== {self.name} (AS{self.config.asn}, {self.profile.name}) ==="]
+        lines.append("  BGP Loc-RIB:")
+        for prefix, route in sorted(self.bgp.rib.loc_rib().items()):
+            lines.append(f"    {route.describe()}")
+        if self.ospf is not None:
+            lines.append("  OSPF RIB:")
+            for route in sorted(self.ospf.rib, key=lambda r: r.prefix.key()):
+                lines.append(f"    {route}")
+        lines.append("  FIB:")
+        for entry in self.fib:
+            lines.append(f"    {entry}")
+        return "\n".join(lines)

@@ -1,0 +1,129 @@
+"""Route record types used by RIBs and the FIB.
+
+Each protocol contributes its own route type carrying the attributes
+its decision process needs.  All types expose ``prefix``,
+``protocol`` and ``next_hop`` so the FIB selection logic
+(:mod:`repro.protocols.fib`) can treat them uniformly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from repro.net.addr import Prefix, format_ip
+
+
+class Origin(enum.IntEnum):
+    """BGP origin attribute; lower is preferred."""
+
+    IGP = 0
+    EGP = 1
+    INCOMPLETE = 2
+
+
+@dataclass(frozen=True)
+class BgpRoute:
+    """A BGP path for one prefix, as held in an Adj-RIB-In / Loc-RIB.
+
+    ``from_peer`` is the session the path arrived on (None for
+    locally originated paths); ``ebgp_learned`` distinguishes
+    eBGP-learned from iBGP-learned paths in the decision process;
+    ``received_at`` implements the "oldest route" tie-break;
+    ``igp_metric`` is the cost to reach ``next_hop`` via the IGP,
+    resolved at decision time.
+    """
+
+    prefix: Prefix
+    next_hop: int
+    as_path: Tuple[int, ...] = ()
+    local_pref: int = 100
+    med: int = 0
+    origin: Origin = Origin.IGP
+    weight: int = 0
+    from_peer: Optional[str] = None
+    peer_asn: Optional[int] = None
+    peer_router_id: int = 0
+    peer_address: int = 0
+    ebgp_learned: bool = False
+    locally_originated: bool = False
+    received_at: float = 0.0
+    igp_metric: int = 0
+    path_id: int = 0
+    #: RFC 4456 route reflection: router-id of the router that injected
+    #: the route into the AS's iBGP (0 = not yet reflected).
+    originator_id: int = 0
+    #: RFC 4456: cluster ids (router-ids of reflectors) traversed.
+    cluster_list: Tuple[int, ...] = ()
+
+    protocol = "bgp"
+
+    @property
+    def rib_protocol(self) -> str:
+        """Admin-distance class: eBGP and iBGP differ."""
+        return "ebgp" if self.ebgp_learned or self.locally_originated else "ibgp"
+
+    def neighbor_as(self) -> Optional[int]:
+        """First AS in the path (for MED comparability)."""
+        if self.as_path:
+            return self.as_path[0]
+        return self.peer_asn
+
+    def with_igp_metric(self, metric: int) -> "BgpRoute":
+        return replace(self, igp_metric=metric)
+
+    def describe(self) -> str:
+        path = " ".join(str(a) for a in self.as_path) or "local"
+        return (
+            f"{self.prefix} nh={format_ip(self.next_hop)} lp={self.local_pref} "
+            f"path=[{path}] med={self.med} from={self.from_peer or 'self'}"
+        )
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+@dataclass(frozen=True)
+class OspfRoute:
+    """An OSPF route computed by SPF."""
+
+    prefix: Prefix
+    next_hop: int
+    next_hop_router: str
+    metric: int
+    area: int = 0
+
+    protocol = "ospf"
+
+    def __str__(self) -> str:
+        return f"{self.prefix} via {self.next_hop_router} cost={self.metric}"
+
+
+@dataclass(frozen=True)
+class StaticRoute:
+    """A configured static route (next-hop or discard)."""
+
+    prefix: Prefix
+    next_hop: Optional[int] = None
+    discard: bool = False
+
+    protocol = "static"
+
+    def __str__(self) -> str:
+        target = "discard" if self.discard else format_ip(self.next_hop or 0)
+        return f"{self.prefix} -> {target}"
+
+
+@dataclass(frozen=True)
+class ConnectedRoute:
+    """A directly connected subnet (from an up interface)."""
+
+    prefix: Prefix
+    interface: str
+
+    protocol = "connected"
+    next_hop: Optional[int] = None
+
+    def __str__(self) -> str:
+        return f"{self.prefix} dev {self.interface}"

@@ -1,0 +1,126 @@
+"""The blocking baseline: "block or revert the updates" (§2).
+
+    "However, this creates an inconsistency between the data and
+    control planes that may lead to further policy violations."
+
+:class:`BlockingRepair` installs a FIB guard that refuses writes for
+a configured set of prefixes (or everything).  It also keeps the
+ledger of what it blocked, so tests and benchmarks can quantify the
+divergence between the control plane's belief and the actual data
+plane — the pathology that produces the Fig. 2b black hole.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.net.addr import Prefix
+from repro.protocols.fib import FibEntry
+
+
+@dataclass(frozen=True)
+class BlockedWrite:
+    """One FIB write the guard refused."""
+
+    router: str
+    prefix: Prefix
+    old: Optional[FibEntry]
+    new: Optional[FibEntry]
+    at: float
+
+
+class BlockingRepair:
+    """Freeze FIBs for selected prefixes network-wide."""
+
+    def __init__(self, network, prefixes: Optional[Set[Prefix]] = None):
+        self.network = network
+        #: None means "block every BGP-driven write".
+        self.prefixes = set(prefixes) if prefixes is not None else None
+        self.blocked: List[BlockedWrite] = []
+        self._active = False
+
+    def activate(self) -> None:
+        self.network.set_fib_guard(self._guard)
+        self._active = True
+
+    def deactivate(self) -> None:
+        self.network.set_fib_guard(None)
+        self._active = False
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def _guard(
+        self,
+        router: str,
+        old: Optional[FibEntry],
+        new: Optional[FibEntry],
+    ) -> bool:
+        entry = new if new is not None else old
+        if entry is None:
+            return True
+        if self.prefixes is not None and entry.prefix not in self.prefixes:
+            return True
+        self.blocked.append(
+            BlockedWrite(
+                router=router,
+                prefix=entry.prefix,
+                old=old,
+                new=new,
+                at=self.network.sim.now,
+            )
+        )
+        return False
+
+    # -- divergence accounting -----------------------------------------------
+
+    def control_plane_belief(self) -> Dict[str, Dict[Prefix, Optional[str]]]:
+        """What the control plane thinks the FIBs contain.
+
+        Per router and prefix: the next hop of the current BGP best
+        path (None for withdrawn) — what *would* be installed if the
+        guard were lifted.
+        """
+        belief: Dict[str, Dict[Prefix, Optional[str]]] = {}
+        for name, runtime in self.network.runtimes.items():
+            if runtime.router.external:
+                continue
+            table: Dict[Prefix, Optional[str]] = {}
+            for prefix, route in runtime.bgp.rib.loc_rib().items():
+                if self.prefixes is not None and prefix not in self.prefixes:
+                    continue
+                resolved = runtime.resolve_next_hop(route.next_hop)
+                table[prefix] = resolved[0] if resolved else None
+            belief[name] = table
+        return belief
+
+    def divergence(self) -> List[Tuple[str, Prefix, Optional[str], Optional[str]]]:
+        """(router, prefix, believed next hop, actual next hop) where
+        the control plane and the frozen data plane disagree."""
+        result = []
+        belief = self.control_plane_belief()
+        for router, table in belief.items():
+            fib = self.network.runtime(router).fib
+            for prefix, believed in table.items():
+                entry = fib.get(prefix)
+                actual = entry.next_hop_router if entry else None
+                if believed != actual:
+                    result.append((router, prefix, believed, actual))
+        # Prefixes withdrawn from the control plane but still frozen
+        # into the FIB also diverge.
+        for router, runtime in self.network.runtimes.items():
+            if runtime.router.external:
+                continue
+            loc = runtime.bgp.rib.loc_rib()
+            for entry in runtime.fib:
+                if entry.protocol not in ("ebgp", "ibgp"):
+                    continue
+                if self.prefixes is not None and entry.prefix not in self.prefixes:
+                    continue
+                if entry.prefix not in loc:
+                    record = (router, entry.prefix, None, entry.next_hop_router)
+                    if record not in result:
+                        result.append(record)
+        return result

@@ -1,0 +1,96 @@
+"""Prefix equivalence grouping (§6).
+
+    "Control plane computations tend to be highly repetitive across
+    prefixes.  Many destinations are treated alike by the network
+    control plane and can therefore be grouped into few equivalence
+    classes.  Studies have shown that even large networks (100K
+    prefixes) often have less than 15 equivalence classes in total."
+
+:class:`PrefixGrouper` groups *prefixes* (not raw address atoms — see
+:mod:`repro.verify.headerspace` for that) by their network-wide
+forwarding behaviour, which is the granularity the §6 predictor
+learns at: an input event's effect on one member of a class predicts
+its effect on all members.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.net.addr import Prefix
+from repro.snapshot.base import DataPlaneSnapshot
+
+#: A prefix's network-wide behaviour: per-router (next_hop, discard).
+BehaviorKey = Tuple[Tuple[str, Tuple[Optional[str], bool]], ...]
+
+
+@dataclass(frozen=True)
+class PrefixGroup:
+    """One equivalence class of prefixes."""
+
+    group_id: int
+    behavior: BehaviorKey
+    prefixes: Tuple[Prefix, ...]
+
+    @property
+    def representative(self) -> Prefix:
+        return self.prefixes[0]
+
+    def __len__(self) -> int:
+        return len(self.prefixes)
+
+
+class PrefixGrouper:
+    """Group snapshot prefixes by identical forwarding behaviour."""
+
+    def __init__(self, routers: Optional[Sequence[str]] = None):
+        self.routers = list(routers) if routers else None
+
+    def behavior_of(
+        self, snapshot: DataPlaneSnapshot, prefix: Prefix
+    ) -> BehaviorKey:
+        routers = self.routers or snapshot.routers()
+        address = prefix.first_address()
+        behavior = []
+        for router in sorted(routers):
+            entry = snapshot.lookup(router, address)
+            if entry is None:
+                behavior.append((router, (None, False)))
+            else:
+                behavior.append(
+                    (router, (entry.next_hop_router, entry.discard))
+                )
+        return tuple(behavior)
+
+    def group(self, snapshot: DataPlaneSnapshot) -> List[PrefixGroup]:
+        by_behavior: Dict[BehaviorKey, List[Prefix]] = defaultdict(list)
+        for prefix in sorted(snapshot.all_prefixes()):
+            by_behavior[self.behavior_of(snapshot, prefix)].append(prefix)
+        groups = []
+        for group_id, (behavior, prefixes) in enumerate(
+            sorted(by_behavior.items(), key=lambda item: item[1][0].key())
+        ):
+            groups.append(
+                PrefixGroup(
+                    group_id=group_id,
+                    behavior=behavior,
+                    prefixes=tuple(prefixes),
+                )
+            )
+        return groups
+
+    def group_of(
+        self, groups: Sequence[PrefixGroup], prefix: Prefix
+    ) -> Optional[PrefixGroup]:
+        for group in groups:
+            if prefix in group.prefixes:
+                return group
+        return None
+
+    @staticmethod
+    def compression(groups: Sequence[PrefixGroup]) -> float:
+        """Average prefixes per group (the §6 headline ratio)."""
+        total = sum(len(g) for g in groups)
+        return total / len(groups) if groups else 0.0

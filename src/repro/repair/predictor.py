@@ -1,0 +1,157 @@
+"""Early repair: predict outcomes before the damage propagates (§6).
+
+    "A more advanced mitigation technique is blocking the root cause
+    event as soon as possible — prior to any violation detection.
+    ...  This repetition enables us to automatically learn a model of
+    the control plane behavior from the data that we can then use to
+    predict control plane outcomes."
+
+The predictor is deliberately model-free, per the paper's framing: it
+learns from *observed history* (input event → did a violation
+follow?), keyed by an input-event signature and the prefix
+equivalence group the event touches.  At prediction time a new input
+whose (signature, group) matched violating history is flagged before
+its downstream FIB updates land.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.capture.io_events import IOEvent, IOKind
+
+#: Input-event signature: (kind, router, coarse payload).
+InputSignature = Tuple[str, str, str]
+
+
+def input_signature(event: IOEvent) -> InputSignature:
+    """A coarse, generalisable description of a control-plane input."""
+    if event.kind is IOKind.CONFIG_CHANGE:
+        payload = f"{event.attr('kind')}:{event.attr('key')}"
+        # Generalise the *value* away: "a change to this route-map on
+        # this router" is the repeatable unit, not the specific LP.
+        return (event.kind.value, event.router, payload)
+    if event.kind is IOKind.HARDWARE_STATUS:
+        return (
+            event.kind.value,
+            event.router,
+            f"{event.attr('link')}:{event.attr('status')}",
+        )
+    action = event.action.value if event.action else "-"
+    return (
+        event.kind.value,
+        event.router,
+        f"{event.protocol}:{action}:{event.peer}",
+    )
+
+
+@dataclass(frozen=True)
+class TrainingExample:
+    """One historical observation: input event → outcome."""
+
+    signature: InputSignature
+    group_id: Optional[int]
+    violated: bool
+    #: Optional detail for reporting (e.g. which policy broke).
+    detail: str = ""
+
+
+@dataclass
+class Prediction:
+    """The predictor's verdict on a new input event."""
+
+    will_violate: bool
+    confidence: float
+    support: int
+    detail: str = ""
+
+    def __str__(self) -> str:
+        verdict = "VIOLATION" if self.will_violate else "safe"
+        return (
+            f"Prediction[{verdict}, confidence={self.confidence:.2f}, "
+            f"support={self.support}]"
+        )
+
+
+class OutcomePredictor:
+    """History-based outcome prediction for control-plane inputs."""
+
+    def __init__(self, min_support: int = 1, threshold: float = 0.5):
+        if min_support < 1:
+            raise ValueError("min_support must be >= 1")
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError("threshold must be in [0, 1]")
+        self.min_support = min_support
+        self.threshold = threshold
+        self._history: Dict[
+            Tuple[InputSignature, Optional[int]], List[TrainingExample]
+        ] = defaultdict(list)
+
+    def learn(self, example: TrainingExample) -> None:
+        self._history[(example.signature, example.group_id)].append(example)
+
+    def learn_from_event(
+        self,
+        event: IOEvent,
+        group_id: Optional[int],
+        violated: bool,
+        detail: str = "",
+    ) -> TrainingExample:
+        example = TrainingExample(
+            signature=input_signature(event),
+            group_id=group_id,
+            violated=violated,
+            detail=detail,
+        )
+        self.learn(example)
+        return example
+
+    def predict(
+        self, event: IOEvent, group_id: Optional[int] = None
+    ) -> Prediction:
+        """Predict whether ``event`` will lead to a violation.
+
+        Falls back from exact (signature, group) history to
+        signature-only history — "many destinations are treated
+        alike", so same-signature evidence from *another* group still
+        carries (discounted) weight.
+        """
+        signature = input_signature(event)
+        exact = self._history.get((signature, group_id), [])
+        if len(exact) >= self.min_support:
+            rate = sum(1 for e in exact if e.violated) / len(exact)
+            detail = next((e.detail for e in exact if e.violated), "")
+            return Prediction(
+                will_violate=rate >= self.threshold,
+                confidence=rate if rate >= self.threshold else 1.0 - rate,
+                support=len(exact),
+                detail=detail,
+            )
+        # Cross-group fallback.
+        related: List[TrainingExample] = []
+        for (sig, _group), examples in self._history.items():
+            if sig == signature:
+                related.extend(examples)
+        if len(related) >= self.min_support:
+            rate = sum(1 for e in related if e.violated) / len(related)
+            detail = next((e.detail for e in related if e.violated), "")
+            discounted = rate * 0.8  # weaker evidence across groups
+            return Prediction(
+                will_violate=discounted >= self.threshold,
+                confidence=discounted
+                if discounted >= self.threshold
+                else 1.0 - discounted,
+                support=len(related),
+                detail=detail,
+            )
+        return Prediction(
+            will_violate=False, confidence=0.0, support=0, detail="no history"
+        )
+
+    def known_signatures(self) -> List[InputSignature]:
+        return sorted({sig for sig, _ in self._history})
+
+    def history_size(self) -> int:
+        return sum(len(v) for v in self._history.values())

@@ -1,0 +1,27 @@
+"""Scenario library: the paper's example networks and synthetic workloads.
+
+Each scenario module builds a ready-to-run
+:class:`~repro.protocols.network.Network` plus the event script that
+drives it, so tests, examples, and benchmarks all exercise exactly
+the same situations the paper describes.
+"""
+
+from repro.scenarios.paper_net import (
+    PREFERRED_EXIT_POLICY,
+    build_paper_network,
+    paper_policy,
+)
+from repro.scenarios.fig1 import Fig1Scenario
+from repro.scenarios.fig2 import Fig2Scenario
+from repro.scenarios.fig5 import Fig5Scenario
+from repro.scenarios.vendor import VendorDivergenceScenario
+
+__all__ = [
+    "Fig1Scenario",
+    "Fig2Scenario",
+    "Fig5Scenario",
+    "PREFERRED_EXIT_POLICY",
+    "VendorDivergenceScenario",
+    "build_paper_network",
+    "paper_policy",
+]

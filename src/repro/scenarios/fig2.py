@@ -1,0 +1,99 @@
+"""Fig. 2: an ill-considered configuration change violates the policy.
+
+Starting from the converged Fig. 1b state (everyone exits via R2,
+local-pref 30), the operator sets R2's uplink local-pref to 10 —
+lower than R1's 20.  After R2's soft reconfiguration, R2's best path
+flips to the iBGP route via R1, R2 withdraws its own route, and every
+router switches to the R1 uplink: the preferred-exit policy is
+violated network-wide (Fig. 2b).
+
+The scenario also scripts the *follow-on* disaster of §2: if a
+data-plane-only verifier reacts by blocking the FIB updates, the
+control plane and data plane disagree; when R2's uplink subsequently
+fails and R2 withdraws the route, the stale FIBs keep sending traffic
+to R2, which black-holes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.net.config import ConfigChange, local_pref_map
+from repro.net.simulator import DelayModel
+from repro.protocols.network import Network
+from repro.scenarios.fig1 import Fig1Scenario
+from repro.scenarios.paper_net import P
+
+#: The misconfigured local-pref of Fig. 2a.
+BAD_LOCAL_PREF = 10
+
+
+def bad_lp_change() -> ConfigChange:
+    """The Fig. 2a configuration change: R2 uplink LP 30 -> 10."""
+    return ConfigChange(
+        "R2",
+        "set_route_map",
+        key="r2-uplink-lp",
+        value=local_pref_map("r2-uplink-lp", BAD_LOCAL_PREF),
+        description=f"set uplink local-pref to {BAD_LOCAL_PREF}",
+    )
+
+
+@dataclass
+class Fig2Scenario:
+    """Builder/driver for the Fig. 2 sequence."""
+
+    seed: int = 0
+    delays: Optional[DelayModel] = None
+    log_drop_rate: float = 0.0
+    fig1: Fig1Scenario = field(init=False)
+    change: Optional[ConfigChange] = field(init=False, default=None)
+    t_change: float = field(init=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        self.fig1 = Fig1Scenario(
+            seed=self.seed, delays=self.delays, log_drop_rate=self.log_drop_rate
+        )
+
+    @property
+    def network(self) -> Network:
+        return self.fig1.network
+
+    def run_baseline(self, settle: float = 5.0) -> Network:
+        """The correct starting state: converged Fig. 1b."""
+        return self.fig1.run_fig1b(settle)
+
+    def run_fig2a(self, settle: float = 60.0) -> Network:
+        """Apply the bad LP change and let it fully propagate.
+
+        ``settle`` must exceed the soft-reconfiguration delay
+        (~25 s with paper timings).
+        """
+        net = self.run_baseline()
+        self.change = bad_lp_change()
+        self.t_change = net.sim.now
+        net.apply_config_change(self.change)
+        net.run(settle)
+        return net
+
+    def run_fig2b_uplink_failure(self, settle: float = 10.0) -> Network:
+        """Continue from 2a: R2's uplink fails, R2 withdraws P."""
+        net = self.run_fig2a()
+        net.fail_link("R2", "Ext2")
+        net.run(settle)
+        return net
+
+    def exit_router_for(self, source: str) -> Optional[str]:
+        return self.fig1.exit_router_for(source)
+
+    def violates_policy(self) -> bool:
+        """True when traffic is not exiting via R2 although its uplink
+        is up (the §2 policy, checked on the real data plane)."""
+        uplink = self.network.topology.link_between("R2", "Ext2")
+        if uplink is None or not uplink.up:
+            return False
+        for source in ("R1", "R3"):
+            if self.exit_router_for(source) != "R2":
+                return True
+        return False

@@ -1,0 +1,347 @@
+"""Synthetic topologies and workloads for scaling/accuracy experiments.
+
+The paper's feasibility study used three routers; the claims in §4–§6
+are about arbitrary networks.  These generators build:
+
+* random connected single-AS networks with OSPF underlay, iBGP full
+  mesh, and a configurable number of eBGP uplinks;
+* churn workloads (external announce/withdraw sequences);
+* misconfiguration campaigns (random local-pref changes on uplinks);
+* synthetic FIB tables with a *planted* number of forwarding
+  equivalence classes, for the §6 "100 K prefixes, <15 classes"
+  experiment.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.net.addr import Prefix, parse_ip
+from repro.net.config import (
+    BgpNeighborConfig,
+    ConfigChange,
+    OspfInterfaceConfig,
+    RouterConfig,
+    local_pref_map,
+)
+from repro.net.simulator import DelayModel
+from repro.net.topology import Router, Topology
+from repro.protocols.network import Network
+from repro.snapshot.base import DataPlaneSnapshot, SnapshotEntry
+
+
+def random_connected_topology(
+    n: int,
+    extra_edge_fraction: float = 0.5,
+    seed: int = 0,
+    delay: float = 0.008,
+    asn: int = 65000,
+) -> Topology:
+    """A random connected graph: spanning tree + extra random edges."""
+    if n < 2:
+        raise ValueError("need at least two routers")
+    rng = random.Random(seed)
+    topo = Topology(f"rand{n}-s{seed}")
+    for i in range(n):
+        topo.add_router(
+            Router(f"R{i}", asn=asn, loopback=parse_ip("192.168.0.1") + i)
+        )
+    subnet_base = parse_ip("10.200.0.0")
+    subnet_index = 0
+
+    def next_subnet() -> Prefix:
+        nonlocal subnet_index
+        prefix = Prefix(subnet_base + subnet_index * 4, 30)
+        subnet_index += 1
+        return prefix
+
+    # Random spanning tree (random parent among already-attached nodes).
+    attached = [0]
+    for i in range(1, n):
+        parent = rng.choice(attached)
+        topo.connect(f"R{parent}", f"R{i}", next_subnet(), delay=delay)
+        attached.append(i)
+    # Extra edges for path diversity.
+    extras = int(n * extra_edge_fraction)
+    tries = 0
+    while extras > 0 and tries < extras * 20:
+        tries += 1
+        a, b = rng.sample(range(n), 2)
+        if topo.link_between(f"R{a}", f"R{b}") is not None:
+            continue
+        topo.connect(f"R{a}", f"R{b}", next_subnet(), delay=delay)
+        extras -= 1
+    return topo
+
+
+@dataclass
+class UplinkSpec:
+    """One eBGP uplink: which internal router, peer AS, local-pref."""
+
+    router: str
+    external: str
+    remote_asn: int
+    local_pref: int
+
+
+def attach_uplinks(
+    topo: Topology,
+    count: int,
+    seed: int = 0,
+    delay: float = 0.008,
+    base_asn: int = 65001,
+    preferred_first: bool = True,
+) -> List[UplinkSpec]:
+    """Attach ``count`` external peers to distinct internal routers.
+
+    Local-prefs descend from 200 so the first uplink is preferred,
+    mirroring the paper's LP-30-beats-LP-20 policy shape.
+    """
+    rng = random.Random(seed + 1)
+    internal = topo.internal_routers()
+    if count > len(internal):
+        raise ValueError(f"cannot attach {count} uplinks to {len(internal)} routers")
+    chosen = rng.sample(internal, count)
+    if preferred_first:
+        chosen.sort()
+    subnet_base = parse_ip("10.210.0.0")
+    specs = []
+    for index, router in enumerate(chosen):
+        name = f"Ext{index}"
+        asn = base_asn + index
+        topo.add_router(
+            Router(
+                name,
+                asn=asn,
+                loopback=parse_ip("192.168.200.1") + index,
+                external=True,
+            )
+        )
+        topo.connect(
+            router, name, Prefix(subnet_base + index * 4, 30), delay=delay
+        )
+        specs.append(
+            UplinkSpec(
+                router=router,
+                external=name,
+                remote_asn=asn,
+                local_pref=200 - index * 10,
+            )
+        )
+    return specs
+
+
+def build_random_network(
+    n: int,
+    uplinks: int = 2,
+    seed: int = 0,
+    extra_edge_fraction: float = 0.5,
+    with_ospf: bool = True,
+    delays: Optional[DelayModel] = None,
+    clock_skews: Optional[Dict[str, float]] = None,
+    log_drop_rate: float = 0.0,
+    deterministic_bgp: bool = False,
+    add_path: bool = False,
+) -> Tuple[Network, List[UplinkSpec]]:
+    """A random single-AS network: OSPF underlay + iBGP full mesh."""
+    topo = random_connected_topology(
+        n, extra_edge_fraction=extra_edge_fraction, seed=seed
+    )
+    specs = attach_uplinks(topo, uplinks, seed=seed)
+    uplink_of = {spec.router: spec for spec in specs}
+    internal = topo.internal_routers()
+    configs: List[RouterConfig] = []
+    for index, name in enumerate(internal):
+        config = RouterConfig(router=name, asn=65000, router_id=index + 1)
+        spec = uplink_of.get(name)
+        if spec is not None:
+            map_name = f"{name.lower()}-uplink-lp"
+            config.add_route_map(local_pref_map(map_name, spec.local_pref))
+            config.add_bgp_neighbor(
+                BgpNeighborConfig(
+                    peer=spec.external,
+                    remote_asn=spec.remote_asn,
+                    import_map=map_name,
+                )
+            )
+        for peer in internal:
+            if peer == name:
+                continue
+            config.add_bgp_neighbor(
+                BgpNeighborConfig(
+                    peer=peer,
+                    remote_asn=65000,
+                    next_hop_self=True,
+                    add_path=add_path,
+                )
+            )
+        if with_ospf:
+            router = topo.router(name)
+            for iface_name, iface in router.interfaces.items():
+                far_owner = None
+                link = None
+                for candidate in topo.links_of(name):
+                    if candidate.interface_of(name).name == iface_name:
+                        link = candidate
+                        break
+                if link is not None and not link.other_end(name).router.startswith(
+                    "Ext"
+                ):
+                    config.ospf_interfaces[iface_name] = OspfInterfaceConfig(
+                        interface=iface_name
+                    )
+        configs.append(config)
+    for spec in specs:
+        config = RouterConfig(
+            router=spec.external, asn=spec.remote_asn, router_id=1000 + spec.remote_asn
+        )
+        config.add_bgp_neighbor(
+            BgpNeighborConfig(peer=spec.router, remote_asn=65000)
+        )
+        configs.append(config)
+    network = Network(
+        topo,
+        configs,
+        seed=seed,
+        delays=delays or DelayModel(),
+        clock_skews=clock_skews,
+        log_drop_rate=log_drop_rate,
+        deterministic_bgp=deterministic_bgp,
+    )
+    return network, specs
+
+
+def external_prefixes(count: int, base: str = "203.0.0.0") -> List[Prefix]:
+    """``count`` disjoint /24s to play the role of external prefix P."""
+    start = parse_ip(base)
+    return [Prefix(start + i * 256, 24) for i in range(count)]
+
+
+def churn_workload(
+    network: Network,
+    specs: Sequence[UplinkSpec],
+    prefixes: Sequence[Prefix],
+    events: int,
+    start: float,
+    mean_gap: float = 0.5,
+    seed: int = 0,
+) -> List[Tuple[float, str, str, Prefix]]:
+    """Schedule random announce/withdraw events from external peers.
+
+    Returns the schedule as (time, action, external, prefix) so the
+    caller knows what happened.  Withdraws only target prefixes the
+    same peer currently announces.
+    """
+    rng = random.Random(seed + 2)
+    announced: Dict[str, set] = {spec.external: set() for spec in specs}
+    schedule: List[Tuple[float, str, str, Prefix]] = []
+    when = start
+    for _ in range(events):
+        when += rng.expovariate(1.0 / mean_gap)
+        spec = rng.choice(list(specs))
+        live = announced[spec.external]
+        if live and rng.random() < 0.4:
+            prefix = rng.choice(sorted(live))
+            live.discard(prefix)
+            network.withdraw_prefix(spec.external, prefix, at=when)
+            schedule.append((when, "withdraw", spec.external, prefix))
+        else:
+            prefix = rng.choice(list(prefixes))
+            live.add(prefix)
+            network.announce_prefix(spec.external, prefix, at=when)
+            schedule.append((when, "announce", spec.external, prefix))
+    return schedule
+
+
+def misconfig_campaign(
+    specs: Sequence[UplinkSpec],
+    rounds: int,
+    seed: int = 0,
+) -> List[ConfigChange]:
+    """Random local-pref misconfigurations on uplink import maps.
+
+    Each change flips one uplink's local-pref to a random value —
+    sometimes harmless (preserving the preference order), sometimes a
+    Fig. 2a-style inversion.
+    """
+    rng = random.Random(seed + 3)
+    changes = []
+    for _ in range(rounds):
+        spec = rng.choice(list(specs))
+        new_lp = rng.choice((5, 10, 50, 150, 250, 300))
+        map_name = f"{spec.router.lower()}-uplink-lp"
+        changes.append(
+            ConfigChange(
+                spec.router,
+                "set_route_map",
+                key=map_name,
+                value=local_pref_map(map_name, new_lp),
+                description=f"set uplink local-pref to {new_lp}",
+            )
+        )
+    return changes
+
+
+def planted_ec_snapshot(
+    num_prefixes: int,
+    num_classes: int,
+    num_routers: int = 10,
+    seed: int = 0,
+) -> Tuple[DataPlaneSnapshot, List[int]]:
+    """A synthetic network-wide FIB with a known number of ECs.
+
+    Prefixes are assigned round-robin-with-jitter to ``num_classes``
+    behaviour classes; each class routes via a distinct next-hop
+    pattern across ``num_routers`` routers.  Returns the snapshot and
+    the planted class id per prefix — ground truth for the C-EC
+    benchmark (§6's "100K prefixes ... less than 15 equivalence
+    classes").
+    """
+    if num_classes < 1 or num_prefixes < num_classes:
+        raise ValueError("need at least one prefix per class")
+    rng = random.Random(seed + 4)
+    routers = [f"R{i}" for i in range(num_routers)]
+    max_classes = (num_routers - 1) * num_routers
+    if num_classes > max_classes:
+        raise ValueError(
+            f"{num_routers} routers support at most {max_classes} "
+            f"distinct planted classes"
+        )
+    # Behaviour pattern per class: a rotation offset (1..n-1, so never
+    # a self-loop) plus, for classes beyond the first n-1, one router
+    # that discards instead — guaranteeing all patterns are distinct.
+    patterns: List[Dict[str, Optional[str]]] = []
+    for class_id in range(num_classes):
+        offset = 1 + class_id % (num_routers - 1)
+        discard_at = class_id // (num_routers - 1) - 1  # -1 = nobody
+        pattern: Dict[str, Optional[str]] = {}
+        for index, router in enumerate(routers):
+            if index == discard_at:
+                pattern[router] = None
+            else:
+                pattern[router] = routers[(index + offset) % num_routers]
+        patterns.append(pattern)
+    snapshot = DataPlaneSnapshot()
+    base = parse_ip("20.0.0.0")
+    assignment: List[int] = []
+    for i in range(num_prefixes):
+        class_id = rng.randrange(num_classes) if i >= num_classes else i
+        assignment.append(class_id)
+        prefix = Prefix(base + i * 256, 24)
+        for router in routers:
+            next_hop = patterns[class_id][router]
+            snapshot.install(
+                SnapshotEntry(
+                    router=router,
+                    prefix=prefix,
+                    next_hop_router=next_hop,
+                    out_interface="eth0",
+                    protocol="ibgp",
+                    discard=next_hop is None,
+                    source_event_id=0,
+                    timestamp=0.0,
+                )
+            )
+    return snapshot, assignment

@@ -1,0 +1,122 @@
+"""The paper's three-router BGP network (Figs. 1, 2, 4, 5).
+
+Routers R1, R2, R3 share AS 65000 and form an iBGP full mesh over a
+physical triangle.  R1 peers with Ext1 (AS 65001) and R2 with Ext2
+(AS 65002) — the two uplinks.  The operator policy of §2:
+
+    "R2 is the preferred exit point when its uplink is up; otherwise,
+    R1 should be used."
+
+implemented, as in the paper, with import route-maps setting
+local-pref 30 on R2's uplink and 20 on R1's uplink.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.net.config import (
+    BgpNeighborConfig,
+    RouterConfig,
+    local_pref_map,
+)
+from repro.net.simulator import DelayModel
+from repro.net.topology import paper_prefix, paper_topology
+from repro.protocols.network import Network
+
+#: Paper values: LP 30 on R2's uplink, LP 20 on R1's uplink (§2).
+R1_UPLINK_LP = 20
+R2_UPLINK_LP = 30
+
+INTERNAL_ROUTERS = ("R1", "R2", "R3")
+
+
+def _internal_config(
+    name: str,
+    router_id: int,
+    uplink_peer: Optional[str],
+    uplink_asn: Optional[int],
+    uplink_lp: Optional[int],
+    add_path: bool,
+) -> RouterConfig:
+    config = RouterConfig(router=name, asn=65000, router_id=router_id)
+    if uplink_peer is not None:
+        map_name = f"{name.lower()}-uplink-lp"
+        config.add_route_map(local_pref_map(map_name, uplink_lp or 100))
+        config.add_bgp_neighbor(
+            BgpNeighborConfig(
+                peer=uplink_peer,
+                remote_asn=uplink_asn or 0,
+                import_map=map_name,
+            )
+        )
+    for peer in INTERNAL_ROUTERS:
+        if peer == name:
+            continue
+        config.add_bgp_neighbor(
+            BgpNeighborConfig(
+                peer=peer,
+                remote_asn=65000,
+                next_hop_self=True,
+                add_path=add_path,
+            )
+        )
+    return config
+
+
+def _external_config(name: str, asn: int, peer: str, router_id: int) -> RouterConfig:
+    config = RouterConfig(router=name, asn=asn, router_id=router_id)
+    config.add_bgp_neighbor(BgpNeighborConfig(peer=peer, remote_asn=65000))
+    return config
+
+
+def build_paper_network(
+    seed: int = 0,
+    delays: Optional[DelayModel] = None,
+    clock_skews: Optional[Dict[str, float]] = None,
+    log_drop_rate: float = 0.0,
+    deterministic_bgp: bool = False,
+    add_path: bool = False,
+    link_delay: float = 0.008,
+) -> Network:
+    """Build (but do not start) the paper's network."""
+    topo = paper_topology(delay=link_delay)
+    configs = [
+        _internal_config("R1", 1, "Ext1", 65001, R1_UPLINK_LP, add_path),
+        _internal_config("R2", 2, "Ext2", 65002, R2_UPLINK_LP, add_path),
+        _internal_config("R3", 3, None, None, None, add_path),
+        _external_config("Ext1", 65001, "R1", 101),
+        _external_config("Ext2", 65002, "R2", 102),
+    ]
+    return Network(
+        topo,
+        configs,
+        seed=seed,
+        delays=delays or DelayModel(),
+        clock_skews=clock_skews,
+        log_drop_rate=log_drop_rate,
+        deterministic_bgp=deterministic_bgp,
+    )
+
+
+#: The prefix P of the paper's examples.
+P = paper_prefix()
+
+
+def paper_policy():
+    """The preferred-exit policy of §2 as a verifier policy object.
+
+    Imported lazily to avoid a circular dependency at package import
+    time (scenarios are a substrate for the verifier's tests too).
+    """
+    from repro.verify.policy import PreferredExitPolicy
+
+    return PreferredExitPolicy(
+        prefix=P,
+        preferred_exit="R2",
+        fallback_exit="R1",
+        uplink_of={"R2": "Ext2", "R1": "Ext1"},
+    )
+
+
+PREFERRED_EXIT_POLICY = "preferred-exit(R2 else R1)"

@@ -1,0 +1,117 @@
+"""Vendor-divergence scenario: same configs, different best paths.
+
+§2's core motivation for verifying the *actual* control plane:
+control-plane models "ignore vendor-specific implementation details
+that may apply in other scenarios — e.g., differences in BGP path
+selection rules across vendors [9, 21]".
+
+This scenario builds a router with two equally-attractive eBGP routes
+for the same prefix — identical local-pref, AS-path length, origin,
+and (different-neighbor-AS, hence incomparable) MED — where the two
+real-world tie-break chains disagree:
+
+* **Cisco** reaches the *oldest eBGP route* step first: whichever
+  route arrived first wins.
+* **Juniper** has no arrival-order step and falls through to *lowest
+  advertising router id*.
+
+We arrange the arrival order so the first-arriving peer has the
+*higher* router id; a Cisco border router and a Juniper border router
+running the identical configuration then steer traffic out of
+different uplinks — exactly the discrepancy that makes a
+single-vendor control-plane model unsound for a mixed network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.net.addr import Prefix, parse_ip
+from repro.net.config import BgpNeighborConfig, RouterConfig
+from repro.net.simulator import DelayModel
+from repro.net.topology import Router, Topology
+from repro.protocols.network import Network
+
+#: The contested prefix.
+VP = Prefix.parse("198.18.0.0/24")
+
+#: ExtFirst announces first but has the HIGH router id (99);
+#: ExtSecond announces second with the LOW router id (1).
+FIRST_PEER = "ExtFirst"
+SECOND_PEER = "ExtSecond"
+
+
+def _build(vendor: str, seed: int, delays: Optional[DelayModel]) -> Network:
+    topo = Topology(f"vendor-{vendor}")
+    topo.add_router(
+        Router("B1", asn=65000, loopback=parse_ip("192.168.0.1"), vendor=vendor)
+    )
+    topo.add_router(
+        Router(
+            FIRST_PEER,
+            asn=65001,
+            loopback=parse_ip("192.168.1.1"),
+            external=True,
+        )
+    )
+    topo.add_router(
+        Router(
+            SECOND_PEER,
+            asn=65002,
+            loopback=parse_ip("192.168.1.2"),
+            external=True,
+        )
+    )
+    topo.connect("B1", FIRST_PEER, Prefix.parse("10.250.0.0/30"))
+    topo.connect("B1", SECOND_PEER, Prefix.parse("10.250.0.4/30"))
+
+    border = RouterConfig(router="B1", asn=65000, router_id=10)
+    border.add_bgp_neighbor(BgpNeighborConfig(peer=FIRST_PEER, remote_asn=65001))
+    border.add_bgp_neighbor(BgpNeighborConfig(peer=SECOND_PEER, remote_asn=65002))
+    first = RouterConfig(router=FIRST_PEER, asn=65001, router_id=99)
+    first.add_bgp_neighbor(BgpNeighborConfig(peer="B1", remote_asn=65000))
+    second = RouterConfig(router=SECOND_PEER, asn=65002, router_id=1)
+    second.add_bgp_neighbor(BgpNeighborConfig(peer="B1", remote_asn=65000))
+
+    return Network(topo, [border, first, second], seed=seed, delays=delays)
+
+
+@dataclass
+class VendorDivergenceScenario:
+    """Run the identical announcement sequence under a given vendor."""
+
+    vendor: str = "cisco"
+    seed: int = 0
+    delays: Optional[DelayModel] = None
+    gap: float = 1.0  # seconds between the two announcements
+    network: Network = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.network = _build(self.vendor, self.seed, self.delays)
+
+    def run(self, settle: float = 5.0) -> Network:
+        net = self.network
+        net.start()
+        net.announce_prefix(FIRST_PEER, VP)
+        net.run(self.gap)
+        net.announce_prefix(SECOND_PEER, VP)
+        net.run(settle)
+        return net
+
+    def chosen_exit(self) -> Optional[str]:
+        """Which external peer B1's best path points at."""
+        best = self.network.runtime("B1").bgp.rib.best(VP)
+        return best.from_peer if best is not None else None
+
+
+def divergence(seed: int = 0, delays: Optional[DelayModel] = None):
+    """Run the scenario under both vendors; returns (cisco, juniper)
+    chosen exits."""
+    cisco = VendorDivergenceScenario(vendor="cisco", seed=seed, delays=delays)
+    cisco.run()
+    juniper = VendorDivergenceScenario(
+        vendor="juniper", seed=seed, delays=delays
+    )
+    juniper.run()
+    return cisco.chosen_exit(), juniper.chosen_exit()

@@ -1,0 +1,24 @@
+"""Data-plane snapshots: naive (baseline) and HBG-consistent (§5).
+
+A data-plane verifier needs "a snapshot that reflects the FIB entries
+a packet would encounter as it traverses the network at a specific
+instance in time" (§5).  :mod:`repro.snapshot.naive` reconstructs the
+latest-known FIB state per router — what existing verifiers do, and
+what produces the phantom loop of Fig. 1c.  :mod:`repro.snapshot.
+consistent` adds the paper's HBG-based consistency check and refuses
+to hand a snapshot to the verifier until every router whose FIB could
+have been influenced by an in-flight update has reported in.
+"""
+
+from repro.snapshot.base import DataPlaneSnapshot, SnapshotEntry, VerifierView
+from repro.snapshot.naive import NaiveSnapshotter
+from repro.snapshot.consistent import ConsistencyReport, ConsistentSnapshotter
+
+__all__ = [
+    "ConsistencyReport",
+    "ConsistentSnapshotter",
+    "DataPlaneSnapshot",
+    "NaiveSnapshotter",
+    "SnapshotEntry",
+    "VerifierView",
+]

@@ -1,0 +1,224 @@
+"""Snapshot data structures shared by the naive and consistent paths.
+
+A :class:`DataPlaneSnapshot` is the verifier's *reconstruction* of
+the network's FIBs from captured FIB_UPDATE events — deliberately a
+different type from the simulator's live FIBs, because the whole
+point of Fig. 1c is that the reconstruction can disagree with
+reality.  :class:`VerifierView` models the verifier's partial
+knowledge: each router's log stream reaches the verifier with its own
+delivery lag, so at any wall-clock instant the verifier has seen a
+different amount of history from each router.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.capture.collector import Collector
+from repro.capture.io_events import IOEvent, IOKind, RouteAction
+from repro.net.addr import Prefix, PrefixTrie
+
+
+@dataclass(frozen=True)
+class SnapshotEntry:
+    """One reconstructed FIB entry (from a FIB_UPDATE announce event)."""
+
+    router: str
+    prefix: Prefix
+    next_hop_router: Optional[str]
+    out_interface: Optional[str]
+    protocol: Optional[str]
+    discard: bool
+    source_event_id: int
+    timestamp: float
+
+    @classmethod
+    def from_event(cls, event: IOEvent) -> "SnapshotEntry":
+        if event.kind is not IOKind.FIB_UPDATE:
+            raise ValueError(f"not a FIB update: {event}")
+        if event.prefix is None:
+            raise ValueError(f"FIB update without prefix: {event}")
+        return cls(
+            router=event.router,
+            prefix=event.prefix,
+            next_hop_router=event.attr("next_hop_router"),
+            out_interface=event.attr("out_interface"),
+            protocol=event.protocol,
+            discard=bool(event.attr("discard", False)),
+            source_event_id=event.event_id,
+            timestamp=event.timestamp,
+        )
+
+
+class DataPlaneSnapshot:
+    """Per-router FIBs reconstructed from captured events."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, PrefixTrie] = {}
+        self._taken_at: Optional[float] = None
+
+    @property
+    def taken_at(self) -> Optional[float]:
+        return self._taken_at
+
+    def set_taken_at(self, when: float) -> None:
+        self._taken_at = when
+
+    def install(self, entry: SnapshotEntry) -> None:
+        table = self._tables.get(entry.router)
+        if table is None:
+            table = PrefixTrie()
+            self._tables[entry.router] = table
+        table.insert(entry.prefix, entry)
+
+    def remove(self, router: str, prefix: Prefix) -> None:
+        table = self._tables.get(router)
+        if table is not None:
+            table.delete(prefix)
+
+    def routers(self) -> List[str]:
+        return sorted(self._tables)
+
+    def entry(self, router: str, prefix: Prefix) -> Optional[SnapshotEntry]:
+        table = self._tables.get(router)
+        if table is None:
+            return None
+        return table.get(prefix)
+
+    def lookup(self, router: str, address: int) -> Optional[SnapshotEntry]:
+        """Longest-prefix-match in the reconstructed FIB of ``router``."""
+        table = self._tables.get(router)
+        if table is None:
+            return None
+        match = table.longest_match(address)
+        if match is None:
+            return None
+        return match[1]
+
+    def entries_of(self, router: str) -> List[SnapshotEntry]:
+        table = self._tables.get(router)
+        if table is None:
+            return []
+        return [entry for _, entry in table.items()]
+
+    def all_prefixes(self) -> Set[Prefix]:
+        prefixes: Set[Prefix] = set()
+        for table in self._tables.values():
+            prefixes.update(prefix for prefix, _ in table.items())
+        return prefixes
+
+    def trace(
+        self, source: str, address: int, max_hops: int = 64
+    ) -> Tuple[List[str], str]:
+        """Walk the *reconstructed* FIBs (the verifier's world view).
+
+        Same outcome vocabulary as the simulator's oracle
+        ``trace_path``: delivered / blackhole / discard / loop —
+        except here a hop into a router with no table at all counts
+        as ``delivered`` (external routers are not captured).
+        """
+        path = [source]
+        current = source
+        seen = {source}
+        for _ in range(max_hops):
+            if current not in self._tables and current != source:
+                return path, "delivered"
+            entry = self.lookup(current, address)
+            if entry is None:
+                return path, "blackhole"
+            if entry.discard:
+                return path, "discard"
+            if entry.next_hop_router is None:
+                return path, "delivered"
+            current = entry.next_hop_router
+            path.append(current)
+            if current in seen:
+                return path, "loop"
+            seen.add(current)
+        return path, "loop"
+
+    @classmethod
+    def from_fib_events(
+        cls, events: Iterable[IOEvent], taken_at: Optional[float] = None
+    ) -> "DataPlaneSnapshot":
+        """Replay FIB_UPDATE events (in timestamp order) into tables."""
+        snapshot = cls()
+        ordered = sorted(
+            (e for e in events if e.kind is IOKind.FIB_UPDATE),
+            key=lambda e: (e.timestamp, e.event_id),
+        )
+        for event in ordered:
+            if event.prefix is None:
+                continue
+            if event.action is RouteAction.WITHDRAW:
+                snapshot.remove(event.router, event.prefix)
+            else:
+                snapshot.install(SnapshotEntry.from_event(event))
+        if taken_at is not None:
+            snapshot.set_taken_at(taken_at)
+        return snapshot
+
+    @classmethod
+    def from_live_network(cls, network) -> "DataPlaneSnapshot":
+        """Oracle snapshot straight from the simulator's FIBs.
+
+        Only possible in simulation; used by tests to compare the
+        verifier's reconstruction against reality.
+        """
+        snapshot = cls()
+        for router, table in network.forwarding_state().items():
+            if network.runtime(router).router.external:
+                continue
+            for prefix, entry in table.items():
+                snapshot.install(
+                    SnapshotEntry(
+                        router=router,
+                        prefix=prefix,
+                        next_hop_router=entry.next_hop_router,
+                        out_interface=entry.out_interface,
+                        protocol=entry.protocol,
+                        discard=entry.discard,
+                        source_event_id=0,
+                        timestamp=network.sim.now,
+                    )
+                )
+        snapshot.set_taken_at(network.sim.now)
+        return snapshot
+
+
+class VerifierView:
+    """What the verifier has received from each router by a given time.
+
+    ``lags`` maps router name to log-delivery lag in seconds (default
+    lag applies to unlisted routers).  An event logged by router R at
+    time t reaches the verifier at t + lag(R) — the mechanism behind
+    Fig. 1c's "the FIB update at R2 is just missed by the verifier".
+    """
+
+    def __init__(
+        self,
+        collector: Collector,
+        lags: Optional[Dict[str, float]] = None,
+        default_lag: float = 0.0,
+    ):
+        self.collector = collector
+        self.lags = dict(lags or {})
+        self.default_lag = default_lag
+
+    def lag_of(self, router: str) -> float:
+        return self.lags.get(router, self.default_lag)
+
+    def arrival_time(self, event: IOEvent) -> float:
+        return event.timestamp + self.lag_of(event.router)
+
+    def visible_events(self, at: float) -> List[IOEvent]:
+        """Events the verifier has received by wall-clock time ``at``."""
+        return [
+            event
+            for event in self.collector
+            if self.arrival_time(event) <= at
+        ]
+
+    def visible_ids(self, at: float) -> Set[int]:
+        return {event.event_id for event in self.visible_events(at)}

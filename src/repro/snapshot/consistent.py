@@ -1,0 +1,322 @@
+"""The HBG-based consistent snapshotter (§5).
+
+    "To obtain a consistent snapshot — i.e., one that reflects the
+    FIB entries a packet would encounter as it traverses the network
+    at a specific instance in time — we simply need to ensure that if
+    a FIB snapshot from one router (R) was taken after applying a
+    route update (U), then the FIB snapshot from every other router
+    that had previously received U must also have been taken after
+    applying U."
+
+The check walks exactly the recursion the paper describes: starting
+from each FIB update in the candidate cut, follow its advertisement
+parents backwards.  A receive without its matching send in the HBG
+means some router's I/Os have not arrived yet ("all router I/Os have
+not been received and integrated into the HBG, so we may be missing
+some FIB updates") — the snapshot is declared inconsistent and the
+verifier is told which routers to wait for.  The walk terminates at
+FIB updates that do not depend on an advertisement, or when "the
+router from which the update was received is external to the
+network".
+
+This is a Chandy–Lamport-style consistent-cut condition specialised
+to the HBG: the visible event set must be causally closed along
+advertisement edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.capture.io_events import IOEvent, IOKind
+from repro.hbr.graph import HappensBeforeGraph
+from repro.hbr.inference import InferenceEngine
+from repro.net.addr import Prefix
+from repro.snapshot.base import DataPlaneSnapshot, VerifierView
+
+
+@dataclass
+class ConsistencyReport:
+    """Outcome of the §5 consistency check."""
+
+    consistent: bool
+    #: Internal routers whose logs the verifier must wait for.
+    missing_routers: Set[str] = field(default_factory=set)
+    #: Human-readable explanations, one per problem found.
+    reasons: List[str] = field(default_factory=list)
+    #: Number of walk steps performed (benchmark instrumentation).
+    steps: int = 0
+
+    def merge(self, other: "ConsistencyReport") -> None:
+        self.consistent = self.consistent and other.consistent
+        self.missing_routers.update(other.missing_routers)
+        self.reasons.extend(other.reasons)
+        self.steps += other.steps
+
+
+class ConsistentSnapshotter:
+    """Snapshots that pass the §5 HBG closure check."""
+
+    def __init__(
+        self,
+        view: VerifierView,
+        internal_routers: Sequence[str],
+        engine: Optional[InferenceEngine] = None,
+        inflight_bound: float = 0.1,
+        max_unmatched_age: Optional[float] = 30.0,
+    ):
+        self.view = view
+        self.internal_routers = set(internal_routers)
+        self.engine = engine or InferenceEngine()
+        #: Propagation bound used only to phrase the deferral reason
+        #: ("in flight" vs "log lagging"); both defer regardless.
+        self.inflight_bound = inflight_bound
+        #: After this long, an unmatched send is presumed lost (e.g. a
+        #: partition swallowed it) and stops deferring snapshots.
+        self.max_unmatched_age = max_unmatched_age
+
+    # -- public API -------------------------------------------------------
+
+    def snapshot(
+        self, at: float, prefix: Optional[Prefix] = None
+    ) -> Tuple[DataPlaneSnapshot, ConsistencyReport]:
+        """Build the snapshot visible at ``at`` and check consistency.
+
+        With ``prefix`` given, only that prefix's update chains are
+        checked (the per-prefix mode the verifier uses when reacting
+        to a specific FIB update); otherwise every prefix seen in any
+        FIB event is checked.
+        """
+        visible = self.view.visible_events(at)
+        graph = self.engine.build_graph(visible)
+        snapshot = DataPlaneSnapshot.from_fib_events(visible, taken_at=at)
+        report = self.check(graph, visible, prefix=prefix, at=at)
+        return snapshot, report
+
+    def wait_until_consistent(
+        self,
+        start: float,
+        deadline: float,
+        step: float = 0.05,
+        prefix: Optional[Prefix] = None,
+    ) -> Tuple[Optional[DataPlaneSnapshot], ConsistencyReport, float]:
+        """§7's remedy: "the verifier can wait until it receives the
+        up-to-date HBG from R1 before verifying the data plane."
+
+        Polls forward in time until the snapshot is consistent or the
+        deadline passes.  Returns (snapshot-or-None, last report,
+        time of the returned snapshot).
+        """
+        when = start
+        snapshot, report = self.snapshot(when, prefix=prefix)
+        while not report.consistent and when < deadline:
+            when = min(deadline, when + step)
+            snapshot, report = self.snapshot(when, prefix=prefix)
+        if report.consistent:
+            return snapshot, report, when
+        return None, report, when
+
+    # -- the §5 walk ------------------------------------------------------------
+
+    def check(
+        self,
+        graph: HappensBeforeGraph,
+        visible: Sequence[IOEvent],
+        prefix: Optional[Prefix] = None,
+        at: Optional[float] = None,
+    ) -> ConsistencyReport:
+        report = ConsistencyReport(consistent=True)
+        if at is not None:
+            self._check_send_closure(graph, visible, prefix, at, report)
+        fib_events = [
+            e
+            for e in visible
+            if e.kind is IOKind.FIB_UPDATE
+            and e.prefix is not None
+            and (prefix is None or e.prefix == prefix)
+            and e.protocol in ("ebgp", "ibgp", "bgp")
+        ]
+        # Only the *latest* FIB event per (router, prefix) is part of
+        # the cut; superseded ones need no closure.
+        latest: Dict[Tuple[str, Prefix], IOEvent] = {}
+        for event in fib_events:
+            key = (event.router, event.prefix)
+            current = latest.get(key)
+            if current is None or (event.timestamp, event.event_id) > (
+                current.timestamp,
+                current.event_id,
+            ):
+                latest[key] = event
+        visited: Set[int] = set()
+        for event in latest.values():
+            sub = self._walk_fib_update(graph, event, visited)
+            report.merge(sub)
+        return report
+
+    def _check_send_closure(
+        self,
+        graph: HappensBeforeGraph,
+        visible: Sequence[IOEvent],
+        prefix: Optional[Prefix],
+        at: float,
+        report: ConsistencyReport,
+    ) -> None:
+        """The dual of the receive walk: sends need matching receives.
+
+        A visible [R' send U to N] with no visible [N receive U] means
+        either U is still in flight or N's log stream is lagging.  The
+        verifier cannot distinguish the two without heartbeats, and
+        only the former matches reality — so *both* defer the
+        snapshot: the cut may show N's FIB arbitrarily stale, which is
+        how phantom black holes at transit routers arise.  The small
+        cost is deferring a few propagation-delays' worth of probes
+        even under zero log lag.
+
+        Known limitation: an advertisement permanently lost in the
+        network (e.g. sent just as a partition formed) defers this
+        prefix's snapshots until ``max_unmatched_age`` passes, after
+        which the send is presumed dead and ignored.
+        """
+        slack = self.inflight_bound + self.engine.config.clock_skew_tolerance
+        for send in visible:
+            if send.kind is not IOKind.ROUTE_SEND:
+                continue
+            if send.protocol != "bgp":
+                continue
+            if send.peer not in self.internal_routers:
+                continue
+            if prefix is not None and send.prefix != prefix:
+                continue
+            if (
+                self.max_unmatched_age is not None
+                and at > send.timestamp + self.max_unmatched_age
+            ):
+                continue  # presumed lost in a partition; give up waiting
+            report.steps += 1
+            received = any(
+                child.kind is IOKind.ROUTE_RECEIVE
+                for child, _evidence in graph.children(send.event_id)
+            )
+            if not received:
+                report.consistent = False
+                report.missing_routers.add(send.peer)
+                in_flight = at < send.timestamp + slack
+                why = (
+                    "may still be in flight"
+                    if in_flight
+                    else "has not reached the verifier"
+                )
+                report.reasons.append(
+                    f"{send.router} sent {send.action.value if send.action else '?'} "
+                    f"for {send.prefix} to {send.peer} at {send.timestamp:.3f}s "
+                    f"but {send.peer}'s receive {why}"
+                )
+
+    def _walk_fib_update(
+        self,
+        graph: HappensBeforeGraph,
+        fib_event: IOEvent,
+        visited: Set[int],
+    ) -> ConsistencyReport:
+        """One recursion step of the §5 algorithm."""
+        report = ConsistencyReport(consistent=True)
+        if fib_event.event_id in visited:
+            return report
+        visited.add(fib_event.event_id)
+        report.steps += 1
+        receives = self._advertisement_ancestors(graph, fib_event)
+        for recv in receives:
+            report.steps += 1
+            sender = recv.peer
+            if sender is None or sender not in self.internal_routers:
+                # "...the router from which the update was received is
+                # external to the network" — the walk terminates here.
+                continue
+            send = self._matching_send(graph, recv)
+            if send is None:
+                report.consistent = False
+                report.missing_routers.add(sender)
+                report.reasons.append(
+                    f"{recv.router}'s HBG contains a route for "
+                    f"{recv.prefix} via {sender} that has not been "
+                    f"announced in the HBG received from {sender}"
+                )
+                continue
+            # BGP property: the sender installed its FIB before
+            # sending.  Its FIB update must therefore be visible.
+            sender_fib = self._latest_fib_before(
+                graph, sender, recv.prefix, send.timestamp
+            )
+            if sender_fib is None:
+                report.consistent = False
+                report.missing_routers.add(sender)
+                report.reasons.append(
+                    f"{sender} announced {recv.prefix} but its own FIB "
+                    f"update has not reached the verifier"
+                )
+                continue
+            sub = self._walk_fib_update(graph, sender_fib, visited)
+            report.merge(sub)
+        return report
+
+    def _advertisement_ancestors(
+        self, graph: HappensBeforeGraph, fib_event: IOEvent
+    ) -> List[IOEvent]:
+        """ROUTE_RECEIVE ancestors of ``fib_event`` for the same prefix,
+        reached without crossing another FIB update (i.e. the receive
+        that this particular FIB change depends on)."""
+        result = []
+        stack = [fib_event.event_id]
+        seen = {fib_event.event_id}
+        while stack:
+            node = stack.pop()
+            for parent, _evidence in graph.parents(node):
+                if parent.event_id in seen:
+                    continue
+                seen.add(parent.event_id)
+                if parent.kind is IOKind.ROUTE_RECEIVE:
+                    if parent.prefix == fib_event.prefix:
+                        result.append(parent)
+                    continue
+                if parent.kind in (IOKind.RIB_UPDATE,):
+                    stack.append(parent.event_id)
+                # CONFIG_CHANGE / HARDWARE_STATUS parents terminate the
+                # walk: the FIB update did not depend on an
+                # advertisement along this path.
+        return result
+
+    def _matching_send(
+        self, graph: HappensBeforeGraph, recv: IOEvent
+    ) -> Optional[IOEvent]:
+        for parent, _evidence in graph.parents(recv.event_id):
+            if (
+                parent.kind is IOKind.ROUTE_SEND
+                and parent.router == recv.peer
+                and parent.prefix == recv.prefix
+            ):
+                return parent
+        return None
+
+    def _latest_fib_before(
+        self,
+        graph: HappensBeforeGraph,
+        router: str,
+        prefix: Optional[Prefix],
+        when: float,
+    ) -> Optional[IOEvent]:
+        best: Optional[IOEvent] = None
+        slack = self.engine.config.clock_skew_tolerance
+        for event in graph.events_of_router(router):
+            if event.kind is not IOKind.FIB_UPDATE:
+                continue
+            if event.prefix != prefix:
+                continue
+            if event.timestamp > when + slack:
+                continue
+            if best is None or (event.timestamp, event.event_id) > (
+                best.timestamp,
+                best.event_id,
+            ):
+                best = event
+        return best

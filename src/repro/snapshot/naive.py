@@ -1,0 +1,31 @@
+"""The naive snapshotter: what existing data-plane verifiers do.
+
+    "They rely on a centralized snapshot of the data plane, which is
+    difficult to construct, because routers may provide a snapshot of
+    their forwarding information base (FIB) at slightly different
+    times."  (§2)
+
+The naive snapshotter takes whatever FIB events have *reached the
+verifier* by the requested instant and replays them into tables — no
+consistency reasoning at all.  During convergence this happily mixes
+one router's new FIB with another's stale FIB, which is exactly how
+the phantom R1↔R2 loop of Fig. 1c arises.
+"""
+
+from __future__ import annotations
+
+
+from repro.snapshot.base import DataPlaneSnapshot, VerifierView
+
+
+class NaiveSnapshotter:
+    """Latest-delivered-state snapshots, no consistency check."""
+
+    def __init__(self, view: VerifierView):
+        self.view = view
+
+    def snapshot(self, at: float) -> DataPlaneSnapshot:
+        """Reconstruct FIBs from everything delivered by time ``at``."""
+        return DataPlaneSnapshot.from_fib_events(
+            self.view.visible_events(at), taken_at=at
+        )

@@ -1,0 +1,44 @@
+"""Data-plane verification (§5).
+
+Policies are checked against a reconstructed
+:class:`~repro.snapshot.base.DataPlaneSnapshot`.  The verifier is
+deliberately a *data-plane* verifier in the paper's sense: it knows
+nothing about why FIB entries exist — provenance is the HBG's job —
+it only checks forwarding behaviour: loops, black holes,
+reachability, waypoints, and the preferred-exit policy of §2.
+
+:mod:`repro.verify.headerspace` supplies HSA-style header-space
+reasoning: packing the address space into forwarding equivalence
+classes so checks run per class, not per address (§6 cites networks
+with 100 K prefixes collapsing to <15 classes).
+:mod:`repro.verify.distributed` implements the §5 sketch of
+distributing verification by passing partial results between routers.
+"""
+
+from repro.verify.policy import (
+    BlackholeFreedomPolicy,
+    LoopFreedomPolicy,
+    Policy,
+    PreferredExitPolicy,
+    ReachabilityPolicy,
+    Violation,
+    WaypointPolicy,
+)
+from repro.verify.headerspace import EquivalenceClass, compute_equivalence_classes
+from repro.verify.verifier import DataPlaneVerifier, VerificationResult
+from repro.verify.distributed import DistributedVerifier
+
+__all__ = [
+    "BlackholeFreedomPolicy",
+    "DataPlaneVerifier",
+    "DistributedVerifier",
+    "EquivalenceClass",
+    "LoopFreedomPolicy",
+    "Policy",
+    "PreferredExitPolicy",
+    "ReachabilityPolicy",
+    "VerificationResult",
+    "Violation",
+    "WaypointPolicy",
+    "compute_equivalence_classes",
+]

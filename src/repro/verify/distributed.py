@@ -1,0 +1,195 @@
+"""Distributed data-plane verification (§5, "Distributed verification").
+
+    "The basic idea is to pass partial verification results between
+    network routers ... and have each router use its local FIB
+    snapshot to conduct parts of the verification.  For example, with
+    HSA, each router could maintain its own transfer function and
+    send the output of the transfer function to downstream routers
+    that would apply their transfer functions.  This approach adds
+    time overhead ... but avoids the potential for bottlenecks at a
+    centralized verifier."
+
+Each router holds only its own FIB slice.  Verification of an
+address propagates :class:`ProbeToken` messages hop-by-hop: a token
+carries the path so far; the receiving router applies its transfer
+function and forwards, terminating on delivery, drop, or loop.  The
+class counts messages and per-router work so the C-DIST benchmark
+can quantify the central-bottleneck-vs-latency trade the paper
+describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.net.addr import Prefix
+from repro.net.topology import Topology
+from repro.snapshot.base import DataPlaneSnapshot
+from repro.verify.policy import Violation
+
+
+@dataclass(frozen=True)
+class ProbeToken:
+    """A partial verification result in flight between routers."""
+
+    address: int
+    path: Tuple[str, ...]
+
+    @property
+    def at(self) -> str:
+        return self.path[-1]
+
+
+@dataclass
+class ProbeOutcome:
+    """Terminal result of one probe walk."""
+
+    source: str
+    address: int
+    path: Tuple[str, ...]
+    outcome: str  # delivered | blackhole | discard | loop
+
+
+@dataclass
+class DistributedRunStats:
+    """Cost accounting for one distributed verification run."""
+
+    messages: int = 0
+    per_router_work: Dict[str, int] = field(default_factory=dict)
+    max_hops: int = 0
+    #: Simulated completion latency: longest chain of hop delays.
+    latency: float = 0.0
+
+    @property
+    def bottleneck_work(self) -> int:
+        """Work at the busiest node — the metric a central verifier
+        maximises (it does *all* the work) and distribution spreads."""
+        return max(self.per_router_work.values(), default=0)
+
+    @property
+    def total_work(self) -> int:
+        return sum(self.per_router_work.values())
+
+
+class DistributedVerifier:
+    """Hop-by-hop verification over per-router FIB slices."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        snapshot: DataPlaneSnapshot,
+        hop_delay: float = 0.008,
+    ):
+        self.topology = topology
+        self.snapshot = snapshot
+        self.hop_delay = hop_delay
+
+    def probe(
+        self, source: str, address: int, stats: DistributedRunStats
+    ) -> ProbeOutcome:
+        """Walk one probe token from ``source`` toward ``address``."""
+        token = ProbeToken(address=address, path=(source,))
+        visited = {source}
+        internal = set(self.topology.internal_routers())
+        while True:
+            router = token.at
+            stats.per_router_work[router] = (
+                stats.per_router_work.get(router, 0) + 1
+            )
+            if router not in internal and len(token.path) > 1:
+                return ProbeOutcome(source, address, token.path, "delivered")
+            entry = self.snapshot.lookup(router, address)
+            if entry is None:
+                return ProbeOutcome(source, address, token.path, "blackhole")
+            if entry.discard:
+                return ProbeOutcome(source, address, token.path, "discard")
+            if entry.next_hop_router is None:
+                return ProbeOutcome(source, address, token.path, "delivered")
+            next_router = entry.next_hop_router
+            stats.messages += 1
+            stats.max_hops = max(stats.max_hops, len(token.path))
+            token = ProbeToken(address=address, path=token.path + (next_router,))
+            if next_router in visited:
+                return ProbeOutcome(source, address, token.path, "loop")
+            visited.add(next_router)
+
+    def verify_address(
+        self, address: int
+    ) -> Tuple[List[ProbeOutcome], DistributedRunStats]:
+        """Probe ``address`` from every internal router.
+
+        Probes from different sources proceed independently (they
+        would run in parallel on real routers); simulated latency is
+        therefore the *longest* probe chain, not the sum.
+        """
+        stats = DistributedRunStats()
+        outcomes = []
+        longest = 0
+        for source in self.topology.internal_routers():
+            if source not in self.snapshot.routers():
+                continue
+            outcome = self.probe(source, address, stats)
+            outcomes.append(outcome)
+            longest = max(longest, len(outcome.path) - 1)
+        stats.latency = longest * self.hop_delay
+        return outcomes, stats
+
+    def verify_prefixes(
+        self, prefixes: Sequence[Prefix]
+    ) -> Tuple[List[ProbeOutcome], DistributedRunStats]:
+        total_stats = DistributedRunStats()
+        all_outcomes: List[ProbeOutcome] = []
+        for prefix in prefixes:
+            outcomes, stats = self.verify_address(prefix.first_address())
+            all_outcomes.extend(outcomes)
+            total_stats.messages += stats.messages
+            total_stats.max_hops = max(total_stats.max_hops, stats.max_hops)
+            total_stats.latency = max(total_stats.latency, stats.latency)
+            for router, work in stats.per_router_work.items():
+                total_stats.per_router_work[router] = (
+                    total_stats.per_router_work.get(router, 0) + work
+                )
+        return all_outcomes, total_stats
+
+    def loop_violations(
+        self, prefixes: Sequence[Prefix]
+    ) -> Tuple[List[Violation], DistributedRunStats]:
+        """Distributed loop-freedom check over ``prefixes``."""
+        outcomes, stats = self.verify_prefixes(prefixes)
+        violations = [
+            Violation(
+                policy="loop-freedom",
+                detail=f"forwarding loop {'->'.join(o.path)}",
+                prefix=Prefix(o.address, 32),
+                router=o.source,
+                path=o.path,
+            )
+            for o in outcomes
+            if o.outcome == "loop"
+        ]
+        return violations, stats
+
+
+def centralized_equivalent_stats(
+    topology: Topology,
+    snapshot: DataPlaneSnapshot,
+    prefixes: Sequence[Prefix],
+) -> DistributedRunStats:
+    """Cost of the same checks done centrally: every FIB entry ships
+    to one node, which then does all the per-hop work itself."""
+    stats = DistributedRunStats()
+    verifier_node = "verifier"
+    entries = 0
+    for router in snapshot.routers():
+        entries += len(snapshot.entries_of(router))
+    stats.messages = entries  # one message per FIB entry shipped
+    work = 0
+    for prefix in prefixes:
+        address = prefix.first_address()
+        for source in topology.internal_routers():
+            path, _outcome = snapshot.trace(source, address)
+            work += len(path)
+    stats.per_router_work[verifier_node] = work
+    stats.latency = 0.0  # all local once the snapshot is in
+    return stats

@@ -1,0 +1,170 @@
+"""HSA-style header-space reasoning: forwarding equivalence classes.
+
+§6 leans on the observation (citing [7]) that "many destinations are
+treated alike by the network control plane and can therefore be
+grouped into few equivalence classes ... even large networks (100K
+prefixes) often have less than 15 equivalence classes in total".
+
+Two addresses are forwarding-equivalent when *every* router forwards
+them identically.  We compute the partition exactly, in
+O(P log P + P·R) for P prefixes and R routers:
+
+1. every FIB prefix contributes an address interval [start, end];
+2. interval boundaries cut the 32-bit space into atoms;
+3. each atom's network-wide behaviour is the tuple of per-router
+   longest-prefix-match results at any address inside it;
+4. atoms with equal behaviour merge into one equivalence class.
+
+The per-router view (:class:`TransferFunction`) is the header-space
+"transfer function" of HSA [23], restricted to destination-prefix
+forwarding — which is all a FIB does.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.net.addr import IPV4_MAX, Prefix, summarize
+from repro.snapshot.base import DataPlaneSnapshot
+
+#: One router's action on an atom: (next_hop_router or None, discard).
+Action = Tuple[Optional[str], bool]
+#: Network-wide behaviour: sorted tuple of (router, action).
+Behavior = Tuple[Tuple[str, Action], ...]
+
+
+@dataclass(frozen=True)
+class TransferFunction:
+    """One router's forwarding behaviour as a pure function."""
+
+    router: str
+    snapshot: DataPlaneSnapshot
+
+    def apply(self, address: int) -> Action:
+        entry = self.snapshot.lookup(self.router, address)
+        if entry is None:
+            return (None, False)
+        if entry.discard:
+            return (None, True)
+        return (entry.next_hop_router, False)
+
+
+@dataclass(frozen=True)
+class EquivalenceClass:
+    """A maximal set of addresses with identical network-wide forwarding."""
+
+    class_id: int
+    intervals: Tuple[Tuple[int, int], ...]
+    behavior: Behavior
+
+    @property
+    def representative(self) -> int:
+        """An address inside the class (for probing/tracing)."""
+        return self.intervals[0][0]
+
+    def size(self) -> int:
+        return sum(end - start + 1 for start, end in self.intervals)
+
+    def contains(self, address: int) -> bool:
+        return any(start <= address <= end for start, end in self.intervals)
+
+    def covering_prefixes(self) -> List[Prefix]:
+        """A compact prefix description of the class (for reports)."""
+        prefixes: List[Prefix] = []
+        for start, end in self.intervals:
+            prefixes.extend(_interval_to_prefixes(start, end))
+        return summarize(prefixes)
+
+
+def _interval_to_prefixes(start: int, end: int) -> List[Prefix]:
+    """Minimal prefix cover of the inclusive interval [start, end]."""
+    result: List[Prefix] = []
+    current = start
+    while current <= end:
+        # Largest aligned block starting at `current` that fits.
+        max_align = current & -current if current else 1 << 32
+        size = 1
+        length = 32
+        while (
+            length > 0
+            and size * 2 <= max_align
+            and current + size * 2 - 1 <= end
+        ):
+            size *= 2
+            length -= 1
+        result.append(Prefix(current, length))
+        current += size
+    return result
+
+
+def compute_equivalence_classes(
+    snapshot: DataPlaneSnapshot,
+    routers: Optional[Sequence[str]] = None,
+    include_empty: bool = False,
+) -> List[EquivalenceClass]:
+    """Partition the address space by network-wide forwarding behaviour.
+
+    ``routers`` restricts the behaviour signature to a subset (defaults
+    to every router in the snapshot).  Classes where *no* router has
+    any entry are omitted unless ``include_empty``.
+    """
+    router_names = sorted(routers) if routers else snapshot.routers()
+    transfer = {r: TransferFunction(r, snapshot) for r in router_names}
+
+    boundaries: Set[int] = {0}
+    for prefix in snapshot.all_prefixes():
+        boundaries.add(prefix.first_address())
+        last = prefix.last_address()
+        if last < IPV4_MAX:
+            boundaries.add(last + 1)
+    cuts = sorted(boundaries)
+
+    by_behavior: Dict[Behavior, List[Tuple[int, int]]] = defaultdict(list)
+    for index, start in enumerate(cuts):
+        end = cuts[index + 1] - 1 if index + 1 < len(cuts) else IPV4_MAX
+        behavior: Behavior = tuple(
+            (router, transfer[router].apply(start)) for router in router_names
+        )
+        if not include_empty and all(
+            action == (None, False) for _, action in behavior
+        ):
+            continue
+        intervals = by_behavior[behavior]
+        if intervals and intervals[-1][1] + 1 == start:
+            intervals[-1] = (intervals[-1][0], end)
+        else:
+            intervals.append((start, end))
+
+    classes = []
+    for class_id, (behavior, intervals) in enumerate(
+        sorted(by_behavior.items(), key=lambda item: item[1][0])
+    ):
+        classes.append(
+            EquivalenceClass(
+                class_id=class_id,
+                intervals=tuple(intervals),
+                behavior=behavior,
+            )
+        )
+    return classes
+
+
+def class_of(classes: Sequence[EquivalenceClass], address: int) -> Optional[
+    EquivalenceClass
+]:
+    """Which class (if any) contains ``address``."""
+    for cls in classes:
+        if cls.contains(address):
+            return cls
+    return None
+
+
+def compression_ratio(
+    classes: Sequence[EquivalenceClass], prefix_count: int
+) -> float:
+    """Prefixes per class: the §6 "100K prefixes, <15 classes" metric."""
+    if not classes:
+        return 0.0
+    return prefix_count / len(classes)

@@ -1,0 +1,19 @@
+"""What-if analysis by forked emulation (§8).
+
+    "Another limitation is that our approach cannot directly answer
+    what-if questions, like control plane verifiers can ...  One
+    approach in this direction is to leverage ideas from CrystalNet
+    [27] that runs an emulated copy of the network and can inject
+    faults."
+
+:class:`~repro.whatif.engine.WhatIfEngine` implements exactly that
+idea on the simulator substrate: fork an emulated copy of the live
+network (same topology, same current configuration, same protocol
+state after re-convergence), inject hypothetical events — config
+changes, link failures, route withdrawals — and report the resulting
+data plane and policy verdicts without touching the live network.
+"""
+
+from repro.whatif.engine import WhatIfEngine, WhatIfResult
+
+__all__ = ["WhatIfEngine", "WhatIfResult"]

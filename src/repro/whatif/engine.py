@@ -1,0 +1,251 @@
+"""The what-if engine: fork, inject, converge, compare.
+
+The fork rebuilds the network from its *current configuration and
+link state* — exactly what CrystalNet does with production configs —
+and re-converges it from scratch.  Under deterministic control-plane
+execution (§8's precondition, satisfied by our seeded simulator and
+optionally the Add-Path decision profile), the forked copy reaches
+the same forwarding state as the live network, making the subsequent
+hypothetical injection a faithful prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.net.addr import Prefix
+from repro.net.config import ConfigChange, RouterConfig
+from repro.net.topology import Interface, Link, Router, Topology
+from repro.protocols.network import Network
+from repro.snapshot.base import DataPlaneSnapshot
+from repro.verify.policy import Policy, Violation
+from repro.verify.verifier import DataPlaneVerifier
+
+#: A hypothetical event applied to the forked copy.
+Injection = Callable[[Network], None]
+
+
+def config_change(change: ConfigChange) -> Injection:
+    """Inject a configuration change.
+
+    Note: applying the change records its ``previous`` value against
+    the *forked* config; create a fresh :class:`ConfigChange` when you
+    later apply the same edit to the live network.
+    """
+    return lambda net: net.apply_config_change(change)
+
+
+def link_failure(router_a: str, router_b: str) -> Injection:
+    return lambda net: net.fail_link(router_a, router_b)
+
+
+def link_recovery(router_a: str, router_b: str) -> Injection:
+    return lambda net: net.restore_link(router_a, router_b)
+
+
+def route_withdrawal(router: str, prefix: Prefix) -> Injection:
+    return lambda net: net.withdraw_prefix(router, prefix)
+
+
+def route_announcement(router: str, prefix: Prefix) -> Injection:
+    return lambda net: net.announce_prefix(router, prefix)
+
+
+@dataclass
+class ForwardingDelta:
+    """One (router, prefix) whose forwarding changed in the fork.
+
+    ``before_present``/``after_present`` disambiguate a local-delivery
+    entry (present, no next-hop router) from an absent entry.
+    """
+
+    router: str
+    prefix: Prefix
+    before_next_hop: Optional[str]
+    after_next_hop: Optional[str]
+    before_present: bool = True
+    after_present: bool = True
+
+    def _side(self, next_hop: Optional[str], present: bool) -> str:
+        if not present:
+            return "(no entry)"
+        return next_hop or "(local)"
+
+    def __str__(self) -> str:
+        return (
+            f"{self.router} {self.prefix}: "
+            f"{self._side(self.before_next_hop, self.before_present)} -> "
+            f"{self._side(self.after_next_hop, self.after_present)}"
+        )
+
+
+@dataclass
+class WhatIfResult:
+    """Outcome of one what-if question."""
+
+    baseline: DataPlaneSnapshot
+    hypothetical: DataPlaneSnapshot
+    violations: List[Violation]
+    deltas: List[ForwardingDelta]
+    converge_seconds: float
+    fork_matches_live: bool
+
+    @property
+    def safe(self) -> bool:
+        """No policy violations in the hypothetical state."""
+        return not self.violations
+
+    def describe(self) -> str:
+        lines = [
+            f"what-if result: {'SAFE' if self.safe else 'VIOLATES POLICY'} "
+            f"({len(self.deltas)} forwarding changes, "
+            f"converged in {self.converge_seconds:.2f}s)"
+        ]
+        for violation in self.violations:
+            lines.append(f"  {violation}")
+        for delta in self.deltas:
+            lines.append(f"  {delta}")
+        return "\n".join(lines)
+
+
+class WhatIfEngine:
+    """Forked-emulation what-if analysis for a live network."""
+
+    def __init__(
+        self,
+        network: Network,
+        policies: Sequence[Policy],
+        settle: float = 60.0,
+    ):
+        self.network = network
+        self.policies = list(policies)
+        self.settle = settle
+
+    # -- forking ----------------------------------------------------------
+
+    def _fork_topology(self) -> Topology:
+        live = self.network.topology
+        fork = Topology(f"{live.name}-whatif")
+        for router in live:
+            fork.add_router(
+                Router(
+                    name=router.name,
+                    asn=router.asn,
+                    loopback=router.loopback,
+                    vendor=router.vendor,
+                    external=router.external,
+                )
+            )
+        for link in live.links.values():
+            a = Interface(link.a.router, link.a.name, link.a.address, link.a.prefix)
+            b = Interface(link.b.router, link.b.name, link.b.address, link.b.prefix)
+            fork.add_link(Link(a, b, delay=link.delay, up=link.up))
+        return fork
+
+    def _fork_configs(self) -> List[RouterConfig]:
+        return [
+            self.network.configs.get(name).snapshot()
+            for name in self.network.configs.routers()
+        ]
+
+    def fork(self, seed: Optional[int] = None) -> Network:
+        """An emulated copy of the live network, converged.
+
+        The copy starts from the live network's *current*
+        configuration and link state and re-runs the control plane to
+        convergence (originated prefixes are part of the configs, so
+        they re-announce during startup).
+        """
+        fork = Network(
+            self._fork_topology(),
+            self._fork_configs(),
+            seed=seed if seed is not None else self.network.sim.rng.randint(0, 2**31),
+            delays=self.network.delays,
+            deterministic_bgp=self.network.deterministic_bgp,
+        )
+        fork.start()
+        fork.run(self.settle)
+        return fork
+
+    def _forwarding_matches(self, fork: Network) -> bool:
+        """Does the fork's data plane match the live network's?"""
+        live_state = DataPlaneSnapshot.from_live_network(self.network)
+        fork_state = DataPlaneSnapshot.from_live_network(fork)
+        for router in self.network.topology.internal_routers():
+            live_entries = {
+                e.prefix: e.next_hop_router for e in live_state.entries_of(router)
+            }
+            fork_entries = {
+                e.prefix: e.next_hop_router for e in fork_state.entries_of(router)
+            }
+            if live_entries != fork_entries:
+                return False
+        return True
+
+    # -- asking questions ----------------------------------------------------
+
+    def ask(
+        self,
+        injections: Sequence[Injection],
+        seed: Optional[int] = None,
+    ) -> WhatIfResult:
+        """Fork, inject the hypothetical events, converge, and judge."""
+        fork = self.fork(seed=seed)
+        matches = self._forwarding_matches(fork)
+        baseline = DataPlaneSnapshot.from_live_network(fork)
+        started = fork.sim.now
+        for injection in injections:
+            injection(fork)
+        fork.run(self.settle)
+        converge_seconds = fork.sim.now - started
+        hypothetical = DataPlaneSnapshot.from_live_network(fork)
+        verifier = DataPlaneVerifier(fork.topology, self.policies)
+        violations = verifier.verify(hypothetical).violations
+        deltas = self._diff(baseline, hypothetical)
+        return WhatIfResult(
+            baseline=baseline,
+            hypothetical=hypothetical,
+            violations=violations,
+            deltas=deltas,
+            converge_seconds=converge_seconds,
+            fork_matches_live=matches,
+        )
+
+    def _diff(
+        self, before: DataPlaneSnapshot, after: DataPlaneSnapshot
+    ) -> List[ForwardingDelta]:
+        deltas: List[ForwardingDelta] = []
+        routers = sorted(set(before.routers()) | set(after.routers()))
+        for router in routers:
+            prefixes = {e.prefix for e in before.entries_of(router)}
+            prefixes |= {e.prefix for e in after.entries_of(router)}
+            for prefix in sorted(prefixes):
+                old = before.entry(router, prefix)
+                new = after.entry(router, prefix)
+                old_nh = old.next_hop_router if old else None
+                new_nh = new.next_hop_router if new else None
+                if old_nh != new_nh or (old is None) != (new is None):
+                    deltas.append(
+                        ForwardingDelta(
+                            router=router,
+                            prefix=prefix,
+                            before_next_hop=old_nh,
+                            after_next_hop=new_nh,
+                            before_present=old is not None,
+                            after_present=new is not None,
+                        )
+                    )
+        return deltas
+
+    def is_change_safe(
+        self, change: ConfigChange, seed: Optional[int] = None
+    ) -> WhatIfResult:
+        """Convenience: would this config change violate any policy?"""
+        return self.ask([config_change(change)], seed=seed)
+
+    def survives_link_failure(
+        self, router_a: str, router_b: str, seed: Optional[int] = None
+    ) -> WhatIfResult:
+        """Convenience: what happens if this link dies?"""
+        return self.ask([link_failure(router_a, router_b)], seed=seed)

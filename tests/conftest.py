@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.capture.io_events import reset_event_ids
+from repro.net.simulator import DelayModel
+from repro.net.topology import paper_prefix
+from repro.scenarios.fig1 import Fig1Scenario
+from repro.scenarios.fig2 import Fig2Scenario
+from repro.scenarios.paper_net import build_paper_network, paper_policy
+
+
+@pytest.fixture(autouse=True)
+def _fresh_event_ids():
+    """Keep event ids small and deterministic within each test."""
+    reset_event_ids()
+    yield
+
+
+@pytest.fixture
+def prefix_p():
+    return paper_prefix()
+
+
+@pytest.fixture
+def paper_network():
+    """The paper's 5-router network, built but not started."""
+    return build_paper_network(seed=0)
+
+
+@pytest.fixture
+def fast_delays():
+    """Millisecond-scale delays for tests that need quick convergence."""
+    return DelayModel(
+        fib_install=0.001,
+        rib_update=0.0005,
+        advertisement=0.001,
+        config_to_reconfig=0.05,
+        spf_compute=0.001,
+    )
+
+
+@pytest.fixture
+def fig1(fast_delays):
+    return Fig1Scenario(seed=0, delays=fast_delays)
+
+
+@pytest.fixture
+def fig2(fast_delays):
+    return Fig2Scenario(seed=0, delays=fast_delays)
+
+
+@pytest.fixture
+def exit_policy():
+    return paper_policy()

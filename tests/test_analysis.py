@@ -1,0 +1,130 @@
+"""Tests for the analysis/rendering module."""
+
+import pytest
+
+from repro.analysis.report import IncidentReporter
+from repro.analysis.timeline import render_timeline
+from repro.capture.io_events import IOKind
+from repro.hbr.inference import InferenceEngine
+from repro.repair.provenance import ProvenanceTracer
+from repro.scenarios.fig2 import Fig2Scenario
+from repro.scenarios.fig5 import Fig5Scenario
+from repro.scenarios.paper_net import P, paper_policy
+from repro.snapshot.base import DataPlaneSnapshot
+from repro.verify.verifier import DataPlaneVerifier
+
+
+@pytest.fixture(scope="module")
+def fig5_capture():
+    scenario = Fig5Scenario(seed=0)
+    net = scenario.run_localpref_change()
+    return scenario, net
+
+
+class TestTimeline:
+    def test_empty_window(self, fig5_capture):
+        _scenario, net = fig5_capture
+        text = render_timeline(net.collector.all_events(), since=1e9)
+        assert "no events" in text
+
+    def test_lanes_contain_router_names(self, fig5_capture):
+        scenario, net = fig5_capture
+        text = render_timeline(
+            net.collector.all_events(), since=scenario.t_change
+        )
+        header = text.splitlines()[0]
+        for router in ("R1", "R2", "R3"):
+            assert router in header
+
+    def test_fig5_shape_rendered(self, fig5_capture):
+        """The rendering shows the Fig. 5 ladder: config, then ~25 s
+        gap, then RIB/FIB/Send cells."""
+        scenario, net = fig5_capture
+        text = render_timeline(
+            net.collector.all_events(), since=scenario.t_change
+        )
+        assert "Config" in text
+        assert "RIB" in text and "FIB" in text and "Send" in text
+        assert "+26.1s" in text or "+25" in text or "+26" in text
+
+    def test_delay_annotations_in_ms(self, fig5_capture):
+        scenario, net = fig5_capture
+        text = render_timeline(
+            net.collector.all_events(), since=scenario.t_change + 26.0
+        )
+        assert "ms" in text
+
+    def test_router_subset(self, fig5_capture):
+        scenario, net = fig5_capture
+        text = render_timeline(
+            net.collector.all_events(),
+            routers=["R1"],
+            since=scenario.t_change,
+        )
+        assert "R1" in text.splitlines()[0]
+        assert "R2" not in text.splitlines()[0]
+
+    def test_long_cells_truncated(self, fig5_capture):
+        scenario, net = fig5_capture
+        text = render_timeline(
+            net.collector.all_events(),
+            since=scenario.t_change,
+            column_width=12,
+        )
+        for line in text.splitlines()[2:]:
+            # time column (14) + lanes; no cell text overruns its lane
+            assert len(line) <= 14 + 2 + (12 + 2) * 3 + 4
+
+
+class TestIncidentReporter:
+    def _incident(self, fast_delays):
+        scenario = Fig2Scenario(seed=0, delays=fast_delays)
+        net = scenario.run_fig2a()
+        graph = InferenceEngine().build_graph(net.collector.all_events())
+        verifier = DataPlaneVerifier(net.topology, [paper_policy()])
+        violations = verifier.verify(
+            DataPlaneSnapshot.from_live_network(net)
+        ).violations
+        config = net.collector.query(router="R2", kind=IOKind.CONFIG_CHANGE)[0]
+        fibs = [
+            e
+            for e in net.collector.query(kind=IOKind.FIB_UPDATE, prefix=P)
+            if e.timestamp > config.timestamp
+        ]
+        provenance = ProvenanceTracer(graph).trace_many(
+            [e.event_id for e in fibs]
+        )
+        return net, graph, violations, provenance
+
+    def test_report_contains_sections(self, fast_delays):
+        net, graph, violations, provenance = self._incident(fast_delays)
+        text = IncidentReporter(graph).render(violations, provenance)
+        assert "INCIDENT REPORT" in text
+        assert "Violations detected" in text
+        assert "Root-cause analysis" in text
+        assert "Causal timeline" in text
+        assert "Blast radius" in text
+        assert "Operator guidance" in text
+
+    def test_report_names_the_config_change(self, fast_delays):
+        net, graph, violations, provenance = self._incident(fast_delays)
+        text = IncidentReporter(graph).render(violations, provenance)
+        assert "config change" in text
+        assert "local-pref" in text
+
+    def test_report_with_repair(self, fast_delays):
+        from repro.repair.rollback import RepairEngine
+
+        net, graph, violations, provenance = self._incident(fast_delays)
+        verifier = DataPlaneVerifier(net.topology, [paper_policy()])
+        repair = RepairEngine(net, verifier).repair(provenance, settle=30.0)
+        text = IncidentReporter(graph).render(
+            violations, provenance, repair=repair
+        )
+        assert "Automatic repair" in text
+        assert "reverted automatically" in text
+
+    def test_report_without_provenance(self, fast_delays):
+        net, graph, violations, _ = self._incident(fast_delays)
+        text = IncidentReporter(graph).render(violations)
+        assert "No actionable root cause" in text

@@ -1,0 +1,294 @@
+"""Tests for the BGP speaker (policy application, export rules, soft
+reconfiguration, Add-Path)."""
+
+import pytest
+
+from repro.net.addr import Prefix, parse_ip
+from repro.net.config import (
+    BgpNeighborConfig,
+    RouteMap,
+    RouteMapClause,
+    RouterConfig,
+    local_pref_map,
+)
+from repro.protocols.bgp import ADD_PATH_LIMIT, LOCAL_WEIGHT, BgpProcess
+from repro.protocols.bgp_decision import VendorProfile
+from repro.protocols.routes import BgpRoute
+
+P = Prefix.parse("203.0.113.0/24")
+
+
+def _config(add_path=False, import_lp=None):
+    config = RouterConfig(router="R1", asn=65000, router_id=1)
+    kwargs = {}
+    if import_lp is not None:
+        config.add_route_map(local_pref_map("uplink-lp", import_lp))
+        kwargs["import_map"] = "uplink-lp"
+    config.add_bgp_neighbor(
+        BgpNeighborConfig(peer="Ext", remote_asn=65001, **kwargs)
+    )
+    config.add_bgp_neighbor(
+        BgpNeighborConfig(
+            peer="R2", remote_asn=65000, next_hop_self=True, add_path=add_path
+        )
+    )
+    config.add_bgp_neighbor(BgpNeighborConfig(peer="R3", remote_asn=65000))
+    return config
+
+
+def _process(**kwargs):
+    return BgpProcess("R1", _config(**kwargs), VendorProfile.cisco())
+
+
+def _ext_route(prefix=P, **kwargs):
+    defaults = dict(
+        prefix=prefix,
+        next_hop=parse_ip("10.0.0.2"),
+        as_path=(65001,),
+        from_peer="Ext",
+        ebgp_learned=True,
+    )
+    defaults.update(kwargs)
+    return BgpRoute(**defaults)
+
+
+class TestSessions:
+    def test_sessions_built_from_config(self):
+        bgp = _process()
+        assert sorted(bgp.sessions) == ["Ext", "R2", "R3"]
+        assert bgp.is_ebgp("Ext")
+        assert not bgp.is_ebgp("R2")
+
+    def test_is_ebgp_unknown_peer(self):
+        with pytest.raises(KeyError):
+            _process().is_ebgp("nobody")
+
+    def test_set_session_state(self):
+        bgp = _process()
+        assert bgp.set_session_state("Ext", up=False)
+        assert not bgp.set_session_state("Ext", up=False)  # no change
+        assert bgp.up_peers() == ["R2", "R3"]
+
+    def test_refresh_sessions_tracks_config(self):
+        bgp = _process()
+        bgp.config.bgp_neighbors.pop("R3")
+        bgp.config.bgp_neighbors["R4"] = BgpNeighborConfig(
+            peer="R4", remote_asn=65000
+        )
+        added, removed = bgp.refresh_sessions()
+        assert added == ["R4"] and removed == ["R3"]
+
+
+class TestImport:
+    def test_receive_stores_in_adj_in(self):
+        bgp = _process()
+        policed = bgp.receive("Ext", _ext_route())
+        assert policed is not None
+        assert len(bgp.rib.paths_for(P)) == 1
+
+    def test_import_map_sets_local_pref(self):
+        bgp = _process(import_lp=30)
+        policed = bgp.receive("Ext", _ext_route(local_pref=100))
+        assert policed.local_pref == 30
+
+    def test_denied_route_not_stored(self):
+        config = _config()
+        config.add_route_map(RouteMap("deny-all", ()))
+        config.bgp_neighbors["Ext"] = BgpNeighborConfig(
+            peer="Ext", remote_asn=65001, import_map="deny-all"
+        )
+        bgp = BgpProcess("R1", config, VendorProfile.cisco())
+        assert bgp.receive("Ext", _ext_route()) is None
+        assert bgp.rib.paths_for(P) == []
+
+    def test_as_loop_rejected(self):
+        bgp = _process()
+        looped = _ext_route(as_path=(65001, 65000))
+        assert bgp.receive("Ext", looped) is None
+        assert bgp.rib.paths_for(P) == []
+
+    def test_receive_on_down_session_ignored(self):
+        bgp = _process()
+        bgp.set_session_state("Ext", up=False)
+        assert bgp.receive("Ext", _ext_route()) is None
+
+    def test_withdraw_removes(self):
+        bgp = _process()
+        bgp.receive("Ext", _ext_route())
+        assert bgp.withdraw("Ext", P)
+        assert bgp.rib.paths_for(P) == []
+
+    def test_withdraw_unknown_prefix(self):
+        assert not _process().withdraw("Ext", P)
+
+    def test_session_down_cleanup(self):
+        bgp = _process()
+        bgp.receive("Ext", _ext_route())
+        affected = bgp.session_down_cleanup("Ext")
+        assert affected == [P]
+        assert bgp.rib.paths_for(P) == []
+
+
+class TestSoftReconfiguration:
+    def test_policy_change_reapplied_without_resend(self):
+        """The §7 mechanism: the raw route is re-policed in place."""
+        bgp = _process(import_lp=30)
+        bgp.receive("Ext", _ext_route(local_pref=100))
+        assert bgp.rib.paths_for(P)[0].local_pref == 30
+        # Operator changes the import map to LP 10 (Fig. 2a).
+        bgp.config.route_maps["uplink-lp"] = local_pref_map("uplink-lp", 10)
+        affected = bgp.soft_reconfigure()
+        assert P in affected
+        assert bgp.rib.paths_for(P)[0].local_pref == 10
+
+    def test_newly_denied_route_dropped(self):
+        bgp = _process(import_lp=30)
+        bgp.receive("Ext", _ext_route())
+        bgp.config.route_maps["uplink-lp"] = RouteMap("uplink-lp", ())
+        bgp.soft_reconfigure()
+        assert bgp.rib.paths_for(P) == []
+
+    def test_soft_reconfigure_single_peer(self):
+        bgp = _process(import_lp=30)
+        bgp.receive("Ext", _ext_route())
+        affected = bgp.soft_reconfigure(peer="Ext")
+        assert P in affected
+
+    def test_soft_reconfigure_skips_down_sessions(self):
+        bgp = _process(import_lp=30)
+        bgp.receive("Ext", _ext_route())
+        bgp.set_session_state("Ext", up=False)
+        assert bgp.soft_reconfigure() == set()
+
+
+class TestDecision:
+    def test_local_route_has_cisco_weight(self):
+        local = _process().local_route(P)
+        assert local.weight == LOCAL_WEIGHT
+        assert local.locally_originated
+
+    def test_originated_prefix_in_candidates(self):
+        bgp = _process()
+        bgp.config.originated_prefixes.append(P)
+        candidates = bgp.candidates(P)
+        assert any(c.locally_originated for c in candidates)
+
+    def test_igp_metric_resolution(self):
+        bgp = _process()
+        bgp.receive("Ext", _ext_route())
+        nh = parse_ip("10.0.0.2")
+        candidates = bgp.candidates(P, igp_metric_of={nh: 77})
+        assert candidates[0].igp_metric == 77
+
+    def test_decide_picks_best(self):
+        bgp = _process(import_lp=30)
+        bgp.receive("Ext", _ext_route())
+        ibgp = _ext_route(
+            from_peer="R2", ebgp_learned=False, as_path=(65002,), local_pref=10
+        )
+        bgp.receive("R2", ibgp)
+        best = bgp.decide(P)
+        assert best.from_peer == "Ext"
+
+
+class TestExport:
+    def test_never_advertise_back_to_source(self):
+        bgp = _process()
+        route = bgp.receive("Ext", _ext_route())
+        assert bgp.export_route("Ext", route, own_address_toward_peer=1) is None
+
+    def test_ibgp_learned_not_sent_to_ibgp(self):
+        bgp = _process()
+        ibgp_route = _ext_route(from_peer="R2", ebgp_learned=False)
+        bgp.receive("R2", ibgp_route)
+        stored = bgp.rib.paths_for(P)[0]
+        assert bgp.export_route("R3", stored, own_address_toward_peer=1) is None
+
+    def test_ibgp_learned_sent_to_ebgp(self):
+        bgp = _process()
+        ibgp_route = _ext_route(from_peer="R2", ebgp_learned=False, as_path=(65002,))
+        bgp.receive("R2", ibgp_route)
+        stored = bgp.rib.paths_for(P)[0]
+        exported = bgp.export_route("Ext", stored, own_address_toward_peer=5)
+        assert exported is not None
+        assert exported.as_path[0] == 65000  # own ASN prepended
+        assert exported.next_hop == 5
+
+    def test_ebgp_export_resets_local_pref(self):
+        bgp = _process(import_lp=30)
+        route = bgp.receive("Ext", _ext_route())
+        # Re-export of an eBGP-learned route to another eBGP peer would
+        # go out with default LP (not transmitted); simulate with a
+        # second external session.
+        bgp.config.bgp_neighbors["Ext2"] = BgpNeighborConfig(
+            peer="Ext2", remote_asn=65002
+        )
+        bgp.refresh_sessions()
+        exported = bgp.export_route("Ext2", route, own_address_toward_peer=5)
+        assert exported.local_pref == 100
+
+    def test_next_hop_self_on_ibgp(self):
+        bgp = _process()
+        route = bgp.receive("Ext", _ext_route())
+        exported = bgp.export_route("R2", route, own_address_toward_peer=42)
+        assert exported.next_hop == 42  # R2 session has next_hop_self
+
+    def test_next_hop_preserved_without_nhs(self):
+        bgp = _process()
+        route = bgp.receive("Ext", _ext_route())
+        exported = bgp.export_route("R3", route, own_address_toward_peer=42)
+        assert exported.next_hop == route.next_hop
+
+    def test_export_map_deny_suppresses(self):
+        config = _config()
+        config.add_route_map(RouteMap("deny-all", ()))
+        config.bgp_neighbors["R3"] = BgpNeighborConfig(
+            peer="R3", remote_asn=65000, export_map="deny-all"
+        )
+        bgp = BgpProcess("R1", config, VendorProfile.cisco())
+        route = bgp.receive("Ext", _ext_route())
+        assert bgp.export_route("R3", route, own_address_toward_peer=1) is None
+
+    def test_export_to_down_session(self):
+        bgp = _process()
+        route = bgp.receive("Ext", _ext_route())
+        bgp.set_session_state("R3", up=False)
+        assert bgp.export_route("R3", route, own_address_toward_peer=1) is None
+
+    def test_prepend_clause_applies_on_export(self):
+        config = _config()
+        config.add_route_map(
+            RouteMap("prepend", (RouteMapClause(prepend_asns=(65000, 65000)),))
+        )
+        config.bgp_neighbors["Ext"] = BgpNeighborConfig(
+            peer="Ext", remote_asn=65001, export_map="prepend"
+        )
+        bgp = BgpProcess("R1", config, VendorProfile.cisco())
+        route = bgp.local_route(P)
+        exported = bgp.export_route("Ext", route, own_address_toward_peer=1)
+        assert exported.as_path[:3] == (65000, 65000, 65000)
+
+
+class TestAddPath:
+    def test_add_path_advertises_top_k(self):
+        bgp = _process(add_path=True)
+        for index in range(6):
+            route = _ext_route(
+                from_peer="R3",
+                ebgp_learned=False,
+                next_hop=parse_ip("10.0.0.2") + index,
+                peer_router_id=index + 1,
+                path_id=index,
+            )
+            bgp.rib.update_in("R3", route)
+        bgp.config.originated_prefixes.append(P)
+        paths = bgp.paths_to_advertise("R2", P)
+        assert 1 <= len(paths) <= ADD_PATH_LIMIT
+
+    def test_single_path_without_add_path(self):
+        bgp = _process()
+        bgp.receive("Ext", _ext_route())
+        assert len(bgp.paths_to_advertise("R3", P)) == 1
+
+    def test_no_paths_for_unknown_prefix(self):
+        assert _process().paths_to_advertise("R3", P) == []

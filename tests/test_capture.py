@@ -1,0 +1,260 @@
+"""Tests for the capture layer: events, logger, collector, ground truth."""
+
+import random
+
+import pytest
+
+from repro.capture.collector import Collector
+from repro.capture.ground_truth import GroundTruth
+from repro.capture.io_events import Direction, IOEvent, IOKind, RouteAction
+from repro.capture.logger import BufferingSink, RouterLogger
+from repro.net.addr import Prefix
+
+P = Prefix.parse("203.0.113.0/24")
+
+
+def _event(router="R1", kind=IOKind.FIB_UPDATE, t=1.0, **kwargs):
+    defaults = dict(
+        protocol="bgp", prefix=P, action=RouteAction.ANNOUNCE, peer=None
+    )
+    defaults.update(kwargs)
+    return IOEvent.create(router, kind, t, **defaults)
+
+
+class TestIOEvent:
+    def test_ids_unique_and_increasing(self):
+        a = _event()
+        b = _event()
+        assert b.event_id > a.event_id
+
+    def test_direction_classification(self):
+        assert IOKind.CONFIG_CHANGE.direction is Direction.INPUT
+        assert IOKind.HARDWARE_STATUS.direction is Direction.INPUT
+        assert IOKind.ROUTE_RECEIVE.direction is Direction.INPUT
+        assert IOKind.RIB_UPDATE.direction is Direction.OUTPUT
+        assert IOKind.FIB_UPDATE.direction is Direction.OUTPUT
+        assert IOKind.ROUTE_SEND.direction is Direction.OUTPUT
+
+    def test_route_action_opposite(self):
+        assert RouteAction.ANNOUNCE.opposite() is RouteAction.WITHDRAW
+        assert RouteAction.WITHDRAW.opposite() is RouteAction.ANNOUNCE
+
+    def test_attrs_sorted_and_hashable(self):
+        event = _event(attrs={"b": 2, "a": 1})
+        assert event.attrs == (("a", 1), ("b", 2))
+        hash(event)
+
+    def test_attr_lookup(self):
+        event = _event(attrs={"local_pref": 30})
+        assert event.attr("local_pref") == 30
+        assert event.attr("missing", "default") == "default"
+
+    def test_describe_fib_install(self):
+        event = _event(attrs={"next_hop_router": "R2"})
+        text = event.describe()
+        assert "install" in text and "R2" in text and str(P) in text
+
+    def test_describe_config(self):
+        event = _event(
+            kind=IOKind.CONFIG_CHANGE,
+            protocol=None,
+            prefix=None,
+            action=None,
+            attrs={"description": "set lp"},
+        )
+        assert "config change" in event.describe()
+
+    def test_describe_hardware(self):
+        event = _event(
+            kind=IOKind.HARDWARE_STATUS,
+            protocol=None,
+            prefix=None,
+            action=None,
+            attrs={"link": "eth0", "status": "down"},
+        )
+        assert "eth0 down" in event.describe()
+
+    def test_record_roundtrip(self):
+        event = _event(attrs={"local_pref": 30}, peer="R2")
+        restored = IOEvent.from_record(event.to_record())
+        assert restored == event
+
+    def test_record_roundtrip_no_prefix(self):
+        event = _event(
+            kind=IOKind.CONFIG_CHANGE, protocol=None, prefix=None, action=None
+        )
+        assert IOEvent.from_record(event.to_record()) == event
+
+    def test_is_route_event(self):
+        assert _event().is_route_event
+        assert not _event(
+            kind=IOKind.CONFIG_CHANGE, protocol=None, prefix=None, action=None
+        ).is_route_event
+
+
+class TestRouterLogger:
+    def test_clock_skew_applied(self):
+        captured = []
+        logger = RouterLogger("R1", captured.append, clock_skew=0.5)
+        event = logger.log(IOKind.FIB_UPDATE, 1.0, prefix=P)
+        assert event.timestamp == pytest.approx(1.5)
+        assert captured[0] is event
+
+    def test_drop_rate_requires_rng(self):
+        with pytest.raises(ValueError):
+            RouterLogger("R1", lambda e: None, drop_rate=0.5)
+
+    def test_drop_rate_bounds(self):
+        with pytest.raises(ValueError):
+            RouterLogger("R1", lambda e: None, drop_rate=1.5, rng=random.Random(0))
+
+    def test_dropped_events_still_returned(self):
+        captured = []
+        logger = RouterLogger(
+            "R1", captured.append, drop_rate=1.0, rng=random.Random(0)
+        )
+        event = logger.log(IOKind.FIB_UPDATE, 1.0, prefix=P)
+        assert event is not None
+        assert captured == []
+        assert logger.events_dropped == 1
+
+    def test_counting(self):
+        logger = RouterLogger("R1", lambda e: None)
+        logger.log(IOKind.FIB_UPDATE, 1.0)
+        logger.log(IOKind.FIB_UPDATE, 2.0)
+        assert logger.events_logged == 2
+
+
+class TestBufferingSink:
+    def test_buffers_until_flush(self):
+        delivered = []
+        sink = BufferingSink(delivered.append)
+        logger = RouterLogger("R1", sink)
+        logger.log(IOKind.FIB_UPDATE, 1.0)
+        assert delivered == [] and sink.pending() == 1
+        assert sink.flush() == 1
+        assert len(delivered) == 1 and sink.pending() == 0
+
+
+class TestCollector:
+    def test_ingest_and_get(self):
+        collector = Collector()
+        event = _event()
+        collector.ingest(event)
+        assert collector.get(event.event_id) is event
+        assert collector.has(event.event_id)
+        assert len(collector) == 1
+
+    def test_duplicate_rejected(self):
+        collector = Collector()
+        event = _event()
+        collector.ingest(event)
+        with pytest.raises(ValueError):
+            collector.ingest(event)
+
+    def test_get_missing(self):
+        with pytest.raises(KeyError):
+            Collector().get(999)
+
+    def test_query_by_router_and_kind(self):
+        collector = Collector()
+        collector.ingest(_event(router="R1"))
+        collector.ingest(_event(router="R2"))
+        collector.ingest(_event(router="R1", kind=IOKind.RIB_UPDATE))
+        assert len(collector.query(router="R1")) == 2
+        assert len(collector.query(router="R1", kind=IOKind.FIB_UPDATE))== 1
+
+    def test_query_time_window(self):
+        collector = Collector()
+        collector.ingest(_event(t=1.0))
+        collector.ingest(_event(t=2.0))
+        collector.ingest(_event(t=3.0))
+        assert len(collector.query(since=1.5, until=2.5)) == 1
+
+    def test_query_by_action_and_peer(self):
+        collector = Collector()
+        collector.ingest(
+            _event(kind=IOKind.ROUTE_SEND, peer="R2", action=RouteAction.WITHDRAW)
+        )
+        collector.ingest(_event(kind=IOKind.ROUTE_SEND, peer="R3"))
+        found = collector.query(action=RouteAction.WITHDRAW)
+        assert len(found) == 1 and found[0].peer == "R2"
+
+    def test_query_by_direction(self):
+        collector = Collector()
+        collector.ingest(_event(kind=IOKind.ROUTE_RECEIVE, peer="R2"))
+        collector.ingest(_event())
+        assert len(collector.query(direction=Direction.INPUT)) == 1
+
+    def test_subscription(self):
+        collector = Collector()
+        seen = []
+        collector.subscribe(seen.append)
+        event = _event()
+        collector.ingest(event)
+        assert seen == [event]
+
+    def test_latest_fib_state(self):
+        collector = Collector()
+        collector.ingest(_event(t=1.0, attrs={"next_hop_router": "R2"}))
+        collector.ingest(_event(t=2.0, attrs={"next_hop_router": "R3"}))
+        state = collector.latest_fib_state()
+        assert state["R1"][P].attr("next_hop_router") == "R3"
+
+    def test_latest_fib_state_until(self):
+        collector = Collector()
+        collector.ingest(_event(t=1.0, attrs={"next_hop_router": "R2"}))
+        collector.ingest(_event(t=2.0, attrs={"next_hop_router": "R3"}))
+        state = collector.latest_fib_state(until=1.5)
+        assert state["R1"][P].attr("next_hop_router") == "R2"
+
+    def test_export_import_records(self):
+        collector = Collector()
+        collector.ingest(_event())
+        collector.ingest(_event(kind=IOKind.RIB_UPDATE))
+        restored = Collector.from_records(collector.export_records())
+        assert len(restored) == 2
+        assert restored.all_events() == collector.all_events()
+
+    def test_routers_and_prefixes(self):
+        collector = Collector()
+        collector.ingest(_event(router="R2"))
+        collector.ingest(_event(router="R1"))
+        assert collector.routers() == ["R1", "R2"]
+        assert collector.prefixes() == [P]
+
+
+class TestGroundTruth:
+    def test_record_and_query(self):
+        gt = GroundTruth()
+        gt.record(1, 2)
+        gt.record(2, 3)
+        assert gt.causes_of(3) == {2}
+        assert gt.effects_of(1) == {2}
+
+    def test_self_cause_rejected(self):
+        with pytest.raises(ValueError):
+            GroundTruth().record(1, 1)
+
+    def test_transitive_causes(self):
+        gt = GroundTruth()
+        gt.record(1, 2)
+        gt.record(2, 3)
+        gt.record(4, 3)
+        assert gt.transitive_causes(3) == {1, 2, 4}
+
+    def test_root_causes(self):
+        gt = GroundTruth()
+        gt.record(1, 2)
+        gt.record(2, 3)
+        gt.record(4, 3)
+        assert gt.root_causes(3) == {1, 4}
+
+    def test_root_causes_of_leaf(self):
+        assert GroundTruth().root_causes(7) == set()
+
+    def test_edge_set_and_len(self):
+        gt = GroundTruth()
+        gt.record_all([1, 2], 3)
+        assert gt.edge_set() == {(1, 3), (2, 3)}
+        assert len(gt) == 2

@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_demo_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["demo", "fig1"])
+        assert args.scenario == "fig1"
+
+    def test_unknown_demo_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["demo", "nope"])
+
+    def test_requires_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_audit_defaults(self):
+        args = build_parser().parse_args(["audit"])
+        assert args.routers == 8 and args.uplinks == 2
+
+    def test_seed_flag(self):
+        args = build_parser().parse_args(["--seed", "7", "demo", "fig2"])
+        assert args.seed == 7
+
+
+class TestExecution:
+    def test_demo_fig1(self, capsys):
+        assert main(["demo", "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "delivered" in out and "Ext2" in out
+
+    def test_demo_fig2(self, capsys):
+        assert main(["demo", "fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "policy violated: True" in out
+
+    def test_demo_vendor(self, capsys):
+        assert main(["demo", "vendor"]) == 0
+        out = capsys.readouterr().out
+        assert "diverge: True" in out
+
+    def test_demo_fig5(self, capsys):
+        assert main(["demo", "fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "Config" in out and "FIB" in out
+
+    def test_demo_pipeline(self, capsys):
+        assert main(["demo", "pipeline"]) == 0
+        out = capsys.readouterr().out
+        assert "blocked" in out
+        assert "policy violated after the episode: False" in out
+
+    def test_audit_small(self, capsys):
+        assert main(["audit", "--routers", "5", "--events", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "HBR inference" in out
+        assert "equivalence classes" in out

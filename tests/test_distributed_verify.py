@@ -1,0 +1,121 @@
+"""Tests for distributed verification."""
+
+import pytest
+
+from repro.net.addr import Prefix
+from repro.net.topology import paper_topology
+from repro.scenarios.fig1 import Fig1Scenario
+from repro.scenarios.paper_net import P
+from repro.snapshot.base import DataPlaneSnapshot, SnapshotEntry
+from repro.verify.distributed import (
+    DistributedVerifier,
+    centralized_equivalent_stats,
+)
+
+
+def _entry(router, nh, discard=False):
+    return SnapshotEntry(router, P, nh, "eth0", "ibgp", discard, 0, 1.0)
+
+
+def _snapshot(entries):
+    snapshot = DataPlaneSnapshot()
+    for router, nh in entries:
+        snapshot.install(_entry(router, nh))
+    return snapshot
+
+
+@pytest.fixture
+def topo():
+    return paper_topology()
+
+
+class TestProbes:
+    def test_delivered_outcome(self, topo):
+        snapshot = _snapshot([("R1", "R2"), ("R2", "Ext2"), ("R3", "R2")])
+        verifier = DistributedVerifier(topo, snapshot)
+        outcomes, stats = verifier.verify_address(P.first_address())
+        assert {o.outcome for o in outcomes} == {"delivered"}
+        assert stats.messages > 0
+
+    def test_loop_detected(self, topo):
+        snapshot = _snapshot([("R1", "R2"), ("R2", "R1"), ("R3", "R2")])
+        verifier = DistributedVerifier(topo, snapshot)
+        outcomes, _stats = verifier.verify_address(P.first_address())
+        assert any(o.outcome == "loop" for o in outcomes)
+
+    def test_blackhole_detected(self, topo):
+        snapshot = _snapshot([("R1", "R3")])
+        snapshot.install(
+            SnapshotEntry(
+                "R3", Prefix.parse("10.0.0.0/8"), None, None, "connected",
+                False, 0, 1.0,
+            )
+        )
+        verifier = DistributedVerifier(topo, snapshot)
+        outcomes, _stats = verifier.verify_address(P.first_address())
+        by_source = {o.source: o.outcome for o in outcomes}
+        assert by_source["R1"] == "blackhole"
+
+    def test_outcomes_match_central_trace(self, topo, fast_delays):
+        """The distributed walk must agree with the centralized one."""
+        scenario = Fig1Scenario(seed=0, delays=fast_delays)
+        net = scenario.run_fig1b()
+        snapshot = DataPlaneSnapshot.from_live_network(net)
+        verifier = DistributedVerifier(net.topology, snapshot)
+        outcomes, _ = verifier.verify_address(P.first_address())
+        for outcome in outcomes:
+            central_path, central_outcome = snapshot.trace(
+                outcome.source, P.first_address()
+            )
+            assert outcome.outcome == central_outcome
+            assert list(outcome.path) == central_path
+
+
+class TestStats:
+    def test_work_distributed_across_routers(self, topo):
+        snapshot = _snapshot([("R1", "R2"), ("R2", "Ext2"), ("R3", "R2")])
+        verifier = DistributedVerifier(topo, snapshot)
+        _outcomes, stats = verifier.verify_address(P.first_address())
+        assert len(stats.per_router_work) >= 3
+        assert stats.bottleneck_work < stats.total_work
+
+    def test_central_does_all_work_in_one_place(self, topo):
+        snapshot = _snapshot([("R1", "R2"), ("R2", "Ext2"), ("R3", "R2")])
+        stats = centralized_equivalent_stats(topo, snapshot, [P])
+        assert list(stats.per_router_work) == ["verifier"]
+        assert stats.latency == 0.0
+
+    def test_distributed_bottleneck_smaller_than_central(self, topo):
+        snapshot = _snapshot([("R1", "R2"), ("R2", "Ext2"), ("R3", "R2")])
+        verifier = DistributedVerifier(topo, snapshot)
+        _o, dist_stats = verifier.verify_address(P.first_address())
+        central = centralized_equivalent_stats(topo, snapshot, [P])
+        assert dist_stats.bottleneck_work < central.bottleneck_work
+
+    def test_distributed_has_latency_cost(self, topo):
+        """§5: 'This approach adds time overhead.'"""
+        snapshot = _snapshot([("R1", "R2"), ("R2", "Ext2"), ("R3", "R2")])
+        verifier = DistributedVerifier(topo, snapshot, hop_delay=0.01)
+        _o, stats = verifier.verify_address(P.first_address())
+        central = centralized_equivalent_stats(topo, snapshot, [P])
+        assert stats.latency > central.latency
+
+    def test_verify_prefixes_accumulates(self, topo):
+        other = Prefix.parse("198.51.100.0/24")
+        snapshot = _snapshot([("R1", "R2"), ("R2", "Ext2")])
+        snapshot.install(
+            SnapshotEntry("R1", other, "R2", "eth0", "ibgp", False, 0, 1.0)
+        )
+        snapshot.install(
+            SnapshotEntry("R2", other, "Ext2", "eth0", "ibgp", False, 0, 1.0)
+        )
+        verifier = DistributedVerifier(topo, snapshot)
+        outcomes, stats = verifier.verify_prefixes([P, other])
+        assert len(outcomes) >= 4
+        assert stats.total_work > 0
+
+    def test_loop_violations_wrapper(self, topo):
+        snapshot = _snapshot([("R1", "R2"), ("R2", "R1")])
+        verifier = DistributedVerifier(topo, snapshot)
+        violations, _stats = verifier.loop_violations([P])
+        assert violations and violations[0].policy == "loop-freedom"

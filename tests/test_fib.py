@@ -1,0 +1,139 @@
+"""Tests for the FIB and admin-distance selection."""
+
+import pytest
+
+from repro.net.addr import Prefix, parse_ip
+from repro.net.config import DEFAULT_ADMIN_DISTANCE
+from repro.protocols.fib import Fib, FibEntry, select_route
+
+P = Prefix.parse("203.0.113.0/24")
+
+
+def _entry(prefix=P, protocol="ebgp", nh_router="R2", metric=0, discard=False):
+    return FibEntry(
+        prefix=prefix,
+        next_hop=parse_ip("10.0.0.2") if nh_router else None,
+        next_hop_router=nh_router,
+        out_interface="eth0" if nh_router else None,
+        protocol=protocol,
+        metric=metric,
+        discard=discard,
+    )
+
+
+class TestFib:
+    def test_install_and_lookup(self):
+        fib = Fib("R1")
+        assert fib.install(_entry())
+        found = fib.lookup(P.first_address() + 5)
+        assert found is not None and found.next_hop_router == "R2"
+
+    def test_install_identical_is_noop(self):
+        fib = Fib("R1")
+        fib.install(_entry())
+        assert not fib.install(_entry())
+        assert len(fib.journal) == 1
+
+    def test_install_replaces(self):
+        fib = Fib("R1")
+        fib.install(_entry(nh_router="R2"))
+        assert fib.install(_entry(nh_router="R3"))
+        assert fib.get(P).next_hop_router == "R3"
+
+    def test_remove(self):
+        fib = Fib("R1")
+        fib.install(_entry())
+        removed = fib.remove(P)
+        assert removed is not None
+        assert fib.get(P) is None
+        assert fib.journal[-1][0] == "remove"
+
+    def test_remove_missing(self):
+        assert Fib("R1").remove(P) is None
+
+    def test_longest_prefix_match(self):
+        fib = Fib("R1")
+        fib.install(_entry(prefix=Prefix.parse("203.0.0.0/16"), nh_router="R9"))
+        fib.install(_entry())
+        assert fib.lookup(P.first_address()).next_hop_router == "R2"
+        other = parse_ip("203.0.50.1")
+        assert fib.lookup(other).next_hop_router == "R9"
+
+    def test_guard_blocks_install(self):
+        fib = Fib("R1")
+        fib.install_guard = lambda router, old, new: False
+        assert not fib.install(_entry())
+        assert fib.get(P) is None
+        assert fib.blocked_writes == 1
+
+    def test_guard_blocks_removal(self):
+        fib = Fib("R1")
+        fib.install(_entry())
+        fib.install_guard = lambda router, old, new: new is not None
+        assert fib.remove(P) is None
+        assert fib.get(P) is not None
+
+    def test_guard_sees_old_and_new(self):
+        fib = Fib("R1")
+        fib.install(_entry(nh_router="R2"))
+        seen = []
+        fib.install_guard = lambda router, old, new: seen.append((old, new)) or True
+        fib.install(_entry(nh_router="R3"))
+        old, new = seen[0]
+        assert old.next_hop_router == "R2" and new.next_hop_router == "R3"
+
+    def test_guard_not_invoked_for_noop(self):
+        fib = Fib("R1")
+        fib.install(_entry())
+        calls = []
+        fib.install_guard = lambda *args: calls.append(args) or True
+        fib.install(_entry())
+        assert calls == []
+
+    def test_snapshot_and_iter(self):
+        fib = Fib("R1")
+        fib.install(_entry())
+        assert list(fib.snapshot()) == [P]
+        assert len(list(fib)) == 1
+
+    def test_entry_forwards(self):
+        assert _entry().forwards()
+        assert not _entry(nh_router=None).forwards()
+        assert not _entry(discard=True).forwards()
+
+
+class TestSelectRoute:
+    def test_lowest_admin_distance_wins(self):
+        winner = select_route(
+            [_entry(protocol="ibgp"), _entry(protocol="ebgp"), _entry(protocol="ospf")],
+            DEFAULT_ADMIN_DISTANCE,
+        )
+        assert winner.protocol == "ebgp"
+
+    def test_connected_beats_everything(self):
+        winner = select_route(
+            [_entry(protocol="connected", nh_router=None), _entry(protocol="static")],
+            DEFAULT_ADMIN_DISTANCE,
+        )
+        assert winner.protocol == "connected"
+
+    def test_metric_breaks_distance_tie(self):
+        winner = select_route(
+            [_entry(metric=20, nh_router="R2"), _entry(metric=5, nh_router="R3")],
+            DEFAULT_ADMIN_DISTANCE,
+        )
+        assert winner.next_hop_router == "R3"
+
+    def test_name_breaks_full_tie(self):
+        winner = select_route(
+            [_entry(nh_router="R3"), _entry(nh_router="R2")],
+            DEFAULT_ADMIN_DISTANCE,
+        )
+        assert winner.next_hop_router == "R2"
+
+    def test_empty_candidates(self):
+        assert select_route([], DEFAULT_ADMIN_DISTANCE) is None
+
+    def test_unknown_protocol_raises(self):
+        with pytest.raises(ValueError):
+            select_route([_entry(protocol="martian")], DEFAULT_ADMIN_DISTANCE)

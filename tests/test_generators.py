@@ -1,0 +1,154 @@
+"""Tests for the synthetic topology/workload generators."""
+
+import pytest
+
+from repro.scenarios.generators import (
+    attach_uplinks,
+    build_random_network,
+    churn_workload,
+    external_prefixes,
+    misconfig_campaign,
+    planted_ec_snapshot,
+    random_connected_topology,
+)
+
+
+class TestRandomTopology:
+    def test_connected(self):
+        for seed in range(4):
+            topo = random_connected_topology(10, seed=seed)
+            reachable = {"R0"}
+            frontier = ["R0"]
+            while frontier:
+                node = frontier.pop()
+                for neighbor in topo.neighbors(node):
+                    if neighbor not in reachable:
+                        reachable.add(neighbor)
+                        frontier.append(neighbor)
+            assert len(reachable) == 10
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            random_connected_topology(1)
+
+    def test_edge_count_scales(self):
+        sparse = random_connected_topology(20, extra_edge_fraction=0.0, seed=1)
+        dense = random_connected_topology(20, extra_edge_fraction=1.0, seed=1)
+        assert len(sparse.links) == 19
+        assert len(dense.links) > len(sparse.links)
+
+    def test_deterministic_per_seed(self):
+        a = random_connected_topology(12, seed=7)
+        b = random_connected_topology(12, seed=7)
+        assert set(a.links) == set(b.links)
+
+
+class TestUplinks:
+    def test_attach_count(self):
+        topo = random_connected_topology(8, seed=0)
+        specs = attach_uplinks(topo, 3, seed=0)
+        assert len(specs) == 3
+        assert len(topo.external_routers()) == 3
+
+    def test_too_many_uplinks_rejected(self):
+        topo = random_connected_topology(3, seed=0)
+        with pytest.raises(ValueError):
+            attach_uplinks(topo, 5, seed=0)
+
+    def test_local_prefs_descend(self):
+        topo = random_connected_topology(8, seed=0)
+        specs = attach_uplinks(topo, 3, seed=0)
+        prefs = [s.local_pref for s in specs]
+        assert prefs == sorted(prefs, reverse=True)
+
+
+class TestRandomNetwork:
+    def test_converges_with_ospf_and_bgp(self):
+        net, specs = build_random_network(6, uplinks=2, seed=1)
+        net.start()
+        prefixes = external_prefixes(3)
+        for prefix in prefixes:
+            net.announce_prefix(specs[0].external, prefix)
+        net.run(30)
+        for prefix in prefixes:
+            path, outcome = net.trace_path("R3", prefix.first_address())
+            assert outcome == "delivered"
+
+    def test_preferred_uplink_wins(self):
+        net, specs = build_random_network(6, uplinks=2, seed=1)
+        net.start()
+        prefix = external_prefixes(1)[0]
+        for spec in specs:
+            net.announce_prefix(spec.external, prefix)
+        net.run(30)
+        preferred = max(specs, key=lambda s: s.local_pref)
+        for router in net.topology.internal_routers():
+            path, outcome = net.trace_path(router, prefix.first_address())
+            assert outcome == "delivered"
+            assert path[-1] == preferred.external
+
+    def test_ospf_provides_loopback_reachability(self):
+        net, _specs = build_random_network(6, uplinks=1, seed=2)
+        net.start()
+        net.run(10)
+        r0 = net.runtime("R0")
+        target = net.topology.router("R5").loopback
+        path, outcome = net.trace_path("R0", target)
+        assert outcome == "delivered"
+        assert path[-1] == "R5"
+
+
+class TestWorkloads:
+    def test_churn_schedule_shape(self):
+        net, specs = build_random_network(5, uplinks=2, seed=4)
+        net.start()
+        prefixes = external_prefixes(4)
+        schedule = churn_workload(
+            net, specs, prefixes, events=20, start=2.0, seed=4
+        )
+        assert len(schedule) == 20
+        assert all(t >= 2.0 for t, _a, _e, _p in schedule)
+        assert {a for _t, a, _e, _p in schedule} <= {"announce", "withdraw"}
+        net.run(60)  # must not crash or oscillate
+
+    def test_churn_withdraws_only_announced(self):
+        net, specs = build_random_network(5, uplinks=2, seed=4)
+        net.start()
+        schedule = churn_workload(
+            net, specs, external_prefixes(4), events=30, start=2.0, seed=4
+        )
+        live = {spec.external: set() for spec in specs}
+        for _t, action, ext, prefix in schedule:
+            if action == "announce":
+                live[ext].add(prefix)
+            else:
+                assert prefix in live[ext]
+                live[ext].discard(prefix)
+
+    def test_misconfig_campaign(self):
+        net, specs = build_random_network(5, uplinks=2, seed=4)
+        changes = misconfig_campaign(specs, rounds=10, seed=4)
+        assert len(changes) == 10
+        for change in changes:
+            assert change.kind == "set_route_map"
+            assert change.router in {s.router for s in specs}
+
+
+class TestPlantedEc:
+    def test_class_count_limit(self):
+        with pytest.raises(ValueError):
+            planted_ec_snapshot(num_prefixes=10, num_classes=100, num_routers=3)
+
+    def test_prefix_class_assignment_shape(self):
+        snapshot, assignment = planted_ec_snapshot(
+            num_prefixes=40, num_classes=6, num_routers=5, seed=0
+        )
+        assert len(assignment) == 40
+        assert set(assignment) == set(range(6))  # all classes used
+        assert len(snapshot.all_prefixes()) == 40
+
+    def test_each_class_used_at_least_once(self):
+        _snapshot, assignment = planted_ec_snapshot(
+            num_prefixes=15, num_classes=15, num_routers=6, seed=0
+        )
+        assert sorted(set(assignment)) == list(range(15))

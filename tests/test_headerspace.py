@@ -1,0 +1,181 @@
+"""Tests for header-space equivalence classes."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.addr import IPV4_MAX, Prefix, parse_ip
+from repro.scenarios.generators import planted_ec_snapshot
+from repro.snapshot.base import DataPlaneSnapshot, SnapshotEntry
+from repro.verify.headerspace import (
+    TransferFunction,
+    _interval_to_prefixes,
+    class_of,
+    compression_ratio,
+    compute_equivalence_classes,
+)
+
+P = Prefix.parse("203.0.113.0/24")
+
+
+def _entry(router, prefix, nh, discard=False):
+    return SnapshotEntry(router, prefix, nh, "eth0", "ibgp", discard, 0, 1.0)
+
+
+class TestIntervalToPrefixes:
+    def test_exact_prefix(self):
+        result = _interval_to_prefixes(P.first_address(), P.last_address())
+        assert result == [P]
+
+    def test_single_address(self):
+        addr = parse_ip("10.0.0.5")
+        assert _interval_to_prefixes(addr, addr) == [Prefix(addr, 32)]
+
+    def test_unaligned_interval(self):
+        # [10.0.0.1, 10.0.0.2] = /32 + /32
+        start = parse_ip("10.0.0.1")
+        result = _interval_to_prefixes(start, start + 1)
+        assert result == [Prefix(start, 32), Prefix(start + 1, 32)]
+
+    def test_full_space(self):
+        assert _interval_to_prefixes(0, IPV4_MAX) == [Prefix.default()]
+
+    @given(
+        st.integers(min_value=0, max_value=IPV4_MAX),
+        st.integers(min_value=0, max_value=1 << 16),
+    )
+    @settings(max_examples=50)
+    def test_cover_is_exact_partition(self, start, length):
+        end = min(start + length, IPV4_MAX)
+        prefixes = _interval_to_prefixes(start, end)
+        total = sum(p.num_addresses() for p in prefixes)
+        assert total == end - start + 1
+        assert prefixes[0].first_address() == start
+        assert prefixes[-1].last_address() == end
+        for a, b in zip(prefixes, prefixes[1:]):
+            assert a.last_address() + 1 == b.first_address()
+
+
+class TestTransferFunction:
+    def test_apply(self):
+        snapshot = DataPlaneSnapshot()
+        snapshot.install(_entry("R1", P, "R2"))
+        tf = TransferFunction("R1", snapshot)
+        assert tf.apply(P.first_address()) == ("R2", False)
+        assert tf.apply(parse_ip("10.0.0.1")) == (None, False)
+
+    def test_discard(self):
+        snapshot = DataPlaneSnapshot()
+        snapshot.install(_entry("R1", P, None, discard=True))
+        assert TransferFunction("R1", snapshot).apply(P.first_address()) == (
+            None,
+            True,
+        )
+
+
+class TestEquivalenceClasses:
+    def test_single_prefix_single_class(self):
+        snapshot = DataPlaneSnapshot()
+        snapshot.install(_entry("R1", P, "R2"))
+        classes = compute_equivalence_classes(snapshot)
+        assert len(classes) == 1
+        assert classes[0].contains(P.first_address())
+        assert classes[0].size() == P.num_addresses()
+
+    def test_identical_prefixes_merge(self):
+        snapshot = DataPlaneSnapshot()
+        a = Prefix.parse("10.0.0.0/24")
+        b = Prefix.parse("10.0.1.0/24")  # adjacent, same behaviour
+        for prefix in (a, b):
+            snapshot.install(_entry("R1", prefix, "R2"))
+        classes = compute_equivalence_classes(snapshot)
+        assert len(classes) == 1
+        # Adjacent intervals coalesce.
+        assert classes[0].intervals == (
+            (a.first_address(), b.last_address()),
+        )
+
+    def test_different_behaviour_split(self):
+        snapshot = DataPlaneSnapshot()
+        snapshot.install(_entry("R1", Prefix.parse("10.0.0.0/24"), "R2"))
+        snapshot.install(_entry("R1", Prefix.parse("10.0.1.0/24"), "R3"))
+        assert len(compute_equivalence_classes(snapshot)) == 2
+
+    def test_more_specific_override_creates_class(self):
+        snapshot = DataPlaneSnapshot()
+        snapshot.install(_entry("R1", Prefix.parse("10.0.0.0/16"), "R2"))
+        snapshot.install(_entry("R1", Prefix.parse("10.0.5.0/24"), "R3"))
+        classes = compute_equivalence_classes(snapshot)
+        assert len(classes) == 2
+        inner = class_of(classes, parse_ip("10.0.5.1"))
+        outer = class_of(classes, parse_ip("10.0.9.1"))
+        assert inner is not outer
+
+    def test_multi_router_signature(self):
+        snapshot = DataPlaneSnapshot()
+        snapshot.install(_entry("R1", P, "R2"))
+        snapshot.install(_entry("R2", P, "Ext2"))
+        classes = compute_equivalence_classes(snapshot)
+        assert len(classes) == 1
+        behavior = dict(classes[0].behavior)
+        assert behavior["R1"] == ("R2", False)
+        assert behavior["R2"] == ("Ext2", False)
+
+    def test_include_empty_adds_background_class(self):
+        snapshot = DataPlaneSnapshot()
+        snapshot.install(_entry("R1", P, "R2"))
+        without = compute_equivalence_classes(snapshot)
+        with_empty = compute_equivalence_classes(snapshot, include_empty=True)
+        assert len(with_empty) == len(without) + 1
+
+    def test_planted_classes_recovered(self):
+        """The §6 experiment: many prefixes, few planted classes."""
+        for planted in (3, 7, 14):
+            snapshot, _assignment = planted_ec_snapshot(
+                num_prefixes=200, num_classes=planted, num_routers=6, seed=1
+            )
+            classes = compute_equivalence_classes(snapshot)
+            assert len(classes) == planted
+
+    def test_planted_assignment_respected(self):
+        snapshot, assignment = planted_ec_snapshot(
+            num_prefixes=50, num_classes=5, num_routers=4, seed=2
+        )
+        classes = compute_equivalence_classes(snapshot)
+        base = parse_ip("20.0.0.0")
+        # Two prefixes share a class iff their planted ids match.
+        for i in range(0, 50, 7):
+            for j in range(0, 50, 11):
+                ci = class_of(classes, base + i * 256)
+                cj = class_of(classes, base + j * 256)
+                assert (ci is cj) == (assignment[i] == assignment[j])
+
+    def test_compression_ratio(self):
+        snapshot, _ = planted_ec_snapshot(
+            num_prefixes=100, num_classes=4, num_routers=4, seed=0
+        )
+        classes = compute_equivalence_classes(snapshot)
+        assert compression_ratio(classes, 100) == pytest.approx(25.0)
+
+    def test_covering_prefixes_compact(self):
+        snapshot = DataPlaneSnapshot()
+        snapshot.install(_entry("R1", Prefix.parse("10.0.0.0/25"), "R2"))
+        snapshot.install(_entry("R1", Prefix.parse("10.0.0.128/25"), "R2"))
+        classes = compute_equivalence_classes(snapshot)
+        assert classes[0].covering_prefixes() == [Prefix.parse("10.0.0.0/24")]
+
+    def test_class_of_miss(self):
+        snapshot = DataPlaneSnapshot()
+        snapshot.install(_entry("R1", P, "R2"))
+        classes = compute_equivalence_classes(snapshot)
+        assert class_of(classes, parse_ip("10.0.0.1")) is None
+
+    def test_router_subset(self):
+        snapshot = DataPlaneSnapshot()
+        snapshot.install(_entry("R1", Prefix.parse("10.0.0.0/24"), "R2"))
+        snapshot.install(_entry("R2", Prefix.parse("10.0.0.0/24"), "R3"))
+        snapshot.install(_entry("R1", Prefix.parse("10.0.1.0/24"), "R2"))
+        snapshot.install(_entry("R2", Prefix.parse("10.0.1.0/24"), "R9"))
+        all_routers = compute_equivalence_classes(snapshot)
+        r1_only = compute_equivalence_classes(snapshot, routers=["R1"])
+        assert len(all_routers) == 2  # R2's behaviour differs
+        assert len(r1_only) == 1  # identical seen from R1 alone

@@ -1,0 +1,140 @@
+"""Tests for the OSPF engine: LSDB, flooding acceptance, SPF."""
+
+import networkx as nx
+import pytest
+
+from repro.net.addr import Prefix, parse_ip
+from repro.protocols.messages import LinkStateAdvertisement
+from repro.protocols.ospf import OspfProcess
+
+
+def _lsa(origin, seq, adjacencies, stubs=()):
+    return LinkStateAdvertisement(
+        origin=origin,
+        seq=seq,
+        adjacencies=tuple(adjacencies),
+        stub_prefixes=tuple(stubs),
+    )
+
+
+def _loopback(i):
+    return (Prefix(parse_ip("192.168.0.1") + i, 32), 0)
+
+
+def _build_triangle():
+    """R0 - R1 - R2 triangle with cost-10 links and loopback stubs."""
+    p0 = OspfProcess("R0")
+    p0.originate([("R1", 10), ("R2", 10)], [_loopback(0)])
+    for proc, origin, adj, stub in (
+        (p0, "R1", [("R0", 10), ("R2", 10)], _loopback(1)),
+        (p0, "R2", [("R0", 10), ("R1", 10)], _loopback(2)),
+    ):
+        proc.accept(_lsa(origin, 1, adj, [stub]))
+    return p0
+
+
+class TestLsdb:
+    def test_originate_bumps_sequence(self):
+        proc = OspfProcess("R0")
+        first = proc.originate([("R1", 10)], [])
+        second = proc.originate([("R1", 10)], [])
+        assert second.seq == first.seq + 1
+
+    def test_accept_newer(self):
+        proc = OspfProcess("R0")
+        assert proc.accept(_lsa("R1", 1, [("R0", 10)]))
+        assert proc.accept(_lsa("R1", 2, [("R0", 10)]))
+
+    def test_reject_stale(self):
+        proc = OspfProcess("R0")
+        proc.accept(_lsa("R1", 5, [("R0", 10)]))
+        assert not proc.accept(_lsa("R1", 4, [("R0", 10)]))
+        assert not proc.accept(_lsa("R1", 5, [("R0", 10)]))
+
+    def test_is_newer_than_cross_origin_rejected(self):
+        with pytest.raises(ValueError):
+            _lsa("R1", 1, []).is_newer_than(_lsa("R2", 1, []))
+
+
+class TestSpf:
+    def test_triangle_routes(self):
+        proc = _build_triangle()
+        routes = proc.run_spf()
+        by_prefix = {r.prefix: r for r in routes}
+        assert by_prefix[_loopback(1)[0]].next_hop_router == "R1"
+        assert by_prefix[_loopback(2)[0]].next_hop_router == "R2"
+        assert by_prefix[_loopback(1)[0]].metric == 10
+
+    def test_one_way_adjacency_ignored(self):
+        """A one-way claim must not attract traffic (OSPF two-way rule)."""
+        proc = OspfProcess("R0")
+        proc.originate([("R1", 10)], [])
+        # R1 does not list R0 back.
+        proc.accept(_lsa("R1", 1, [("R2", 10)], [_loopback(1)]))
+        assert proc.run_spf() == []
+
+    def test_shortest_path_chosen(self):
+        proc = OspfProcess("R0")
+        proc.originate([("R1", 1), ("R2", 10)], [])
+        proc.accept(_lsa("R1", 1, [("R0", 1), ("R2", 1)], [_loopback(1)]))
+        proc.accept(_lsa("R2", 1, [("R0", 10), ("R1", 1)], [_loopback(2)]))
+        routes = {r.prefix: r for r in proc.run_spf()}
+        # R0 -> R2 via R1 (cost 2) beats direct (cost 10).
+        assert routes[_loopback(2)[0]].next_hop_router == "R1"
+        assert routes[_loopback(2)[0]].metric == 2
+
+    def test_stub_cost_added(self):
+        proc = OspfProcess("R0")
+        proc.originate([("R1", 10)], [])
+        stub = (Prefix.parse("10.9.0.0/24"), 5)
+        proc.accept(_lsa("R1", 1, [("R0", 10)], [stub]))
+        routes = {r.prefix: r for r in proc.run_spf()}
+        assert routes[stub[0]].metric == 15
+
+    def test_spf_matches_networkx(self):
+        """SPF distances agree with networkx Dijkstra on a random graph."""
+        import random
+
+        rng = random.Random(5)
+        n = 12
+        graph = nx.connected_watts_strogatz_graph(n, 4, 0.3, seed=5)
+        costs = {}
+        for a, b in graph.edges:
+            costs[(a, b)] = costs[(b, a)] = rng.randint(1, 20)
+        proc = OspfProcess("R0")
+        for node in graph.nodes:
+            adj = [(f"R{m}", costs[(node, m)]) for m in graph.neighbors(node)]
+            stub = [_loopback(node)]
+            if node == 0:
+                proc.originate(adj, stub)
+            else:
+                proc.accept(_lsa(f"R{node}", 1, adj, stub))
+        routes = {r.prefix: r for r in proc.run_spf()}
+        lengths = nx.single_source_dijkstra_path_length(
+            graph, 0, weight=lambda a, b, d: costs[(a, b)]
+        )
+        for node in graph.nodes:
+            if node == 0:
+                continue
+            prefix = _loopback(node)[0]
+            assert routes[prefix].metric == lengths[node]
+
+    def test_reachable_routers(self):
+        proc = _build_triangle()
+        assert proc.reachable_routers() == {"R0", "R1", "R2"}
+
+    def test_metric_to_router(self):
+        proc = _build_triangle()
+        assert proc.metric_to_router("R1") == 10
+        assert proc.metric_to_router("R9") is None
+
+    def test_partition_detected(self):
+        proc = OspfProcess("R0")
+        proc.originate([("R1", 10)], [])
+        proc.accept(_lsa("R1", 1, [("R0", 10)], [_loopback(1)]))
+        # R5/R6 form their own island.
+        proc.accept(_lsa("R5", 1, [("R6", 1)], [_loopback(5)]))
+        proc.accept(_lsa("R6", 1, [("R5", 1)], [_loopback(6)]))
+        routes = {r.prefix for r in proc.run_spf()}
+        assert _loopback(1)[0] in routes
+        assert _loopback(5)[0] not in routes

@@ -1,0 +1,124 @@
+"""Tests for the PREDICT pipeline mode (§6 early repair)."""
+
+import pytest
+
+from repro.capture.io_events import IOKind
+from repro.core.pipeline import IntegratedControlPlane, PipelineMode
+from repro.scenarios.fig2 import Fig2Scenario, bad_lp_change
+from repro.scenarios.paper_net import P, paper_policy
+from repro.verify.policy import LoopFreedomPolicy
+
+
+def _armed(fast_delays, seed=0):
+    scenario = Fig2Scenario(seed=seed, delays=fast_delays)
+    net = scenario.run_baseline()
+    pipeline = IntegratedControlPlane(
+        net,
+        [paper_policy(), LoopFreedomPolicy(prefixes=[P])],
+        mode=PipelineMode.PREDICT,
+    ).arm()
+    return scenario, net, pipeline
+
+
+class TestFirstOffense:
+    def test_behaves_like_repair_without_history(self, fast_delays):
+        """With no history, PREDICT falls back to the guard: block,
+        trace, revert — and learn."""
+        scenario, net, pipeline = _armed(fast_delays)
+        net.apply_config_change(bad_lp_change())
+        net.run(30)
+        assert pipeline.updates_blocked >= 1
+        assert not scenario.violates_policy()
+        assert pipeline.predictor.history_size() >= 1
+        lp = net.configs.get("R2").route_maps["r2-uplink-lp"].clauses[0]
+        assert lp.set_local_pref == 30
+
+
+class TestRepeatOffense:
+    def test_second_offense_reverted_before_any_damage(self, fast_delays):
+        scenario, net, pipeline = _armed(fast_delays)
+        # First offense: caught by the guard; predictor learns.
+        net.apply_config_change(bad_lp_change())
+        net.run(30)
+        guard_incidents = len(
+            [i for i in pipeline.incidents if not i.predicted]
+        )
+        assert guard_incidents >= 1
+        blocked_before = pipeline.updates_blocked
+        # Second offense: same change signature.
+        t_change = net.sim.now
+        net.apply_config_change(bad_lp_change())
+        net.run(30)
+        predicted = [i for i in pipeline.incidents if i.predicted]
+        assert predicted, "the repeat offense must be caught by prediction"
+        # The revert fired immediately, long before the ~reconfig lag.
+        assert predicted[0].at - t_change < 0.01
+        # No FIB update was even attempted this time.
+        assert pipeline.updates_blocked == blocked_before
+        lp = net.configs.get("R2").route_maps["r2-uplink-lp"].clauses[0]
+        assert lp.set_local_pref == 30
+        assert not scenario.violates_policy()
+
+    def test_prediction_faster_than_guard(self, fast_delays):
+        """Early repair beats the guard by at least the
+        soft-reconfiguration delay."""
+        scenario, net, pipeline = _armed(fast_delays)
+        net.apply_config_change(bad_lp_change())
+        net.run(30)
+        guard_incident = next(
+            i for i in pipeline.incidents if not i.predicted
+        )
+        guard_config = net.collector.query(
+            router="R2", kind=IOKind.CONFIG_CHANGE
+        )[0]
+        guard_latency = guard_incident.at - guard_config.timestamp
+        t_change = net.sim.now
+        net.apply_config_change(bad_lp_change())
+        net.run(30)
+        predicted = next(i for i in pipeline.incidents if i.predicted)
+        predict_latency = predicted.at - t_change
+        assert predict_latency < guard_latency
+
+    def test_own_reverts_not_predicted_against(self, fast_delays):
+        """The inverse change (LP back to 30) shares the signature of
+        the bad change; the predictor must not revert the revert."""
+        scenario, net, pipeline = _armed(fast_delays)
+        for _ in range(3):
+            net.apply_config_change(bad_lp_change())
+            net.run(30)
+        lp = net.configs.get("R2").route_maps["r2-uplink-lp"].clauses[0]
+        assert lp.set_local_pref == 30
+        assert not scenario.violates_policy()
+
+    def test_harmless_change_with_same_key_not_blocked_by_default(
+        self, fast_delays
+    ):
+        """The signature generalises the value away, so after learning
+        that touching this route-map broke things once, a *harmless*
+        touch is also flagged — the §4.2-style false-positive risk of
+        learned models.  Verify the revert at least keeps the network
+        compliant (fail-safe, not fail-broken)."""
+        from repro.net.config import ConfigChange, local_pref_map
+
+        scenario, net, pipeline = _armed(fast_delays)
+        net.apply_config_change(bad_lp_change())
+        net.run(30)
+        harmless = ConfigChange(
+            "R2",
+            "set_route_map",
+            key="r2-uplink-lp",
+            value=local_pref_map("r2-uplink-lp", 40),
+            description="raise LP slightly",
+        )
+        net.apply_config_change(harmless)
+        net.run(30)
+        # Whether or not it got reverted, the policy must hold.
+        assert not scenario.violates_policy()
+
+    def test_summary_mentions_prediction(self, fast_delays):
+        scenario, net, pipeline = _armed(fast_delays)
+        net.apply_config_change(bad_lp_change())
+        net.run(30)
+        net.apply_config_change(bad_lp_change())
+        net.run(30)
+        assert "predicted" in pipeline.summary()

@@ -1,0 +1,174 @@
+"""Tests for the verifier's policy library on handcrafted snapshots."""
+
+import pytest
+
+from repro.net.addr import Prefix
+from repro.net.topology import paper_topology
+from repro.snapshot.base import DataPlaneSnapshot, SnapshotEntry
+from repro.verify.policy import (
+    BlackholeFreedomPolicy,
+    LoopFreedomPolicy,
+    PreferredExitPolicy,
+    ReachabilityPolicy,
+    Violation,
+    WaypointPolicy,
+)
+
+P = Prefix.parse("203.0.113.0/24")
+
+
+def _snapshot(entries):
+    """entries: list of (router, next_hop_router-or-None, discard)."""
+    snapshot = DataPlaneSnapshot()
+    for router, nh, discard in entries:
+        snapshot.install(
+            SnapshotEntry(router, P, nh, "eth0", "ibgp", discard, 0, 1.0)
+        )
+    return snapshot
+
+
+@pytest.fixture
+def topo():
+    return paper_topology()
+
+
+def _good_snapshot():
+    """Everyone exits via R2 -> Ext2 (the compliant Fig. 1b state)."""
+    return _snapshot(
+        [("R1", "R2", False), ("R2", "Ext2", False), ("R3", "R2", False)]
+    )
+
+
+class TestLoopFreedom:
+    def test_clean(self, topo):
+        assert LoopFreedomPolicy(prefixes=[P]).check(_good_snapshot(), topo) == []
+
+    def test_detects_loop(self, topo):
+        snapshot = _snapshot(
+            [("R1", "R2", False), ("R2", "R1", False), ("R3", "R2", False)]
+        )
+        violations = LoopFreedomPolicy(prefixes=[P]).check(snapshot, topo)
+        assert violations
+        assert all(v.policy == "loop-freedom" for v in violations)
+        assert any("R1" in v.path and "R2" in v.path for v in violations)
+
+    def test_default_probes_snapshot_prefixes(self, topo):
+        snapshot = _snapshot([("R1", "R2", False), ("R2", "R1", False)])
+        assert LoopFreedomPolicy().check(snapshot, topo)
+
+
+class TestBlackholeFreedom:
+    def test_clean(self, topo):
+        assert BlackholeFreedomPolicy(prefixes=[P]).check(
+            _good_snapshot(), topo
+        ) == []
+
+    def test_detects_forwarding_to_routeless_neighbor(self, topo):
+        snapshot = _snapshot([("R1", "R3", False), ("R3", None, False)])
+        # R3 has a local-delivery entry: fine.  Remove it to blackhole:
+        snapshot2 = _snapshot([("R1", "R3", False)])
+        snapshot2.install(
+            SnapshotEntry(
+                "R3", Prefix.parse("10.0.0.0/8"), None, None, "connected",
+                False, 0, 1.0,
+            )
+        )
+        violations = BlackholeFreedomPolicy(prefixes=[P]).check(snapshot2, topo)
+        assert violations and violations[0].path == ("R1", "R3")
+
+    def test_sourceless_router_not_flagged(self, topo):
+        # R3 has no entry at all: not a violation by itself.
+        snapshot = _snapshot([("R3", None, False)])
+        snapshot.remove("R3", P)
+        assert BlackholeFreedomPolicy(prefixes=[P]).check(snapshot, topo) == []
+
+
+class TestReachability:
+    def test_satisfied(self, topo):
+        policy = ReachabilityPolicy(P, sources=["R1", "R3"])
+        assert policy.check(_good_snapshot(), topo) == []
+
+    def test_violated_by_discard(self, topo):
+        snapshot = _snapshot([("R1", None, True)])
+        violations = ReachabilityPolicy(P, sources=["R1"]).check(snapshot, topo)
+        assert violations and "discard" in violations[0].detail
+
+    def test_violated_by_missing_route(self, topo):
+        snapshot = _snapshot([("R3", "R2", False)])
+        violations = ReachabilityPolicy(P, sources=["R1"]).check(snapshot, topo)
+        assert len(violations) == 1
+        assert violations[0].router == "R1"
+
+
+class TestWaypoint:
+    def test_satisfied(self, topo):
+        policy = WaypointPolicy(P, waypoint="R2")
+        assert policy.check(_good_snapshot(), topo) == []
+
+    def test_bypass_detected(self, topo):
+        snapshot = _snapshot(
+            [("R1", "Ext1", False), ("R2", "Ext2", False), ("R3", "R1", False)]
+        )
+        violations = WaypointPolicy(P, waypoint="R2").check(snapshot, topo)
+        assert {v.router for v in violations} == {"R1", "R3"}
+
+    def test_waypoint_itself_exempt(self, topo):
+        snapshot = _snapshot([("R2", "Ext2", False)])
+        assert WaypointPolicy(P, waypoint="R2").check(snapshot, topo) == []
+
+    def test_undelivered_paths_ignored(self, topo):
+        snapshot = _snapshot([("R1", None, True)])
+        assert WaypointPolicy(P, waypoint="R2").check(snapshot, topo) == []
+
+
+class TestPreferredExit:
+    def _policy(self):
+        return PreferredExitPolicy(
+            prefix=P,
+            preferred_exit="R2",
+            fallback_exit="R1",
+            uplink_of={"R2": "Ext2", "R1": "Ext1"},
+        )
+
+    def test_compliant_via_preferred(self, topo):
+        assert self._policy().check(_good_snapshot(), topo) == []
+
+    def test_violation_when_preferred_up_but_bypassed(self, topo):
+        snapshot = _snapshot(
+            [("R1", "Ext1", False), ("R2", "R1", False), ("R3", "R1", False)]
+        )
+        violations = self._policy().check(snapshot, topo)
+        assert violations
+        assert all(v.policy == "preferred-exit" for v in violations)
+
+    def test_fallback_allowed_when_preferred_uplink_down(self, topo):
+        topo.link_between("R2", "Ext2").up = False
+        snapshot = _snapshot(
+            [("R1", "Ext1", False), ("R2", "R1", False), ("R3", "R1", False)]
+        )
+        assert self._policy().check(snapshot, topo) == []
+
+    def test_nothing_enforced_when_both_uplinks_down(self, topo):
+        topo.link_between("R2", "Ext2").up = False
+        topo.link_between("R1", "Ext1").up = False
+        snapshot = _snapshot([("R1", "R2", False)])
+        assert self._policy().check(snapshot, topo) == []
+
+    def test_required_exit_logic(self, topo):
+        policy = self._policy()
+        assert policy.required_exit(topo) == "R2"
+        topo.link_between("R2", "Ext2").up = False
+        assert policy.required_exit(topo) == "R1"
+        topo.link_between("R1", "Ext1").up = False
+        assert policy.required_exit(topo) is None
+
+
+class TestViolation:
+    def test_key_stable(self):
+        a = Violation(policy="x", detail="d", prefix=P, router="R1", path=("R1",))
+        b = Violation(policy="x", detail="other", prefix=P, router="R1", path=("R1",))
+        assert a.key() == b.key()
+
+    def test_str_contains_parts(self):
+        text = str(Violation(policy="x", detail="boom", prefix=P, router="R1"))
+        assert "x" in text and "boom" in text and "R1" in text

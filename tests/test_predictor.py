@@ -1,0 +1,168 @@
+"""Tests for the §6 early-repair outcome predictor."""
+
+import pytest
+
+from repro.capture.io_events import IOEvent, IOKind, RouteAction
+from repro.net.addr import Prefix
+from repro.repair.predictor import (
+    OutcomePredictor,
+    TrainingExample,
+    input_signature,
+)
+
+P = Prefix.parse("203.0.113.0/24")
+
+
+def _config_event(router="R2", key="r2-uplink-lp", t=1.0):
+    return IOEvent.create(
+        router,
+        IOKind.CONFIG_CHANGE,
+        t,
+        attrs={"kind": "set_route_map", "key": key, "change_id": 1},
+    )
+
+
+def _hw_event(router="R2", t=1.0):
+    return IOEvent.create(
+        router,
+        IOKind.HARDWARE_STATUS,
+        t,
+        attrs={"link": "eth3", "status": "down"},
+    )
+
+
+class TestSignatures:
+    def test_config_signature_generalises_value(self):
+        """Two changes to the same route-map have the same signature
+        regardless of the value set — the repeatable unit."""
+        a = _config_event(t=1.0)
+        b = _config_event(t=99.0)
+        assert input_signature(a) == input_signature(b)
+
+    def test_different_keys_different_signature(self):
+        assert input_signature(_config_event(key="a")) != input_signature(
+            _config_event(key="b")
+        )
+
+    def test_hardware_signature(self):
+        sig = input_signature(_hw_event())
+        assert sig[0] == "hardware_status"
+        assert "eth3" in sig[2]
+
+    def test_route_event_signature(self):
+        event = IOEvent.create(
+            "R1",
+            IOKind.ROUTE_RECEIVE,
+            1.0,
+            protocol="bgp",
+            prefix=P,
+            action=RouteAction.ANNOUNCE,
+            peer="Ext1",
+        )
+        sig = input_signature(event)
+        assert "bgp" in sig[2] and "Ext1" in sig[2]
+
+
+class TestPredictor:
+    def test_no_history_predicts_safe(self):
+        prediction = OutcomePredictor().predict(_config_event(), group_id=0)
+        assert not prediction.will_violate
+        assert prediction.support == 0
+
+    def test_learns_violation(self):
+        predictor = OutcomePredictor()
+        predictor.learn_from_event(
+            _config_event(), group_id=0, violated=True, detail="preferred-exit"
+        )
+        prediction = predictor.predict(_config_event(t=50.0), group_id=0)
+        assert prediction.will_violate
+        assert prediction.detail == "preferred-exit"
+        assert prediction.support == 1
+
+    def test_learns_safe(self):
+        predictor = OutcomePredictor()
+        predictor.learn_from_event(_config_event(), group_id=0, violated=False)
+        prediction = predictor.predict(_config_event(t=50.0), group_id=0)
+        assert not prediction.will_violate
+
+    def test_mixed_history_uses_threshold(self):
+        predictor = OutcomePredictor(threshold=0.5)
+        for violated in (True, True, False):
+            predictor.learn_from_event(
+                _config_event(), group_id=0, violated=violated
+            )
+        prediction = predictor.predict(_config_event(t=9.0), group_id=0)
+        assert prediction.will_violate  # 2/3 >= 0.5
+        strict = OutcomePredictor(threshold=0.9)
+        for violated in (True, True, False):
+            strict.learn_from_event(_config_event(), group_id=0, violated=violated)
+        assert not strict.predict(_config_event(t=9.0), group_id=0).will_violate
+
+    def test_cross_group_fallback_discounted(self):
+        """'Many destinations are treated alike': evidence from another
+        equivalence group still counts, at reduced weight."""
+        predictor = OutcomePredictor(threshold=0.5)
+        predictor.learn_from_event(_config_event(), group_id=1, violated=True)
+        prediction = predictor.predict(_config_event(t=9.0), group_id=2)
+        assert prediction.will_violate
+        assert prediction.confidence == pytest.approx(0.8)
+
+    def test_min_support_gate(self):
+        predictor = OutcomePredictor(min_support=3)
+        predictor.learn_from_event(_config_event(), group_id=0, violated=True)
+        prediction = predictor.predict(_config_event(t=9.0), group_id=0)
+        assert not prediction.will_violate  # not enough evidence
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OutcomePredictor(min_support=0)
+        with pytest.raises(ValueError):
+            OutcomePredictor(threshold=1.5)
+
+    def test_history_bookkeeping(self):
+        predictor = OutcomePredictor()
+        predictor.learn_from_event(_config_event(), group_id=0, violated=True)
+        predictor.learn_from_event(_hw_event(), group_id=None, violated=False)
+        assert predictor.history_size() == 2
+        assert len(predictor.known_signatures()) == 2
+
+    def test_prediction_str(self):
+        predictor = OutcomePredictor()
+        predictor.learn_from_event(_config_event(), group_id=0, violated=True)
+        text = str(predictor.predict(_config_event(t=2.0), group_id=0))
+        assert "VIOLATION" in text
+
+
+class TestEndToEndPrediction:
+    def test_predicts_fig2_repeat_offense(self, fast_delays):
+        """Train on one Fig. 2 run; predict the violation on a repeat
+        of the same config change before any FIB damage."""
+        from repro.scenarios.fig2 import Fig2Scenario, bad_lp_change
+        from repro.capture.io_events import IOKind as K
+
+        first = Fig2Scenario(seed=0, delays=fast_delays)
+        net = first.run_fig2a()
+        config_event = net.collector.query(
+            router="R2", kind=K.CONFIG_CHANGE
+        )[0]
+        predictor = OutcomePredictor()
+        predictor.learn_from_event(
+            config_event,
+            group_id=0,
+            violated=first.violates_policy(),
+            detail="preferred-exit",
+        )
+        # Second run, same kind of change: predicted violating *at
+        # config time*, before soft reconfiguration even fires.
+        second = Fig2Scenario(seed=9, delays=fast_delays)
+        net2 = second.run_baseline()
+        net2.apply_config_change(bad_lp_change())
+        net2.run(0.001)  # before the reconfiguration delay elapses
+        new_config_event = net2.network.collector.query(
+            router="R2", kind=K.CONFIG_CHANGE
+        )[0] if hasattr(net2, "network") else net2.collector.query(
+            router="R2", kind=K.CONFIG_CHANGE
+        )[0]
+        prediction = predictor.predict(new_config_event, group_id=0)
+        assert prediction.will_violate
+        assert not second.violates_policy()  # damage not yet done

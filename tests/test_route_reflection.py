@@ -1,0 +1,193 @@
+"""Tests for RFC 4456 route reflection (iBGP beyond the full mesh)."""
+
+import pytest
+
+from repro.capture.io_events import IOKind
+from repro.hbr.inference import InferenceEngine
+from repro.net.addr import Prefix, parse_ip
+from repro.net.config import (
+    BgpNeighborConfig,
+    OspfInterfaceConfig,
+    RouterConfig,
+)
+from repro.net.simulator import DelayModel
+from repro.net.topology import Router, Topology
+from repro.protocols.network import Network
+from repro.repair.provenance import ProvenanceTracer
+
+RP = Prefix.parse("203.0.113.0/24")
+
+
+def _delays():
+    return DelayModel(
+        fib_install=0.001,
+        rib_update=0.0005,
+        advertisement=0.001,
+        config_to_reconfig=0.05,
+        spf_compute=0.001,
+    )
+
+
+def _star_network(clients=3, seed=0):
+    """RR in the middle, ``clients`` spokes, no client-client iBGP.
+
+    Client C0 has an external uplink announcing RP.  OSPF runs on all
+    internal links so reflected next hops resolve.
+    """
+    topo = Topology("rr-star")
+    topo.add_router(Router("RR", asn=65000, loopback=parse_ip("192.168.0.100")))
+    configs = []
+    rr = RouterConfig(router="RR", asn=65000, router_id=100)
+    for i in range(clients):
+        name = f"C{i}"
+        topo.add_router(
+            Router(name, asn=65000, loopback=parse_ip("192.168.0.1") + i)
+        )
+        subnet = Prefix(parse_ip("10.240.0.0") + i * 4, 30)
+        topo.connect("RR", name, subnet)
+        rr.add_bgp_neighbor(
+            BgpNeighborConfig(
+                peer=name, remote_asn=65000, route_reflector_client=True
+            )
+        )
+        client = RouterConfig(router=name, asn=65000, router_id=i + 1)
+        client.add_bgp_neighbor(
+            BgpNeighborConfig(peer="RR", remote_asn=65000, next_hop_self=True)
+        )
+        configs.append(client)
+    topo.add_router(
+        Router("Ext", asn=65009, loopback=parse_ip("192.168.9.9"), external=True)
+    )
+    topo.connect("C0", "Ext", Prefix.parse("10.241.0.0/30"))
+    configs[0].add_bgp_neighbor(BgpNeighborConfig(peer="Ext", remote_asn=65009))
+    ext = RouterConfig(router="Ext", asn=65009, router_id=999)
+    ext.add_bgp_neighbor(BgpNeighborConfig(peer="C0", remote_asn=65000))
+    configs.append(ext)
+    configs.append(rr)
+    # OSPF everywhere internal.
+    for config in configs:
+        if config.router == "Ext":
+            continue
+        router = topo.router(config.router)
+        for iface_name, iface in router.interfaces.items():
+            link = next(
+                l
+                for l in topo.links_of(config.router)
+                if l.interface_of(config.router).name == iface_name
+            )
+            if link.other_end(config.router).router == "Ext":
+                continue
+            config.ospf_interfaces[iface_name] = OspfInterfaceConfig(iface_name)
+    net = Network(topo, configs, seed=seed, delays=_delays())
+    net.start()
+    return net
+
+
+@pytest.fixture(scope="module")
+def star():
+    net = _star_network(clients=3)
+    net.announce_prefix("Ext", RP)
+    net.run(10)
+    return net
+
+
+class TestReflection:
+    def test_all_clients_learn_via_reflector(self, star):
+        for client in ("C1", "C2"):
+            best = star.runtime(client).bgp.rib.best(RP)
+            assert best is not None
+            assert best.from_peer == "RR"
+
+    def test_reflector_itself_has_route(self, star):
+        best = star.runtime("RR").bgp.rib.best(RP)
+        assert best is not None and best.from_peer == "C0"
+
+    def test_traffic_delivered_through_star(self, star):
+        for client in ("C1", "C2"):
+            path, outcome = star.trace_path(client, RP.first_address())
+            assert outcome == "delivered"
+            assert path[0] == client and path[-1] == "Ext"
+            assert "RR" in path  # physical star: traffic transits the hub
+
+    def test_originator_id_stamped(self, star):
+        best = star.runtime("C1").bgp.rib.best(RP)
+        # C0 (router-id 1) injected the route into iBGP.
+        assert best.originator_id == 1
+
+    def test_cluster_list_stamped(self, star):
+        best = star.runtime("C1").bgp.rib.best(RP)
+        assert 100 in best.cluster_list  # RR's router-id
+
+    def test_originator_does_not_relearn_own_route(self, star):
+        """RFC 4456 loop prevention: the reflected copy that comes back
+        to C0 is rejected (ORIGINATOR_ID == own router-id)."""
+        paths = star.runtime("C0").bgp.rib.paths_for(RP)
+        assert all(p.from_peer != "RR" or p.originator_id != 1 for p in paths)
+        best = star.runtime("C0").bgp.rib.best(RP)
+        assert best.from_peer == "Ext"
+
+    def test_withdrawal_propagates_through_reflector(self):
+        net = _star_network(clients=3, seed=7)
+        net.announce_prefix("Ext", RP)
+        net.run(10)
+        assert net.runtime("C2").fib.get(RP) is not None
+        net.withdraw_prefix("Ext", RP)
+        net.run(10)
+        assert net.runtime("C2").fib.get(RP) is None
+        assert net.runtime("RR").fib.get(RP) is None
+
+
+class TestLoopPrevention:
+    def test_cluster_loop_rejected(self):
+        """A route carrying our own cluster id is dropped on receipt."""
+        from repro.protocols.bgp import BgpProcess
+        from repro.protocols.bgp_decision import VendorProfile
+        from repro.protocols.routes import BgpRoute
+
+        config = RouterConfig(router="RR", asn=65000, router_id=100)
+        config.add_bgp_neighbor(
+            BgpNeighborConfig(peer="X", remote_asn=65000)
+        )
+        bgp = BgpProcess("RR", config, VendorProfile.cisco())
+        looped = BgpRoute(
+            prefix=RP, next_hop=1, from_peer="X", cluster_list=(100,)
+        )
+        assert bgp.receive("X", looped) is None
+
+    def test_originator_loop_rejected(self):
+        from repro.protocols.bgp import BgpProcess
+        from repro.protocols.bgp_decision import VendorProfile
+        from repro.protocols.routes import BgpRoute
+
+        config = RouterConfig(router="C0", asn=65000, router_id=1)
+        config.add_bgp_neighbor(BgpNeighborConfig(peer="RR", remote_asn=65000))
+        bgp = BgpProcess("C0", config, VendorProfile.cisco())
+        own = BgpRoute(prefix=RP, next_hop=1, from_peer="RR", originator_id=1)
+        assert bgp.receive("RR", own) is None
+
+
+class TestDecisionTieBreaks:
+    def test_shorter_cluster_list_preferred(self):
+        from repro.protocols.bgp_decision import VendorProfile, best_path
+        from repro.protocols.routes import BgpRoute
+
+        near = BgpRoute(prefix=RP, next_hop=1, cluster_list=(100,))
+        far = BgpRoute(prefix=RP, next_hop=2, cluster_list=(100, 101))
+        profile = VendorProfile.cisco()
+        assert best_path([far, near], profile) == near
+
+
+class TestHbrThroughReflection:
+    def test_provenance_crosses_the_reflector(self, star):
+        """Root-causing C2's FIB entry walks through RR back to C0's
+        receive from the external peer."""
+        graph = InferenceEngine().build_graph(star.collector.all_events())
+        fib = star.collector.query(
+            router="C2", kind=IOKind.FIB_UPDATE, prefix=RP
+        )
+        target = max(fib, key=lambda e: e.timestamp)
+        result = ProvenanceTracer(graph).trace(target.event_id)
+        routers_in_chain = {
+            graph.event(i).router for i in result.ancestry
+        }
+        assert {"RR", "C0"} <= routers_in_chain

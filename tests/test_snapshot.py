@@ -1,0 +1,177 @@
+"""Tests for snapshot reconstruction, verifier views, naive snapshots."""
+
+import pytest
+
+from repro.capture.io_events import IOEvent, IOKind, RouteAction
+from repro.net.addr import Prefix
+from repro.snapshot.base import DataPlaneSnapshot, SnapshotEntry, VerifierView
+from repro.snapshot.naive import NaiveSnapshotter
+from repro.scenarios.fig1 import Fig1Scenario
+from repro.scenarios.paper_net import P
+
+
+def _fib_event(router="R1", t=1.0, nh="R2", action=RouteAction.ANNOUNCE, prefix=P):
+    return IOEvent.create(
+        router,
+        IOKind.FIB_UPDATE,
+        t,
+        protocol="ibgp",
+        prefix=prefix,
+        action=action,
+        attrs={"next_hop_router": nh, "out_interface": "eth0", "discard": False},
+    )
+
+
+class TestSnapshotEntry:
+    def test_from_event(self):
+        entry = SnapshotEntry.from_event(_fib_event())
+        assert entry.router == "R1"
+        assert entry.next_hop_router == "R2"
+        assert not entry.discard
+
+    def test_rejects_non_fib_event(self):
+        bad = IOEvent.create("R1", IOKind.RIB_UPDATE, 1.0, prefix=P)
+        with pytest.raises(ValueError):
+            SnapshotEntry.from_event(bad)
+
+    def test_rejects_missing_prefix(self):
+        bad = IOEvent.create("R1", IOKind.FIB_UPDATE, 1.0)
+        with pytest.raises(ValueError):
+            SnapshotEntry.from_event(bad)
+
+
+class TestDataPlaneSnapshot:
+    def test_replay_keeps_latest(self):
+        snapshot = DataPlaneSnapshot.from_fib_events(
+            [_fib_event(t=1.0, nh="R2"), _fib_event(t=2.0, nh="R3")]
+        )
+        assert snapshot.entry("R1", P).next_hop_router == "R3"
+
+    def test_replay_honors_withdraw(self):
+        snapshot = DataPlaneSnapshot.from_fib_events(
+            [
+                _fib_event(t=1.0),
+                _fib_event(t=2.0, action=RouteAction.WITHDRAW),
+            ]
+        )
+        assert snapshot.entry("R1", P) is None
+
+    def test_replay_order_independent_of_input_order(self):
+        events = [_fib_event(t=2.0, nh="R3"), _fib_event(t=1.0, nh="R2")]
+        snapshot = DataPlaneSnapshot.from_fib_events(events)
+        assert snapshot.entry("R1", P).next_hop_router == "R3"
+
+    def test_lookup_lpm(self):
+        wide = _fib_event(prefix=Prefix.parse("203.0.0.0/16"), nh="R9")
+        narrow = _fib_event(nh="R2")
+        snapshot = DataPlaneSnapshot.from_fib_events([wide, narrow])
+        assert snapshot.lookup("R1", P.first_address()).next_hop_router == "R2"
+
+    def test_trace_delivered_via_local(self):
+        snapshot = DataPlaneSnapshot()
+        snapshot.install(
+            SnapshotEntry("R1", P, None, "eth0", "connected", False, 0, 1.0)
+        )
+        path, outcome = snapshot.trace("R1", P.first_address())
+        assert outcome == "delivered" and path == ["R1"]
+
+    def test_trace_loop(self):
+        snapshot = DataPlaneSnapshot.from_fib_events(
+            [_fib_event(router="R1", nh="R2"), _fib_event(router="R2", nh="R1")]
+        )
+        path, outcome = snapshot.trace("R1", P.first_address())
+        assert outcome == "loop"
+        assert path == ["R1", "R2", "R1"]
+
+    def test_trace_blackhole(self):
+        snapshot = DataPlaneSnapshot.from_fib_events(
+            [_fib_event(router="R1", nh="R2"), _fib_event(router="R2", nh=None)]
+        )
+        # R2 has an entry pointing nowhere? next_hop_router None means
+        # local delivery, so instead: R2 has NO entry.
+        snapshot2 = DataPlaneSnapshot.from_fib_events(
+            [_fib_event(router="R1", nh="R2")]
+        )
+        snapshot2.install(
+            SnapshotEntry("R2", Prefix.parse("10.0.0.0/8"), None, None,
+                          "connected", False, 0, 1.0)
+        )
+        path, outcome = snapshot2.trace("R1", P.first_address())
+        assert outcome == "blackhole"
+        assert path == ["R1", "R2"]
+
+    def test_trace_into_tableless_router_is_delivered(self):
+        snapshot = DataPlaneSnapshot.from_fib_events(
+            [_fib_event(router="R1", nh="Ext1")]
+        )
+        path, outcome = snapshot.trace("R1", P.first_address())
+        assert outcome == "delivered" and path == ["R1", "Ext1"]
+
+    def test_trace_discard(self):
+        snapshot = DataPlaneSnapshot()
+        snapshot.install(
+            SnapshotEntry("R1", P, None, None, "static", True, 0, 1.0)
+        )
+        _path, outcome = snapshot.trace("R1", P.first_address())
+        assert outcome == "discard"
+
+    def test_from_live_network_matches_reality(self, fast_delays):
+        scenario = Fig1Scenario(seed=0, delays=fast_delays)
+        net = scenario.run_fig1b()
+        snapshot = DataPlaneSnapshot.from_live_network(net)
+        for router in ("R1", "R2", "R3"):
+            live = net.runtime(router).fib.get(P)
+            recon = snapshot.entry(router, P)
+            assert (live is None) == (recon is None)
+            if live is not None:
+                assert recon.next_hop_router == live.next_hop_router
+
+    def test_reconstruction_matches_oracle_after_convergence(self, fast_delays):
+        """With zero lag and a quiescent network, replaying the log
+        reproduces the live FIBs exactly."""
+        scenario = Fig1Scenario(seed=0, delays=fast_delays)
+        net = scenario.run_fig1b()
+        view = VerifierView(net.collector)
+        reconstructed = NaiveSnapshotter(view).snapshot(net.sim.now)
+        oracle = DataPlaneSnapshot.from_live_network(net)
+        for router in oracle.routers():
+            for entry in oracle.entries_of(router):
+                recon = reconstructed.entry(router, entry.prefix)
+                assert recon is not None
+                assert recon.next_hop_router == entry.next_hop_router
+
+    def test_all_prefixes(self):
+        snapshot = DataPlaneSnapshot.from_fib_events(
+            [_fib_event(), _fib_event(router="R2", prefix=Prefix.parse("10.0.0.0/8"))]
+        )
+        assert snapshot.all_prefixes() == {P, Prefix.parse("10.0.0.0/8")}
+
+
+class TestVerifierView:
+    def test_lag_delays_visibility(self):
+        from repro.capture.collector import Collector
+
+        collector = Collector()
+        event = _fib_event(router="R2", t=1.0)
+        collector.ingest(event)
+        view = VerifierView(collector, lags={"R2": 0.5})
+        assert view.visible_events(1.2) == []
+        assert view.visible_events(1.5) == [event]
+
+    def test_default_lag(self):
+        from repro.capture.collector import Collector
+
+        collector = Collector()
+        collector.ingest(_fib_event(t=1.0))
+        view = VerifierView(collector, default_lag=1.0)
+        assert view.visible_events(1.5) == []
+        assert len(view.visible_events(2.0)) == 1
+
+    def test_visible_ids(self):
+        from repro.capture.collector import Collector
+
+        collector = Collector()
+        event = _fib_event(t=1.0)
+        collector.ingest(event)
+        view = VerifierView(collector)
+        assert view.visible_ids(2.0) == {event.event_id}

@@ -1,0 +1,175 @@
+"""Tests for repro.net.topology."""
+
+import pytest
+
+from repro.net.addr import Prefix, parse_ip
+from repro.net.topology import (
+    Interface,
+    Link,
+    Router,
+    Topology,
+    TopologyError,
+    full_mesh_topology,
+    grid_topology,
+    line_topology,
+    paper_prefix,
+    paper_topology,
+    ring_topology,
+)
+
+
+def _iface(router, name, addr, subnet):
+    return Interface(router, name, parse_ip(addr), Prefix.parse(subnet))
+
+
+class TestInterface:
+    def test_address_must_be_in_prefix(self):
+        with pytest.raises(TopologyError):
+            _iface("R1", "eth0", "11.0.0.1", "10.0.0.0/30")
+
+    def test_str(self):
+        iface = _iface("R1", "eth0", "10.0.0.1", "10.0.0.0/30")
+        assert "R1:eth0" in str(iface)
+
+
+class TestLink:
+    def test_rejects_self_link(self):
+        a = _iface("R1", "eth0", "10.0.0.1", "10.0.0.0/30")
+        with pytest.raises(TopologyError):
+            Link(a, a)
+
+    def test_rejects_negative_delay(self):
+        a = _iface("R1", "eth0", "10.0.0.1", "10.0.0.0/30")
+        b = _iface("R2", "eth0", "10.0.0.2", "10.0.0.0/30")
+        with pytest.raises(TopologyError):
+            Link(a, b, delay=-1)
+
+    def test_other_end(self):
+        a = _iface("R1", "eth0", "10.0.0.1", "10.0.0.0/30")
+        b = _iface("R2", "eth0", "10.0.0.2", "10.0.0.0/30")
+        link = Link(a, b)
+        assert link.other_end("R1").router == "R2"
+        assert link.interface_of("R2") is b
+
+    def test_other_end_unknown_router(self):
+        a = _iface("R1", "eth0", "10.0.0.1", "10.0.0.0/30")
+        b = _iface("R2", "eth0", "10.0.0.2", "10.0.0.0/30")
+        with pytest.raises(TopologyError):
+            Link(a, b).other_end("R9")
+
+
+class TestTopology:
+    def test_duplicate_router_rejected(self):
+        topo = Topology()
+        topo.add_router(Router("R1"))
+        with pytest.raises(TopologyError):
+            topo.add_router(Router("R1"))
+
+    def test_unknown_router_lookup(self):
+        with pytest.raises(TopologyError):
+            Topology().router("R1")
+
+    def test_connect_assigns_addresses(self):
+        topo = Topology()
+        topo.add_router(Router("R1"))
+        topo.add_router(Router("R2"))
+        link = topo.connect("R1", "R2", Prefix.parse("10.0.0.0/30"))
+        assert link.a.address == parse_ip("10.0.0.0")
+        assert link.b.address == parse_ip("10.0.0.1")
+
+    def test_connect_rejects_tiny_subnet(self):
+        topo = Topology()
+        topo.add_router(Router("R1"))
+        topo.add_router(Router("R2"))
+        with pytest.raises(TopologyError):
+            topo.connect("R1", "R2", Prefix.parse("10.0.0.0/32"))
+
+    def test_neighbors_respects_link_state(self):
+        topo = line_topology(3)
+        assert topo.neighbors("R1") == ["R0", "R2"]
+        topo.link_between("R0", "R1").up = False
+        assert topo.neighbors("R1") == ["R2"]
+        assert set(topo.neighbors("R1", only_up=False)) == {"R0", "R2"}
+
+    def test_link_between(self):
+        topo = line_topology(3)
+        assert topo.link_between("R0", "R1") is not None
+        assert topo.link_between("R0", "R2") is None
+
+    def test_internal_external_split(self):
+        topo = paper_topology()
+        assert topo.internal_routers() == ["R1", "R2", "R3"]
+        assert topo.external_routers() == ["Ext1", "Ext2"]
+
+    def test_owner_of_address(self):
+        topo = paper_topology()
+        link = topo.link_between("R1", "R2")
+        assert topo.owner_of_address(link.a.address) == link.a.router
+
+    def test_validate_clean_topology(self):
+        assert paper_topology().validate() == []
+
+    def test_validate_flags_isolated_router(self):
+        topo = Topology()
+        topo.add_router(Router("R1"))
+        topo.add_router(Router("R2"))
+        problems = topo.validate()
+        assert any("no links" in p for p in problems)
+
+
+class TestBuilders:
+    def test_line_counts(self):
+        topo = line_topology(5)
+        assert len(topo) == 5
+        assert len(topo.links) == 4
+
+    def test_line_needs_one_router(self):
+        with pytest.raises(TopologyError):
+            line_topology(0)
+
+    def test_ring_counts(self):
+        topo = ring_topology(5)
+        assert len(topo.links) == 5
+        assert "R0" in topo.neighbors("R4")
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(TopologyError):
+            ring_topology(2)
+
+    def test_grid_counts(self):
+        topo = grid_topology(3, 4)
+        assert len(topo) == 12
+        # 3 rows * 3 horizontal + 2 * 4 vertical = 9 + 8
+        assert len(topo.links) == 17
+
+    def test_grid_corner_degree(self):
+        topo = grid_topology(3, 3)
+        assert len(topo.neighbors("R0_0")) == 2
+        assert len(topo.neighbors("R1_1")) == 4
+
+    def test_full_mesh_counts(self):
+        topo = full_mesh_topology(4)
+        assert len(topo.links) == 6
+        for router in topo.internal_routers():
+            assert len(topo.neighbors(router)) == 3
+
+    def test_paper_topology_shape(self):
+        topo = paper_topology()
+        assert len(topo) == 5
+        assert topo.link_between("R1", "Ext1") is not None
+        assert topo.link_between("R2", "Ext2") is not None
+        assert topo.link_between("R3", "Ext1") is None
+        assert topo.router("Ext1").asn == 65001
+        assert topo.router("R3").asn == 65000
+
+    def test_paper_prefix(self):
+        assert str(paper_prefix()) == "203.0.113.0/24"
+
+    def test_builders_validate_clean(self):
+        for topo in (
+            line_topology(4),
+            ring_topology(4),
+            grid_topology(2, 3),
+            full_mesh_topology(4),
+        ):
+            assert topo.validate() == []
