@@ -1,15 +1,23 @@
-"""Shared reporting helper for the benchmark suite.
+"""Shared reporting helpers for the benchmark suite.
 
 Every benchmark regenerates one of the paper's figures (or checks one
 of its quantitative claims) and emits the rows both to stdout and to
 ``benchmarks/reports/<experiment>.txt`` so EXPERIMENTS.md can cite a
 durable artifact.
+
+:func:`emit_json` additionally writes machine-readable
+``benchmarks/reports/BENCH_<experiment>.json`` trajectories (wall
+clock plus the full :mod:`repro.obs` metrics document) so future PRs
+have a perf baseline to diff against.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Iterable, List, Sequence
+
+from repro.obs.export import table_lines
 
 REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
 
@@ -26,17 +34,17 @@ def emit(experiment: str, lines: Iterable[str]) -> str:
     return path
 
 
+def emit_json(experiment: str, payload: dict) -> str:
+    """Persist a machine-readable benchmark trajectory; returns the path."""
+    os.makedirs(REPORT_DIR, exist_ok=True)
+    path = os.path.join(REPORT_DIR, f"BENCH_{experiment}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {path}")
+    return path
+
+
 def table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> List[str]:
-    """Format an aligned text table."""
-    str_rows = [[str(c) for c in row] for row in rows]
-    widths = [len(h) for h in headers]
-    for row in str_rows:
-        for index, cell in enumerate(row):
-            widths[index] = max(widths[index], len(cell))
-    lines = [
-        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
-        "  ".join("-" * w for w in widths),
-    ]
-    for row in str_rows:
-        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
-    return lines
+    """Format an aligned text table (delegates to repro.obs.export)."""
+    return table_lines(headers, rows)

@@ -8,14 +8,18 @@ damage but leaves control/data divergence, REPAIR stops the damage
 benchmark measures the REPAIR-mode episode.
 """
 
+import time
+
 import pytest
 
+from repro import obs
 from repro.core.pipeline import IntegratedControlPlane, PipelineMode
+from repro.obs.export import missing_sections, registry_to_dict
 from repro.scenarios.fig2 import Fig2Scenario, bad_lp_change
 from repro.scenarios.paper_net import P, paper_policy
 from repro.verify.policy import LoopFreedomPolicy
 
-from _report import emit, table
+from _report import emit, emit_json, table
 
 
 def _episode(mode: PipelineMode, seed: int = 0):
@@ -88,3 +92,51 @@ def test_fig3_pipeline_modes(benchmark):
         "the updates' — only REPAIR mode ends compliant AND in-sync — OK",
     ]
     emit("F3_fig3_pipeline", lines)
+
+
+def test_fig3_pipeline_metrics_trajectory():
+    """Instrumented REPAIR-mode episode → BENCH_pipeline.json.
+
+    Runs the same episode with repro.obs enabled and persists the
+    wall clock plus per-stage counters and latency histograms, so
+    future PRs have a machine-readable perf trajectory to compare
+    against.  Also asserts every pipeline stage actually recorded
+    something — the guard against silently-dead instrumentation.
+    """
+    with obs.capturing() as (registry, tracer):
+        wall_started = time.perf_counter()
+        episode = _episode(PipelineMode.REPAIR, seed=3)
+        wall_seconds = time.perf_counter() - wall_started
+        document = registry_to_dict(registry, tracer)
+
+    stages = ["capture", "inference", "snapshot", "verify", "repair", "sim"]
+    assert missing_sections(document, stages) == []
+    assert not episode["violating_at_end"]
+
+    guard = document["sections"]["verify"]["histograms"][
+        "verify.fib_write_latency_seconds"
+    ]
+    payload = {
+        "experiment": "F3_fig3_pipeline",
+        "mode": "repair",
+        "wall_seconds": round(wall_seconds, 6),
+        "per_stage_wall_seconds": {
+            stage: {
+                name: summary["sum"]
+                for name, summary in document["sections"][stage][
+                    "histograms"
+                ].items()
+                if name.endswith("_seconds")
+            }
+            for stage in stages
+        },
+        "fib_write_latency": guard,
+        "episode": {
+            "updates_checked": episode["updates_checked"],
+            "updates_blocked": episode["updates_blocked"],
+            "incidents": episode["incidents"],
+            "root_cause_reverted": episode["root_cause_reverted"],
+        },
+        "metrics": document,
+    }
+    emit_json("pipeline", payload)

@@ -10,8 +10,10 @@ relate to which) belongs to :mod:`repro.hbr` per the paper's design.
 from __future__ import annotations
 
 from collections import defaultdict
+from time import perf_counter
 from typing import Callable, Dict, Iterable, Iterator, List, Optional
 
+from repro import obs
 from repro.capture.io_events import Direction, IOEvent, IOKind, RouteAction
 from repro.net.addr import Prefix
 
@@ -31,6 +33,9 @@ class Collector:
 
     def ingest(self, event: IOEvent) -> None:
         """Add one event to the store and notify subscribers."""
+        registry = obs.get_registry()
+        if registry.enabled:
+            started = perf_counter()
         if event.event_id in self._by_id:
             raise ValueError(f"duplicate event id {event.event_id}")
         self._events.append(event)
@@ -40,6 +45,15 @@ class Collector:
         self._by_prefix[event.prefix].append(event)
         for subscriber in self._subscribers:
             subscriber(event)
+        if registry.enabled:
+            registry.counter("capture.events_total").inc()
+            registry.counter(
+                "capture.events_by_kind", kind=event.kind.value
+            ).inc()
+            registry.histogram("capture.ingest_seconds").observe(
+                perf_counter() - started
+            )
+            registry.gauge("capture.routers_seen").set(len(self._by_router))
 
     def subscribe(self, callback: Callable[[IOEvent], None]) -> None:
         self._subscribers.append(callback)

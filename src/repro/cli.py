@@ -8,13 +8,59 @@ Usage::
     python -m repro demo pipeline      # Fig. 3 guard catching Fig. 2a
     python -m repro demo vendor        # Cisco vs Junos divergence
     python -m repro audit --routers 8  # random-network toolbox tour
+    python -m repro stats --scenario pipeline --format json
+                                       # run + dump the metrics document
+    python -m repro --metrics demo pipeline
+                                       # any command + metrics report
+    python -m repro --version
+
+``stats`` is the observability entry point: it enables
+:mod:`repro.obs`, runs one scenario, and renders the recorded
+metrics/spans in any exporter format.  ``--require`` turns it into a
+CI guard that exits nonzero when an expected pipeline stage recorded
+nothing (silently-dead instrumentation).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import io
 import sys
+import time
 from typing import List, Optional
+
+from repro import obs
+from repro.obs.export import (
+    RENDERERS,
+    format_table,
+    missing_sections,
+    registry_to_dict,
+    render_json,
+)
+
+
+def package_version() -> str:
+    """Build identity, from installed metadata or the source tree."""
+    try:
+        from importlib import metadata
+
+        return metadata.version("repro")
+    except Exception:  # noqa: BLE001 - not installed; read the source tree
+        pass
+    try:
+        import pathlib
+        import tomllib
+
+        pyproject = (
+            pathlib.Path(__file__).resolve().parents[2] / "pyproject.toml"
+        )
+        with open(pyproject, "rb") as handle:
+            return tomllib.load(handle)["project"]["version"]
+    except Exception:  # noqa: BLE001 - fall back to the package constant
+        from repro import __version__
+
+        return __version__
 
 
 def _demo_fig1(args: argparse.Namespace) -> int:
@@ -24,9 +70,11 @@ def _demo_fig1(args: argparse.Namespace) -> int:
     scenario = Fig1Scenario(seed=args.seed)
     net = scenario.run_fig1b()
     print("Fig. 1a -> 1b convergence complete.")
+    rows = []
     for router in ("R1", "R2", "R3"):
         path, outcome = net.trace_path(router, P.first_address())
-        print(f"  {router}: {' -> '.join(path)} [{outcome}]")
+        rows.append((router, " -> ".join(path), outcome))
+    print(format_table(("router", "path", "outcome"), rows))
     print(f"events captured: {len(net.collector)}")
     return 0
 
@@ -38,9 +86,11 @@ def _demo_fig2(args: argparse.Namespace) -> int:
     scenario = Fig2Scenario(seed=args.seed)
     net = scenario.run_fig2a()
     print("Applied the Fig. 2a misconfiguration (LP 30 -> 10 on R2).")
+    rows = []
     for router in ("R1", "R2", "R3"):
         path, outcome = net.trace_path(router, P.first_address())
-        print(f"  {router}: {' -> '.join(path)} [{outcome}]")
+        rows.append((router, " -> ".join(path), outcome))
+    print(format_table(("router", "path", "outcome"), rows))
     print(f"policy violated: {scenario.violates_policy()}")
     return 0
 
@@ -88,9 +138,24 @@ def _demo_vendor(args: argparse.Namespace) -> int:
 
     cisco_exit, juniper_exit = divergence(seed=args.seed)
     print("Identical configs and inputs, two vendors:")
-    print(f"  cisco   chooses exit via {cisco_exit} (oldest eBGP route)")
-    print(f"  juniper chooses exit via {juniper_exit} (lowest router id)")
-    print(f"  diverge: {cisco_exit != juniper_exit}")
+    print(
+        format_table(
+            ("vendor", "chosen exit", "tie-break rule"),
+            [
+                (
+                    "cisco",
+                    cisco_exit,
+                    "oldest eBGP route",
+                ),
+                (
+                    "juniper",
+                    juniper_exit,
+                    "lowest router id",
+                ),
+            ],
+        )
+    )
+    print(f"diverge: {cisco_exit != juniper_exit}")
     return 0
 
 
@@ -130,20 +195,89 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         net, specs, prefixes, events=args.events, start=5.0, seed=args.seed
     )
     net.run(60)
-    print(f"captured {len(net.collector)} control-plane I/O events")
     graph = InferenceEngine().build_graph(net.collector.all_events())
     observable = {e.event_id for e in net.collector}
     score = score_inference(graph, net.ground_truth, observable_ids=observable)
-    print(f"HBR inference: {score}")
     snapshot = DataPlaneSnapshot.from_live_network(net)
     classes = compute_equivalence_classes(snapshot)
     groups = PrefixGrouper().group(snapshot)
     print(
-        f"equivalence classes: {len(classes)} over "
-        f"{len(snapshot.all_prefixes())} prefixes "
-        f"({PrefixGrouper.compression(groups):.1f} prefixes/group)"
+        format_table(
+            ("metric", "value"),
+            [
+                ("captured I/O events", len(net.collector)),
+                ("HBG edges inferred", graph.edge_count()),
+                ("HBR inference precision", f"{score.precision:.3f}"),
+                ("HBR inference recall", f"{score.recall:.3f}"),
+                ("HBR inference f1", f"{score.f1:.3f}"),
+                ("equivalence classes", len(classes)),
+                ("prefixes", len(snapshot.all_prefixes())),
+                (
+                    "compression (prefixes/group)",
+                    f"{PrefixGrouper.compression(groups):.1f}",
+                ),
+            ],
+        )
     )
+    if score.f1 < args.min_f1:
+        print(
+            f"FAIL: HBR inference f1 {score.f1:.3f} is below "
+            f"--min-f1 {args.min_f1:.3f}"
+        )
+        return 1
     return 0
+
+
+#: Scenarios runnable under ``repro stats`` (demos + the audit tour).
+_STATS_SCENARIOS = dict(_DEMOS)
+_STATS_SCENARIOS["audit"] = _cmd_audit
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Run one scenario with observability on; dump the metrics report."""
+    registry, tracer = obs.enable()
+    try:
+        runner = _STATS_SCENARIOS[args.scenario]
+        scenario_output = io.StringIO()
+        wall_started = time.perf_counter()
+        with tracer.span(f"scenario.{args.scenario}"):
+            with contextlib.redirect_stdout(scenario_output):
+                scenario_rc = runner(args)
+        wall_seconds = time.perf_counter() - wall_started
+        if args.verbose:
+            sys.stderr.write(scenario_output.getvalue())
+        meta = {
+            "tool": "repro stats",
+            "version": package_version(),
+            "scenario": args.scenario,
+            "seed": args.seed,
+            "scenario_exit_code": scenario_rc,
+            "wall_seconds": round(wall_seconds, 6),
+        }
+        if args.format == "json":
+            rendered = render_json(registry, tracer, meta=meta)
+        else:
+            rendered = RENDERERS[args.format](registry, tracer)
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(rendered + "\n")
+            print(f"wrote {args.format} metrics report to {args.output}")
+        else:
+            print(rendered)
+        if args.require:
+            required = [s.strip() for s in args.require.split(",") if s.strip()]
+            document = registry_to_dict(registry, tracer)
+            missing = missing_sections(document, required)
+            if missing:
+                print(
+                    "FAIL: required metric section(s) missing or empty: "
+                    + ", ".join(missing),
+                    file=sys.stderr,
+                )
+                return 1
+        return scenario_rc
+    finally:
+        obs.disable()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -154,7 +288,17 @@ def build_parser() -> argparse.ArgumentParser:
             "(HotNets 2017) — reproduction toolkit"
         ),
     )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro {package_version()}",
+    )
     parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="enable observability and print a metrics report afterwards",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     demo = sub.add_parser("demo", help="run one of the paper's scenarios")
@@ -166,14 +310,73 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--uplinks", type=int, default=2)
     audit.add_argument("--prefixes", type=int, default=6)
     audit.add_argument("--events", type=int, default=12)
+    audit.add_argument(
+        "--min-f1",
+        type=float,
+        default=0.0,
+        help="exit nonzero if HBR inference f1 falls below this (CI gate)",
+    )
     audit.set_defaults(func=_cmd_audit)
+
+    stats = sub.add_parser(
+        "stats",
+        help="run a scenario with metrics enabled and dump the report",
+    )
+    stats.add_argument(
+        "--scenario",
+        choices=sorted(_STATS_SCENARIOS),
+        default="pipeline",
+        help="which scenario to measure (default: pipeline)",
+    )
+    stats.add_argument(
+        "--format",
+        choices=sorted(RENDERERS),
+        default="table",
+        help="report format (default: table)",
+    )
+    stats.add_argument(
+        "--output", default=None, help="write the report to this file"
+    )
+    stats.add_argument(
+        "--require",
+        default=None,
+        metavar="SECTIONS",
+        help=(
+            "comma-separated metric sections that must be non-empty "
+            "(e.g. capture,inference,snapshot,verify,repair); exits "
+            "nonzero otherwise"
+        ),
+    )
+    stats.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also show the scenario's own output (on stderr)",
+    )
+    # The audit scenario's knobs, so `stats --scenario audit` works.
+    stats.add_argument("--routers", type=int, default=8)
+    stats.add_argument("--uplinks", type=int, default=2)
+    stats.add_argument("--prefixes", type=int, default=6)
+    stats.add_argument("--events", type=int, default=12)
+    stats.add_argument("--min-f1", type=float, default=0.0)
+    stats.set_defaults(func=_cmd_stats)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    wants_metrics = getattr(args, "metrics", False) and args.command != "stats"
+    if wants_metrics:
+        registry, tracer = obs.enable()
+    try:
+        rc = args.func(args)
+        if wants_metrics:
+            print("\n===== metrics =====")
+            print(obs.export.render_table(registry, tracer))
+        return rc
+    finally:
+        if wants_metrics:
+            obs.disable()
 
 
 if __name__ == "__main__":

@@ -29,8 +29,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from time import perf_counter
 from typing import List, Optional, Sequence, Set, Tuple
 
+from repro import obs
 from repro.capture.io_events import IOEvent, IOKind
 from repro.hbr.inference import InferenceEngine
 from repro.net.addr import Prefix
@@ -175,6 +177,10 @@ class IntegratedControlPlane:
                 predicted=True,
             )
         )
+        registry = obs.get_registry()
+        if registry.enabled:
+            registry.counter("repair.incidents_total").inc()
+            registry.counter("repair.predicted_reverts_total").inc()
 
     def _find_change_by_id(self, change_id: int):
         for router in self.network.configs.routers():
@@ -219,6 +225,9 @@ class IntegratedControlPlane:
         old: Optional[FibEntry],
         new: Optional[FibEntry],
     ) -> bool:
+        registry = obs.get_registry()
+        if registry.enabled:
+            started = perf_counter()
         self.updates_checked += 1
         entry = new if new is not None else old
         if entry is None:
@@ -241,6 +250,11 @@ class IntegratedControlPlane:
             snapshot, hypothetical, router, prefix
         )
         if not introduced:
+            if registry.enabled:
+                registry.counter("verify.fib_writes_verified").inc()
+                registry.histogram(
+                    "verify.fib_write_latency_seconds"
+                ).observe(perf_counter() - started)
             return True
         provenance = self._trace_pending_update(router, prefix)
         blocked = self.mode is not PipelineMode.MONITOR
@@ -262,6 +276,17 @@ class IntegratedControlPlane:
             and provenance is not None
         ):
             incident.repair = self._repair_once(provenance)
+        if registry.enabled:
+            registry.counter("verify.fib_writes_verified").inc()
+            registry.counter("repair.incidents_total").inc()
+            registry.counter(
+                "verify.violations_introduced_total"
+            ).inc(len(introduced))
+            if blocked:
+                registry.counter("verify.fib_writes_blocked").inc()
+            registry.histogram("verify.fib_write_latency_seconds").observe(
+                perf_counter() - started
+            )
         return not blocked
 
     def _learn_from_incident(
@@ -311,6 +336,9 @@ class IntegratedControlPlane:
         if not new_ids:
             return None
         self._reverted_change_ids.update(new_ids)
+        registry = obs.get_registry()
+        if registry.enabled:
+            started = perf_counter()
         # Note: settle=0 here; the revert propagates through the
         # already-running simulation rather than a nested run() call
         # (the guard fires *inside* a simulation event).
@@ -321,6 +349,13 @@ class IntegratedControlPlane:
             )
         finally:
             self._repairing = False
+        if registry.enabled:
+            registry.counter("repair.root_causes_reverted_total").inc(
+                len(new_ids)
+            )
+            registry.histogram("repair.repair_seconds").observe(
+                perf_counter() - started
+            )
         # The reverts themselves are config changes; they must never be
         # treated as root causes to revert later (that would oscillate).
         for action in report.actions:
@@ -350,31 +385,35 @@ class IntegratedControlPlane:
             internal_routers=self.network.topology.internal_routers(),
             engine=self.engine,
         )
-        snapshot, report, got_at = snapshotter.wait_until_consistent(
-            when, when + wait_deadline
-        )
-        if snapshot is None:
-            return [], None
-        result = self.verifier.verify(snapshot)
-        if result.ok:
-            return [], None
-        graph = self.engine.build_graph(view.visible_events(got_at))
-        tracer = ProvenanceTracer(graph)
-        violating_event_ids: List[int] = []
-        for violation in result.violations:
-            for hop in violation.path:
-                entry = (
-                    snapshot.entry(hop, violation.prefix)
-                    if violation.prefix is not None
-                    else None
-                )
-                if entry is not None and entry.source_event_id in graph:
-                    violating_event_ids.append(entry.source_event_id)
-        if not violating_event_ids:
-            return result.violations, None
-        provenance = tracer.trace_many(violating_event_ids)
-        repair = self.repair_engine.repair(provenance, settle=settle)
-        return result.violations, repair
+        with obs.span("pipeline.detect_and_repair"):
+            snapshot, report, got_at = snapshotter.wait_until_consistent(
+                when, when + wait_deadline
+            )
+            if snapshot is None:
+                return [], None
+            with obs.span("pipeline.offline_verify"):
+                result = self.verifier.verify(snapshot)
+            if result.ok:
+                return [], None
+            with obs.span("pipeline.offline_trace"):
+                graph = self.engine.build_graph(view.visible_events(got_at))
+                tracer = ProvenanceTracer(graph)
+                violating_event_ids: List[int] = []
+                for violation in result.violations:
+                    for hop in violation.path:
+                        entry = (
+                            snapshot.entry(hop, violation.prefix)
+                            if violation.prefix is not None
+                            else None
+                        )
+                        if entry is not None and entry.source_event_id in graph:
+                            violating_event_ids.append(entry.source_event_id)
+                if not violating_event_ids:
+                    return result.violations, None
+                provenance = tracer.trace_many(violating_event_ids)
+            with obs.span("pipeline.offline_repair"):
+                repair = self.repair_engine.repair(provenance, settle=settle)
+            return result.violations, repair
 
     # -- reporting -----------------------------------------------------------------
 

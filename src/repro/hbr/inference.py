@@ -32,8 +32,10 @@ from __future__ import annotations
 import bisect
 from collections import defaultdict
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro import obs
 from repro.capture.ground_truth import GroundTruth
 from repro.capture.io_events import IOEvent
 from repro.hbr.graph import EdgeEvidence, HappensBeforeGraph
@@ -171,6 +173,9 @@ class InferenceEngine:
 
     def build_graph(self, events: Iterable[IOEvent]) -> HappensBeforeGraph:
         """Infer the full HBG for a finished capture."""
+        registry = obs.get_registry()
+        if registry.enabled:
+            started = perf_counter()
         ordered = sorted(events, key=lambda e: (e.timestamp, e.event_id))
         graph = HappensBeforeGraph()
         for event in ordered:
@@ -179,6 +184,14 @@ class InferenceEngine:
         for index, cons in enumerate(ordered):
             for ante, evidence in self._edges_into(cons, ordered, times, index):
                 graph.add_edge(ante.event_id, cons.event_id, evidence)
+        if registry.enabled:
+            registry.counter("inference.batch_builds_total").inc()
+            registry.histogram("inference.build_graph_seconds").observe(
+                perf_counter() - started
+            )
+            registry.histogram("inference.build_graph_events").observe(
+                len(ordered)
+            )
         return graph
 
     def _candidates_before(
@@ -219,6 +232,24 @@ class InferenceEngine:
         times: Sequence[float],
         cons_index: int,
     ) -> List[Tuple[IOEvent, EdgeEvidence]]:
+        edges = self._infer_edges(cons, ordered, times, cons_index)
+        registry = obs.get_registry()
+        if edges and registry.enabled:
+            registry.counter("inference.hbg_edges_inferred").inc(len(edges))
+            for _ante, evidence in edges:
+                registry.counter(
+                    "inference.edges_by_technique",
+                    technique=evidence.technique,
+                ).inc()
+        return edges
+
+    def _infer_edges(
+        self,
+        cons: IOEvent,
+        ordered: Sequence[IOEvent],
+        times: Sequence[float],
+        cons_index: int,
+    ) -> List[Tuple[IOEvent, EdgeEvidence]]:
         edges: List[Tuple[IOEvent, EdgeEvidence]] = []
         linked: Set[int] = set()
 
@@ -237,46 +268,60 @@ class InferenceEngine:
             return edges
 
         if self.config.use_rules:
+            # Per-rule wall time is only clocked when observability is
+            # on; the disabled path pays one attribute check per call.
+            timing = obs.get_registry().enabled
             for rule in self.rules:
                 if not rule.consequent.matches(cons):
                     continue
-                candidates = [
-                    ante
-                    for ante in self._candidates_before(
-                        cons, ordered, times, cons_index, rule.window
-                    )
-                    if rule.pair_matches(ante, cons)
-                ]
-                if not candidates:
-                    continue
-                if self.config.link_all_candidates or rule.pick == "all":
-                    chosen = candidates
-                else:
-                    chosen = [
-                        max(candidates, key=lambda e: (e.timestamp, e.event_id))
-                    ]
-                confidence = rule.base_confidence
-                if self.config.ambiguity_discount and len(candidates) > 1:
-                    if len(chosen) > 1:
-                        # Linking all of N candidates: each is 1/N likely.
-                        confidence = max(0.05, confidence / len(candidates))
-                    else:
-                        # Picked the latest of several: mildly less sure.
-                        confidence *= 0.9
-                for ante in chosen:
-                    if ante.event_id in linked:
-                        continue
-                    linked.add(ante.event_id)
-                    edges.append(
-                        (
-                            ante,
-                            EdgeEvidence(
-                                technique="rule",
-                                rule=rule.name,
-                                confidence=confidence,
-                            ),
+                if timing:
+                    rule_started = perf_counter()
+                try:
+                    candidates = [
+                        ante
+                        for ante in self._candidates_before(
+                            cons, ordered, times, cons_index, rule.window
                         )
-                    )
+                        if rule.pair_matches(ante, cons)
+                    ]
+                    if not candidates:
+                        continue
+                    if self.config.link_all_candidates or rule.pick == "all":
+                        chosen = candidates
+                    else:
+                        chosen = [
+                            max(
+                                candidates,
+                                key=lambda e: (e.timestamp, e.event_id),
+                            )
+                        ]
+                    confidence = rule.base_confidence
+                    if self.config.ambiguity_discount and len(candidates) > 1:
+                        if len(chosen) > 1:
+                            # Linking all of N candidates: each is 1/N likely.
+                            confidence = max(0.05, confidence / len(candidates))
+                        else:
+                            # Picked the latest of several: mildly less sure.
+                            confidence *= 0.9
+                    for ante in chosen:
+                        if ante.event_id in linked:
+                            continue
+                        linked.add(ante.event_id)
+                        edges.append(
+                            (
+                                ante,
+                                EdgeEvidence(
+                                    technique="rule",
+                                    rule=rule.name,
+                                    confidence=confidence,
+                                ),
+                            )
+                        )
+                finally:
+                    if timing:
+                        obs.get_registry().histogram(
+                            "inference.rule_seconds", rule=rule.name
+                        ).observe(perf_counter() - rule_started)
 
         if self.config.use_patterns and self.miner is not None:
             threshold = self.config.pattern_confidence_threshold
@@ -332,6 +377,9 @@ class StreamingInference:
         self._times: List[float] = []
 
     def observe(self, event: IOEvent) -> None:
+        registry = obs.get_registry()
+        if registry.enabled:
+            started = perf_counter()
         position = bisect.bisect_right(self._times, event.timestamp)
         self._ordered.insert(position, event)
         self._times.insert(position, event.timestamp)
@@ -344,6 +392,13 @@ class StreamingInference:
         while index < len(self._ordered) and self._times[index] <= horizon:
             self._link(self._ordered[index], index)
             index += 1
+        if registry.enabled:
+            registry.counter("inference.events_observed_total").inc()
+            registry.histogram("inference.observe_seconds").observe(
+                perf_counter() - started
+            )
+            registry.gauge("inference.hbg_events").set(len(self.graph))
+            registry.gauge("inference.hbg_edges").set(self.graph.edge_count())
 
     def _link(self, cons: IOEvent, index: int) -> None:
         for ante, evidence in self.engine._edges_into(

@@ -15,7 +15,10 @@ import heapq
 import itertools
 import random
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, List, Optional
+
+from repro import obs
 
 
 class SimulationError(RuntimeError):
@@ -127,6 +130,9 @@ class Simulator:
             raise SimulationError("run() is not re-entrant")
         self._running = True
         processed = 0
+        registry = obs.get_registry()
+        if registry.enabled:
+            wall_started = perf_counter()
         try:
             while self._heap:
                 if processed >= max_events:
@@ -148,6 +154,16 @@ class Simulator:
                 self.events_processed += 1
         finally:
             self._running = False
+            if registry.enabled:
+                wall = perf_counter() - wall_started
+                registry.counter("sim.runs_total").inc()
+                registry.counter("sim.events_processed_total").inc(processed)
+                registry.histogram("sim.run_wall_seconds").observe(wall)
+                registry.histogram("sim.run_events").observe(processed)
+                if wall > 0 and processed:
+                    registry.gauge("sim.events_per_wall_second").set(
+                        processed / wall
+                    )
         # Advance the clock to the horizon even when the next event
         # lies beyond it — otherwise repeated run(until=now+step)
         # calls would never make progress across quiet periods.

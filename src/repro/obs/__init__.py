@@ -1,0 +1,140 @@
+"""repro.obs — observability for the capture → HBG → verify → repair pipeline.
+
+The paper's feasibility argument (§7) is quantitative: events
+captured per configuration change, HBG construction cost, and
+verification latency at the FIB boundary.  This package is the
+measurement layer that produces those numbers from any scenario run:
+
+* :mod:`repro.obs.metrics` — counters, gauges, and histograms with
+  p50/p95/p99, grouped into sections by metric-name prefix;
+* :mod:`repro.obs.tracing` — nestable spans with a
+  context-manager/decorator API and exception safety;
+* :mod:`repro.obs.export` — table / JSON / JSON-lines / Prometheus
+  renderers over one canonical document.
+
+Observability is **off by default**: the module-level registry and
+tracer are no-op singletons, so instrumented hot paths cost a single
+attribute check (``registry.enabled``) per site.  Enable it per
+process with :func:`enable` (the CLI's ``--metrics`` flag and the
+``repro stats`` subcommand do exactly this)::
+
+    from repro import obs
+
+    registry, tracer = obs.enable()
+    ...run a scenario...
+    print(obs.export.render_table(registry, tracer))
+    obs.disable()
+
+See ``docs/OBSERVABILITY.md`` for the metric-name catalogue.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Optional, Tuple
+
+from repro.obs import export  # noqa: F401  (re-exported submodule)
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.tracing import NULL_TRACER, NullTracer, SpanRecord, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "Tracer",
+    "NullTracer",
+    "SpanRecord",
+    "enable",
+    "disable",
+    "enabled",
+    "get_registry",
+    "get_tracer",
+    "span",
+    "traced",
+    "capturing",
+    "export",
+]
+
+_registry = NULL_REGISTRY
+_tracer = NULL_TRACER
+
+
+def get_registry():
+    """The process-wide metrics registry (no-op unless :func:`enable`\\ d)."""
+    return _registry
+
+
+def get_tracer():
+    """The process-wide span tracer (no-op unless :func:`enable`\\ d)."""
+    return _tracer
+
+
+def enabled() -> bool:
+    return _registry.enabled
+
+
+def enable(
+    histogram_max_samples: int = 8192,
+) -> Tuple[MetricsRegistry, Tracer]:
+    """Install a live registry + tracer; returns both.
+
+    Idempotent in spirit: calling it again installs *fresh* instances
+    (a clean slate for the next measured run).
+    """
+    global _registry, _tracer
+    _registry = MetricsRegistry(histogram_max_samples=histogram_max_samples)
+    _tracer = Tracer(registry=_registry)
+    return _registry, _tracer
+
+
+def disable() -> None:
+    """Restore the no-op registry and tracer."""
+    global _registry, _tracer
+    _registry = NULL_REGISTRY
+    _tracer = NULL_TRACER
+
+
+@contextmanager
+def capturing(histogram_max_samples: int = 8192):
+    """``with obs.capturing() as (registry, tracer): ...`` — scoped enable.
+
+    Restores whatever was installed before, so tests and benchmarks
+    cannot leak an enabled registry into timing-sensitive peers.
+    """
+    global _registry, _tracer
+    previous = (_registry, _tracer)
+    try:
+        yield enable(histogram_max_samples=histogram_max_samples)
+    finally:
+        _registry, _tracer = previous
+
+
+def span(name: str, **attrs: str):
+    """Span against the *current* tracer (late-bound, so it works even
+    when the tracer is enabled after the call site was imported)."""
+    return get_tracer().span(name, **attrs)
+
+
+def traced(name: str) -> Callable:
+    """Decorator form of :func:`span`, late-bound per call."""
+
+    def decorate(fn: Callable) -> Callable:
+        import functools
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with get_tracer().span(name):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

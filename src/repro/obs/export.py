@@ -1,0 +1,328 @@
+"""Exporters: turn a registry + tracer into human or machine output.
+
+Three formats, one source of truth (:func:`registry_to_dict`):
+
+* ``table`` — aligned text tables, one per section, for terminals;
+* ``json`` / ``jsonl`` — the machine-readable document used by
+  ``repro stats``, ``BENCH_*.json`` trajectories, and CI key checks;
+* ``prom`` — Prometheus text exposition format (counters, gauges,
+  and histogram count/sum plus quantile gauges), so a scrape target
+  can be bolted on without changing instrumentation.
+
+The JSON document groups metrics into *sections* by leading name
+component (``capture``, ``inference``, ``snapshot``, ``verify``,
+``repair``, ``sim``, ``span`` ...), which is what the acceptance
+checks and the CI smoke test key off.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    format_metric_name,
+    section_of,
+)
+from repro.obs.tracing import Tracer
+
+SCHEMA = "repro-obs/v1"
+
+
+# -- generic table rendering (also reused by the CLI and benchmarks) --------
+
+
+def table_lines(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> List[str]:
+    """Format an aligned text table as a list of lines."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
+    return lines
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    return "\n".join(table_lines(headers, rows))
+
+
+# -- the canonical document --------------------------------------------------
+
+
+def _num(value):
+    """JSON-friendly numbers: ints stay ints, floats get rounded."""
+    if value is None:
+        return None
+    if isinstance(value, int):
+        return value
+    if float(value).is_integer():
+        return int(value)
+    return round(float(value), 9)
+
+
+def registry_to_dict(
+    registry: MetricsRegistry, tracer: Optional[Tracer] = None
+) -> dict:
+    """The canonical metrics document (see module docstring)."""
+    sections: Dict[str, dict] = {}
+
+    def bucket(name: str, kind: str) -> dict:
+        section = sections.setdefault(
+            section_of(name), {"counters": {}, "gauges": {}, "histograms": {}}
+        )
+        return section[kind]
+
+    for counter in registry.counters():
+        key = format_metric_name(counter.name, counter.labels)
+        bucket(counter.name, "counters")[key] = _num(counter.value)
+    for gauge in registry.gauges():
+        key = format_metric_name(gauge.name, gauge.labels)
+        bucket(gauge.name, "gauges")[key] = _num(gauge.value)
+    for histogram in registry.histograms():
+        key = format_metric_name(histogram.name, histogram.labels)
+        summary = {k: _num(v) for k, v in histogram.summary().items()}
+        bucket(histogram.name, "histograms")[key] = summary
+
+    document = {"schema": SCHEMA, "sections": sections}
+    if tracer is not None and tracer.enabled:
+        document["spans"] = {
+            "summary": [
+                {
+                    key: _num(value) if isinstance(value, float) else value
+                    for key, value in entry.items()
+                }
+                for entry in tracer.summarise()
+            ],
+            "recorded": len(tracer.records),
+            "dropped": tracer.dropped,
+        }
+    return document
+
+
+def missing_sections(document: dict, required: Sequence[str]) -> List[str]:
+    """Required sections absent from ``document`` or all-zero.
+
+    A section counts as present only if it exists *and* at least one
+    of its counters is nonzero or one histogram has observations —
+    the guard CI uses against silently-dead instrumentation.
+    """
+    missing = []
+    sections = document.get("sections", {})
+    for name in required:
+        section = sections.get(name)
+        if section is None:
+            missing.append(name)
+            continue
+        live_counter = any(
+            value for value in section.get("counters", {}).values()
+        )
+        live_histogram = any(
+            summary.get("count")
+            for summary in section.get("histograms", {}).values()
+        )
+        if not (live_counter or live_histogram):
+            missing.append(name)
+    return missing
+
+
+# -- renderers ---------------------------------------------------------------
+
+
+def render_table(
+    registry: MetricsRegistry, tracer: Optional[Tracer] = None
+) -> str:
+    """Human-readable report: per-section tables plus span summary."""
+    document = registry_to_dict(registry, tracer)
+    blocks: List[str] = []
+    for name in sorted(document["sections"]):
+        section = document["sections"][name]
+        rows: List[Sequence[object]] = []
+        for key, value in section["counters"].items():
+            rows.append((key, "counter", value, "", "", ""))
+        for key, value in section["gauges"].items():
+            rows.append((key, "gauge", _fmt(value), "", "", ""))
+        for key, summary in section["histograms"].items():
+            rows.append(
+                (
+                    key,
+                    "histogram",
+                    summary.get("count"),
+                    _fmt(summary.get("mean")),
+                    _fmt(summary.get("p95")),
+                    _fmt(summary.get("max")),
+                )
+            )
+        blocks.append(
+            f"[{name}]\n"
+            + format_table(
+                ("metric", "type", "count", "mean", "p95", "max"), rows
+            )
+        )
+    if tracer is not None and tracer.enabled and tracer.records:
+        span_rows = [
+            (
+                entry["name"],
+                entry["calls"],
+                entry["errors"],
+                _fmt(entry["total_seconds"]),
+                _fmt(entry["mean_seconds"]),
+                _fmt(entry["max_seconds"]),
+            )
+            for entry in tracer.summarise()
+        ]
+        blocks.append(
+            "[spans]\n"
+            + format_table(
+                ("span", "calls", "errors", "total_s", "mean_s", "max_s"),
+                span_rows,
+            )
+        )
+    return "\n\n".join(blocks) if blocks else "(no metrics recorded)"
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, int):
+        return str(value)
+    return f"{value:.6f}"
+
+
+def render_json(
+    registry: MetricsRegistry,
+    tracer: Optional[Tracer] = None,
+    meta: Optional[dict] = None,
+    indent: int = 2,
+) -> str:
+    document = registry_to_dict(registry, tracer)
+    if meta:
+        document = {"meta": meta, **document}
+    return json.dumps(document, indent=indent, sort_keys=True)
+
+
+def render_jsonl(
+    registry: MetricsRegistry, tracer: Optional[Tracer] = None
+) -> str:
+    """One JSON object per metric per line (log-shipper friendly)."""
+    lines = []
+    for counter in registry.counters():
+        lines.append(
+            json.dumps(
+                {
+                    "kind": "counter",
+                    "name": counter.name,
+                    "labels": dict(counter.labels),
+                    "value": _num(counter.value),
+                },
+                sort_keys=True,
+            )
+        )
+    for gauge in registry.gauges():
+        lines.append(
+            json.dumps(
+                {
+                    "kind": "gauge",
+                    "name": gauge.name,
+                    "labels": dict(gauge.labels),
+                    "value": _num(gauge.value),
+                },
+                sort_keys=True,
+            )
+        )
+    for histogram in registry.histograms():
+        lines.append(
+            json.dumps(
+                {
+                    "kind": "histogram",
+                    "name": histogram.name,
+                    "labels": dict(histogram.labels),
+                    "summary": {
+                        k: _num(v) for k, v in histogram.summary().items()
+                    },
+                },
+                sort_keys=True,
+            )
+        )
+    if tracer is not None and tracer.enabled:
+        for record in tracer.records:
+            lines.append(
+                json.dumps(
+                    {"kind": "span", **record.to_record()}, sort_keys=True
+                )
+            )
+    return "\n".join(lines)
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + name.replace(".", "_").replace("-", "_")
+
+
+def _prom_labels(labels) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+def render_prometheus(
+    registry: MetricsRegistry, tracer: Optional[Tracer] = None
+) -> str:
+    """Prometheus text exposition format (v0.0.4)."""
+    lines: List[str] = []
+    typed: set = set()
+
+    def declare(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for counter in registry.counters():
+        name = _prom_name(counter.name)
+        declare(name, "counter")
+        lines.append(
+            f"{name}{_prom_labels(counter.labels)} {counter.value:g}"
+        )
+    for gauge in registry.gauges():
+        name = _prom_name(gauge.name)
+        declare(name, "gauge")
+        lines.append(f"{name}{_prom_labels(gauge.labels)} {gauge.value:g}")
+    for histogram in registry.histograms():
+        name = _prom_name(histogram.name)
+        declare(name, "summary")
+        labels = histogram.labels
+        for quantile, value in (
+            ("0.5", histogram.percentile(50)),
+            ("0.95", histogram.percentile(95)),
+            ("0.99", histogram.percentile(99)),
+        ):
+            if value is None:
+                continue
+            q_labels = labels + (("quantile", quantile),)
+            lines.append(f"{name}{_prom_labels(q_labels)} {value:g}")
+        lines.append(
+            f"{name}_sum{_prom_labels(labels)} {histogram.sum:g}"
+        )
+        lines.append(
+            f"{name}_count{_prom_labels(labels)} {histogram.count}"
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+#: Format name -> renderer(registry, tracer) for the CLI.
+RENDERERS: Dict[str, Callable] = {
+    "table": render_table,
+    "json": render_json,
+    "jsonl": render_jsonl,
+    "prom": render_prometheus,
+}

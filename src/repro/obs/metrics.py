@@ -1,0 +1,385 @@
+"""Dependency-free metrics primitives: counters, gauges, histograms.
+
+The registry is the write side of the observability layer (§7's
+feasibility numbers — events captured per change, HBG construction
+cost, per-FIB-write verification latency — all come out of it).  Two
+implementations share one interface:
+
+* :class:`MetricsRegistry` — the real thing.  Instruments are
+  created lazily, keyed by ``(name, labels)``, and grouped into
+  *sections* by the name's leading dotted component
+  (``verify.fib_writes_verified`` lives in section ``verify``).
+* :class:`NullRegistry` — the default.  Every lookup returns a
+  shared no-op instrument, so instrumented hot paths pay one
+  attribute check and nothing else when observability is off.
+
+Instrumented code follows one idiom::
+
+    reg = obs.get_registry()
+    if reg.enabled:                      # only pay for clocks when on
+        started = time.perf_counter()
+    ...work...
+    if reg.enabled:
+        reg.histogram("verify.verify_seconds").observe(
+            time.perf_counter() - started
+        )
+    reg.counter("verify.verifications_total").inc()   # no-op when off
+
+Histograms keep exact count/sum/min/max and a bounded reservoir of
+samples (deterministic, seeded) for percentile estimation, so an
+arbitrarily long capture cannot exhaust memory.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Iterable, List, Optional, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, str]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def format_metric_name(name: str, labels: LabelKey) -> str:
+    """Canonical display name: ``name{k=v,k2=v2}`` (no braces if bare)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+def section_of(name: str) -> str:
+    """Section = the metric name's leading dotted component."""
+    return name.split(".", 1)[0]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "_value")
+
+    def __init__(self, name: str, labels: LabelKey = ()):
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Counter({format_metric_name(self.name, self.labels)}={self._value})"
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, throughput)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "_value")
+
+    def __init__(self, name: str, labels: LabelKey = ()):
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Gauge({format_metric_name(self.name, self.labels)}={self._value})"
+
+
+class Histogram:
+    """Distribution summary with exact moments and sampled percentiles.
+
+    ``count``/``sum``/``min``/``max``/``mean`` are exact over every
+    observation.  Percentiles come from a reservoir of at most
+    ``max_samples`` values, filled by Vitter's Algorithm R with a
+    per-histogram seeded RNG so replays are bit-identical.
+    """
+
+    kind = "histogram"
+    __slots__ = (
+        "name",
+        "labels",
+        "max_samples",
+        "_count",
+        "_sum",
+        "_min",
+        "_max",
+        "_samples",
+        "_rng",
+    )
+
+    def __init__(
+        self, name: str, labels: LabelKey = (), max_samples: int = 8192
+    ):
+        if max_samples < 1:
+            raise ValueError("max_samples must be >= 1")
+        self.name = name
+        self.labels = labels
+        self.max_samples = max_samples
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._samples: List[float] = []
+        self._rng = random.Random(hash((name, labels)) & 0xFFFFFFFF)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self._count += 1
+        self._sum += value
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+        if len(self._samples) < self.max_samples:
+            self._samples.append(value)
+        else:
+            slot = self._rng.randrange(self._count)
+            if slot < self.max_samples:
+                self._samples[slot] = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def min(self) -> Optional[float]:
+        return self._min
+
+    @property
+    def max(self) -> Optional[float]:
+        return self._max
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self._sum / self._count if self._count else None
+
+    def percentile(self, p: float) -> Optional[float]:
+        """Nearest-rank percentile over the reservoir.
+
+        Returns ``None`` with zero samples; with one sample every
+        percentile is that sample.
+        """
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile out of range: {p}")
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        if p == 0:
+            return ordered[0]
+        rank = math.ceil(p / 100.0 * len(ordered))
+        return ordered[min(rank, len(ordered)) - 1]
+
+    def summary(self) -> Dict[str, Optional[float]]:
+        return {
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min,
+            "max": self._max,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram({format_metric_name(self.name, self.labels)} "
+            f"count={self._count} mean={self.mean})"
+        )
+
+
+Metric = object  # Counter | Gauge | Histogram (py3.10-safe alias)
+
+
+class MetricsRegistry:
+    """Lazily-created, label-keyed instruments grouped into sections."""
+
+    enabled = True
+
+    def __init__(self, histogram_max_samples: int = 8192):
+        self.histogram_max_samples = histogram_max_samples
+        self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
+
+    # -- instrument lookup (get-or-create) ---------------------------------
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        key = (name, _label_key(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = Counter(name, key[1])
+            self._counters[key] = instrument
+        return instrument
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        key = (name, _label_key(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = Gauge(name, key[1])
+            self._gauges[key] = instrument
+        return instrument
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        key = (name, _label_key(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = Histogram(
+                name, key[1], max_samples=self.histogram_max_samples
+            )
+            self._histograms[key] = instrument
+        return instrument
+
+    # -- iteration ---------------------------------------------------------
+
+    def counters(self) -> List[Counter]:
+        return [self._counters[k] for k in sorted(self._counters)]
+
+    def gauges(self) -> List[Gauge]:
+        return [self._gauges[k] for k in sorted(self._gauges)]
+
+    def histograms(self) -> List[Histogram]:
+        return [self._histograms[k] for k in sorted(self._histograms)]
+
+    def all_metrics(self) -> Iterable[object]:
+        yield from self.counters()
+        yield from self.gauges()
+        yield from self.histograms()
+
+    def sections(self) -> List[str]:
+        names = {section_of(m.name) for m in self.all_metrics()}
+        return sorted(names)
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def __len__(self) -> int:
+        return (
+            len(self._counters) + len(self._gauges) + len(self._histograms)
+        )
+
+
+# -- the no-op side ----------------------------------------------------------
+
+
+class _NullCounter:
+    kind = "counter"
+    name = ""
+    labels: LabelKey = ()
+    value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge:
+    kind = "gauge"
+    name = ""
+    labels: LabelKey = ()
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullHistogram:
+    kind = "histogram"
+    name = ""
+    labels: LabelKey = ()
+    count = 0
+    sum = 0.0
+    min = None
+    max = None
+    mean = None
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def percentile(self, p: float) -> Optional[float]:
+        return None
+
+    def summary(self) -> Dict[str, Optional[float]]:
+        return {}
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullRegistry:
+    """The default registry: every instrument is a shared no-op.
+
+    ``enabled`` is False so instrumented code can skip clock reads and
+    any other enabled-only work with a single attribute check.
+    """
+
+    enabled = False
+
+    def counter(self, name: str, **labels: str) -> _NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str, **labels: str) -> _NullGauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str, **labels: str) -> _NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def counters(self) -> List[Counter]:
+        return []
+
+    def gauges(self) -> List[Gauge]:
+        return []
+
+    def histograms(self) -> List[Histogram]:
+        return []
+
+    def all_metrics(self) -> Iterable[object]:
+        return iter(())
+
+    def sections(self) -> List[str]:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,275 @@
+"""Span tracing: timed, nestable regions of pipeline work.
+
+A span is one timed region (a consistency check, a guard invocation,
+a whole scenario run).  Spans nest: entering a span while another is
+active records the parent-child relationship, so exporters can render
+the capture → HBG → verify → repair pipeline as a tree with per-stage
+wall time.
+
+Usage, context-manager form::
+
+    tracer = obs.get_tracer()
+    with tracer.span("verify.guard", router="R2"):
+        ...
+
+or decorator form (the span context is created per call)::
+
+    @obs.traced("snapshot.check")
+    def check(...):
+        ...
+
+Finished spans also feed a ``span.<name>_seconds`` histogram in the
+active metrics registry, so span latency shows up in every exporter
+without separate plumbing.  :class:`NullTracer` (the default) makes
+both forms free when tracing is off.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+
+@dataclass
+class SpanRecord:
+    """One finished span."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    depth: int
+    start: float
+    duration: float
+    status: str = "ok"  # "ok" | "error"
+    error: Optional[str] = None
+    attrs: Dict[str, str] = field(default_factory=dict)
+
+    def to_record(self) -> dict:
+        record = {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "depth": self.depth,
+            "start": self.start,
+            "duration": self.duration,
+            "status": self.status,
+        }
+        if self.error is not None:
+            record["error"] = self.error
+        if self.attrs:
+            record["attrs"] = dict(self.attrs)
+        return record
+
+
+class _SpanContext:
+    """Context manager *and* decorator for one span entry.
+
+    As a decorator it creates a fresh span per call, so recursive and
+    concurrent-looking call patterns each get their own record.
+    """
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_span_id", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, str]):
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self._span_id: Optional[int] = None
+        self._start = 0.0
+
+    def __enter__(self) -> "_SpanContext":
+        self._span_id, self._start = self._tracer._push(self._name)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._pop(
+            self._span_id,
+            self._name,
+            self._start,
+            self._attrs,
+            error=exc if exc_type is not None else None,
+        )
+        return False  # never swallow exceptions
+
+    def __call__(self, fn: Callable) -> Callable:
+        import functools
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with _SpanContext(self._tracer, self._name, dict(self._attrs)):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+
+class Tracer:
+    """Records spans into a bounded in-memory list.
+
+    ``registry`` (optional) receives a ``span.<name>_seconds``
+    histogram observation per finished span.  ``clock`` is injectable
+    for deterministic tests.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        registry=None,
+        clock: Callable[[], float] = time.perf_counter,
+        max_records: int = 10_000,
+    ):
+        self.registry = registry
+        self.clock = clock
+        self.max_records = max_records
+        self.records: List[SpanRecord] = []
+        self.dropped = 0
+        self._ids = itertools.count(1)
+        self._stack: List[int] = []  # active span ids, innermost last
+
+    # -- public API --------------------------------------------------------
+
+    def span(self, name: str, **attrs: str) -> _SpanContext:
+        return _SpanContext(self, name, {k: str(v) for k, v in attrs.items()})
+
+    @property
+    def active_depth(self) -> int:
+        return len(self._stack)
+
+    def finished(self, name: Optional[str] = None) -> List[SpanRecord]:
+        if name is None:
+            return list(self.records)
+        return [r for r in self.records if r.name == name]
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.dropped = 0
+        self._stack.clear()
+
+    # -- internals used by _SpanContext ------------------------------------
+
+    def _push(self, name: str):
+        span_id = next(self._ids)
+        self._stack.append(span_id)
+        return span_id, self.clock()
+
+    def _pop(
+        self,
+        span_id: int,
+        name: str,
+        start: float,
+        attrs: Dict[str, str],
+        error: Optional[BaseException],
+    ) -> None:
+        duration = self.clock() - start
+        # Exception-safe unwinding: drop this span and anything left
+        # above it (children that escaped via the same exception).
+        while self._stack and self._stack[-1] != span_id:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+        parent_id = self._stack[-1] if self._stack else None
+        record = SpanRecord(
+            span_id=span_id,
+            parent_id=parent_id,
+            name=name,
+            depth=len(self._stack),
+            start=start,
+            duration=duration,
+            status="error" if error is not None else "ok",
+            error=repr(error) if error is not None else None,
+            attrs=attrs,
+        )
+        if len(self.records) < self.max_records:
+            self.records.append(record)
+        else:
+            self.dropped += 1
+        if self.registry is not None and self.registry.enabled:
+            self.registry.histogram(f"span.{name}_seconds").observe(duration)
+
+    # -- reporting ---------------------------------------------------------
+
+    def summarise(self) -> List[dict]:
+        """Per-name aggregate: calls, total/mean/max seconds, errors."""
+        by_name: Dict[str, dict] = {}
+        for record in self.records:
+            agg = by_name.setdefault(
+                record.name,
+                {"name": record.name, "calls": 0, "errors": 0,
+                 "total_seconds": 0.0, "max_seconds": 0.0},
+            )
+            agg["calls"] += 1
+            agg["total_seconds"] += record.duration
+            agg["max_seconds"] = max(agg["max_seconds"], record.duration)
+            if record.status == "error":
+                agg["errors"] += 1
+        result = []
+        for agg in by_name.values():
+            agg["mean_seconds"] = agg["total_seconds"] / agg["calls"]
+            result.append(agg)
+        result.sort(key=lambda a: -a["total_seconds"])
+        return result
+
+    def render_tree(self, max_spans: int = 200) -> str:
+        """Indented call-tree of recorded spans (record order)."""
+        lines = []
+        for record in self.records[:max_spans]:
+            indent = "  " * record.depth
+            flag = "" if record.status == "ok" else "  [ERROR]"
+            lines.append(
+                f"{indent}{record.name}  {record.duration * 1000:.3f}ms{flag}"
+            )
+        if len(self.records) > max_spans:
+            lines.append(f"... {len(self.records) - max_spans} more span(s)")
+        if self.dropped:
+            lines.append(f"... {self.dropped} span(s) dropped (buffer full)")
+        return "\n".join(lines)
+
+
+class _NullSpanContext:
+    """Shared, reusable no-op span (context manager + pass-through decorator)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpanContext":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def __call__(self, fn: Callable) -> Callable:
+        return fn
+
+
+_NULL_SPAN = _NullSpanContext()
+
+
+class NullTracer:
+    """Default tracer: spans cost one method call and nothing else."""
+
+    enabled = False
+    records: List[SpanRecord] = []
+    dropped = 0
+
+    def span(self, name: str, **attrs: str) -> _NullSpanContext:
+        return _NULL_SPAN
+
+    @property
+    def active_depth(self) -> int:
+        return 0
+
+    def finished(self, name: Optional[str] = None) -> List[SpanRecord]:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+    def summarise(self) -> List[dict]:
+        return []
+
+    def render_tree(self, max_spans: int = 200) -> str:
+        return ""
+
+
+NULL_TRACER = NullTracer()

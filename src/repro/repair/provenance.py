@@ -15,8 +15,10 @@ withdrawal caused by a dead uplink cannot be usefully blocked).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, List, Sequence, Set
 
+from repro import obs
 from repro.capture.io_events import IOEvent, IOKind
 from repro.hbr.graph import HappensBeforeGraph
 
@@ -87,6 +89,9 @@ class ProvenanceTracer:
         self.min_confidence = min_confidence
 
     def trace(self, event_id: int) -> ProvenanceResult:
+        registry = obs.get_registry()
+        if registry.enabled:
+            started = perf_counter()
         target = self.graph.event(event_id)
         ancestry = self.graph.ancestors(event_id, self.min_confidence)
         roots = self.graph.root_causes(event_id, self.min_confidence)
@@ -97,6 +102,20 @@ class ProvenanceTracer:
             )
             if chain is not None:
                 chains[root.event_id] = chain
+        if registry.enabled:
+            registry.counter("repair.provenance_traces_total").inc()
+            registry.histogram("repair.provenance_seconds").observe(
+                perf_counter() - started
+            )
+            registry.histogram("repair.provenance_ancestry_size").observe(
+                len(ancestry)
+            )
+            # Walk depth = hops on the longest root→target causal chain.
+            depth = max((len(c) for c in chains.values()), default=0)
+            registry.histogram("repair.provenance_walk_depth").observe(depth)
+            registry.histogram("repair.provenance_root_causes").observe(
+                len(roots)
+            )
         return ProvenanceResult(
             target=target,
             root_causes=roots,

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro import obs
 from repro.capture.io_events import IOEvent, IOKind
 from repro.net.config import ConfigChange
 from repro.repair.provenance import ProvenanceResult
@@ -173,6 +174,21 @@ class RepairEngine:
             converge_seconds = self.network.sim.now - before
             snapshot = DataPlaneSnapshot.from_live_network(self.network)
             post = self.verifier.verify(snapshot)
+        registry = obs.get_registry()
+        if registry.enabled:
+            registry.counter("repair.reverts_applied_total").inc(
+                sum(1 for a in actions if a.succeeded)
+            )
+            registry.counter("repair.reverts_failed_total").inc(
+                sum(1 for a in actions if not a.succeeded)
+            )
+            registry.counter("repair.unrepairable_total").inc(
+                len(unrepairable)
+            )
+            if converge_seconds:
+                registry.histogram("repair.converge_sim_seconds").observe(
+                    converge_seconds
+                )
         return RepairReport(
             actions=actions,
             post_verification=post,

@@ -13,8 +13,10 @@ different amount of history from each router.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from time import perf_counter
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from repro import obs
 from repro.capture.collector import Collector
 from repro.capture.io_events import IOEvent, IOKind, RouteAction
 from repro.net.addr import Prefix, PrefixTrie
@@ -143,6 +145,9 @@ class DataPlaneSnapshot:
         cls, events: Iterable[IOEvent], taken_at: Optional[float] = None
     ) -> "DataPlaneSnapshot":
         """Replay FIB_UPDATE events (in timestamp order) into tables."""
+        registry = obs.get_registry()
+        if registry.enabled:
+            started = perf_counter()
         snapshot = cls()
         ordered = sorted(
             (e for e in events if e.kind is IOKind.FIB_UPDATE),
@@ -157,6 +162,14 @@ class DataPlaneSnapshot:
                 snapshot.install(SnapshotEntry.from_event(event))
         if taken_at is not None:
             snapshot.set_taken_at(taken_at)
+        if registry.enabled:
+            registry.counter("snapshot.reconstructions_total").inc()
+            registry.histogram("snapshot.reconstruct_seconds").observe(
+                perf_counter() - started
+            )
+            registry.histogram("snapshot.reconstruct_events").observe(
+                len(ordered)
+            )
         return snapshot
 
     @classmethod

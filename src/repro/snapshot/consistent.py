@@ -27,8 +27,10 @@ advertisement edges.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro import obs
 from repro.capture.io_events import IOEvent, IOKind
 from repro.hbr.graph import HappensBeforeGraph
 from repro.hbr.inference import InferenceEngine
@@ -88,10 +90,21 @@ class ConsistentSnapshotter:
         to a specific FIB update); otherwise every prefix seen in any
         FIB event is checked.
         """
+        registry = obs.get_registry()
+        if registry.enabled:
+            started = perf_counter()
         visible = self.view.visible_events(at)
         graph = self.engine.build_graph(visible)
         snapshot = DataPlaneSnapshot.from_fib_events(visible, taken_at=at)
         report = self.check(graph, visible, prefix=prefix, at=at)
+        if registry.enabled:
+            registry.counter("snapshot.consistency_checks_total").inc()
+            if not report.consistent:
+                registry.counter("snapshot.inconsistent_total").inc()
+            registry.histogram("snapshot.consistency_check_seconds").observe(
+                perf_counter() - started
+            )
+            registry.histogram("snapshot.walk_steps").observe(report.steps)
         return snapshot, report
 
     def wait_until_consistent(
@@ -109,10 +122,20 @@ class ConsistentSnapshotter:
         time of the returned snapshot).
         """
         when = start
-        snapshot, report = self.snapshot(when, prefix=prefix)
-        while not report.consistent and when < deadline:
-            when = min(deadline, when + step)
+        with obs.span("snapshot.wait_until_consistent"):
             snapshot, report = self.snapshot(when, prefix=prefix)
+            while not report.consistent and when < deadline:
+                when = min(deadline, when + step)
+                snapshot, report = self.snapshot(when, prefix=prefix)
+        registry = obs.get_registry()
+        if registry.enabled:
+            # Simulated seconds the verifier deferred past ``start``
+            # waiting for straggler logs (§7's remedy).
+            registry.histogram("snapshot.wait_sim_seconds").observe(
+                when - start
+            )
+            if not report.consistent:
+                registry.counter("snapshot.wait_deadline_exceeded_total").inc()
         if report.consistent:
             return snapshot, report, when
         return None, report, when

@@ -14,6 +14,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.net.addr import Prefix
 from repro.net.topology import Topology
 from repro.snapshot.base import DataPlaneSnapshot, SnapshotEntry
@@ -76,6 +77,14 @@ class DataPlaneVerifier:
             violations.extend(found)
             probes += len(policy.addresses_of_interest(snapshot))
         elapsed = time.perf_counter() - started
+        registry = obs.get_registry()
+        if registry.enabled:
+            registry.counter("verify.verifications_total").inc()
+            registry.counter("verify.violations_found_total").inc(
+                len(violations)
+            )
+            registry.histogram("verify.verify_seconds").observe(elapsed)
+            registry.histogram("verify.probe_count").observe(probes)
         return VerificationResult(
             violations=violations,
             policies_checked=len(self.policies),

@@ -1,8 +1,10 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import build_parser, main, package_version
 
 
 class TestParser:
@@ -62,3 +64,115 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "HBR inference" in out
         assert "equivalence classes" in out
+
+
+class TestVersion:
+    def test_version_flag_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert package_version() in capsys.readouterr().out
+
+    def test_package_version_matches_pyproject(self):
+        # Either installed metadata or the source tree; both say 1.x.
+        assert package_version()[0].isdigit()
+
+
+class TestAuditGate:
+    def test_min_f1_gate_fails(self, capsys):
+        rc = main(
+            ["audit", "--routers", "5", "--events", "4", "--min-f1", "0.999"]
+        )
+        assert rc == 1
+        assert "below --min-f1" in capsys.readouterr().out
+
+    def test_min_f1_gate_passes(self):
+        rc = main(
+            ["audit", "--routers", "5", "--events", "4", "--min-f1", "0.05"]
+        )
+        assert rc == 0
+
+
+class TestStats:
+    def test_stats_json_has_pipeline_sections(self, capsys):
+        rc = main(
+            [
+                "stats",
+                "--scenario",
+                "pipeline",
+                "--format",
+                "json",
+                "--require",
+                "capture,inference,snapshot,verify,repair",
+            ]
+        )
+        assert rc == 0
+        document = json.loads(capsys.readouterr().out)
+        sections = document["sections"]
+        for name in ("capture", "inference", "snapshot", "verify", "repair"):
+            assert name in sections
+        verify = sections["verify"]
+        assert verify["counters"]["verify.fib_writes_verified"] > 0
+        assert (
+            verify["histograms"]["verify.fib_write_latency_seconds"]["count"]
+            > 0
+        )
+        assert (
+            sections["inference"]["counters"]["inference.hbg_edges_inferred"]
+            > 0
+        )
+        assert document["meta"]["scenario"] == "pipeline"
+
+    def test_stats_require_missing_section_fails(self, capsys):
+        # fig1 never arms the pipeline, so no repair metrics exist.
+        rc = main(
+            [
+                "stats",
+                "--scenario",
+                "fig1",
+                "--format",
+                "json",
+                "--require",
+                "repair",
+            ]
+        )
+        assert rc == 1
+        assert "missing or empty" in capsys.readouterr().err
+
+    def test_stats_table_format(self, capsys):
+        assert main(["stats", "--scenario", "fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "[capture]" in out and "[sim]" in out
+
+    def test_stats_output_file(self, tmp_path, capsys):
+        target = tmp_path / "metrics.json"
+        rc = main(
+            [
+                "stats",
+                "--scenario",
+                "pipeline",
+                "--format",
+                "json",
+                "--output",
+                str(target),
+            ]
+        )
+        assert rc == 0
+        document = json.loads(target.read_text())
+        assert "sections" in document
+        assert str(target) in capsys.readouterr().out
+
+    def test_stats_disables_metrics_afterwards(self):
+        from repro import obs
+
+        main(["stats", "--scenario", "fig2"])
+        assert not obs.enabled()
+
+    def test_metrics_flag_appends_report(self, capsys):
+        assert main(["--metrics", "demo", "pipeline"]) == 0
+        out = capsys.readouterr().out
+        assert "===== metrics =====" in out
+        assert "verify.fib_writes_verified" in out
+        from repro import obs
+
+        assert not obs.enabled()

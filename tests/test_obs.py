@@ -1,0 +1,376 @@
+"""Tests for repro.obs: metrics, tracing, exporters, and integration."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.export import (
+    format_table,
+    missing_sections,
+    registry_to_dict,
+    render_json,
+    render_jsonl,
+    render_prometheus,
+    render_table,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.tracing import NullTracer, Tracer
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_state():
+    """Never leak an enabled registry into other (timing-sensitive) tests."""
+    yield
+    obs.disable()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("x.total")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ValueError):
+            Counter("x.total").inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("x.depth")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value == 13.0
+
+
+class TestHistogram:
+    def test_empty_histogram_percentiles_are_none(self):
+        histogram = Histogram("x.seconds")
+        assert histogram.count == 0
+        assert histogram.percentile(50) is None
+        assert histogram.percentile(99) is None
+        assert histogram.mean is None
+        assert histogram.min is None and histogram.max is None
+
+    def test_single_sample_is_every_percentile(self):
+        histogram = Histogram("x.seconds")
+        histogram.observe(0.25)
+        for p in (0, 50, 95, 99, 100):
+            assert histogram.percentile(p) == 0.25
+        assert histogram.mean == 0.25
+        assert histogram.min == histogram.max == 0.25
+
+    def test_percentiles_nearest_rank(self):
+        histogram = Histogram("x.seconds")
+        for value in range(1, 101):  # 1..100
+            histogram.observe(float(value))
+        assert histogram.percentile(50) == 50.0
+        assert histogram.percentile(95) == 95.0
+        assert histogram.percentile(99) == 99.0
+        assert histogram.percentile(100) == 100.0
+        assert histogram.percentile(0) == 1.0
+
+    def test_percentile_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("x").percentile(101)
+
+    def test_moments_exact_beyond_reservoir(self):
+        histogram = Histogram("x.seconds", max_samples=16)
+        for value in range(1000):
+            histogram.observe(float(value))
+        assert histogram.count == 1000
+        assert histogram.sum == sum(range(1000))
+        assert histogram.min == 0.0 and histogram.max == 999.0
+        assert len(histogram._samples) == 16  # bounded memory
+
+    def test_summary_keys(self):
+        histogram = Histogram("x.seconds")
+        histogram.observe(1.0)
+        summary = histogram.summary()
+        assert set(summary) == {
+            "count", "sum", "min", "max", "mean", "p50", "p95", "p99",
+        }
+
+
+class TestRegistry:
+    def test_get_or_create_identity(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a.total") is registry.counter("a.total")
+        assert registry.counter("a.total", k="1") is not registry.counter(
+            "a.total", k="2"
+        )
+        assert registry.histogram("a.h") is registry.histogram("a.h")
+
+    def test_sections_from_name_prefix(self):
+        registry = MetricsRegistry()
+        registry.counter("verify.x").inc()
+        registry.gauge("capture.y").set(1)
+        registry.histogram("repair.z").observe(1)
+        assert registry.sections() == ["capture", "repair", "verify"]
+
+    def test_null_registry_is_free_and_silent(self):
+        registry = NullRegistry()
+        assert not registry.enabled
+        registry.counter("a").inc()
+        registry.gauge("b").set(5)
+        registry.histogram("c").observe(1.0)
+        assert len(registry) == 0
+        assert registry.sections() == []
+        assert registry.histogram("c").percentile(50) is None
+
+    def test_global_enable_disable_roundtrip(self):
+        assert not obs.enabled()
+        registry, tracer = obs.enable()
+        assert obs.enabled()
+        assert obs.get_registry() is registry
+        registry.counter("x.total").inc()
+        obs.disable()
+        assert not obs.enabled()
+        # Writes after disable go to the null registry, not the old one.
+        obs.get_registry().counter("x.total").inc(100)
+        assert registry.counter("x.total").value == 1
+
+    def test_capturing_context_restores_previous(self):
+        with obs.capturing() as (registry, _tracer):
+            assert obs.get_registry() is registry
+        assert not obs.enabled()
+
+
+class TestTracer:
+    def test_nesting_records_parent_child(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        outer = tracer.finished("outer")[0]
+        inner = tracer.finished("inner")[0]
+        assert inner.parent_id == outer.span_id
+        assert inner.depth == 1 and outer.depth == 0
+        assert tracer.active_depth == 0
+
+    def test_exception_safety(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        inner = tracer.finished("inner")[0]
+        outer = tracer.finished("outer")[0]
+        assert inner.status == "error" and "boom" in inner.error
+        assert outer.status == "error"
+        assert tracer.active_depth == 0
+        # Tracer still usable after the exception unwound.
+        with tracer.span("after"):
+            pass
+        assert tracer.finished("after")[0].status == "ok"
+
+    def test_decorator_form(self):
+        tracer = Tracer()
+
+        @tracer.span("work")
+        def work(x):
+            return x * 2
+
+        assert work(21) == 42
+        assert work.__name__ == "work"
+        assert len(tracer.finished("work")) == 1
+
+    def test_late_bound_traced_decorator(self):
+        @obs.traced("late.work")
+        def work():
+            return 7
+
+        assert work() == 7  # tracer disabled: no records anywhere
+        registry, tracer = obs.enable()
+        assert work() == 7
+        assert len(tracer.finished("late.work")) == 1
+        # ... and the span fed a histogram in the registry.
+        assert registry.histogram("span.late.work_seconds").count == 1
+
+    def test_span_feeds_registry_histogram(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry=registry)
+        with tracer.span("stage"):
+            pass
+        assert registry.histogram("span.stage_seconds").count == 1
+
+    def test_bounded_records(self):
+        tracer = Tracer(max_records=2)
+        for _ in range(5):
+            with tracer.span("s"):
+                pass
+        assert len(tracer.records) == 2
+        assert tracer.dropped == 3
+
+    def test_null_tracer_passthrough(self):
+        tracer = NullTracer()
+        with tracer.span("x"):
+            pass
+
+        @tracer.span("y")
+        def fn():
+            return 1
+
+        assert fn() == 1
+        assert tracer.finished() == []
+
+
+class TestExporters:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("verify.fib_writes_verified").inc(4)
+        registry.counter("capture.events", kind="fib_update").inc(9)
+        registry.gauge("sim.events_per_wall_second").set(1234.5)
+        histogram = registry.histogram("verify.latency_seconds")
+        for value in (0.001, 0.002, 0.004):
+            histogram.observe(value)
+        tracer = Tracer(registry=registry)
+        with tracer.span("scenario.pipeline"):
+            pass
+        return registry, tracer
+
+    def test_registry_to_dict_sections(self):
+        registry, tracer = self._populated()
+        document = registry_to_dict(registry, tracer)
+        assert document["schema"] == "repro-obs/v1"
+        assert set(document["sections"]) >= {"verify", "capture", "sim", "span"}
+        verify = document["sections"]["verify"]
+        assert verify["counters"]["verify.fib_writes_verified"] == 4
+        latency = verify["histograms"]["verify.latency_seconds"]
+        assert latency["count"] == 3
+        assert latency["p50"] == 0.002
+        assert document["spans"]["recorded"] == 1
+
+    def test_labels_in_metric_keys(self):
+        registry, _ = self._populated()
+        document = registry_to_dict(registry)
+        capture = document["sections"]["capture"]["counters"]
+        assert capture["capture.events{kind=fib_update}"] == 9
+
+    def test_render_json_roundtrips(self):
+        registry, tracer = self._populated()
+        text = render_json(registry, tracer, meta={"seed": 0})
+        document = json.loads(text)
+        assert document["meta"]["seed"] == 0
+        assert "sections" in document
+
+    def test_render_jsonl_one_object_per_line(self):
+        registry, tracer = self._populated()
+        lines = render_jsonl(registry, tracer).splitlines()
+        parsed = [json.loads(line) for line in lines]
+        kinds = {record["kind"] for record in parsed}
+        assert kinds == {"counter", "gauge", "histogram", "span"}
+
+    def test_render_table_contains_sections_and_metrics(self):
+        registry, tracer = self._populated()
+        text = render_table(registry, tracer)
+        assert "[verify]" in text and "[capture]" in text
+        assert "verify.fib_writes_verified" in text
+        assert "[spans]" in text and "scenario.pipeline" in text
+
+    def test_render_table_empty_registry(self):
+        assert "no metrics" in render_table(MetricsRegistry())
+
+    def test_render_prometheus_format(self):
+        registry, _ = self._populated()
+        text = render_prometheus(registry)
+        assert "# TYPE repro_verify_fib_writes_verified counter" in text
+        assert 'repro_capture_events{kind="fib_update"} 9' in text
+        assert 'repro_verify_latency_seconds{quantile="0.5"} 0.002' in text
+        assert "repro_verify_latency_seconds_count 3" in text
+
+    def test_missing_sections_detects_dead_and_empty(self):
+        registry = MetricsRegistry()
+        registry.counter("verify.x")  # created but never incremented
+        document = registry_to_dict(registry)
+        assert missing_sections(document, ["verify", "repair"]) == [
+            "verify",
+            "repair",
+        ]
+        registry.counter("verify.x").inc()
+        document = registry_to_dict(registry)
+        assert missing_sections(document, ["verify"]) == []
+
+    def test_format_table_alignment(self):
+        text = format_table(("a", "bee"), [(1, 2), (333, 4)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert all(len(line) <= len(max(lines, key=len)) for line in lines)
+
+
+class TestPipelineIntegration:
+    def test_fig3_pipeline_records_all_stages(self):
+        """The Fig. 3 demo with metrics on records every pipeline stage."""
+        from repro.core.pipeline import IntegratedControlPlane, PipelineMode
+        from repro.scenarios.fig2 import Fig2Scenario, bad_lp_change
+        from repro.scenarios.paper_net import P, paper_policy
+        from repro.verify.policy import LoopFreedomPolicy
+
+        with obs.capturing() as (registry, tracer):
+            scenario = Fig2Scenario(seed=0)
+            net = scenario.run_baseline()
+            pipeline = IntegratedControlPlane(
+                net,
+                [paper_policy(), LoopFreedomPolicy(prefixes=[P])],
+                mode=PipelineMode.REPAIR,
+            ).arm()
+            net.apply_config_change(bad_lp_change())
+            net.run(120)
+            document = registry_to_dict(registry, tracer)
+
+        assert not scenario.violates_policy()
+        sections = document["sections"]
+        verify = sections["verify"]["counters"]
+        inference = sections["inference"]["counters"]
+        assert verify["verify.fib_writes_verified"] > 0
+        assert inference["inference.hbg_edges_inferred"] > 0
+        assert verify["verify.fib_writes_blocked"] > 0
+        assert sections["repair"]["counters"][
+            "repair.root_causes_reverted_total"
+        ] > 0
+        assert sections["capture"]["counters"]["capture.events_total"] > 0
+        latency = sections["verify"]["histograms"][
+            "verify.fib_write_latency_seconds"
+        ]
+        assert latency["count"] > 0 and latency["p95"] > 0
+        assert missing_sections(
+            document,
+            ["capture", "inference", "snapshot", "verify", "repair", "sim"],
+        ) == []
+
+    def test_disabled_metrics_record_nothing(self):
+        """The default (null) registry stays empty through a full run."""
+        from repro.scenarios.fig2 import Fig2Scenario
+
+        assert not obs.enabled()
+        Fig2Scenario(seed=0).run_fig2a()
+        assert len(obs.get_registry()) == 0
+
+    def test_detect_and_repair_emits_spans(self):
+        from repro.core.pipeline import IntegratedControlPlane, PipelineMode
+        from repro.scenarios.fig2 import Fig2Scenario, bad_lp_change
+        from repro.scenarios.paper_net import paper_policy
+
+        with obs.capturing() as (_registry, tracer):
+            scenario = Fig2Scenario(seed=0)
+            net = scenario.run_baseline()
+            pipeline = IntegratedControlPlane(
+                net, [paper_policy()], mode=PipelineMode.MONITOR
+            )
+            net.apply_config_change(bad_lp_change())
+            net.run(90)
+            pipeline.detect_and_repair()
+            names = {record.name for record in tracer.records}
+        assert "pipeline.detect_and_repair" in names
+        assert "snapshot.wait_until_consistent" in names
