@@ -10,7 +10,6 @@ relate to which) belongs to :mod:`repro.hbr` per the paper's design.
 from __future__ import annotations
 
 from collections import defaultdict
-from time import perf_counter
 from typing import Callable, Dict, Iterable, Iterator, List, Optional
 
 from repro import obs
@@ -35,7 +34,7 @@ class Collector:
         """Add one event to the store and notify subscribers."""
         registry = obs.get_registry()
         if registry.enabled:
-            started = perf_counter()
+            watch = registry.stopwatch()
         if event.event_id in self._by_id:
             raise ValueError(f"duplicate event id {event.event_id}")
         self._events.append(event)
@@ -51,7 +50,7 @@ class Collector:
                 "capture.events_by_kind", kind=event.kind.value
             ).inc()
             registry.histogram("capture.ingest_seconds").observe(
-                perf_counter() - started
+                watch.elapsed()
             )
             registry.gauge("capture.routers_seen").set(len(self._by_router))
 

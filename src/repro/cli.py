@@ -228,6 +228,144 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _default_lint_baseline(paths: List[str]) -> Optional[str]:
+    """Find a committed lint-baseline.json above the first lint path."""
+    import os
+
+    from repro.lint.baseline import BASELINE_FILENAME
+
+    probe = os.path.abspath(paths[0] if paths else os.curdir)
+    if os.path.isfile(probe):
+        probe = os.path.dirname(probe)
+    for _ in range(8):
+        candidate = os.path.join(probe, BASELINE_FILENAME)
+        if os.path.isfile(candidate):
+            return candidate
+        parent = os.path.dirname(probe)
+        if parent == probe:
+            break
+        probe = parent
+    return None
+
+
+def _relativize_findings(findings, root: str):
+    """Rewrite finding paths relative to ``root``.
+
+    Baseline fingerprints embed the path, so they must not depend on
+    the invocation directory; anchoring on the baseline file's own
+    directory (the repo root, by convention) makes `repro lint` give
+    identical fingerprints from any cwd.
+    """
+    import dataclasses
+    import os
+
+    rewritten = []
+    for finding in findings:
+        if finding.path.startswith("<"):
+            rewritten.append(finding)
+            continue
+        relative = os.path.relpath(os.path.abspath(finding.path), root)
+        rewritten.append(dataclasses.replace(finding, path=relative))
+    return rewritten
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.lint import LintRunner, Severity, sort_findings
+    from repro.lint import baseline as baseline_mod
+
+    paths = args.paths or [os.path.dirname(os.path.abspath(__file__))]
+    try:
+        result = LintRunner().run_paths(paths)
+    except FileNotFoundError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        target = (
+            args.baseline
+            if args.baseline not in (None, "none")
+            else _default_lint_baseline(paths)
+            or baseline_mod.BASELINE_FILENAME
+        )
+        anchored = _relativize_findings(
+            result.findings, os.path.dirname(os.path.abspath(target))
+        )
+        count = baseline_mod.save(target, anchored)
+        print(f"wrote {count} grandfathered finding(s) to {target}")
+        return 0
+
+    suppressed = 0
+    stale: List[str] = []
+    baseline_path: Optional[str] = None
+    if args.baseline != "none":
+        baseline_path = args.baseline or _default_lint_baseline(paths)
+        if baseline_path is not None:
+            try:
+                allowed = baseline_mod.load(baseline_path)
+            except (OSError, ValueError) as exc:
+                print(f"repro lint: bad baseline: {exc}", file=sys.stderr)
+                return 2
+            result.findings = _relativize_findings(
+                result.findings,
+                os.path.dirname(os.path.abspath(baseline_path)),
+            )
+            result.findings, suppressed, stale = baseline_mod.apply(
+                result.findings, allowed
+            )
+
+    findings = sort_findings(result.findings)
+    summary = {
+        "files_scanned": result.files_scanned,
+        "findings": len(findings),
+        "by_severity": result.by_severity(),
+        "suppressed_by_pragma": result.suppressed_by_pragma,
+        "suppressed_by_baseline": suppressed,
+        "baseline": baseline_path,
+        "stale_baseline_entries": stale,
+    }
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "tool": "repro lint",
+                    "version": package_version(),
+                    "summary": summary,
+                    "findings": [f.to_dict() for f in findings],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        if findings:
+            print(
+                format_table(
+                    ("severity", "rule", "location", "message"),
+                    [
+                        (str(f.severity), f.rule, f.location, f.message)
+                        for f in findings
+                    ],
+                )
+            )
+            print()
+        print(
+            f"{result.files_scanned} file(s) scanned, "
+            f"{len(findings)} finding(s) "
+            f"({result.suppressed_by_pragma} pragma-suppressed, "
+            f"{suppressed} baselined)"
+        )
+        for fingerprint in stale:
+            print(f"stale baseline entry (fixed? remove it): {fingerprint}")
+
+    if args.fail_on == "never":
+        return 0
+    threshold = Severity.parse(args.fail_on)
+    return 1 if any(f.severity >= threshold for f in findings) else 0
+
+
 #: Scenarios runnable under ``repro stats`` (demos + the audit tour).
 _STATS_SCENARIOS = dict(_DEMOS)
 _STATS_SCENARIOS["audit"] = _cmd_audit
@@ -317,6 +455,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit nonzero if HBR inference f1 falls below this (CI gate)",
     )
     audit.set_defaults(func=_cmd_audit)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the repo's static-analysis pass (DET/LAY/OBS/HYG rules)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="report format (default: table)",
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=(
+            "baseline file of grandfathered findings ('none' disables; "
+            "default: nearest lint-baseline.json above the lint paths)"
+        ),
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    lint.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "info", "never"),
+        default="error",
+        help="exit nonzero if any finding is at/above this severity "
+        "(default: error)",
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     stats = sub.add_parser(
         "stats",

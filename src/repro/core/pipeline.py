@@ -29,7 +29,6 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from time import perf_counter
 from typing import List, Optional, Sequence, Set, Tuple
 
 from repro import obs
@@ -227,7 +226,7 @@ class IntegratedControlPlane:
     ) -> bool:
         registry = obs.get_registry()
         if registry.enabled:
-            started = perf_counter()
+            watch = registry.stopwatch()
         self.updates_checked += 1
         entry = new if new is not None else old
         if entry is None:
@@ -254,7 +253,7 @@ class IntegratedControlPlane:
                 registry.counter("verify.fib_writes_verified").inc()
                 registry.histogram(
                     "verify.fib_write_latency_seconds"
-                ).observe(perf_counter() - started)
+                ).observe(watch.elapsed())
             return True
         provenance = self._trace_pending_update(router, prefix)
         blocked = self.mode is not PipelineMode.MONITOR
@@ -285,7 +284,7 @@ class IntegratedControlPlane:
             if blocked:
                 registry.counter("verify.fib_writes_blocked").inc()
             registry.histogram("verify.fib_write_latency_seconds").observe(
-                perf_counter() - started
+                watch.elapsed()
             )
         return not blocked
 
@@ -338,7 +337,7 @@ class IntegratedControlPlane:
         self._reverted_change_ids.update(new_ids)
         registry = obs.get_registry()
         if registry.enabled:
-            started = perf_counter()
+            watch = registry.stopwatch()
         # Note: settle=0 here; the revert propagates through the
         # already-running simulation rather than a nested run() call
         # (the guard fires *inside* a simulation event).
@@ -354,7 +353,7 @@ class IntegratedControlPlane:
                 len(new_ids)
             )
             registry.histogram("repair.repair_seconds").observe(
-                perf_counter() - started
+                watch.elapsed()
             )
         # The reverts themselves are config changes; they must never be
         # treated as root causes to revert later (that would oscillate).

@@ -32,7 +32,6 @@ from __future__ import annotations
 import bisect
 from collections import defaultdict
 from dataclasses import dataclass
-from time import perf_counter
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro import obs
@@ -175,7 +174,7 @@ class InferenceEngine:
         """Infer the full HBG for a finished capture."""
         registry = obs.get_registry()
         if registry.enabled:
-            started = perf_counter()
+            watch = registry.stopwatch()
         ordered = sorted(events, key=lambda e: (e.timestamp, e.event_id))
         graph = HappensBeforeGraph()
         for event in ordered:
@@ -187,7 +186,7 @@ class InferenceEngine:
         if registry.enabled:
             registry.counter("inference.batch_builds_total").inc()
             registry.histogram("inference.build_graph_seconds").observe(
-                perf_counter() - started
+                watch.elapsed()
             )
             registry.histogram("inference.build_graph_events").observe(
                 len(ordered)
@@ -275,7 +274,7 @@ class InferenceEngine:
                 if not rule.consequent.matches(cons):
                     continue
                 if timing:
-                    rule_started = perf_counter()
+                    rule_watch = obs.get_registry().stopwatch()
                 try:
                     candidates = [
                         ante
@@ -321,7 +320,7 @@ class InferenceEngine:
                     if timing:
                         obs.get_registry().histogram(
                             "inference.rule_seconds", rule=rule.name
-                        ).observe(perf_counter() - rule_started)
+                        ).observe(rule_watch.elapsed())
 
         if self.config.use_patterns and self.miner is not None:
             threshold = self.config.pattern_confidence_threshold
@@ -379,7 +378,7 @@ class StreamingInference:
     def observe(self, event: IOEvent) -> None:
         registry = obs.get_registry()
         if registry.enabled:
-            started = perf_counter()
+            watch = registry.stopwatch()
         position = bisect.bisect_right(self._times, event.timestamp)
         self._ordered.insert(position, event)
         self._times.insert(position, event.timestamp)
@@ -395,7 +394,7 @@ class StreamingInference:
         if registry.enabled:
             registry.counter("inference.events_observed_total").inc()
             registry.histogram("inference.observe_seconds").observe(
-                perf_counter() - started
+                watch.elapsed()
             )
             registry.gauge("inference.hbg_events").set(len(self.graph))
             registry.gauge("inference.hbg_edges").set(self.graph.edge_count())

@@ -1,0 +1,62 @@
+"""repro.lint — AST-based static analysis for this repository.
+
+The paper's happens-before inference is only trustworthy if the
+trace-producing layers are strictly deterministic (§4.2); this
+package machine-checks that property — plus the architectural
+layering and instrumentation invariants — on every commit, via
+``repro lint`` and the CI lint job.
+
+Rule families (full catalogue in ``docs/STATIC_ANALYSIS.md``):
+
+* **DET** — determinism: no wall clocks or global RNG in the
+  simulator/capture/HBR layers; set iteration must be sorted.
+* **LAY** — layering: imports must follow
+  ``net → protocols → capture → hbr → {snapshot, verify} → repair →
+  cli``; package import cycles are fatal.
+* **OBS** — instrumentation: pipeline-stage entry points must carry
+  a :mod:`repro.obs` span or metric.
+* **HYG** — hygiene: mutable default args, bare ``except``,
+  ``assert`` in shipped source.
+
+Programmatic use::
+
+    from repro.lint import LintRunner, sort_findings
+
+    result = LintRunner().run_paths(["src/repro"])
+    for finding in sort_findings(result.findings):
+        print(finding.location, finding.rule, finding.message)
+"""
+
+from repro.lint import baseline  # noqa: F401  (re-exported submodule)
+from repro.lint.core import (  # noqa: F401
+    RULE_REGISTRY,
+    FileContext,
+    Finding,
+    Rule,
+    Severity,
+    default_rules,
+    register,
+)
+from repro.lint.engine import (  # noqa: F401
+    LintResult,
+    LintRunner,
+    discover_files,
+    module_name_for,
+    sort_findings,
+)
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "LintResult",
+    "LintRunner",
+    "Rule",
+    "RULE_REGISTRY",
+    "Severity",
+    "baseline",
+    "default_rules",
+    "discover_files",
+    "module_name_for",
+    "register",
+    "sort_findings",
+]

@@ -1,0 +1,89 @@
+"""Committed-baseline support: grandfather existing findings.
+
+A baseline is a JSON document mapping finding fingerprints (see
+:meth:`repro.lint.core.Finding.fingerprint`) to a count.  Findings
+matched by the baseline are suppressed up to that count — so a file
+with two grandfathered violations fails the build the moment a third
+appears.  Baseline entries that no longer match anything are reported
+as *stale* so the debt record shrinks as code is fixed.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Tuple
+
+from repro.lint.core import Finding
+
+BASELINE_VERSION = 1
+
+#: Conventional baseline filename, committed at the repo root.
+BASELINE_FILENAME = "lint-baseline.json"
+
+
+def save(path: str, findings: Iterable[Finding]) -> int:
+    """Write a baseline covering ``findings``; returns the entry count."""
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        fp = finding.fingerprint()
+        counts[fp] = counts.get(fp, 0) + 1
+    document = {
+        "version": BASELINE_VERSION,
+        "comment": (
+            "Grandfathered `repro lint` findings. Entries are "
+            "fingerprints (rule|path|message) with a multiplicity; "
+            "remove entries as the underlying debt is paid down. "
+            "Regenerate with: repro lint --write-baseline"
+        ),
+        "findings": dict(sorted(counts.items())),
+    }
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return sum(counts.values())
+
+
+def load(path: str) -> Dict[str, int]:
+    """Fingerprint -> allowed count.  Raises on malformed documents."""
+    with open(path) as handle:
+        document = json.load(handle)
+    if (
+        not isinstance(document, dict)
+        or document.get("version") != BASELINE_VERSION
+        or not isinstance(document.get("findings"), dict)
+    ):
+        raise ValueError(
+            f"{path}: not a v{BASELINE_VERSION} lint baseline document"
+        )
+    findings = document["findings"]
+    for key, value in findings.items():
+        if not isinstance(key, str) or not isinstance(value, int):
+            raise ValueError(f"{path}: malformed baseline entry {key!r}")
+    return dict(findings)
+
+
+def apply(
+    findings: Iterable[Finding], baseline: Dict[str, int]
+) -> Tuple[List[Finding], int, List[str]]:
+    """Split findings against a baseline.
+
+    Returns ``(new_findings, suppressed_count, stale_fingerprints)``:
+    findings beyond each fingerprint's allowance are *new*; baseline
+    entries never consumed at all are *stale*.
+    """
+    remaining = dict(baseline)
+    new: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        fp = finding.fingerprint()
+        if remaining.get(fp, 0) > 0:
+            remaining[fp] -= 1
+            suppressed += 1
+        else:
+            new.append(finding)
+    stale = sorted(
+        fp
+        for fp, allowed in remaining.items()
+        if allowed == baseline.get(fp, 0) and allowed > 0
+    )
+    return new, suppressed, stale

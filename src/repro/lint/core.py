@@ -1,0 +1,226 @@
+"""Framework primitives for :mod:`repro.lint`.
+
+The linter is a single-pass :mod:`ast` analysis: each file is parsed
+once, every rule registers the node types it cares about, and the
+engine walks the tree a single time dispatching nodes to interested
+rules (see :mod:`repro.lint.engine`).  This module holds the pieces
+rules are built from:
+
+* :class:`Severity` — ordered ``info < warning < error``;
+* :class:`Finding` — one diagnostic, with a location-independent
+  fingerprint used by the baseline;
+* :class:`Rule` + :func:`register` — the plugin registry;
+* :class:`FileContext` — parsed tree, module identity, source lines,
+  and the ``# repro: lint-ignore[...]`` pragma index for one file.
+
+Suppression pragmas go on the line that triggers the finding::
+
+    import time  # repro: lint-ignore[DET001] -- vendored shim
+
+``lint-ignore[*]`` silences every rule on that line.  A file may also
+declare its module identity (used by fixtures and by code linted
+outside ``src/``)::
+
+    # repro: lint-module=repro.net.fake
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Type
+
+
+class Severity(enum.IntEnum):
+    """Finding severities; comparisons follow escalation order."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {text!r}; expected one of "
+                f"{', '.join(s.name.lower() for s in cls)}"
+            ) from None
+
+    def __str__(self) -> str:  # pragma: no cover - repr sugar
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic emitted by a rule."""
+
+    rule: str
+    severity: Severity
+    path: str
+    module: str
+    line: int
+    col: int
+    message: str
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def fingerprint(self) -> str:
+        """Baseline identity: stable across moves within a file.
+
+        Deliberately excludes line/column so that unrelated edits
+        above a grandfathered finding do not invalidate the baseline.
+        """
+        return f"{self.rule}|{self.path}|{self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "path": self.path,
+            "module": self.module,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+_PRAGMA_RE = re.compile(r"#\s*repro:\s*lint-ignore\[([^\]]*)\]")
+_MODULE_RE = re.compile(r"^#\s*repro:\s*lint-module=([A-Za-z0-9_.]+)\s*$")
+
+#: Pseudo-rule name matching every rule in a pragma.
+IGNORE_ALL = "*"
+
+
+def scan_pragmas(lines: Sequence[str]) -> Dict[int, Set[str]]:
+    """Map 1-based line number -> set of rule names ignored there."""
+    pragmas: Dict[int, Set[str]] = {}
+    for number, text in enumerate(lines, start=1):
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        names = {
+            part.strip()
+            for part in match.group(1).split(",")
+            if part.strip()
+        }
+        if names:
+            pragmas[number] = names
+    return pragmas
+
+
+def scan_module_directive(lines: Sequence[str]) -> Optional[str]:
+    """The ``lint-module=`` override, if declared in the first lines."""
+    for text in lines[:5]:
+        match = _MODULE_RE.match(text.strip())
+        if match is not None:
+            return match.group(1)
+    return None
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may ask about the file under analysis."""
+
+    path: str  #: path as given to the engine (repo-relative when possible)
+    module: str  #: dotted module name, e.g. ``repro.net.simulator``
+    tree: ast.AST
+    lines: List[str] = field(default_factory=list)
+    pragmas: Dict[int, Set[str]] = field(default_factory=dict)
+
+    @property
+    def package(self) -> str:
+        """Top-level subpackage under ``repro`` ('' when not repro code)."""
+        parts = self.module.split(".")
+        if len(parts) >= 2 and parts[0] == "repro":
+            return parts[1]
+        return ""
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        names = self.pragmas.get(line)
+        if not names:
+            return False
+        return rule in names or IGNORE_ALL in names
+
+    def finding(
+        self,
+        rule: "Rule",
+        node: ast.AST,
+        message: str,
+        severity: Optional[Severity] = None,
+    ) -> Finding:
+        return Finding(
+            rule=rule.name,
+            severity=severity if severity is not None else rule.severity,
+            path=self.path,
+            module=self.module,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set :attr:`name`, :attr:`severity`, :attr:`description`
+    and :attr:`node_types`, then implement any of:
+
+    * :meth:`visit` — called once per matching node during the single
+      shared tree walk;
+    * :meth:`finish_file` — called after each file's walk (whole-tree
+      analyses such as qualified-name lookups);
+    * :meth:`finish_project` — called once after every file, for
+      cross-file analyses (the import graph).
+
+    Each hook returns an iterable of :class:`Finding` (or ``None``).
+    Rules are instantiated fresh per engine run, so instance state is
+    private to one run.
+    """
+
+    name: str = "RULE000"
+    severity: Severity = Severity.ERROR
+    description: str = ""
+    #: AST node classes this rule's :meth:`visit` is dispatched for.
+    node_types: Tuple[Type[ast.AST], ...] = ()
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Whether this rule runs on ``ctx`` at all (default: yes)."""
+        return True
+
+    def visit(
+        self, node: ast.AST, ctx: FileContext
+    ) -> Optional[Iterable[Finding]]:
+        return None
+
+    def finish_file(self, ctx: FileContext) -> Optional[Iterable[Finding]]:
+        return None
+
+    def finish_project(self) -> Optional[Iterable[Finding]]:
+        return None
+
+
+#: All registered rule classes, keyed by rule name.
+RULE_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to :data:`RULE_REGISTRY`."""
+    if not cls.name or cls.name in RULE_REGISTRY:
+        raise ValueError(f"duplicate or empty rule name: {cls.name!r}")
+    RULE_REGISTRY[cls.name] = cls
+    return cls
+
+
+def default_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, in name order."""
+    # Importing the rule modules populates the registry; done lazily
+    # so `import repro.lint.core` alone has no side effects.
+    from repro.lint import rules  # noqa: F401
+
+    return [RULE_REGISTRY[name]() for name in sorted(RULE_REGISTRY)]

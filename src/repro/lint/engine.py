@@ -1,0 +1,236 @@
+"""The lint engine: file discovery, the single-pass walk, dispatch.
+
+One run = one :class:`LintRunner`.  For every file the engine parses
+the source once, asks each rule whether it applies, and then walks
+the tree a single time, dispatching each node to the rules that
+registered interest in its type.  File-level hooks run after the
+walk; project-level hooks (the import-graph rules) run after the last
+file.  Pragma suppression happens centrally so individual rules never
+need to think about it.
+
+The engine is itself instrumented with :mod:`repro.obs` — ``repro
+--metrics lint`` reports files scanned, findings per rule, and wall
+time like any other pipeline stage.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
+
+from repro import obs
+from repro.lint.core import (
+    FileContext,
+    Finding,
+    Rule,
+    Severity,
+    default_rules,
+    scan_module_directive,
+    scan_pragmas,
+)
+
+
+@dataclass
+class LintResult:
+    """Outcome of one engine run (before baseline application)."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    suppressed_by_pragma: int = 0
+
+    def by_severity(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            key = str(finding.severity)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def worst(self) -> Optional[Severity]:
+        return max(
+            (f.severity for f in self.findings), default=None
+        )
+
+
+def discover_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted, deduplicated .py list."""
+    seen = {}
+    for path in paths:
+        if os.path.isfile(path):
+            seen[os.path.normpath(path)] = True
+        elif os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames.sort()
+                dirnames[:] = [
+                    d for d in dirnames if d != "__pycache__"
+                ]
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        seen[
+                            os.path.normpath(os.path.join(dirpath, filename))
+                        ] = True
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(seen)
+
+
+def module_name_for(path: str) -> str:
+    """Derive a dotted module name from a file path.
+
+    Walks the path for a ``repro`` package component (the layout is
+    ``src/repro/...``); anything outside the package lints under its
+    bare stem unless the file declares ``# repro: lint-module=...``.
+    """
+    normalized = os.path.normpath(path)
+    parts = normalized.split(os.sep)
+    if "repro" in parts:
+        index = parts.index("repro")
+        dotted = parts[index:]
+        dotted[-1] = dotted[-1][:-3]  # strip .py
+        if dotted[-1] == "__init__":
+            dotted = dotted[:-1]
+        return ".".join(dotted)
+    return os.path.basename(normalized)[:-3]
+
+
+class LintRunner:
+    """Drives a rule set over a file list in a single AST pass each."""
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None):
+        self.rules: List[Rule] = (
+            list(rules) if rules is not None else default_rules()
+        )
+
+    # -- public API --------------------------------------------------------
+
+    def run_paths(self, paths: Sequence[str]) -> LintResult:
+        registry = obs.get_registry()
+        if registry.enabled:
+            watch = registry.stopwatch()
+        result = LintResult()
+        with obs.span("lint.run"):
+            for path in discover_files(paths):
+                self._lint_file(path, result)
+            self._finish_project(result)
+        if registry.enabled:
+            registry.counter("lint.runs_total").inc()
+            registry.histogram("lint.run_seconds").observe(watch.elapsed())
+            registry.gauge("lint.files_scanned").set(result.files_scanned)
+            for finding in result.findings:
+                registry.counter(
+                    "lint.findings_total", rule=finding.rule
+                ).inc()
+        return result
+
+    def run_source(
+        self, source: str, path: str = "<string>", module: str = ""
+    ) -> LintResult:
+        """Lint one in-memory source blob (tests, fixtures, tooling)."""
+        result = LintResult()
+        self._lint_source(source, path, result, module=module)
+        self._finish_project(result)
+        return result
+
+    # -- internals ---------------------------------------------------------
+
+    def _lint_file(self, path: str, result: LintResult) -> None:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                source = handle.read()
+        except (OSError, UnicodeDecodeError) as exc:
+            result.findings.append(
+                Finding(
+                    rule="PARSE",
+                    severity=Severity.ERROR,
+                    path=path,
+                    module="",
+                    line=1,
+                    col=0,
+                    message=f"cannot read file: {exc}",
+                )
+            )
+            return
+        self._lint_source(source, path, result)
+
+    def _lint_source(
+        self,
+        source: str,
+        path: str,
+        result: LintResult,
+        module: str = "",
+    ) -> None:
+        lines = source.splitlines()
+        declared = scan_module_directive(lines)
+        module = declared or module or module_name_for(path)
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            result.findings.append(
+                Finding(
+                    rule="PARSE",
+                    severity=Severity.ERROR,
+                    path=path,
+                    module=module,
+                    line=exc.lineno or 1,
+                    col=exc.offset or 0,
+                    message=f"syntax error: {exc.msg}",
+                )
+            )
+            return
+        ctx = FileContext(
+            path=path,
+            module=module,
+            tree=tree,
+            lines=lines,
+            pragmas=scan_pragmas(lines),
+        )
+        result.files_scanned += 1
+        active = [rule for rule in self.rules if rule.applies_to(ctx)]
+        if not active:
+            return
+        dispatch: Dict[Type[ast.AST], List[Rule]] = {}
+        for rule in active:
+            for node_type in rule.node_types:
+                dispatch.setdefault(node_type, []).append(rule)
+        if dispatch:
+            for node in ast.walk(tree):
+                interested = dispatch.get(type(node))
+                if not interested:
+                    continue
+                for rule in interested:
+                    self._collect(rule.visit(node, ctx), ctx, result)
+        for rule in active:
+            self._collect(rule.finish_file(ctx), ctx, result)
+
+    def _finish_project(self, result: LintResult) -> None:
+        for rule in self.rules:
+            produced = rule.finish_project()
+            if not produced:
+                continue
+            # Project-level findings carry their own path; pragma
+            # suppression does not apply (no single source line owns
+            # a cross-file property).
+            result.findings.extend(produced)
+
+    @staticmethod
+    def _collect(
+        produced: Optional[Iterable[Finding]],
+        ctx: FileContext,
+        result: LintResult,
+    ) -> None:
+        if not produced:
+            return
+        for finding in produced:
+            if ctx.suppressed(finding.rule, finding.line):
+                result.suppressed_by_pragma += 1
+            else:
+                result.findings.append(finding)
+
+
+def sort_findings(findings: Iterable[Finding]) -> List[Finding]:
+    """Stable display order: severity desc, then path, line, rule."""
+    return sorted(
+        findings,
+        key=lambda f: (-int(f.severity), f.path, f.line, f.rule, f.message),
+    )

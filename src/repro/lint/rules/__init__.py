@@ -1,0 +1,8 @@
+"""Rule plugins; importing this package registers every rule.
+
+Add a new rule by writing a :class:`repro.lint.core.Rule` subclass in
+one of these modules (or a new one imported here) and decorating it
+with :func:`repro.lint.core.register`.  See docs/STATIC_ANALYSIS.md.
+"""
+
+from repro.lint.rules import det, hyg, lay, obs_rules  # noqa: F401

@@ -1,0 +1,191 @@
+"""DET — determinism rules.
+
+The happens-before inference (§4.2 of the paper) is only trustworthy
+if the I/O trace it consumes is faithful, which in this reproduction
+means the simulator and capture layers are strictly deterministic:
+logical clocks, injected seeded RNG, and order-stable iteration.
+These rules machine-check that property on every commit.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from repro.lint.core import FileContext, Finding, Rule, Severity, register
+
+#: Packages whose code must be deterministic: they produce (or shape)
+#: the I/O trace that HBR inference consumes.
+DET_PACKAGES = frozenset({"net", "protocols", "capture", "hbr"})
+
+#: Modules whose import anywhere in a DET package means wall-clock
+#: access.  ``repro.obs`` owns the only sanctioned clock (Stopwatch).
+_CLOCK_MODULES = frozenset({"time", "datetime"})
+
+#: The only constructor allowed from the ``random`` module: an
+#: explicitly seeded (or explicitly injected) generator instance.
+_ALLOWED_RANDOM_NAMES = frozenset({"Random"})
+
+#: Methods that return sets regardless of receiver type — iterating
+#: their result unsorted is order-unstable across processes.
+_SET_RETURNING_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference"}
+)
+
+
+@register
+class WallClockRule(Rule):
+    """DET001: no wall-clock access in deterministic layers.
+
+    Simulation semantics must come from the logical simulator clock;
+    wall time for metrics comes from ``registry.stopwatch()`` /
+    ``obs.Stopwatch`` so the clock stays quarantined in ``repro.obs``.
+    """
+
+    name = "DET001"
+    severity = Severity.ERROR
+    description = (
+        "wall-clock import (time/datetime) in a deterministic layer; "
+        "use the logical simulator clock or obs.Stopwatch"
+    )
+    node_types = (ast.Import, ast.ImportFrom)
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.package in DET_PACKAGES
+
+    def visit(
+        self, node: ast.AST, ctx: FileContext
+    ) -> Optional[Iterable[Finding]]:
+        modules: List[str] = []
+        if isinstance(node, ast.Import):
+            modules = [alias.name.split(".")[0] for alias in node.names]
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is not None and node.level == 0:
+                modules = [node.module.split(".")[0]]
+        findings = []
+        for module in modules:
+            if module in _CLOCK_MODULES:
+                findings.append(
+                    ctx.finding(
+                        self,
+                        node,
+                        f"deterministic layer '{ctx.package}' imports "
+                        f"wall-clock module '{module}'; use the logical "
+                        "sim clock or an obs.Stopwatch",
+                    )
+                )
+        return findings
+
+
+@register
+class GlobalRandomRule(Rule):
+    """DET002: no use of the process-global ``random`` RNG.
+
+    The module-level functions share unseeded global state, so two
+    call sites perturb each other and replays diverge.  Only
+    ``random.Random(seed)`` instances (injected per run) are allowed.
+    """
+
+    name = "DET002"
+    severity = Severity.ERROR
+    description = (
+        "module-level random.* call or import (shared unseeded state); "
+        "inject a seeded random.Random instance instead"
+    )
+    node_types = (ast.ImportFrom, ast.Call)
+
+    def visit(
+        self, node: ast.AST, ctx: FileContext
+    ) -> Optional[Iterable[Finding]]:
+        if isinstance(node, ast.ImportFrom):
+            if node.module != "random" or node.level != 0:
+                return None
+            return [
+                ctx.finding(
+                    self,
+                    node,
+                    f"'from random import {alias.name}' pulls in the "
+                    "process-global RNG; use random.Random(seed)",
+                )
+                for alias in node.names
+                if alias.name not in _ALLOWED_RANDOM_NAMES
+            ]
+        if not isinstance(node, ast.Call):
+            return None
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "random"
+            and func.attr not in _ALLOWED_RANDOM_NAMES
+        ):
+            return [
+                ctx.finding(
+                    self,
+                    node,
+                    f"random.{func.attr}() uses the process-global RNG; "
+                    "use an injected random.Random(seed) instance",
+                )
+            ]
+        return None
+
+
+@register
+class UnsortedSetIterationRule(Rule):
+    """DET003: iteration over a set must go through ``sorted(...)``.
+
+    Set iteration order depends on insertion history and element
+    hashes (salted per process for strings), so any ordering-sensitive
+    consumer — event scheduling, HBG edge construction — silently
+    drifts between runs.  Wrapping the iterable in ``sorted()``
+    removes the hazard (the ``for``/comprehension then iterates the
+    sorted list, so no finding fires).
+
+    Heuristic: only expressions that are *statically known* to be
+    sets are flagged (set displays, ``set(...)``, set comprehensions,
+    and ``.union()``-family calls); variables of set type are beyond
+    a single-pass syntactic check and are documented as a limitation.
+    """
+
+    name = "DET003"
+    severity = Severity.WARNING
+    description = (
+        "iteration over an unsorted set in ordering-sensitive code; "
+        "wrap the iterable in sorted(...)"
+    )
+    node_types = (ast.For, ast.comprehension)
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.package in DET_PACKAGES
+
+    def _is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "set":
+                return True
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _SET_RETURNING_METHODS
+            ):
+                return True
+        return False
+
+    def visit(
+        self, node: ast.AST, ctx: FileContext
+    ) -> Optional[Iterable[Finding]]:
+        if not isinstance(node, (ast.For, ast.comprehension)):
+            return None
+        iterable = node.iter
+        if not self._is_set_expr(iterable):
+            return None
+        anchor = node if isinstance(node, ast.For) else iterable
+        return [
+            ctx.finding(
+                self,
+                anchor,
+                "iterating an unsorted set in deterministic layer "
+                f"'{ctx.package}'; wrap in sorted(...) to stabilise order",
+            )
+        ]

@@ -1,0 +1,131 @@
+"""HYG — hygiene rules: failure modes Python makes easy to write.
+
+These are not style nits; each one is a latent correctness bug:
+mutable defaults alias state across calls, bare ``except`` swallows
+``KeyboardInterrupt``/``SystemExit``, and ``assert`` disappears under
+``python -O`` so a load-bearing check silently stops checking.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from repro.lint.core import FileContext, Finding, Rule, Severity, register
+
+_MUTABLE_CALLS = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "OrderedDict"}
+)
+
+
+def _is_test_code(ctx: FileContext) -> bool:
+    # Module identity, not path: fixtures under tests/ may declare a
+    # repro.* lint-module and must then be linted as library code.
+    head = ctx.module.split(".")[0]
+    return head == "tests" or head.startswith("test_") or head == "conftest"
+
+
+@register
+class MutableDefaultRule(Rule):
+    """HYG001: mutable default argument values."""
+
+    name = "HYG001"
+    severity = Severity.ERROR
+    description = (
+        "mutable default argument; the object is shared across calls — "
+        "default to None and create inside the function"
+    )
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+    def visit(
+        self, node: ast.AST, ctx: FileContext
+    ) -> Optional[Iterable[Finding]]:
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            return None
+        args = node.args
+        defaults = list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]
+        findings: List[Finding] = []
+        for default in defaults:
+            mutable = isinstance(
+                default, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                          ast.DictComp, ast.SetComp)
+            ) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in _MUTABLE_CALLS
+            )
+            if mutable:
+                label = (
+                    node.name
+                    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    else "<lambda>"
+                )
+                findings.append(
+                    ctx.finding(
+                        self,
+                        default,
+                        f"mutable default argument in '{label}'; "
+                        "use None and construct per call",
+                    )
+                )
+        return findings
+
+
+@register
+class BareExceptRule(Rule):
+    """HYG002: bare ``except:`` clauses."""
+
+    name = "HYG002"
+    severity = Severity.ERROR
+    description = (
+        "bare except swallows KeyboardInterrupt/SystemExit; catch "
+        "Exception (or narrower) instead"
+    )
+    node_types = (ast.ExceptHandler,)
+
+    def visit(
+        self, node: ast.AST, ctx: FileContext
+    ) -> Optional[Iterable[Finding]]:
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            return [
+                ctx.finding(
+                    self,
+                    node,
+                    "bare 'except:'; catch Exception or a narrower type",
+                )
+            ]
+        return None
+
+
+@register
+class AssertInSourceRule(Rule):
+    """HYG003: ``assert`` in shipped source (stripped under ``-O``)."""
+
+    name = "HYG003"
+    severity = Severity.ERROR
+    description = (
+        "assert in src/ is compiled away under python -O; raise an "
+        "explicit exception for load-bearing checks"
+    )
+    node_types = (ast.Assert,)
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return not _is_test_code(ctx)
+
+    def visit(
+        self, node: ast.AST, ctx: FileContext
+    ) -> Optional[Iterable[Finding]]:
+        if not isinstance(node, ast.Assert):
+            return None
+        return [
+            ctx.finding(
+                self,
+                node,
+                "'assert' in library code vanishes under -O; raise "
+                "ValueError/RuntimeError explicitly",
+            )
+        ]

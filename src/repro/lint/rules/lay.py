@@ -1,0 +1,201 @@
+"""LAY — architectural layering rules.
+
+The reproduction's packages form a strict stack::
+
+    net → protocols → capture → hbr → {snapshot, verify} → repair → cli
+
+(an arrow means "may be imported by"; higher layers may import lower
+ones, never the reverse).  ``repro.obs`` and the root ``repro``
+facade are importable from anywhere; ``repro.lint`` sits beside the
+CLI.  LAY001 flags order violations; LAY002 detects import cycles
+between packages, which are always fatal — a cyclic layering cannot
+be reasoned about at all (CB-VER's "stable foundation" argument).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.lint.core import FileContext, Finding, Rule, Severity, register
+
+#: Layer index per top-level subpackage of ``repro``.  Same-layer
+#: imports (snapshot ↔ verify) are allowed as long as they stay
+#: acyclic; LAY002 guards the cycle case.
+LAYERS: Dict[str, int] = {
+    "net": 1,
+    "protocols": 2,
+    "capture": 3,
+    "hbr": 4,
+    "snapshot": 5,
+    "verify": 5,
+    "repair": 6,
+    "whatif": 7,
+    "core": 7,
+    "analysis": 7,
+    "scenarios": 7,
+    "lint": 8,
+    "cli": 8,
+    "__main__": 8,
+}
+
+#: Importable from any layer, in any direction.
+EXEMPT: Set[str] = {"obs", "repro"}
+
+
+def _import_targets(node: ast.AST) -> List[str]:
+    """Dotted ``repro.*`` module names referenced by an import node."""
+    targets: List[str] = []
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            if alias.name == "repro" or alias.name.startswith("repro."):
+                targets.append(alias.name)
+    elif isinstance(node, ast.ImportFrom) and node.level == 0:
+        module = node.module or ""
+        if module == "repro":
+            # `from repro import X` — X may be a subpackage or a
+            # root-level attribute; resolve each alias separately.
+            for alias in node.names:
+                if alias.name in LAYERS or alias.name in EXEMPT:
+                    targets.append(f"repro.{alias.name}")
+                else:
+                    targets.append("repro")
+        elif module.startswith("repro."):
+            targets.append(module)
+    return targets
+
+
+def _package_of(dotted: str) -> str:
+    parts = dotted.split(".")
+    if len(parts) >= 2 and parts[0] == "repro":
+        return parts[1]
+    return "repro"
+
+
+class _ImportGraphMixin:
+    """Shared per-run collection of package-level import edges."""
+
+    node_types = (ast.Import, ast.ImportFrom)
+
+    def __init__(self) -> None:
+        # (src_pkg, dst_pkg) -> first witness (ctx-path, module, node)
+        self.edges: Dict[
+            Tuple[str, str], Tuple[str, str, int, str]
+        ] = {}
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.module.startswith("repro.") and ctx.package != ""
+
+    def record(self, node: ast.AST, ctx: FileContext) -> None:
+        for target in _import_targets(node):
+            dst = _package_of(target)
+            src = ctx.package
+            if src == dst:
+                continue
+            key = (src, dst)
+            if key not in self.edges:
+                self.edges[key] = (
+                    ctx.path,
+                    ctx.module,
+                    getattr(node, "lineno", 1),
+                    target,
+                )
+
+
+@register
+class LayerOrderRule(_ImportGraphMixin, Rule):
+    """LAY001: imports must point down the layer stack."""
+
+    name = "LAY001"
+    severity = Severity.ERROR
+    description = (
+        "import from a higher architectural layer; the stack is "
+        "net → protocols → capture → hbr → {snapshot, verify} → "
+        "repair → cli"
+    )
+
+    def visit(
+        self, node: ast.AST, ctx: FileContext
+    ) -> Optional[Iterable[Finding]]:
+        findings = []
+        src = ctx.package
+        if src in EXEMPT or src not in LAYERS:
+            return None
+        for target in _import_targets(node):
+            dst = _package_of(target)
+            if dst in EXEMPT or dst not in LAYERS or dst == src:
+                continue
+            if LAYERS[dst] > LAYERS[src]:
+                findings.append(
+                    ctx.finding(
+                        self,
+                        node,
+                        f"layer '{src}' (#{LAYERS[src]}) imports "
+                        f"'{target}' from higher layer '{dst}' "
+                        f"(#{LAYERS[dst]})",
+                    )
+                )
+        return findings
+
+
+@register
+class ImportCycleRule(_ImportGraphMixin, Rule):
+    """LAY002: package-level import cycles are always fatal."""
+
+    name = "LAY002"
+    severity = Severity.ERROR
+    description = "import cycle between repro subpackages"
+
+    def visit(
+        self, node: ast.AST, ctx: FileContext
+    ) -> Optional[Iterable[Finding]]:
+        self.record(node, ctx)
+        return None
+
+    def finish_project(self) -> Optional[Iterable[Finding]]:
+        graph: Dict[str, Set[str]] = {}
+        for src, dst in self.edges:
+            graph.setdefault(src, set()).add(dst)
+            graph.setdefault(dst, set())
+        cycles = self._find_cycles(graph)
+        findings = []
+        for cycle in cycles:
+            # Anchor the finding at the first recorded edge of the cycle.
+            head = (cycle[0], cycle[1])
+            path, module, line, target = self.edges[head]
+            findings.append(
+                Finding(
+                    rule=self.name,
+                    severity=self.severity,
+                    path=path,
+                    module=module,
+                    line=line,
+                    col=0,
+                    message=(
+                        "import cycle between packages: "
+                        + " -> ".join(cycle + [cycle[0]])
+                    ),
+                )
+            )
+        return findings
+
+    @staticmethod
+    def _find_cycles(graph: Dict[str, Set[str]]) -> List[List[str]]:
+        """Elementary cycles, canonicalised and deduplicated.
+
+        Iterative DFS with an explicit stack; node order is sorted so
+        the report is deterministic.
+        """
+        cycles: Set[Tuple[str, ...]] = set()
+        for start in sorted(graph):
+            stack: List[Tuple[str, List[str]]] = [(start, [start])]
+            while stack:
+                node, path = stack.pop()
+                for neighbour in sorted(graph.get(node, ())):
+                    if neighbour == start and len(path) > 1:
+                        # Canonical rotation: start at the smallest name.
+                        pivot = path.index(min(path))
+                        cycles.add(tuple(path[pivot:] + path[:pivot]))
+                    elif neighbour not in path and neighbour >= start:
+                        stack.append((neighbour, path + [neighbour]))
+        return [list(c) for c in sorted(cycles)]

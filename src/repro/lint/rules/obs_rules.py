@@ -1,0 +1,121 @@
+"""OBS — instrumentation-coverage rules.
+
+PR 1 instrumented every pipeline stage with :mod:`repro.obs`; the
+``repro stats --require`` CI gate then catches *silently dead*
+metric sections at runtime.  OBS001 closes the static half of that
+loop: the designated stage entry points must keep carrying a span or
+metric, so a refactor cannot drop instrumentation without either
+updating the catalogue below or failing the lint pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.lint.core import FileContext, Finding, Rule, Severity, register
+
+#: module -> qualified names of functions that must be instrumented.
+#: Keep in sync with docs/OBSERVABILITY.md's metric catalogue.
+STAGE_ENTRY_POINTS: Dict[str, Sequence[str]] = {
+    "repro.net.simulator": ("Simulator.run",),
+    "repro.capture.collector": ("Collector.ingest",),
+    "repro.hbr.inference": (
+        "InferenceEngine.build_graph",
+        "StreamingInference.observe",
+    ),
+    "repro.snapshot.base": ("DataPlaneSnapshot.from_fib_events",),
+    "repro.snapshot.consistent": ("ConsistentSnapshotter.snapshot",),
+    "repro.verify.verifier": ("DataPlaneVerifier.verify",),
+    "repro.repair.provenance": ("ProvenanceTracer.trace",),
+    "repro.core.pipeline": ("IntegratedControlPlane._guard",),
+}
+
+#: Names whose presence in a function body counts as instrumentation.
+#: The canonical idiom binds ``registry = obs.get_registry()`` (or
+#: uses ``obs.span`` / ``@obs.traced`` / ``obs.Stopwatch``), so a
+#: reference to ``obs`` — or to an already-bound registry/tracer —
+#: is the reliable witness.
+_OBS_NAMES = frozenset({"obs", "registry", "tracer"})
+
+
+def _collect_functions(
+    tree: ast.AST,
+) -> Dict[str, ast.AST]:
+    """Map ``Class.method`` / ``function`` qualnames to their nodes."""
+    found: Dict[str, ast.AST] = {}
+
+    def walk(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{child.name}"
+                found[qualname] = child
+                walk(child, f"{qualname}.<locals>.")
+            elif isinstance(child, ast.ClassDef):
+                walk(child, f"{prefix}{child.name}.")
+            else:
+                walk(child, prefix)
+
+    walk(tree, "")
+    return found
+
+
+def _references_obs(func: ast.AST) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Name) and node.id in _OBS_NAMES:
+            return True
+    return False
+
+
+@register
+class InstrumentationRule(Rule):
+    """OBS001: stage entry points must carry a span or metric."""
+
+    name = "OBS001"
+    severity = Severity.ERROR
+    description = (
+        "pipeline-stage entry point carries no repro.obs span/metric "
+        "(or the STAGE_ENTRY_POINTS catalogue is stale)"
+    )
+    # No per-node work: the whole check runs over the parsed tree once
+    # per file, and only for modules in the catalogue.
+    node_types = ()
+
+    def __init__(
+        self, entry_points: Optional[Dict[str, Sequence[str]]] = None
+    ) -> None:
+        self.entry_points = (
+            entry_points if entry_points is not None else STAGE_ENTRY_POINTS
+        )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.module in self.entry_points
+
+    def finish_file(self, ctx: FileContext) -> Optional[Iterable[Finding]]:
+        functions = _collect_functions(ctx.tree)
+        findings: List[Finding] = []
+        for qualname in self.entry_points[ctx.module]:
+            func = functions.get(qualname)
+            if func is None:
+                findings.append(
+                    ctx.finding(
+                        self,
+                        ctx.tree,
+                        f"configured stage entry point '{qualname}' not "
+                        "found; update STAGE_ENTRY_POINTS in "
+                        "repro/lint/rules/obs_rules.py",
+                        severity=Severity.ERROR,
+                    )
+                )
+                continue
+            if not _references_obs(func):
+                findings.append(
+                    ctx.finding(
+                        self,
+                        func,
+                        f"stage entry point '{qualname}' has no repro.obs "
+                        "instrumentation (span, counter, histogram or "
+                        "stopwatch)",
+                    )
+                )
+        return findings

@@ -15,7 +15,6 @@ import heapq
 import itertools
 import random
 from dataclasses import dataclass, field
-from time import perf_counter
 from typing import Callable, List, Optional
 
 from repro import obs
@@ -132,7 +131,7 @@ class Simulator:
         processed = 0
         registry = obs.get_registry()
         if registry.enabled:
-            wall_started = perf_counter()
+            watch = registry.stopwatch()
         try:
             while self._heap:
                 if processed >= max_events:
@@ -155,7 +154,7 @@ class Simulator:
         finally:
             self._running = False
             if registry.enabled:
-                wall = perf_counter() - wall_started
+                wall = watch.elapsed()
                 registry.counter("sim.runs_total").inc()
                 registry.counter("sim.events_processed_total").inc(processed)
                 registry.histogram("sim.run_wall_seconds").observe(wall)

@@ -41,6 +41,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     NullRegistry,
+    Stopwatch,
 )
 from repro.obs.tracing import NULL_TRACER, NullTracer, SpanRecord, Tracer
 
@@ -50,6 +51,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NullRegistry",
+    "Stopwatch",
     "Tracer",
     "NullTracer",
     "SpanRecord",

@@ -17,13 +17,19 @@ Instrumented code follows one idiom::
 
     reg = obs.get_registry()
     if reg.enabled:                      # only pay for clocks when on
-        started = time.perf_counter()
+        watch = reg.stopwatch()
     ...work...
     if reg.enabled:
-        reg.histogram("verify.verify_seconds").observe(
-            time.perf_counter() - started
-        )
+        reg.histogram("verify.verify_seconds").observe(watch.elapsed())
     reg.counter("verify.verifications_total").inc()   # no-op when off
+
+The :class:`Stopwatch` returned by ``reg.stopwatch()`` is the *only*
+sanctioned wall-clock read in the deterministic layers (``net``,
+``protocols``, ``capture``, ``hbr``): domain code must never import
+``time``/``datetime`` itself — simulation semantics come from the
+logical simulator clock, and wall time exists solely for
+observability.  The ``DET001`` lint rule (see
+``docs/STATIC_ANALYSIS.md``) enforces this.
 
 Histograms keep exact count/sum/min/max and a bounded reservoir of
 samples (deterministic, seeded) for percentile estimation, so an
@@ -34,6 +40,8 @@ from __future__ import annotations
 
 import math
 import random
+import time
+import zlib
 from typing import Dict, Iterable, List, Optional, Tuple
 
 LabelKey = Tuple[Tuple[str, str], ...]
@@ -54,6 +62,44 @@ def format_metric_name(name: str, labels: LabelKey) -> str:
 def section_of(name: str) -> str:
     """Section = the metric name's leading dotted component."""
     return name.split(".", 1)[0]
+
+
+class Stopwatch:
+    """A started wall clock; the observability layer's only clock.
+
+    Handed out by :meth:`MetricsRegistry.stopwatch` so that
+    deterministic domain code (simulator, capture, HBR) can measure
+    wall time for metrics without importing ``time`` — keeping the
+    wall clock quarantined inside ``repro.obs`` where it cannot leak
+    into simulation semantics.
+    """
+
+    __slots__ = ("_started",)
+
+    def __init__(self) -> None:
+        self._started = time.perf_counter()
+
+    def elapsed(self) -> float:
+        """Seconds since construction (or the last :meth:`restart`)."""
+        return time.perf_counter() - self._started
+
+    def restart(self) -> None:
+        self._started = time.perf_counter()
+
+
+class _NullStopwatch:
+    """Free stand-in handed out by :class:`NullRegistry`."""
+
+    __slots__ = ()
+
+    def elapsed(self) -> float:
+        return 0.0
+
+    def restart(self) -> None:
+        pass
+
+
+_NULL_STOPWATCH = _NullStopwatch()
 
 
 class Counter:
@@ -143,7 +189,13 @@ class Histogram:
         self._min: Optional[float] = None
         self._max: Optional[float] = None
         self._samples: List[float] = []
-        self._rng = random.Random(hash((name, labels)) & 0xFFFFFFFF)
+        # Seed from a *stable* digest of the metric identity.  The
+        # builtin hash() is salted per process (PYTHONHASHSEED), so
+        # using it here would make reservoir contents — and therefore
+        # p50/p95/p99 — drift between otherwise identical runs.
+        self._rng = random.Random(
+            zlib.crc32(format_metric_name(name, labels).encode("utf-8"))
+        )
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -257,6 +309,10 @@ class MetricsRegistry:
             self._histograms[key] = instrument
         return instrument
 
+    def stopwatch(self) -> Stopwatch:
+        """A freshly started :class:`Stopwatch`."""
+        return Stopwatch()
+
     # -- iteration ---------------------------------------------------------
 
     def counters(self) -> List[Counter]:
@@ -359,6 +415,9 @@ class NullRegistry:
 
     def histogram(self, name: str, **labels: str) -> _NullHistogram:
         return _NULL_HISTOGRAM
+
+    def stopwatch(self) -> _NullStopwatch:
+        return _NULL_STOPWATCH
 
     def counters(self) -> List[Counter]:
         return []

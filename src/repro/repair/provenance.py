@@ -15,7 +15,6 @@ withdrawal caused by a dead uplink cannot be usefully blocked).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from time import perf_counter
 from typing import Dict, List, Sequence, Set
 
 from repro import obs
@@ -91,7 +90,7 @@ class ProvenanceTracer:
     def trace(self, event_id: int) -> ProvenanceResult:
         registry = obs.get_registry()
         if registry.enabled:
-            started = perf_counter()
+            watch = registry.stopwatch()
         target = self.graph.event(event_id)
         ancestry = self.graph.ancestors(event_id, self.min_confidence)
         roots = self.graph.root_causes(event_id, self.min_confidence)
@@ -105,7 +104,7 @@ class ProvenanceTracer:
         if registry.enabled:
             registry.counter("repair.provenance_traces_total").inc()
             registry.histogram("repair.provenance_seconds").observe(
-                perf_counter() - started
+                watch.elapsed()
             )
             registry.histogram("repair.provenance_ancestry_size").observe(
                 len(ancestry)

@@ -13,7 +13,6 @@ different amount of history from each router.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from time import perf_counter
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro import obs
@@ -147,7 +146,7 @@ class DataPlaneSnapshot:
         """Replay FIB_UPDATE events (in timestamp order) into tables."""
         registry = obs.get_registry()
         if registry.enabled:
-            started = perf_counter()
+            watch = registry.stopwatch()
         snapshot = cls()
         ordered = sorted(
             (e for e in events if e.kind is IOKind.FIB_UPDATE),
@@ -165,7 +164,7 @@ class DataPlaneSnapshot:
         if registry.enabled:
             registry.counter("snapshot.reconstructions_total").inc()
             registry.histogram("snapshot.reconstruct_seconds").observe(
-                perf_counter() - started
+                watch.elapsed()
             )
             registry.histogram("snapshot.reconstruct_events").observe(
                 len(ordered)

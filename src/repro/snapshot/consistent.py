@@ -27,7 +27,6 @@ advertisement edges.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro import obs
@@ -92,7 +91,7 @@ class ConsistentSnapshotter:
         """
         registry = obs.get_registry()
         if registry.enabled:
-            started = perf_counter()
+            watch = registry.stopwatch()
         visible = self.view.visible_events(at)
         graph = self.engine.build_graph(visible)
         snapshot = DataPlaneSnapshot.from_fib_events(visible, taken_at=at)
@@ -102,7 +101,7 @@ class ConsistentSnapshotter:
             if not report.consistent:
                 registry.counter("snapshot.inconsistent_total").inc()
             registry.histogram("snapshot.consistency_check_seconds").observe(
-                perf_counter() - started
+                watch.elapsed()
             )
             registry.histogram("snapshot.walk_steps").observe(report.steps)
         return snapshot, report

@@ -10,7 +10,6 @@ the violation set and must not be blocked).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -64,7 +63,9 @@ class DataPlaneVerifier:
         self.use_equivalence_classes = use_equivalence_classes
 
     def verify(self, snapshot: DataPlaneSnapshot) -> VerificationResult:
-        started = time.perf_counter()
+        # Unconditional real stopwatch: wall_seconds is part of the
+        # result contract, not just a metric.
+        watch = obs.Stopwatch()
         violations: List[Violation] = []
         probes = 0
         ec_count: Optional[int] = None
@@ -76,7 +77,7 @@ class DataPlaneVerifier:
             found = policy.check(snapshot, self.topology)
             violations.extend(found)
             probes += len(policy.addresses_of_interest(snapshot))
-        elapsed = time.perf_counter() - started
+        elapsed = watch.elapsed()
         registry = obs.get_registry()
         if registry.enabled:
             registry.counter("verify.verifications_total").inc()

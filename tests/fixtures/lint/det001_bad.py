@@ -1,0 +1,8 @@
+# repro: lint-module=repro.net.fixture
+"""Bad: wall-clock import inside a deterministic layer (DET001)."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()

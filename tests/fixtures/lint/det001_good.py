@@ -1,0 +1,10 @@
+# repro: lint-module=repro.net.fixture
+"""Good: wall time only via the obs-owned stopwatch (DET001)."""
+
+from repro import obs
+
+
+def timed_work() -> float:
+    registry = obs.get_registry()
+    watch = registry.stopwatch()
+    return watch.elapsed()

@@ -1,0 +1,10 @@
+# repro: lint-module=repro.scenarios.fixture
+"""Bad: process-global RNG use (DET002)."""
+
+import random
+from random import choice
+
+
+def pick(items):
+    random.shuffle(items)
+    return choice(items)

@@ -1,0 +1,11 @@
+# repro: lint-module=repro.scenarios.fixture
+"""Good: a seeded, injected RNG instance (DET002)."""
+
+import random
+
+
+def pick(items, seed: int):
+    rng = random.Random(seed)
+    shuffled = list(items)
+    rng.shuffle(shuffled)
+    return shuffled[0]

@@ -1,0 +1,9 @@
+# repro: lint-module=repro.hbr.fixture
+"""Bad: unsorted set iteration in ordering-sensitive code (DET003)."""
+
+
+def order_sensitive(event_ids):
+    edges = []
+    for event_id in set(event_ids):
+        edges.append(event_id)
+    return [e for e in {1, 2, 3}] + edges

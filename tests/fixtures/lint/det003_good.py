@@ -1,0 +1,9 @@
+# repro: lint-module=repro.hbr.fixture
+"""Good: set iteration stabilised with sorted() (DET003)."""
+
+
+def order_sensitive(event_ids):
+    edges = []
+    for event_id in sorted(set(event_ids)):
+        edges.append(event_id)
+    return [e for e in sorted({1, 2, 3})] + edges

@@ -1,0 +1,12 @@
+# repro: lint-module=repro.analysis.fixture
+"""Bad: mutable default arguments (HYG001)."""
+
+
+def accumulate(item, bucket=[]):
+    bucket.append(item)
+    return bucket
+
+
+def index(key, table={}, *, tags=set()):
+    table[key] = tags
+    return table

@@ -1,0 +1,9 @@
+# repro: lint-module=repro.analysis.fixture
+"""Bad: bare except (HYG002)."""
+
+
+def swallow(fn):
+    try:
+        return fn()
+    except:
+        return None

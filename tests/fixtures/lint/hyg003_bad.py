@@ -1,0 +1,7 @@
+# repro: lint-module=repro.analysis.fixture
+"""Bad: load-bearing assert in shipped source (HYG003)."""
+
+
+def install(entry):
+    assert entry is not None, "entry required"
+    return entry

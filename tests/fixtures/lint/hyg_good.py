@@ -1,0 +1,24 @@
+# repro: lint-module=repro.analysis.fixture
+"""Good counterparts for every HYG rule."""
+
+from typing import Optional
+
+
+def accumulate(item, bucket: Optional[list] = None):
+    if bucket is None:
+        bucket = []
+    bucket.append(item)
+    return bucket
+
+
+def guarded(fn):
+    try:
+        return fn()
+    except Exception:
+        return None
+
+
+def install(entry):
+    if entry is None:
+        raise ValueError("entry required")
+    return entry

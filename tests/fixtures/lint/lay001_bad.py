@@ -1,0 +1,8 @@
+# repro: lint-module=repro.net.fixture
+"""Bad: a low layer importing a high one (LAY001)."""
+
+from repro.cli import main
+
+
+def run():
+    return main(["--version"])

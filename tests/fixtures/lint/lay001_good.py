@@ -1,0 +1,10 @@
+# repro: lint-module=repro.cli
+"""Good: a high layer importing low ones (LAY001)."""
+
+from repro import obs
+from repro.net.addr import Prefix
+
+
+def run():
+    obs.get_registry()
+    return Prefix

@@ -1,0 +1,8 @@
+# repro: lint-module=repro.snapshot.cyc_a
+"""Half of a same-layer import cycle (LAY002); see cyc_b.py."""
+
+from repro.verify.cyc_b import beta
+
+
+def alpha():
+    return beta()

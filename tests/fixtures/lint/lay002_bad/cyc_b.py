@@ -1,0 +1,8 @@
+# repro: lint-module=repro.verify.cyc_b
+"""Other half of the snapshot <-> verify cycle (LAY002)."""
+
+from repro.snapshot.cyc_a import alpha
+
+
+def beta():
+    return alpha()

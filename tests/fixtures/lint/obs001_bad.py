@@ -1,0 +1,10 @@
+# repro: lint-module=repro.capture.collector
+"""Bad: a stage entry point with no obs instrumentation (OBS001)."""
+
+
+class Collector:
+    def __init__(self):
+        self.events = []
+
+    def ingest(self, event):
+        self.events.append(event)

@@ -1,0 +1,14 @@
+# repro: lint-module=repro.capture.collector
+"""Good: the stage entry point records a metric (OBS001)."""
+
+from repro import obs
+
+
+class Collector:
+    def __init__(self):
+        self.events = []
+
+    def ingest(self, event):
+        registry = obs.get_registry()
+        self.events.append(event)
+        registry.counter("capture.events_total").inc()

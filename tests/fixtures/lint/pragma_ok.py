@@ -1,0 +1,8 @@
+# repro: lint-module=repro.net.fixture
+"""A DET001 violation silenced by an inline pragma."""
+
+import time  # repro: lint-ignore[DET001] -- fixture demonstrating pragmas
+
+
+def stamp() -> float:
+    return time.time()
