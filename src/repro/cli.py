@@ -418,6 +418,113 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         obs.disable()
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    """Run a differential-oracle fuzz campaign (or replay an artifact)."""
+    import json
+    from pathlib import Path
+
+    from repro.testkit import (
+        FuzzRunner,
+        artifact_matches_expectation,
+        load_artifact,
+    )
+    from repro.testkit.oracles import ORACLES
+
+    if args.replay:
+        try:
+            artifact = load_artifact(Path(args.replay))
+            verdict = artifact_matches_expectation(artifact)
+        except ValueError as exc:
+            print(f"repro fuzz: {exc}", file=sys.stderr)
+            return 2
+        except AssertionError as exc:
+            print(f"repro fuzz: replay mismatch: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"replayed {args.replay}: oracle {artifact.oracle} is "
+            f"{'passing' if verdict.ok else 'failing'}, as recorded "
+            f"(expect={artifact.expect})"
+        )
+        return 0
+
+    oracle_names = None
+    if args.oracle:
+        oracle_names = [
+            name
+            for chunk in args.oracle
+            for name in chunk.split(",")
+            if name
+        ]
+        unknown = sorted(set(oracle_names) - set(ORACLES))
+        if unknown:
+            print(
+                f"repro fuzz: unknown oracle(s): {', '.join(unknown)} "
+                f"(known: {', '.join(ORACLES)})",
+                file=sys.stderr,
+            )
+            return 2
+
+    artifacts_dir = (
+        None if args.artifacts_dir == "none" else Path(args.artifacts_dir)
+    )
+    # Instrument even without the global --metrics flag, so the run
+    # always exercises the obs layer; only print what was asked for.
+    was_enabled = obs.enabled()
+    if not was_enabled:
+        obs.enable()
+    try:
+        runner = FuzzRunner(
+            oracle_names=oracle_names,
+            artifacts_dir=artifacts_dir,
+            shrink_failures=not args.no_shrink,
+        )
+        report = runner.run(
+            seed=args.seed, cases=args.cases, minutes=args.minutes
+        )
+    finally:
+        if not was_enabled:
+            obs.disable()
+
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        failures = report.failures
+        if failures:
+            rows = []
+            for result in failures:
+                for verdict in result.verdicts:
+                    if verdict.ok:
+                        continue
+                    events = str(result.events)
+                    if result.shrink is not None:
+                        events += f"→{result.shrink['shrunk_events']}"
+                    rows.append(
+                        (
+                            str(result.index),
+                            verdict.oracle,
+                            events,
+                            result.artifact_path or "-",
+                            verdict.detail[:90],
+                        )
+                    )
+            print(
+                format_table(
+                    ("case", "oracle", "events", "artifact", "detail"), rows
+                )
+            )
+            print()
+        print(
+            f"fuzz seed={report.seed}: {report.cases} case(s), "
+            f"{len(failures)} failing, {report.budget_skipped} skipped "
+            f"(budget), oracles: {', '.join(report.oracles)}"
+        )
+        print(f"campaign digest: {report.campaign_digest}")
+
+    if report.failures and args.fail_on_finding:
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -535,6 +642,70 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--events", type=int, default=12)
     stats.add_argument("--min-f1", type=float, default=0.0)
     stats.set_defaults(func=_cmd_stats)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="fuzz the pipeline with differential oracles (repro.testkit)",
+    )
+    fuzz.add_argument(
+        "--cases",
+        type=int,
+        default=25,
+        help="number of fuzz cases to run (default: 25)",
+    )
+    # Also accepted after the subcommand (CI invokes `fuzz --seed N`).
+    fuzz.add_argument(
+        "--seed", type=int, default=argparse.SUPPRESS, help=argparse.SUPPRESS
+    )
+    fuzz.add_argument(
+        "--oracle",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help=(
+            "oracle(s) to run — repeatable or comma-separated "
+            "(default: all of snapshot-consistency, hbg-distributed, "
+            "whatif-replay, provenance-rollback, replay-determinism)"
+        ),
+    )
+    fuzz.add_argument(
+        "--minutes",
+        type=float,
+        default=None,
+        help="wall-clock budget; remaining cases are skipped once spent",
+    )
+    fuzz.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="report format (default: table)",
+    )
+    fuzz.add_argument(
+        "--fail-on-finding",
+        action="store_true",
+        help="exit nonzero if any oracle fails (CI gate)",
+    )
+    fuzz.add_argument(
+        "--artifacts-dir",
+        default="tests/fixtures/fuzz_regressions",
+        metavar="DIR",
+        help=(
+            "where to write shrunk repro artifacts for failures "
+            "('none' disables; default: tests/fixtures/fuzz_regressions)"
+        ),
+    )
+    fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="persist failing cases without delta-debugging them first",
+    )
+    fuzz.add_argument(
+        "--replay",
+        default=None,
+        metavar="FILE",
+        help="replay one artifact file instead of fuzzing",
+    )
+    fuzz.set_defaults(func=_cmd_fuzz)
     return parser
 
 

@@ -29,6 +29,7 @@ STAGE_ENTRY_POINTS: Dict[str, Sequence[str]] = {
     "repro.verify.verifier": ("DataPlaneVerifier.verify",),
     "repro.repair.provenance": ("ProvenanceTracer.trace",),
     "repro.core.pipeline": ("IntegratedControlPlane._guard",),
+    "repro.testkit.runner": ("FuzzRunner.run",),
 }
 
 #: Names whose presence in a function body counts as instrumentation.

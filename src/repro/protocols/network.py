@@ -269,8 +269,16 @@ class Network:
                 return
             link.up = up
             # Both endpoints observe the hardware status change.
+            endpoints = set(link.endpoints())
             for name in link.endpoints():
                 self.runtime(name).handle_link_status(link, up)
+            # iBGP reachability is transitive, so a link change can
+            # sever or heal sessions between routers far from the
+            # link; without this, updates sent across a partition are
+            # lost forever (no session bounce → no re-advertisement).
+            for name in sorted(self.runtimes):
+                if name not in endpoints:
+                    self.runtimes[name].reconcile_sessions()
 
         state = "up" if up else "down"
         self._at(at, do_set, f"link:{router_a}-{router_b}:{state}")

@@ -735,14 +735,50 @@ class RouterRuntime:
             attrs={"link": iface.name, "status": "up" if up else "down"},
         )
         self.refresh_fib(iface.prefix, causes=(ev_hw,))
-        far = link.other_end(self.name).router
-        self._reconcile_session(far, ev_hw)
+        # Every session may be affected, not just the direct peer's:
+        # iBGP sessions ride the IGP, so losing this link can sever
+        # sessions with routers reachable only through it.
+        for peer in sorted(self.bgp.sessions):
+            self._reconcile_session(peer, ev_hw)
         if not up:
-            self._dv_handle_link_down(far, ev_hw)
+            self._dv_handle_link_down(link.other_end(self.name).router, ev_hw)
         if self.ospf is not None and iface.name in self.config.ospf_interfaces:
             self._reoriginate_lsa(causes=(ev_hw,))
+            if up:
+                self._ospf_database_exchange(
+                    link.other_end(self.name).router, causes=(ev_hw,)
+                )
             self._schedule_spf(causes=(ev_hw,))
         return ev_hw
+
+    def reconcile_sessions(self) -> None:
+        """Re-check every BGP session against current reachability.
+
+        Called on routers *not* adjacent to a changed link: their
+        iBGP sessions ride the IGP, so a distant link failure can
+        sever (or heal) them without any local hardware event.  The
+        hold-timer expiry / session re-establishment the router would
+        observe is logged as a hardware-status input; reconciliation
+        then replays the normal session up/down handling, including
+        the Loc-RIB re-advertisement a recovered peer needs.
+        """
+        for peer in sorted(self.bgp.sessions):
+            state = self.bgp.session(peer)
+            if state is None:
+                continue
+            reachable = self._peer_reachable(peer, state.config)
+            if state.up == reachable:
+                continue
+            ev = self._log(
+                IOKind.HARDWARE_STATUS,
+                causes=(),
+                peer=peer,
+                attrs={
+                    "session": peer,
+                    "status": "up" if reachable else "down",
+                },
+            )
+            self._reconcile_session(peer, ev)
 
     def _peer_reachable(self, peer: str, config) -> bool:
         """eBGP sessions are single-hop: they need the direct link up.
@@ -809,6 +845,31 @@ class RouterRuntime:
         lsa = self.ospf.originate(self._ospf_adjacencies(), self._ospf_stubs())
         self._flood_lsa(lsa, causes, exclude=None)
 
+    def _send_lsa_to(
+        self,
+        neighbor: str,
+        lsa: LinkStateAdvertisement,
+        causes: Sequence[IOEvent],
+    ) -> None:
+        ev_send = self._log(
+            IOKind.ROUTE_SEND,
+            causes=causes,
+            protocol="ospf",
+            prefix=None,
+            action=RouteAction.ANNOUNCE,
+            peer=neighbor,
+            attrs={"lsa_origin": lsa.origin, "lsa_seq": lsa.seq},
+        )
+        self.messages_sent += 1
+        self.network.deliver_lsa(
+            LsaFlood(
+                sender=self.name,
+                receiver=neighbor,
+                lsa=lsa,
+                send_event_id=ev_send.event_id,
+            )
+        )
+
     def _flood_lsa(
         self,
         lsa: LinkStateAdvertisement,
@@ -818,24 +879,29 @@ class RouterRuntime:
         for neighbor, _cost in self._ospf_adjacencies():
             if neighbor == exclude:
                 continue
-            ev_send = self._log(
-                IOKind.ROUTE_SEND,
-                causes=causes,
-                protocol="ospf",
-                prefix=None,
-                action=RouteAction.ANNOUNCE,
-                peer=neighbor,
-                attrs={"lsa_origin": lsa.origin, "lsa_seq": lsa.seq},
-            )
-            self.messages_sent += 1
-            self.network.deliver_lsa(
-                LsaFlood(
-                    sender=self.name,
-                    receiver=neighbor,
-                    lsa=lsa,
-                    send_event_id=ev_send.event_id,
-                )
-            )
+            self._send_lsa_to(neighbor, lsa, causes)
+
+    def _ospf_database_exchange(
+        self, neighbor: str, causes: Sequence[IOEvent]
+    ) -> None:
+        """RFC 2328 §10 database synchronization, abbreviated.
+
+        When an adjacency (re)forms, the neighbor's LSDB may be
+        arbitrarily stale — LSAs re-originated while the link was
+        down never crossed it.  Real OSPF exchanges database
+        descriptions and requests what's missing; we model the result
+        by sending our entire LSDB, relying on sequence-number
+        comparison at the receiver to discard what it already has and
+        re-flood what its side of the network is missing.
+        """
+        if self.ospf is None:
+            return
+        if neighbor not in {n for n, _ in self._ospf_adjacencies()}:
+            return
+        for origin in sorted(self.ospf.lsdb):
+            if origin == self.name:
+                continue  # just re-originated and flooded
+            self._send_lsa_to(neighbor, self.ospf.lsdb[origin], causes)
 
     def handle_lsa(self, msg: LsaFlood) -> None:
         if self.ospf is None:

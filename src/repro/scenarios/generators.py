@@ -7,9 +7,17 @@ are about arbitrary networks.  These generators build:
   mesh, and a configurable number of eBGP uplinks;
 * churn workloads (external announce/withdraw sequences);
 * misconfiguration campaigns (random local-pref changes on uplinks);
+* link-flap workloads (failure/recovery bursts via the simulator's
+  hardware-status hooks);
 * synthetic FIB tables with a *planted* number of forwarding
   equivalence classes, for the §6 "100 K prefixes, <15 classes"
   experiment.
+
+Every public builder accepts either a ``seed`` or an explicit
+``rng`` (:class:`random.Random`); ``rng`` wins when both are given.
+Passing the same ``rng`` through a sequence of builders replays the
+exact same draw sequence, which is what makes ``repro.testkit`` fuzz
+cases replayable.
 """
 
 from __future__ import annotations
@@ -38,11 +46,12 @@ def random_connected_topology(
     seed: int = 0,
     delay: float = 0.008,
     asn: int = 65000,
+    rng: Optional[random.Random] = None,
 ) -> Topology:
     """A random connected graph: spanning tree + extra random edges."""
     if n < 2:
         raise ValueError("need at least two routers")
-    rng = random.Random(seed)
+    rng = rng if rng is not None else random.Random(seed)
     topo = Topology(f"rand{n}-s{seed}")
     for i in range(n):
         topo.add_router(
@@ -93,13 +102,14 @@ def attach_uplinks(
     delay: float = 0.008,
     base_asn: int = 65001,
     preferred_first: bool = True,
+    rng: Optional[random.Random] = None,
 ) -> List[UplinkSpec]:
     """Attach ``count`` external peers to distinct internal routers.
 
     Local-prefs descend from 200 so the first uplink is preferred,
     mirroring the paper's LP-30-beats-LP-20 policy shape.
     """
-    rng = random.Random(seed + 1)
+    rng = rng if rng is not None else random.Random(seed + 1)
     internal = topo.internal_routers()
     if count > len(internal):
         raise ValueError(f"cannot attach {count} uplinks to {len(internal)} routers")
@@ -144,12 +154,19 @@ def build_random_network(
     log_drop_rate: float = 0.0,
     deterministic_bgp: bool = False,
     add_path: bool = False,
+    rng: Optional[random.Random] = None,
 ) -> Tuple[Network, List[UplinkSpec]]:
-    """A random single-AS network: OSPF underlay + iBGP full mesh."""
+    """A random single-AS network: OSPF underlay + iBGP full mesh.
+
+    With ``rng`` given, the topology and uplink placement draw from it
+    sequentially (one shared stream); the simulator still derives its
+    own stream from ``seed`` so workload draws never perturb protocol
+    timing.
+    """
     topo = random_connected_topology(
-        n, extra_edge_fraction=extra_edge_fraction, seed=seed
+        n, extra_edge_fraction=extra_edge_fraction, seed=seed, rng=rng
     )
-    specs = attach_uplinks(topo, uplinks, seed=seed)
+    specs = attach_uplinks(topo, uplinks, seed=seed, rng=rng)
     uplink_of = {spec.router: spec for spec in specs}
     internal = topo.internal_routers()
     configs: List[RouterConfig] = []
@@ -227,6 +244,7 @@ def churn_workload(
     start: float,
     mean_gap: float = 0.5,
     seed: int = 0,
+    rng: Optional[random.Random] = None,
 ) -> List[Tuple[float, str, str, Prefix]]:
     """Schedule random announce/withdraw events from external peers.
 
@@ -234,7 +252,7 @@ def churn_workload(
     caller knows what happened.  Withdraws only target prefixes the
     same peer currently announces.
     """
-    rng = random.Random(seed + 2)
+    rng = rng if rng is not None else random.Random(seed + 2)
     announced: Dict[str, set] = {spec.external: set() for spec in specs}
     schedule: List[Tuple[float, str, str, Prefix]] = []
     when = start
@@ -255,10 +273,49 @@ def churn_workload(
     return schedule
 
 
+def link_flap_workload(
+    network: Network,
+    flaps: int,
+    start: float,
+    mean_gap: float = 2.0,
+    down_time: float = 1.5,
+    seed: int = 0,
+    rng: Optional[random.Random] = None,
+) -> List[Tuple[float, str, str, float]]:
+    """Schedule random internal link failures and recoveries.
+
+    Each flap fails one internal↔internal link at a random time and
+    restores it ``down_time`` later, through the simulator's
+    hardware-status hooks (so both endpoints observe HARDWARE_STATUS
+    events).  Returns the schedule as (down_time_abs, router_a,
+    router_b, down_duration).  Links touching external peers are left
+    alone — eBGP session loss is churn's job, not the flap generator's.
+    """
+    rng = rng if rng is not None else random.Random(seed + 5)
+    internal = set(network.topology.internal_routers())
+    candidates = sorted(
+        (link.a.router, link.b.router)
+        for link in network.topology.links.values()
+        if link.a.router in internal and link.b.router in internal
+    )
+    if not candidates:
+        return []
+    schedule: List[Tuple[float, str, str, float]] = []
+    when = start
+    for _ in range(flaps):
+        when += rng.expovariate(1.0 / mean_gap)
+        a, b = rng.choice(candidates)
+        network.fail_link(a, b, at=when)
+        network.restore_link(a, b, at=when + down_time)
+        schedule.append((when, a, b, down_time))
+    return schedule
+
+
 def misconfig_campaign(
     specs: Sequence[UplinkSpec],
     rounds: int,
     seed: int = 0,
+    rng: Optional[random.Random] = None,
 ) -> List[ConfigChange]:
     """Random local-pref misconfigurations on uplink import maps.
 
@@ -266,7 +323,7 @@ def misconfig_campaign(
     sometimes harmless (preserving the preference order), sometimes a
     Fig. 2a-style inversion.
     """
-    rng = random.Random(seed + 3)
+    rng = rng if rng is not None else random.Random(seed + 3)
     changes = []
     for _ in range(rounds):
         spec = rng.choice(list(specs))
@@ -289,6 +346,7 @@ def planted_ec_snapshot(
     num_classes: int,
     num_routers: int = 10,
     seed: int = 0,
+    rng: Optional[random.Random] = None,
 ) -> Tuple[DataPlaneSnapshot, List[int]]:
     """A synthetic network-wide FIB with a known number of ECs.
 
@@ -301,7 +359,7 @@ def planted_ec_snapshot(
     """
     if num_classes < 1 or num_prefixes < num_classes:
         raise ValueError("need at least one prefix per class")
-    rng = random.Random(seed + 4)
+    rng = rng if rng is not None else random.Random(seed + 4)
     routers = [f"R{i}" for i in range(num_routers)]
     max_classes = (num_routers - 1) * num_routers
     if num_classes > max_classes:

@@ -1,0 +1,80 @@
+"""repro.testkit — deterministic fuzzing with differential oracles.
+
+The verification pipeline (capture → HBG → snapshot → verify →
+repair) is exactly the kind of code whose bugs hide in event
+interleavings no hand-written test thinks to try.  This package
+closes that gap with a seed-deterministic scenario fuzzer
+(:mod:`repro.testkit.fuzzer`), a registry of differential oracles
+that cross-check independent implementations of the paper's claims
+(:mod:`repro.testkit.oracles`), a delta-debugging shrinker that
+minimizes any failure it finds (:mod:`repro.testkit.shrinker`), and
+JSON regression artifacts replayed by tier-1 tests forever after
+(:mod:`repro.testkit.artifacts`).  ``repro fuzz`` is the CLI front
+end; :class:`repro.testkit.runner.FuzzRunner` is the library entry
+point.
+
+Everything here is dependency-free and deterministic: the same seed
+produces the same cases, the same executions, and byte-identical
+reports.
+"""
+
+from repro.testkit.artifacts import (
+    Artifact,
+    artifact_matches_expectation,
+    iter_artifacts,
+    load_artifact,
+    replay_artifact,
+    write_artifact,
+)
+from repro.testkit.case import (
+    EVENT_KINDS,
+    CasePlan,
+    FuzzCase,
+    PlannedEvent,
+    normalize_events,
+)
+from repro.testkit.execution import (
+    Execution,
+    execute_plan,
+    execution_digest,
+    plan_case,
+)
+from repro.testkit.fuzzer import ScenarioFuzzer
+from repro.testkit.oracles import (
+    ORACLES,
+    OracleContext,
+    OracleVerdict,
+    default_oracle_names,
+    oracle,
+)
+from repro.testkit.runner import CaseResult, FuzzReport, FuzzRunner
+from repro.testkit.shrinker import ShrinkResult, shrink
+
+__all__ = [
+    "Artifact",
+    "artifact_matches_expectation",
+    "iter_artifacts",
+    "load_artifact",
+    "replay_artifact",
+    "write_artifact",
+    "EVENT_KINDS",
+    "CasePlan",
+    "FuzzCase",
+    "PlannedEvent",
+    "normalize_events",
+    "Execution",
+    "execute_plan",
+    "execution_digest",
+    "plan_case",
+    "ScenarioFuzzer",
+    "ORACLES",
+    "OracleContext",
+    "OracleVerdict",
+    "default_oracle_names",
+    "oracle",
+    "CaseResult",
+    "FuzzReport",
+    "FuzzRunner",
+    "ShrinkResult",
+    "shrink",
+]

@@ -1,0 +1,163 @@
+"""Replayable fuzz cases and their explicit event plans.
+
+A :class:`FuzzCase` is the *compressed* form of a scenario: a seed
+plus knobs, small enough to paste into a bug report.  Planning
+expands it deterministically into a :class:`CasePlan` whose workload
+is an explicit, individually-droppable event list — the form the
+delta-debugging shrinker operates on and the form persisted in
+regression artifacts.  Both are JSON-round-trippable, so a failing
+case survives process death byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Dict, Sequence, Tuple
+
+#: Workload event vocabulary.  ``actor`` is an external peer name for
+#: churn events, an ``"A|B"`` link key for flaps, and an internal
+#: router name for misconfigs.
+EVENT_KINDS = ("announce", "withdraw", "link_down", "link_up", "misconfig")
+
+
+@dataclass(frozen=True)
+class PlannedEvent:
+    """One schedulable workload event, abstract enough to replay."""
+
+    time: float
+    kind: str
+    actor: str
+    prefix_index: int = -1
+    local_pref: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(f"unknown planned-event kind {self.kind!r}")
+
+    def sort_key(self) -> Tuple:
+        return (self.time, self.kind, self.actor, self.prefix_index)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "PlannedEvent":
+        return cls(
+            time=float(data["time"]),
+            kind=str(data["kind"]),
+            actor=str(data["actor"]),
+            prefix_index=int(data.get("prefix_index", -1)),
+            local_pref=int(data.get("local_pref", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """Seed + knobs: everything needed to regenerate one scenario."""
+
+    seed: int
+    routers: int = 5
+    uplinks: int = 2
+    extra_edge_fraction: float = 0.5
+    prefixes: int = 3
+    churn_events: int = 8
+    flap_events: int = 1
+    misconfig_rounds: int = 1
+    #: Log-delivery lag applied to every router's stream.
+    default_lag: float = 0.0
+    #: One internal router (by index into the sorted internal-router
+    #: list) whose log stream lags extra — the Fig. 1c straggler.
+    straggler_index: int = -1
+    straggler_lag: float = 0.0
+    start: float = 5.0
+    mean_gap: float = 0.5
+    down_time: float = 1.5
+    settle: float = 60.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FuzzCase":
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown FuzzCase field(s): {sorted(unknown)}")
+        if "seed" not in data:
+            raise ValueError("FuzzCase needs a seed")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class CasePlan:
+    """A case expanded into an explicit workload.
+
+    ``events`` is the shrinkable part; ``probe_times`` are the
+    simulated instants at which oracles compare the verifier's world
+    view against ground truth.
+    """
+
+    case: FuzzCase
+    events: Tuple[PlannedEvent, ...]
+    probe_times: Tuple[float, ...] = ()
+
+    @property
+    def end_time(self) -> float:
+        last = max((e.time for e in self.events), default=self.case.start)
+        return last + self.case.settle
+
+    def with_events(self, events: Sequence[PlannedEvent]) -> "CasePlan":
+        return replace(self, events=tuple(events))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "case": self.case.to_dict(),
+            "events": [e.to_dict() for e in self.events],
+            "probe_times": list(self.probe_times),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CasePlan":
+        return cls(
+            case=FuzzCase.from_dict(dict(data["case"])),
+            events=tuple(
+                PlannedEvent.from_dict(dict(e)) for e in data["events"]
+            ),
+            probe_times=tuple(float(t) for t in data.get("probe_times", ())),
+        )
+
+
+def normalize_events(
+    events: Sequence[PlannedEvent],
+) -> Tuple[PlannedEvent, ...]:
+    """Drop events whose precondition was shrunk away.
+
+    The shrinker removes arbitrary subsets, which can orphan a
+    withdraw (no prior announce of that prefix by that peer) or a
+    link_up (no prior link_down of that link).  Replaying an orphan
+    would either error or silently no-op differently from the
+    original run, so normalization removes them — the result is
+    always a well-formed workload.
+    """
+    ordered = sorted(events, key=PlannedEvent.sort_key)
+    live: Dict[str, set] = {}
+    down: set = set()
+    kept = []
+    for event in ordered:
+        if event.kind == "announce":
+            live.setdefault(event.actor, set()).add(event.prefix_index)
+        elif event.kind == "withdraw":
+            holdings = live.get(event.actor, set())
+            if event.prefix_index not in holdings:
+                continue
+            holdings.discard(event.prefix_index)
+        elif event.kind == "link_down":
+            if event.actor in down:
+                continue
+            down.add(event.actor)
+        elif event.kind == "link_up":
+            if event.actor not in down:
+                continue
+            down.discard(event.actor)
+        kept.append(event)
+    return tuple(kept)

@@ -1,0 +1,324 @@
+"""Planning and paired execution of fuzz cases.
+
+:func:`plan_case` expands a :class:`~repro.testkit.case.FuzzCase`
+into an explicit :class:`~repro.testkit.case.CasePlan` (the same
+draw for the same case, forever).  :func:`execute_plan` replays a
+plan through a fresh simulated network and returns an
+:class:`Execution` carrying everything the differential oracles
+need: the live network, the captured event trace, the verifier's
+lagged view, and ground-truth data-plane snapshots taken *during*
+the run (the simulator can only be observed at "now", so probes are
+recorded in-flight).
+
+Every execution resets the global event-id counter, so two
+executions of the same plan produce byte-identical traces — the
+invariant behind the replay-determinism oracle and the run digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.capture.io_events import IOEvent, reset_event_ids
+from repro.net.config import ConfigChange, local_pref_map
+from repro.protocols.network import Network
+from repro.scenarios.generators import (
+    UplinkSpec,
+    attach_uplinks,
+    build_random_network,
+    external_prefixes,
+    random_connected_topology,
+)
+from repro.snapshot.base import DataPlaneSnapshot, VerifierView
+from repro.testkit.case import CasePlan, FuzzCase, PlannedEvent, normalize_events
+
+#: Misconfig local-pref values, the same palette misconfig_campaign
+#: draws from: below 100 inverts the uplink preference order, above
+#: it usually preserves it.
+_MISCONFIG_LOCAL_PREFS = (5, 10, 50, 150, 250, 300)
+
+#: Number of mid-run ground-truth probes per case.
+_PROBES = 3
+
+
+def uplink_map_name(router: str) -> str:
+    """The route-map name build_random_network gives an uplink."""
+    return f"{router.lower()}-uplink-lp"
+
+
+def plan_case(case: FuzzCase) -> CasePlan:
+    """Deterministically expand a case into an explicit workload."""
+    rng = random.Random(f"repro.testkit/{case.seed}")
+    topo = random_connected_topology(
+        case.routers,
+        extra_edge_fraction=case.extra_edge_fraction,
+        seed=case.seed,
+    )
+    specs = attach_uplinks(topo, case.uplinks, seed=case.seed)
+    internal = set(topo.internal_routers())
+    internal_links = sorted(
+        (link.a.router, link.b.router)
+        for link in topo.links.values()
+        if link.a.router in internal and link.b.router in internal
+    )
+
+    events: List[PlannedEvent] = []
+    # Baseline: every uplink announces every prefix shortly after
+    # startup.  Explicit (rather than implied) so the shrinker can
+    # remove baseline routes a failure does not depend on.
+    when = 1.0
+    for spec in specs:
+        for index in range(case.prefixes):
+            events.append(
+                PlannedEvent(
+                    time=round(when, 6),
+                    kind="announce",
+                    actor=spec.external,
+                    prefix_index=index,
+                )
+            )
+            when += 0.05
+
+    holdings: Dict[str, set] = {
+        spec.external: set(range(case.prefixes)) for spec in specs
+    }
+    when = case.start
+    for _ in range(case.churn_events):
+        when += rng.expovariate(1.0 / case.mean_gap)
+        spec = rng.choice(specs)
+        live = holdings[spec.external]
+        if live and rng.random() < 0.4:
+            index = rng.choice(sorted(live))
+            live.discard(index)
+            kind = "withdraw"
+        else:
+            index = rng.randrange(case.prefixes)
+            live.add(index)
+            kind = "announce"
+        events.append(
+            PlannedEvent(
+                time=round(when, 6),
+                kind=kind,
+                actor=spec.external,
+                prefix_index=index,
+            )
+        )
+    window_end = max(when, case.start + 1.0)
+
+    if internal_links:
+        for _ in range(case.flap_events):
+            down_at = case.start + rng.random() * (window_end - case.start)
+            a, b = rng.choice(internal_links)
+            events.append(
+                PlannedEvent(
+                    time=round(down_at, 6), kind="link_down", actor=f"{a}|{b}"
+                )
+            )
+            events.append(
+                PlannedEvent(
+                    time=round(down_at + case.down_time, 6),
+                    kind="link_up",
+                    actor=f"{a}|{b}",
+                )
+            )
+
+    for _ in range(case.misconfig_rounds):
+        at = case.start + rng.random() * (window_end - case.start)
+        spec = rng.choice(specs)
+        events.append(
+            PlannedEvent(
+                time=round(at, 6),
+                kind="misconfig",
+                actor=spec.router,
+                local_pref=rng.choice(_MISCONFIG_LOCAL_PREFS),
+            )
+        )
+
+    ordered = normalize_events(events)
+    last = max((e.time for e in ordered), default=case.start)
+    span = max(last - case.start, 1.0)
+    probes = tuple(
+        round(case.start + span * (i + 1) / (_PROBES + 1), 6)
+        for i in range(_PROBES)
+    )
+    return CasePlan(case=case, events=ordered, probe_times=probes)
+
+
+@dataclass
+class Execution:
+    """One completed run of a plan, ready for oracle inspection."""
+
+    plan: CasePlan
+    network: Network
+    specs: List[UplinkSpec]
+    prefixes: List
+    view: VerifierView
+    #: (simulated time, oracle snapshot straight from the live FIBs).
+    truth_probes: List[Tuple[float, DataPlaneSnapshot]]
+    final_live: DataPlaneSnapshot
+    end_time: float
+
+    @property
+    def internal_routers(self) -> List[str]:
+        return self.network.topology.internal_routers()
+
+    def events(self) -> List[IOEvent]:
+        return self.network.collector.all_events()
+
+
+def execute_plan(plan: CasePlan) -> Execution:
+    """Replay a plan from scratch; deterministic per plan."""
+    case = plan.case
+    reset_event_ids()
+    network, specs = build_random_network(
+        case.routers,
+        uplinks=case.uplinks,
+        seed=case.seed,
+        extra_edge_fraction=case.extra_edge_fraction,
+        deterministic_bgp=True,
+    )
+    network.start()
+    prefixes = external_prefixes(case.prefixes)
+    uplink_by_router = {spec.router: spec for spec in specs}
+
+    for event in plan.events:
+        if event.kind == "announce":
+            network.announce_prefix(
+                event.actor, prefixes[event.prefix_index], at=event.time
+            )
+        elif event.kind == "withdraw":
+            network.withdraw_prefix(
+                event.actor, prefixes[event.prefix_index], at=event.time
+            )
+        elif event.kind in ("link_down", "link_up"):
+            a, b = event.actor.split("|", 1)
+            network.set_link_status(
+                a, b, up=(event.kind == "link_up"), at=event.time
+            )
+        elif event.kind == "misconfig":
+            spec = uplink_by_router.get(event.actor)
+            if spec is None:
+                raise ValueError(
+                    f"misconfig event targets {event.actor}, which has no "
+                    "uplink route-map in this topology"
+                )
+            map_name = uplink_map_name(event.actor)
+            network.apply_config_change(
+                ConfigChange(
+                    event.actor,
+                    "set_route_map",
+                    key=map_name,
+                    value=local_pref_map(map_name, event.local_pref),
+                    description=(
+                        f"fuzzed local-pref {event.local_pref} on "
+                        f"{event.actor}"
+                    ),
+                ),
+                at=event.time,
+            )
+
+    end = plan.end_time
+    truth_probes: List[Tuple[float, DataPlaneSnapshot]] = []
+    for probe in sorted(plan.probe_times):
+        if probe >= end:
+            continue
+        remaining = probe - network.sim.now
+        if remaining > 0:
+            network.run(remaining)
+        truth_probes.append(
+            (probe, DataPlaneSnapshot.from_live_network(network))
+        )
+    remaining = end - network.sim.now
+    if remaining > 0:
+        network.run(remaining)
+    final_live = DataPlaneSnapshot.from_live_network(network)
+
+    lags: Dict[str, float] = {}
+    internal = network.topology.internal_routers()
+    if case.straggler_index >= 0 and internal:
+        straggler = internal[case.straggler_index % len(internal)]
+        lags[straggler] = case.straggler_lag
+    view = VerifierView(
+        network.collector, lags=lags, default_lag=case.default_lag
+    )
+    return Execution(
+        plan=plan,
+        network=network,
+        specs=list(specs),
+        prefixes=prefixes,
+        view=view,
+        truth_probes=truth_probes,
+        final_live=final_live,
+        end_time=end,
+    )
+
+
+def _canonical_attrs(
+    attrs: Tuple[Tuple[str, object], ...], change_id_map: Dict[int, int]
+) -> List:
+    """Event attrs with config-change ids densified.
+
+    ``ConfigChange.change_id`` draws from a process-global counter
+    that (unlike event ids) is never reset, so byte-identical replay
+    requires mapping the raw ids to order-of-first-appearance.
+    """
+    canonical = []
+    for key, value in attrs:
+        if key == "change_id" and isinstance(value, int):
+            value = change_id_map.setdefault(value, len(change_id_map))
+        canonical.append([key, repr(value)])
+    return canonical
+
+
+def execution_digest(execution: Execution) -> str:
+    """SHA-256 over the trace, HBG edge set, and final forwarding.
+
+    Two executions of the same plan must agree on every byte of this
+    payload; any drift is a determinism bug in the simulator, the
+    capture layer, or HBR inference.
+    """
+    from repro.hbr.inference import InferenceEngine
+
+    change_id_map: Dict[int, int] = {}
+    events = [
+        [
+            event.event_id,
+            event.router,
+            event.kind.value,
+            repr(event.timestamp),
+            event.protocol,
+            str(event.prefix) if event.prefix is not None else None,
+            event.action.value if event.action is not None else None,
+            event.peer,
+            _canonical_attrs(event.attrs, change_id_map),
+        ]
+        for event in execution.events()
+    ]
+    graph = InferenceEngine().build_graph(execution.events())
+    edges = sorted(
+        (
+            edge.cause,
+            edge.effect,
+            edge.evidence.technique,
+            repr(round(edge.evidence.confidence, 9)),
+        )
+        for edge in graph.edges()
+    )
+    forwarding = {}
+    for router in execution.final_live.routers():
+        forwarding[router] = {
+            str(entry.prefix): [
+                entry.next_hop_router,
+                entry.out_interface,
+                entry.protocol,
+                entry.discard,
+            ]
+            for entry in execution.final_live.entries_of(router)
+        }
+    payload = {"events": events, "edges": edges, "forwarding": forwarding}
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -1,0 +1,52 @@
+"""Seed-deterministic fuzz-case generation.
+
+:class:`ScenarioFuzzer` maps a master seed to an infinite, stable
+stream of :class:`~repro.testkit.case.FuzzCase`\\ s.  Case *i* is
+derived from ``random.Random(f"{seed}/{i}")`` — independent of every
+other case, so ``fuzzer.case(17)`` is the same object whether you
+generate one case or a thousand, and a CI failure report of
+``(seed, index)`` reproduces locally without replaying the stream.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List
+
+from repro.testkit.case import FuzzCase
+
+
+class ScenarioFuzzer:
+    """Deterministic generator of randomized fuzz cases."""
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+
+    def case(self, index: int) -> FuzzCase:
+        """The ``index``-th case of this fuzzer's stream."""
+        rng = random.Random(f"{self.seed}/{index}")
+        routers = rng.randint(4, 7)
+        uplinks = min(rng.randint(1, 2), routers)
+        straggler = rng.random() < 0.5
+        return FuzzCase(
+            seed=rng.getrandbits(31),
+            routers=routers,
+            uplinks=uplinks,
+            extra_edge_fraction=rng.choice((0.0, 0.3, 0.6)),
+            prefixes=rng.randint(2, 4),
+            churn_events=rng.randint(4, 10),
+            flap_events=rng.randint(0, 2),
+            misconfig_rounds=rng.randint(0, 2),
+            default_lag=rng.choice((0.0, 0.05)),
+            straggler_index=rng.randrange(routers) if straggler else -1,
+            straggler_lag=rng.choice((0.2, 0.5)) if straggler else 0.0,
+        )
+
+    def cases(self, count: int, first: int = 0) -> List[FuzzCase]:
+        return [self.case(first + i) for i in range(count)]
+
+    def stream(self, first: int = 0) -> Iterator[FuzzCase]:
+        index = first
+        while True:
+            yield self.case(index)
+            index += 1

@@ -1,0 +1,128 @@
+"""Delta-debugging failure minimization (ddmin over the workload).
+
+Given a plan that makes an oracle fail, the shrinker searches for a
+smaller plan that *still* fails the same oracle: classic ddmin over
+the explicit event list (remove complement chunks, halve the
+granularity when stuck), followed by a knob pass that trims the
+prefix pool to what the surviving events reference.  Every candidate
+is normalized first (see :func:`repro.testkit.case.normalize_events`)
+so dropping an announce automatically drops its dependent withdraw.
+
+The shrinker never mutates the topology seed — the failing case's
+network is part of its identity — so a shrunk artifact replays on
+exactly the topology that failed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, List, Tuple
+
+from repro.testkit.case import CasePlan, PlannedEvent, normalize_events
+from repro.testkit.oracles import OracleContext, OracleVerdict
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one minimization run."""
+
+    plan: CasePlan
+    verdict: OracleVerdict
+    original_events: int
+    shrunk_events: int
+    oracle_runs: int
+
+    @property
+    def reduction(self) -> float:
+        """Fraction of the original workload removed (0..1)."""
+        if self.original_events == 0:
+            return 0.0
+        return 1.0 - self.shrunk_events / self.original_events
+
+    def to_dict(self) -> dict:
+        return {
+            "original_events": self.original_events,
+            "shrunk_events": self.shrunk_events,
+            "oracle_runs": self.oracle_runs,
+        }
+
+
+def _candidate(plan: CasePlan, events: List[PlannedEvent]) -> CasePlan:
+    return plan.with_events(normalize_events(events))
+
+
+def shrink(
+    plan: CasePlan,
+    oracle_fn: Callable[[OracleContext], OracleVerdict],
+    max_oracle_runs: int = 200,
+    make_context: Callable[[CasePlan], OracleContext] = OracleContext,
+) -> ShrinkResult:
+    """Minimize ``plan`` while ``oracle_fn`` keeps failing.
+
+    ``max_oracle_runs`` bounds the total number of oracle executions
+    (each one replays the whole scenario), so shrinking a pathological
+    case cannot run away.  The original plan must fail the oracle;
+    raises ``ValueError`` otherwise so callers cannot "shrink" a
+    passing case into a misleading artifact.
+    """
+    runs = 0
+
+    def probe(events: List[PlannedEvent]) -> Tuple[bool, OracleVerdict, CasePlan]:
+        nonlocal runs
+        runs += 1
+        candidate = _candidate(plan, events)
+        verdict = oracle_fn(make_context(candidate))
+        return (not verdict.ok), verdict, candidate
+
+    failed, verdict, current = probe(list(plan.events))
+    if not failed:
+        raise ValueError(
+            "shrink() called on a plan the oracle does not fail"
+        )
+    original_events = len(plan.events)
+    events = list(current.events)
+
+    granularity = 2
+    while len(events) >= 2 and runs < max_oracle_runs:
+        chunk = max(1, len(events) // granularity)
+        reduced = False
+        offset = 0
+        while offset < len(events) and runs < max_oracle_runs:
+            candidate_events = events[:offset] + events[offset + chunk:]
+            if not candidate_events:
+                offset += chunk
+                continue
+            still_fails, cand_verdict, cand_plan = probe(candidate_events)
+            if still_fails:
+                events = list(cand_plan.events)
+                verdict = cand_verdict
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+            offset += chunk
+        if not reduced:
+            if granularity >= len(events):
+                break
+            granularity = min(len(events), granularity * 2)
+
+    shrunk = _candidate(plan, events)
+
+    # Knob pass: shrink the prefix pool to the indices still in use.
+    used = [e.prefix_index for e in shrunk.events if e.prefix_index >= 0]
+    if used and runs < max_oracle_runs:
+        needed = max(used) + 1
+        if needed < shrunk.case.prefixes:
+            trimmed = replace(shrunk, case=replace(shrunk.case, prefixes=needed))
+            runs += 1
+            trimmed_verdict = oracle_fn(make_context(trimmed))
+            if not trimmed_verdict.ok:
+                shrunk = trimmed
+                verdict = trimmed_verdict
+
+    return ShrinkResult(
+        plan=shrunk,
+        verdict=verdict,
+        original_events=original_events,
+        shrunk_events=len(shrunk.events),
+        oracle_runs=runs,
+    )

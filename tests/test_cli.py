@@ -176,3 +176,88 @@ class TestStats:
         from repro import obs
 
         assert not obs.enabled()
+
+
+class TestLintErrorPaths:
+    def test_corrupt_baseline_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "lint-baseline.json"
+        bad.write_text("{broken", encoding="utf-8")
+        rc = main(
+            ["lint", "--baseline", str(bad), "tests/fixtures/lint"]
+        )
+        assert rc == 2
+        assert "bad baseline" in capsys.readouterr().err
+
+    def test_missing_lint_path_exits_2(self, capsys):
+        rc = main(["lint", "does/not/exist.py"])
+        assert rc == 2
+        assert "repro lint:" in capsys.readouterr().err
+
+
+class TestFuzz:
+    def test_small_campaign_table(self, capsys):
+        rc = main(
+            [
+                "fuzz",
+                "--cases",
+                "2",
+                "--seed",
+                "0",
+                "--artifacts-dir",
+                "none",
+                "--fail-on-finding",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 case(s), 0 failing" in out
+        assert "campaign digest:" in out
+
+    def test_output_is_byte_identical_across_runs(self, capsys):
+        argv = [
+            "fuzz", "--cases", "2", "--seed", "5",
+            "--artifacts-dir", "none", "--format", "json",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+        report = json.loads(first)
+        assert report["cases"] == 2 and report["failures"] == 0
+
+    def test_unknown_oracle_exits_2(self, capsys):
+        rc = main(["fuzz", "--cases", "1", "--oracle", "nope"])
+        assert rc == 2
+        assert "unknown oracle" in capsys.readouterr().err
+
+    def test_replay_missing_file_exits_2(self, capsys):
+        rc = main(["fuzz", "--replay", "does/not/exist.json"])
+        assert rc == 2
+        assert "cannot read artifact" in capsys.readouterr().err
+
+    def test_replay_regression_fixture(self, capsys):
+        import glob
+        import os
+
+        fixture = sorted(
+            glob.glob("tests/fixtures/fuzz_regressions/*.json")
+        )[0]
+        assert os.path.exists(fixture)
+        rc = main(["fuzz", "--replay", fixture])
+        assert rc == 0
+        assert "as recorded" in capsys.readouterr().out
+
+    def test_fuzz_leaves_obs_disabled(self):
+        from repro import obs
+
+        assert (
+            main(
+                [
+                    "fuzz", "--cases", "1", "--seed", "0",
+                    "--artifacts-dir", "none",
+                    "--oracle", "replay-determinism",
+                ]
+            )
+            == 0
+        )
+        assert not obs.enabled()
