@@ -44,6 +44,15 @@ class Collector:
         self._by_prefix[event.prefix].append(event)
         for subscriber in self._subscribers:
             subscriber(event)
+        recorder = obs.get_recorder()
+        if recorder.enabled:
+            recorder.record(
+                obs.TraceKind.IO_CAPTURED,
+                at=event.timestamp,
+                router=event.router,
+                event_id=event.event_id,
+                detail=event.describe(),
+            )
         if registry.enabled:
             registry.counter("capture.events_total").inc()
             registry.counter(

@@ -525,6 +525,158 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Scenarios runnable under ``repro trace``.
+_TRACE_SCENARIOS = ("fig1", "fig2", "fig5", "pipeline")
+
+
+def _run_trace_scenario(
+    scenario: str,
+    seed: int = 0,
+    capacity: int = 4096,
+    overflow: str = "drop-oldest",
+):
+    """Run one scenario with the flight recorder on; returns
+    ``(graph, recorder)`` — the HBG plus the recorded event ring.
+
+    Shared by ``repro trace`` and the test suite so both exercise the
+    exact same capture path.
+    """
+    from repro.hbr.inference import InferenceEngine
+
+    with obs.recording(capacity=capacity, overflow=overflow) as recorder:
+        if scenario == "pipeline":
+            from repro.core.pipeline import (
+                IntegratedControlPlane,
+                PipelineMode,
+            )
+            from repro.scenarios.fig2 import Fig2Scenario, bad_lp_change
+            from repro.scenarios.paper_net import P, paper_policy
+            from repro.verify.policy import LoopFreedomPolicy
+
+            net = Fig2Scenario(seed=seed).run_baseline()
+            pipeline = IntegratedControlPlane(
+                net,
+                [paper_policy(), LoopFreedomPolicy(prefixes=[P])],
+                mode=PipelineMode.REPAIR,
+            ).arm()
+            net.apply_config_change(bad_lp_change())
+            net.run(120)
+            graph = pipeline.hbg
+        elif scenario == "fig1":
+            from repro.scenarios.fig1 import Fig1Scenario
+
+            net = Fig1Scenario(seed=seed).run_fig1b()
+            graph = InferenceEngine().build_graph(net.collector.all_events())
+        elif scenario == "fig2":
+            from repro.scenarios.fig2 import Fig2Scenario
+
+            net = Fig2Scenario(seed=seed).run_fig2a()
+            graph = InferenceEngine().build_graph(net.collector.all_events())
+        elif scenario == "fig5":
+            from repro.scenarios.fig5 import Fig5Scenario
+
+            net = Fig5Scenario(seed=seed).run_localpref_change()
+            graph = InferenceEngine().build_graph(net.collector.all_events())
+        else:
+            raise ValueError(f"unknown trace scenario {scenario!r}")
+    return graph, recorder
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Record one scenario and export its causal trace."""
+    import json
+
+    from repro.obs.trace import attribution as attribution_mod
+    from repro.obs.trace import export as trace_export
+
+    try:
+        graph, recorder = _run_trace_scenario(
+            args.scenario,
+            seed=args.seed,
+            capacity=args.ring_size,
+            overflow=args.overflow,
+        )
+    except ValueError as exc:
+        print(f"repro trace: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "chrome":
+        document = trace_export.chrome_trace(
+            graph, recorder, min_confidence=args.min_confidence
+        )
+        problems = trace_export.validate_chrome_trace(document)
+        rendered = json.dumps(document, indent=2, sort_keys=True)
+    elif args.format == "otlp":
+        document = trace_export.otlp_spans(
+            graph, recorder, min_confidence=args.min_confidence
+        )
+        problems = trace_export.validate_otlp_spans(document)
+        rendered = json.dumps(document, indent=2, sort_keys=True)
+    else:
+        problems = []
+        rendered = trace_export.text_timeline(
+            graph, recorder, min_confidence=args.min_confidence
+        ).rstrip("\n")
+
+    if problems:
+        for problem in problems:
+            print(f"repro trace: invalid export: {problem}", file=sys.stderr)
+        return 1
+
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(rendered + "\n")
+        print(
+            f"wrote {args.format} trace for scenario {args.scenario!r} "
+            f"to {args.output} ({len(graph.events())} HBG events, "
+            f"{len(recorder)} recorded, {recorder.dropped} dropped)"
+        )
+    else:
+        print(rendered)
+
+    if args.attribute:
+        report = attribution_mod.attribute_latency(
+            graph, min_confidence=args.min_confidence
+        )
+        lines = report.table_lines()
+        if args.output:
+            print()
+            print("\n".join(lines))
+        else:
+            print("\n".join(lines), file=sys.stderr)
+    return 0
+
+
+def _cmd_bench_diff(args: argparse.Namespace) -> int:
+    """Compare two BENCH_*.json reports; exit nonzero on regression."""
+    import json
+
+    from repro.obs import benchdiff
+
+    try:
+        old = benchdiff.load_report(args.old)
+        new = benchdiff.load_report(args.new)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"repro bench diff: {exc}", file=sys.stderr)
+        return 2
+
+    diff = benchdiff.diff_reports(
+        old, new, threshold_pct=args.threshold, min_abs=args.min_abs
+    )
+    if args.format == "json":
+        document = {
+            "tool": "repro bench diff",
+            "version": package_version(),
+            "old": args.old,
+            "new": args.new,
+            **diff.to_dict(),
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print("\n".join(diff.table_lines()))
+    return benchdiff.exit_code(diff, args.fail_on)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -706,6 +858,107 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay one artifact file instead of fuzzing",
     )
     fuzz.set_defaults(func=_cmd_fuzz)
+
+    trace = sub.add_parser(
+        "trace",
+        help="record a scenario and export its causal trace "
+        "(Perfetto/OTLP/text)",
+    )
+    trace.add_argument(
+        "--scenario",
+        choices=_TRACE_SCENARIOS,
+        default="pipeline",
+        help="which scenario to record (default: pipeline)",
+    )
+    trace.add_argument(
+        "--format",
+        choices=("chrome", "otlp", "table"),
+        default="chrome",
+        help=(
+            "chrome = trace-event JSON (open in Perfetto), otlp = span "
+            "tree JSON, table = per-router text timeline (default: chrome)"
+        ),
+    )
+    trace.add_argument(
+        "--attribute",
+        action="store_true",
+        help="also run latency attribution (per-HBR-rule hop histograms)",
+    )
+    trace.add_argument(
+        "--min-confidence",
+        type=float,
+        default=0.0,
+        help="ignore HBG edges below this confidence (default: 0.0)",
+    )
+    trace.add_argument(
+        "--output", default=None, help="write the export to this file"
+    )
+    trace.add_argument(
+        "--ring-size",
+        type=int,
+        default=4096,
+        help="flight-recorder ring capacity in events (default: 4096)",
+    )
+    trace.add_argument(
+        "--overflow",
+        choices=("drop-oldest", "drop-newest"),
+        default="drop-oldest",
+        help="ring overflow policy (default: drop-oldest)",
+    )
+    trace.set_defaults(func=_cmd_trace)
+
+    from repro.obs.benchdiff import (
+        DEFAULT_MIN_ABS,
+        DEFAULT_THRESHOLD_PCT,
+        FAIL_ON_CHOICES,
+    )
+
+    bench = sub.add_parser(
+        "bench", help="benchmark-report tooling (BENCH_*.json)"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_diff = bench_sub.add_parser(
+        "diff",
+        help="compare two BENCH_*.json reports; exit nonzero on regression",
+    )
+    bench_diff.add_argument("old", help="baseline BENCH_*.json")
+    bench_diff.add_argument("new", help="candidate BENCH_*.json")
+    bench_diff.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD_PCT,
+        metavar="PCT",
+        help=(
+            "relative slowdown (percent) on a seconds/latency key that "
+            f"counts as a regression (default: {DEFAULT_THRESHOLD_PCT:g})"
+        ),
+    )
+    bench_diff.add_argument(
+        "--min-abs",
+        type=float,
+        default=DEFAULT_MIN_ABS,
+        metavar="SECONDS",
+        help=(
+            "absolute noise floor a time delta must also exceed "
+            f"(default: {DEFAULT_MIN_ABS:g})"
+        ),
+    )
+    bench_diff.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="report format (default: table)",
+    )
+    bench_diff.add_argument(
+        "--fail-on",
+        choices=FAIL_ON_CHOICES,
+        default="regression",
+        help=(
+            "exit nonzero on: regression (default), changed (any "
+            "difference at all), or never (report only)"
+        ),
+    )
+    bench_diff.set_defaults(func=_cmd_bench_diff)
     return parser
 
 

@@ -240,6 +240,19 @@ class InferenceEngine:
                     "inference.edges_by_technique",
                     technique=evidence.technique,
                 ).inc()
+        recorder = obs.get_recorder()
+        if edges and recorder.enabled:
+            for ante, evidence in edges:
+                recorder.record(
+                    obs.TraceKind.HBR_EDGE,
+                    at=cons.timestamp,
+                    router=cons.router,
+                    event_id=cons.event_id,
+                    cause=ante.event_id,
+                    rule=evidence.rule,
+                    technique=evidence.technique,
+                    confidence=evidence.confidence,
+                )
         return edges
 
     def _infer_edges(

@@ -6,12 +6,19 @@ metric sections at runtime.  OBS001 closes the static half of that
 loop: the designated stage entry points must keep carrying a span or
 metric, so a refactor cannot drop instrumentation without either
 updating the catalogue below or failing the lint pass.
+
+The flight recorder (``repro.obs.trace``) extends the same contract:
+every function in ``TRACE_SITES`` must reference the bound
+``recorder`` so a refactor cannot silently drop a trace-event kind
+from the causal record.  ``tests/test_trace.py`` additionally asserts
+that the kinds listed here and the recorder's :class:`TraceKind` enum
+cannot drift apart.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.lint.core import FileContext, Finding, Rule, Severity, register
 
@@ -32,12 +39,40 @@ STAGE_ENTRY_POINTS: Dict[str, Sequence[str]] = {
     "repro.testkit.runner": ("FuzzRunner.run",),
 }
 
+#: module -> (qualname, TraceKind member name) pairs: functions that
+#: must record a flight-recorder event of that kind.  One entry per
+#: :class:`repro.obs.trace.recorder.TraceKind` member — the drift
+#: test in tests/test_trace.py enforces the bijection.
+TRACE_SITES: Dict[str, Sequence[Tuple[str, str]]] = {
+    "repro.net.simulator": (("Simulator.run", "SIM_EVENT"),),
+    "repro.capture.collector": (("Collector.ingest", "IO_CAPTURED"),),
+    "repro.hbr.inference": (
+        ("InferenceEngine._edges_into", "HBR_EDGE"),
+    ),
+    "repro.snapshot.base": (
+        ("DataPlaneSnapshot.from_fib_events", "SNAPSHOT_BUILD"),
+    ),
+    "repro.verify.verifier": (
+        ("DataPlaneVerifier.verify", "VERIFY_VERDICT"),
+    ),
+    "repro.repair.provenance": (
+        ("ProvenanceTracer.trace", "PROVENANCE_WALK"),
+    ),
+    "repro.repair.rollback": (("RepairEngine.repair", "ROLLBACK"),),
+}
+
 #: Names whose presence in a function body counts as instrumentation.
 #: The canonical idiom binds ``registry = obs.get_registry()`` (or
 #: uses ``obs.span`` / ``@obs.traced`` / ``obs.Stopwatch``), so a
 #: reference to ``obs`` — or to an already-bound registry/tracer —
 #: is the reliable witness.
 _OBS_NAMES = frozenset({"obs", "registry", "tracer"})
+
+#: The witness for a trace site is the bound recorder itself: every
+#: site follows ``recorder = obs.get_recorder()`` + one
+#: ``recorder.enabled`` guard, so a mere ``obs`` reference (metrics
+#: only) must NOT satisfy the trace-site check.
+_TRACE_NAMES = frozenset({"recorder"})
 
 
 def _collect_functions(
@@ -61,11 +96,15 @@ def _collect_functions(
     return found
 
 
-def _references_obs(func: ast.AST) -> bool:
+def _references_names(func: ast.AST, names: frozenset) -> bool:
     for node in ast.walk(func):
-        if isinstance(node, ast.Name) and node.id in _OBS_NAMES:
+        if isinstance(node, ast.Name) and node.id in names:
             return True
     return False
+
+
+def _references_obs(func: ast.AST) -> bool:
+    return _references_names(func, _OBS_NAMES)
 
 
 @register
@@ -83,19 +122,24 @@ class InstrumentationRule(Rule):
     node_types = ()
 
     def __init__(
-        self, entry_points: Optional[Dict[str, Sequence[str]]] = None
+        self,
+        entry_points: Optional[Dict[str, Sequence[str]]] = None,
+        trace_sites: Optional[Dict[str, Sequence[Tuple[str, str]]]] = None,
     ) -> None:
         self.entry_points = (
             entry_points if entry_points is not None else STAGE_ENTRY_POINTS
         )
+        self.trace_sites = (
+            trace_sites if trace_sites is not None else TRACE_SITES
+        )
 
     def applies_to(self, ctx: FileContext) -> bool:
-        return ctx.module in self.entry_points
+        return ctx.module in self.entry_points or ctx.module in self.trace_sites
 
     def finish_file(self, ctx: FileContext) -> Optional[Iterable[Finding]]:
         functions = _collect_functions(ctx.tree)
         findings: List[Finding] = []
-        for qualname in self.entry_points[ctx.module]:
+        for qualname in self.entry_points.get(ctx.module, ()):
             func = functions.get(qualname)
             if func is None:
                 findings.append(
@@ -117,6 +161,30 @@ class InstrumentationRule(Rule):
                         f"stage entry point '{qualname}' has no repro.obs "
                         "instrumentation (span, counter, histogram or "
                         "stopwatch)",
+                    )
+                )
+        for qualname, kind in self.trace_sites.get(ctx.module, ()):
+            func = functions.get(qualname)
+            if func is None:
+                findings.append(
+                    ctx.finding(
+                        self,
+                        ctx.tree,
+                        f"configured trace site '{qualname}' not found; "
+                        "update TRACE_SITES in "
+                        "repro/lint/rules/obs_rules.py",
+                        severity=Severity.ERROR,
+                    )
+                )
+                continue
+            if not _references_names(func, _TRACE_NAMES):
+                findings.append(
+                    ctx.finding(
+                        self,
+                        func,
+                        f"trace site '{qualname}' does not reference the "
+                        f"flight recorder (must record TraceKind.{kind}; "
+                        "bind it via obs.get_recorder())",
                     )
                 )
         return findings

@@ -130,6 +130,7 @@ class Simulator:
         self._running = True
         processed = 0
         registry = obs.get_registry()
+        recorder = obs.get_recorder()
         if registry.enabled:
             watch = registry.stopwatch()
         try:
@@ -148,6 +149,13 @@ class Simulator:
                 self._now = event.time
                 if self.trace_hook is not None:
                     self.trace_hook(event)
+                if recorder.enabled:
+                    recorder.record(
+                        obs.TraceKind.SIM_EVENT,
+                        at=event.time,
+                        detail=event.label,
+                        priority=event.priority,
+                    )
                 event.action()
                 processed += 1
                 self.events_processed += 1

@@ -10,11 +10,16 @@ measurement layer that produces those numbers from any scenario run:
 * :mod:`repro.obs.tracing` — nestable spans with a
   context-manager/decorator API and exception safety;
 * :mod:`repro.obs.export` — table / JSON / JSON-lines / Prometheus
-  renderers over one canonical document.
+  renderers over one canonical document;
+* :mod:`repro.obs.trace` — the causal flight recorder (a bounded ring
+  of structured pipeline events keyed by HBG event ids) plus the
+  Chrome/Perfetto, OTLP, and text exporters and the latency
+  attribution pass built on it.
 
-Observability is **off by default**: the module-level registry and
-tracer are no-op singletons, so instrumented hot paths cost a single
-attribute check (``registry.enabled``) per site.  Enable it per
+Observability is **off by default**: the module-level registry,
+tracer, and flight recorder are no-op singletons, so instrumented hot
+paths cost a single attribute check (``registry.enabled`` /
+``recorder.enabled``) per site.  Enable it per
 process with :func:`enable` (the CLI's ``--metrics`` flag and the
 ``repro stats`` subcommand do exactly this)::
 
@@ -43,15 +48,26 @@ from repro.obs.metrics import (
     NullRegistry,
     Stopwatch,
 )
+from repro.obs.trace.recorder import (
+    NULL_RECORDER,
+    FlightRecorder,
+    NullRecorder,
+    TraceEvent,
+    TraceKind,
+)
 from repro.obs.tracing import NULL_TRACER, NullTracer, SpanRecord, Tracer
 
 __all__ = [
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NullRecorder",
     "NullRegistry",
     "Stopwatch",
+    "TraceEvent",
+    "TraceKind",
     "Tracer",
     "NullTracer",
     "SpanRecord",
@@ -60,6 +76,10 @@ __all__ = [
     "enabled",
     "get_registry",
     "get_tracer",
+    "get_recorder",
+    "enable_recording",
+    "disable_recording",
+    "recording",
     "span",
     "traced",
     "capturing",
@@ -68,6 +88,7 @@ __all__ = [
 
 _registry = NULL_REGISTRY
 _tracer = NULL_TRACER
+_recorder = NULL_RECORDER
 
 
 def get_registry():
@@ -103,6 +124,46 @@ def disable() -> None:
     global _registry, _tracer
     _registry = NULL_REGISTRY
     _tracer = NULL_TRACER
+
+
+def get_recorder():
+    """The process-wide flight recorder (no-op unless recording)."""
+    return _recorder
+
+
+def enable_recording(
+    capacity: int = 4096, overflow: str = "drop-oldest"
+) -> FlightRecorder:
+    """Install a fresh :class:`FlightRecorder`; returns it.
+
+    Independent of :func:`enable` — metrics and event recording can be
+    switched on separately (``repro trace`` records without metrics;
+    ``repro stats`` measures without recording).
+    """
+    global _recorder
+    _recorder = FlightRecorder(capacity=capacity, overflow=overflow)
+    return _recorder
+
+
+def disable_recording() -> None:
+    """Restore the no-op flight recorder."""
+    global _recorder
+    _recorder = NULL_RECORDER
+
+
+@contextmanager
+def recording(capacity: int = 4096, overflow: str = "drop-oldest"):
+    """``with obs.recording() as recorder: ...`` — scoped recording.
+
+    Restores whatever recorder was installed before, mirroring
+    :func:`capturing`.
+    """
+    global _recorder
+    previous = _recorder
+    try:
+        yield enable_recording(capacity=capacity, overflow=overflow)
+    finally:
+        _recorder = previous
 
 
 @contextmanager

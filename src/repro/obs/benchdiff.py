@@ -1,0 +1,247 @@
+"""Benchmark report comparison: the ``repro bench diff`` gate.
+
+``benchmarks/`` emits ``BENCH_<experiment>.json`` documents (see
+:mod:`benchmarks._report`) but until now nothing ever *compared* two
+of them, so performance regressions were invisible.  This module
+closes the loop: flatten two reports into dotted key paths, compare
+the numeric leaves key-by-key, and classify each as
+
+* ``regression`` — a latency/wall-time key got slower by more than
+  the threshold (and more than an absolute noise floor);
+* ``improvement`` — the same, in the right direction;
+* ``changed`` — a non-performance value differs (counters, shapes);
+* ``added`` / ``removed`` — the key exists in only one report;
+* ``ok`` — within tolerance.
+
+Performance keys are recognised by name: any path segment containing
+``seconds`` or ``latency`` is a time where *larger is worse*.  Pure
+counts (events processed, episode totals) can legitimately change
+with the workload and are reported as ``changed``, never as
+regressions.
+
+Wall-clock noise makes micro-benchmarks jittery, so a relative
+threshold alone is not enough: a 3µs → 4µs blip is a 33% "regression"
+nobody should page on.  ``min_abs`` (seconds) is the absolute floor a
+delta must also clear.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Default relative threshold (percent) for calling a time regression.
+DEFAULT_THRESHOLD_PCT = 10.0
+#: Default absolute floor (seconds) a time delta must exceed.
+DEFAULT_MIN_ABS = 1e-4
+
+_STATUS_ORDER = ("regression", "removed", "added", "changed", "improvement", "ok")
+
+
+def is_perf_key(path: str) -> bool:
+    """Paths where the value is a time and larger means slower."""
+    lowered = path.lower()
+    return "seconds" in lowered or "latency" in lowered
+
+
+def flatten(document: Any, prefix: str = "") -> Dict[str, Any]:
+    """Nested dicts/lists → {"a.b.0.c": leaf} with deterministic order."""
+    flat: Dict[str, Any] = {}
+    if isinstance(document, dict):
+        for key in sorted(document, key=str):
+            path = f"{prefix}.{key}" if prefix else str(key)
+            flat.update(flatten(document[key], path))
+    elif isinstance(document, list):
+        for index, item in enumerate(document):
+            path = f"{prefix}.{index}" if prefix else str(index)
+            flat.update(flatten(item, path))
+    else:
+        flat[prefix] = document
+    return flat
+
+
+@dataclass(frozen=True)
+class DiffEntry:
+    """One compared key path."""
+
+    path: str
+    status: str  # regression | improvement | changed | added | removed | ok
+    old: Any = None
+    new: Any = None
+    delta_pct: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "path": self.path,
+            "status": self.status,
+            "old": self.old,
+            "new": self.new,
+        }
+        if self.delta_pct is not None:
+            record["delta_pct"] = round(self.delta_pct, 3)
+        return record
+
+
+@dataclass
+class BenchDiff:
+    """The full comparison of two benchmark reports."""
+
+    entries: List[DiffEntry]
+    threshold_pct: float
+    min_abs: float
+
+    def by_status(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for entry in self.entries:
+            counts[entry.status] = counts.get(entry.status, 0) + 1
+        return counts
+
+    @property
+    def regressions(self) -> List[DiffEntry]:
+        return [e for e in self.entries if e.status == "regression"]
+
+    @property
+    def has_regression(self) -> bool:
+        return any(e.status == "regression" for e in self.entries)
+
+    @property
+    def has_change(self) -> bool:
+        return any(e.status != "ok" for e in self.entries)
+
+    def interesting(self) -> List[DiffEntry]:
+        """Everything except ``ok``, worst first."""
+        rank = {status: i for i, status in enumerate(_STATUS_ORDER)}
+        return sorted(
+            (e for e in self.entries if e.status != "ok"),
+            key=lambda e: (rank[e.status], e.path),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "threshold_pct": self.threshold_pct,
+            "min_abs": self.min_abs,
+            "compared_keys": len(self.entries),
+            "by_status": self.by_status(),
+            "entries": [e.to_dict() for e in self.interesting()],
+        }
+
+    def table_lines(self) -> List[str]:
+        counts = self.by_status()
+        summary = ", ".join(
+            f"{counts[status]} {status}"
+            for status in _STATUS_ORDER
+            if counts.get(status)
+        )
+        lines = [
+            f"bench diff: {len(self.entries)} key(s) compared "
+            f"(threshold {self.threshold_pct:g}%, floor "
+            f"{self.min_abs:g}s) — {summary or 'nothing to compare'}"
+        ]
+        rows = self.interesting()
+        if rows:
+            lines.append("")
+            lines.append(
+                f"{'status':<12} {'delta':>9}  {'old':>14} {'new':>14}  path"
+            )
+            for entry in rows:
+                delta = (
+                    f"{entry.delta_pct:+8.1f}%"
+                    if entry.delta_pct is not None
+                    else "        -"
+                )
+                lines.append(
+                    f"{entry.status:<12} {delta}  "
+                    f"{_cell(entry.old):>14} {_cell(entry.new):>14}  "
+                    f"{entry.path}"
+                )
+        return lines
+
+
+def _cell(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)[:14]
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def diff_reports(
+    old: Dict[str, Any],
+    new: Dict[str, Any],
+    threshold_pct: float = DEFAULT_THRESHOLD_PCT,
+    min_abs: float = DEFAULT_MIN_ABS,
+) -> BenchDiff:
+    """Compare two benchmark report documents key-by-key."""
+    old_flat = flatten(old)
+    new_flat = flatten(new)
+    entries: List[DiffEntry] = []
+    for path in sorted(set(old_flat) | set(new_flat)):
+        if path not in new_flat:
+            entries.append(
+                DiffEntry(path=path, status="removed", old=old_flat[path])
+            )
+            continue
+        if path not in old_flat:
+            entries.append(
+                DiffEntry(path=path, status="added", new=new_flat[path])
+            )
+            continue
+        entries.append(
+            _compare(path, old_flat[path], new_flat[path], threshold_pct, min_abs)
+        )
+    return BenchDiff(
+        entries=entries, threshold_pct=threshold_pct, min_abs=min_abs
+    )
+
+
+def _compare(
+    path: str, old: Any, new: Any, threshold_pct: float, min_abs: float
+) -> DiffEntry:
+    if not (_is_number(old) and _is_number(new)):
+        status = "ok" if old == new else "changed"
+        return DiffEntry(path=path, status=status, old=old, new=new)
+    delta = new - old
+    delta_pct = (delta / old * 100.0) if old else (100.0 if delta else 0.0)
+    if not is_perf_key(path):
+        status = "ok" if delta == 0 else "changed"
+        return DiffEntry(
+            path=path, status=status, old=old, new=new, delta_pct=delta_pct
+        )
+    over_floor = abs(delta) > min_abs
+    over_threshold = abs(delta_pct) > threshold_pct
+    if over_floor and over_threshold:
+        status = "regression" if delta > 0 else "improvement"
+    else:
+        status = "ok"
+    return DiffEntry(
+        path=path, status=status, old=old, new=new, delta_pct=delta_pct
+    )
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    """Read one ``BENCH_*.json`` document."""
+    with open(path) as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict):
+        raise ValueError(f"{path}: benchmark report is not a JSON object")
+    return document
+
+
+def exit_code(diff: BenchDiff, fail_on: str) -> int:
+    """CLI exit status under a ``--fail-on`` policy."""
+    if fail_on == "never":
+        return 0
+    if fail_on == "changed":
+        return 1 if (diff.has_regression or diff.has_change) else 0
+    return 1 if diff.has_regression else 0
+
+
+#: ``--fail-on`` choices, mirrored by the CLI parser.
+FAIL_ON_CHOICES: Tuple[str, ...] = ("regression", "changed", "never")

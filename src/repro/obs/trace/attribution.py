@@ -1,0 +1,269 @@
+"""Latency attribution: which HBR hop cost the most, root cause → FIB?
+
+§6 of the paper treats leaf nodes of an HBG ancestry walk as the root
+cause(s) of an observed problem.  This pass runs the walk in the
+forward direction for *every* FIB update in a graph: find its root
+causes, take the causal chain from each root to the FIB write, and
+charge the time between consecutive chain events to the HBR rule that
+produced that edge.  The result answers the Delta-net-style question
+— per-update latency attribution, not averages — directly from a
+recorded run.
+
+Outputs land in two places:
+
+* the metrics registry (when one is passed or the process-wide one is
+  enabled): ``trace.hop_latency_seconds{rule=...}`` histograms per
+  HBR rule, a ``trace.root_to_fib_seconds`` end-to-end histogram, and
+  ``trace.attributed_paths_total`` / ``trace.unattributed_fib_updates_total``
+  counters;
+* an :class:`AttributionReport` value with per-rule summaries and
+  per-path hop breakdowns, renderable as a table or a JSON dict.
+
+The graph is duck-typed (``events`` / ``parents`` / ``root_causes`` /
+``causal_chain`` in the :class:`repro.hbr.graph.HappensBeforeGraph`
+shape); FIB updates are recognised by ``event.kind.value`` so this
+module never imports the capture layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+#: ``IOKind.value`` of the events attribution terminates at.
+FIB_UPDATE_KIND = "fib_update"
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One cause→effect step on an attributed path."""
+
+    cause: int
+    effect: int
+    rule: str
+    technique: str
+    confidence: float
+    seconds: float
+
+
+@dataclass(frozen=True)
+class AttributedPath:
+    """One root-cause → FIB-update chain with per-hop charges."""
+
+    root: int
+    fib_update: int
+    router: str
+    seconds: float
+    hops: Tuple[Hop, ...]
+
+    @property
+    def slowest_hop(self) -> Optional[Hop]:
+        if not self.hops:
+            return None
+        return max(self.hops, key=lambda hop: hop.seconds)
+
+
+@dataclass
+class RuleSummary:
+    """Aggregate per-HBR-rule hop latency over all attributed paths."""
+
+    rule: str
+    count: int = 0
+    total_seconds: float = 0.0
+    max_seconds: float = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total_seconds += seconds
+        self.max_seconds = max(self.max_seconds, seconds)
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+
+@dataclass
+class AttributionReport:
+    """Everything the latency-attribution pass learned from one graph."""
+
+    paths: List[AttributedPath] = field(default_factory=list)
+    per_rule: Dict[str, RuleSummary] = field(default_factory=dict)
+    fib_updates: int = 0
+    unattributed: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "fib_updates": self.fib_updates,
+            "attributed_paths": len(self.paths),
+            "unattributed_fib_updates": self.unattributed,
+            "per_rule": {
+                rule: {
+                    "hops": summary.count,
+                    "total_seconds": round(summary.total_seconds, 9),
+                    "mean_seconds": round(summary.mean_seconds, 9),
+                    "max_seconds": round(summary.max_seconds, 9),
+                }
+                for rule, summary in sorted(self.per_rule.items())
+            },
+            "paths": [
+                {
+                    "root": path.root,
+                    "fib_update": path.fib_update,
+                    "router": path.router,
+                    "seconds": round(path.seconds, 9),
+                    "hops": [
+                        {
+                            "cause": hop.cause,
+                            "effect": hop.effect,
+                            "rule": hop.rule,
+                            "technique": hop.technique,
+                            "confidence": round(hop.confidence, 6),
+                            "seconds": round(hop.seconds, 9),
+                        }
+                        for hop in path.hops
+                    ],
+                }
+                for path in self.paths
+            ],
+        }
+
+    def table_lines(self) -> List[str]:
+        """Human-readable per-rule + slowest-hop summary."""
+        lines = [
+            "latency attribution"
+            f"  (fib updates: {self.fib_updates}, attributed paths: "
+            f"{len(self.paths)}, unattributed: {self.unattributed})",
+            "",
+            f"{'rule':<28} {'hops':>5} {'mean ms':>10} {'max ms':>10} "
+            f"{'total ms':>10}",
+        ]
+        for rule in sorted(self.per_rule):
+            summary = self.per_rule[rule]
+            lines.append(
+                f"{rule:<28} {summary.count:>5d} "
+                f"{summary.mean_seconds * 1e3:>10.3f} "
+                f"{summary.max_seconds * 1e3:>10.3f} "
+                f"{summary.total_seconds * 1e3:>10.3f}"
+            )
+        slow = sorted(
+            self.paths, key=lambda p: p.seconds, reverse=True
+        )[:5]
+        if slow:
+            lines.append("")
+            lines.append("slowest root→FIB paths:")
+            for path in slow:
+                hop = path.slowest_hop
+                culprit = (
+                    f"slowest hop #{hop.cause}->#{hop.effect} "
+                    f"({hop.rule or hop.technique}, "
+                    f"{hop.seconds * 1e3:.3f} ms)"
+                    if hop is not None
+                    else "no hops"
+                )
+                lines.append(
+                    f"  #{path.root} -> #{path.fib_update} "
+                    f"[{path.router}] {path.seconds * 1e3:.3f} ms; "
+                    f"{culprit}"
+                )
+        return lines
+
+
+def _hop_evidence(graph, cause_id: int, effect_id: int):
+    for parent, evidence in graph.parents(effect_id):
+        if parent.event_id == cause_id:
+            return evidence
+    return None
+
+
+def attribute_latency(
+    graph,
+    registry=None,
+    min_confidence: float = 0.0,
+) -> AttributionReport:
+    """Walk every root-cause → FIB-update chain and charge each hop.
+
+    ``registry`` defaults to the process-wide metrics registry, so
+    calling this inside ``obs.capturing()`` populates ``trace.*``
+    histograms without further wiring; pass an explicit registry (or
+    leave metrics disabled) to keep the pass side-effect free.
+    """
+    if registry is None:
+        from repro import obs
+
+        registry = obs.get_registry()
+
+    report = AttributionReport()
+    for event in graph.events():
+        if event.kind.value != FIB_UPDATE_KIND:
+            continue
+        report.fib_updates += 1
+        roots = graph.root_causes(event.event_id, min_confidence)
+        attributed = False
+        for root in roots:
+            if root.event_id == event.event_id:
+                continue  # isolated FIB write: its own root, no path
+            chain = graph.causal_chain(
+                root.event_id, event.event_id, min_confidence
+            )
+            if chain is None or len(chain) < 2:
+                continue
+            hops: List[Hop] = []
+            for cause, effect in zip(chain, chain[1:]):
+                evidence = _hop_evidence(
+                    graph, cause.event_id, effect.event_id
+                )
+                dt = max(0.0, effect.timestamp - cause.timestamp)
+                rule = (
+                    (evidence.rule or evidence.technique)
+                    if evidence is not None
+                    else "unknown"
+                )
+                hops.append(
+                    Hop(
+                        cause=cause.event_id,
+                        effect=effect.event_id,
+                        rule=rule,
+                        technique=(
+                            evidence.technique
+                            if evidence is not None
+                            else "unknown"
+                        ),
+                        confidence=(
+                            evidence.confidence
+                            if evidence is not None
+                            else 0.0
+                        ),
+                        seconds=dt,
+                    )
+                )
+            total = max(0.0, event.timestamp - root.timestamp)
+            path = AttributedPath(
+                root=root.event_id,
+                fib_update=event.event_id,
+                router=event.router,
+                seconds=total,
+                hops=tuple(hops),
+            )
+            report.paths.append(path)
+            attributed = True
+            for hop in hops:
+                summary = report.per_rule.setdefault(
+                    hop.rule, RuleSummary(rule=hop.rule)
+                )
+                summary.observe(hop.seconds)
+            if registry.enabled:
+                for hop in hops:
+                    registry.histogram(
+                        "trace.hop_latency_seconds", rule=hop.rule
+                    ).observe(hop.seconds)
+                registry.histogram(
+                    "trace.root_to_fib_seconds"
+                ).observe(total)
+                registry.counter("trace.attributed_paths_total").inc()
+        if not attributed:
+            report.unattributed += 1
+            if registry.enabled:
+                registry.counter(
+                    "trace.unattributed_fib_updates_total"
+                ).inc()
+    return report

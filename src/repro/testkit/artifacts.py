@@ -12,19 +12,29 @@ The artifact carries the full shrunk plan plus an ``expect`` field:
 The pytest collector in ``tests/test_testkit.py`` replays every
 ``*.json`` in the fixtures directory and asserts the recorded
 expectation, so a fixed bug that regresses fails tier-1 immediately.
+
+Schema history:
+
+* v1 — oracle, expect, detail, case, events, probe_times, shrink.
+* v2 — adds an optional ``trace`` block: the flight-recorder tail of
+  the *original* (pre-shrink) failing run, so every committed repro
+  carries the causal event sequence that led to the finding.  v1
+  fixtures remain loadable forever; they simply have no trace.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterator, Optional
+from typing import Iterator, List, Optional
 
 from repro.testkit.case import CasePlan
 from repro.testkit.oracles import ORACLES, OracleContext, OracleVerdict
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+#: Every schema this loader still understands.
+SUPPORTED_SCHEMAS = (1, 2)
 
 
 @dataclass
@@ -36,6 +46,10 @@ class Artifact:
     plan: CasePlan
     detail: str = ""
     shrink: Optional[dict] = None
+    #: Flight-recorder tail of the failing run: a list of
+    #: ``TraceEvent.to_record()`` dicts (empty when recording was off
+    #: or the artifact predates schema v2).
+    trace: List[dict] = field(default_factory=list)
 
     def to_dict(self) -> dict:
         plan = self.plan.to_dict()
@@ -51,16 +65,19 @@ class Artifact:
         }
         if self.shrink is not None:
             data["shrink"] = self.shrink
+        if self.trace:
+            data["trace"] = list(self.trace)
         return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "Artifact":
         if not isinstance(data, dict):
             raise ValueError("artifact is not a JSON object")
-        if data.get("schema") != SCHEMA_VERSION:
+        if data.get("schema") not in SUPPORTED_SCHEMAS:
             raise ValueError(
                 f"unsupported artifact schema {data.get('schema')!r} "
-                f"(expected {SCHEMA_VERSION})"
+                f"(expected one of "
+                f"{', '.join(str(s) for s in SUPPORTED_SCHEMAS)})"
             )
         for key in ("oracle", "expect", "case", "events"):
             if key not in data:
@@ -77,12 +94,18 @@ class Artifact:
                 "probe_times": data.get("probe_times", ()),
             }
         )
+        trace = data.get("trace", [])
+        if not isinstance(trace, list) or not all(
+            isinstance(item, dict) for item in trace
+        ):
+            raise ValueError("artifact trace must be a list of objects")
         return cls(
             oracle=str(data["oracle"]),
             expect=str(data["expect"]),
             plan=plan,
             detail=str(data.get("detail", "")),
             shrink=data.get("shrink"),
+            trace=trace,
         )
 
 

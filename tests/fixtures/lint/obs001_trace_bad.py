@@ -1,6 +1,6 @@
 # repro: lint-module=repro.capture.collector
-"""Good: the stage entry point records a metric AND a trace event
-(OBS001 checks both the metrics catalogue and TRACE_SITES here)."""
+"""Bad: metrics instrumentation alone must not satisfy a TRACE_SITES
+entry — the function never touches the flight recorder (OBS001)."""
 
 from repro import obs
 
@@ -12,7 +12,4 @@ class Collector:
     def ingest(self, event):
         registry = obs.get_registry()
         self.events.append(event)
-        recorder = obs.get_recorder()
-        if recorder.enabled:
-            recorder.record(obs.TraceKind.IO_CAPTURED, at=event.timestamp)
         registry.counter("capture.events_total").inc()

@@ -1,0 +1,253 @@
+"""Tests for the ``repro bench diff`` regression gate.
+
+Fixture pair under ``tests/fixtures/bench/``:
+
+* ``baseline.json`` — a trimmed F3 pipeline report.
+* ``regressed.json`` — the same report with a planted ~20% slowdown
+  on ``wall_seconds`` and ``fib_write_latency.mean``, a planted
+  improvement on ``verify.verify_seconds``, a changed counter and an
+  added key, so one diff exercises every status.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.obs.benchdiff import (
+    BenchDiff,
+    DiffEntry,
+    diff_reports,
+    exit_code,
+    flatten,
+    is_perf_key,
+    load_report,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures" / "bench"
+BASELINE = FIXTURES / "baseline.json"
+REGRESSED = FIXTURES / "regressed.json"
+
+
+def _load(path: Path) -> dict:
+    return json.loads(path.read_text())
+
+
+# -- key classification ------------------------------------------------------
+
+
+class TestPerfKeys:
+    @pytest.mark.parametrize(
+        "path",
+        [
+            "wall_seconds",
+            "per_stage_wall_seconds.sim.sim.run_wall_seconds",
+            "fib_write_latency.mean",
+            "metrics.sections.verify.histograms.verify.verify_seconds.p95",
+        ],
+    )
+    def test_time_paths_are_perf(self, path):
+        assert is_perf_key(path)
+
+    @pytest.mark.parametrize(
+        "path",
+        ["episode.incidents", "experiment", "sim.run_events.count"],
+    )
+    def test_count_paths_are_not_perf(self, path):
+        assert not is_perf_key(path)
+
+
+class TestFlatten:
+    def test_nested_dicts_and_lists(self):
+        flat = flatten({"a": {"b": [1, {"c": 2}]}, "d": "x"})
+        assert flat == {"a.b.0": 1, "a.b.1.c": 2, "d": "x"}
+
+    def test_scalar_document(self):
+        assert flatten(3.0, "root") == {"root": 3.0}
+
+
+# -- diffing -----------------------------------------------------------------
+
+
+class TestDiffReports:
+    def test_identical_reports_have_no_changes(self):
+        report = _load(BASELINE)
+        diff = diff_reports(report, report)
+        assert not diff.has_regression
+        assert not diff.has_change
+        assert diff.interesting() == []
+        assert all(e.status == "ok" for e in diff.entries)
+
+    def test_planted_regression_is_detected(self):
+        diff = diff_reports(_load(BASELINE), _load(REGRESSED))
+        assert diff.has_regression
+        regressed = {e.path for e in diff.regressions}
+        assert "wall_seconds" in regressed
+        assert "fib_write_latency.mean" in regressed
+        wall = next(e for e in diff.entries if e.path == "wall_seconds")
+        assert wall.delta_pct == pytest.approx(20.0, abs=0.5)
+
+    def test_planted_improvement_and_changed_and_added(self):
+        diff = diff_reports(_load(BASELINE), _load(REGRESSED))
+        by_path = {e.path: e for e in diff.entries}
+        assert (
+            by_path["per_stage_wall_seconds.verify.verify.verify_seconds"]
+            .status
+            == "improvement"
+        )
+        # Counters changing with the workload is "changed", never a
+        # regression, even though the value moved.
+        assert by_path["episode.incidents"].status == "changed"
+        assert by_path["notes"].status == "added"
+
+    def test_removed_key(self):
+        old = {"wall_seconds": 1.0, "gone": 5}
+        diff = diff_reports(old, {"wall_seconds": 1.0})
+        [entry] = diff.interesting()
+        assert entry.path == "gone" and entry.status == "removed"
+
+    def test_threshold_tolerates_small_drift(self):
+        old = {"wall_seconds": 1.0}
+        new = {"wall_seconds": 1.15}
+        assert not diff_reports(old, new, threshold_pct=20.0).has_regression
+        assert diff_reports(old, new, threshold_pct=10.0).has_regression
+
+    def test_min_abs_floor_suppresses_micro_jitter(self):
+        # 33% relative blip, but only 1µs absolute — below the floor.
+        old = {"op_seconds": 3e-6}
+        new = {"op_seconds": 4e-6}
+        assert not diff_reports(old, new).has_regression
+        assert diff_reports(old, new, min_abs=1e-7).has_regression
+
+    def test_non_numeric_leaves_compare_by_equality(self):
+        diff = diff_reports({"mode": "repair"}, {"mode": "verify"})
+        [entry] = diff.interesting()
+        assert entry.status == "changed"
+
+    def test_interesting_sorts_worst_first(self):
+        diff = diff_reports(_load(BASELINE), _load(REGRESSED))
+        statuses = [e.status for e in diff.interesting()]
+        assert statuses == sorted(
+            statuses,
+            key=["regression", "removed", "added", "changed",
+                 "improvement", "ok"].index,
+        )
+        assert statuses[0] == "regression"
+
+    def test_to_dict_round_trips_through_json(self):
+        diff = diff_reports(_load(BASELINE), _load(REGRESSED))
+        doc = json.loads(json.dumps(diff.to_dict()))
+        assert doc["by_status"]["regression"] == len(diff.regressions)
+        assert doc["compared_keys"] == len(diff.entries)
+
+    def test_table_lines_render_summary_and_rows(self):
+        diff = diff_reports(_load(BASELINE), _load(REGRESSED))
+        lines = diff.table_lines()
+        assert "regression" in lines[0]
+        assert any("wall_seconds" in line for line in lines[1:])
+
+
+class TestExitCode:
+    def _diff(self, *statuses):
+        return BenchDiff(
+            entries=[DiffEntry(path=f"k{i}", status=s)
+                     for i, s in enumerate(statuses)],
+            threshold_pct=10.0,
+            min_abs=1e-4,
+        )
+
+    def test_fail_on_regression(self):
+        assert exit_code(self._diff("ok", "changed"), "regression") == 0
+        assert exit_code(self._diff("regression"), "regression") == 1
+
+    def test_fail_on_changed(self):
+        assert exit_code(self._diff("changed"), "changed") == 1
+        assert exit_code(self._diff("ok"), "changed") == 0
+
+    def test_fail_on_never(self):
+        assert exit_code(self._diff("regression"), "never") == 0
+
+
+class TestLoadReport:
+    def test_rejects_non_object_documents(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError, match="not a JSON object"):
+            load_report(str(path))
+
+    def test_loads_committed_baseline(self):
+        # The CI gate diffs against this committed file; keep it valid.
+        report = load_report(
+            str(
+                Path(__file__).resolve().parents[1]
+                / "benchmarks"
+                / "reports"
+                / "baseline"
+                / "BENCH_pipeline.json"
+            )
+        )
+        assert report["experiment"] == "F3_fig3_pipeline"
+        assert "wall_seconds" in report
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+class TestBenchDiffCli:
+    def test_identical_reports_exit_zero(self, capsys):
+        rc = cli_main(["bench", "diff", str(BASELINE), str(BASELINE)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bench diff:" in out
+
+    def test_planted_regression_exits_nonzero(self, capsys):
+        rc = cli_main(["bench", "diff", str(BASELINE), str(REGRESSED)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "regression" in out
+        assert "wall_seconds" in out
+
+    def test_threshold_flag_raises_the_bar(self, capsys):
+        rc = cli_main(
+            [
+                "bench",
+                "diff",
+                str(BASELINE),
+                str(REGRESSED),
+                "--threshold",
+                "25",
+            ]
+        )
+        assert rc == 0
+        capsys.readouterr()
+
+    def test_fail_on_never_reports_but_passes(self, capsys):
+        rc = cli_main(
+            [
+                "bench",
+                "diff",
+                str(BASELINE),
+                str(REGRESSED),
+                "--fail-on",
+                "never",
+            ]
+        )
+        assert rc == 0
+        assert "regression" in capsys.readouterr().out
+
+    def test_json_format_is_machine_readable(self, capsys):
+        rc = cli_main(
+            ["bench", "diff", str(BASELINE), str(REGRESSED),
+             "--format", "json"]
+        )
+        assert rc == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["by_status"]["regression"] >= 1
+
+    def test_missing_report_exits_two(self, capsys):
+        rc = cli_main(
+            ["bench", "diff", str(BASELINE), "/nonexistent/BENCH.json"]
+        )
+        assert rc == 2
+        assert capsys.readouterr().err

@@ -167,6 +167,27 @@ def test_obs001_reports_stale_catalogue():
     assert "not found" in result.findings[0].message
 
 
+def test_obs001_trace_fixture_pair():
+    """Metrics-only instrumentation must not satisfy a TRACE_SITES entry."""
+    bad = lint_fixture("obs001_trace_bad.py")
+    assert rules_fired(bad) == ["OBS001"]
+    assert any("flight recorder" in f.message for f in bad.findings)
+    assert rules_fired(lint_fixture("obs001_good.py")) == []
+
+
+def test_obs001_trace_reports_stale_catalogue():
+    rule = InstrumentationRule(
+        entry_points={},
+        trace_sites={"repro.net.fake": (("Ghost.run", "SIM_EVENT"),)},
+    )
+    result = LintRunner(rules=[rule]).run_source(
+        "# repro: lint-module=repro.net.fake\nclass Other:\n    pass\n",
+        path="<fixture>",
+    )
+    assert rules_fired(result) == ["OBS001"]
+    assert "trace site" in result.findings[0].message
+
+
 # -- HYG rules ------------------------------------------------------------
 
 
@@ -283,6 +304,7 @@ def test_cli_lint_bad_fixture_fails(capsys):
         "lay001_bad.py",
         "lay002_bad",
         "obs001_bad.py",
+        "obs001_trace_bad.py",
         "hyg001_bad.py",
         "hyg002_bad.py",
         "hyg003_bad.py",
