@@ -1,18 +1,23 @@
 """Experiment C-SCALE — implicit claim: the machinery must scale.
 
 Measures, as the network grows: capture volume, HBG construction
-time, snapshot consistency-check time, and provenance-trace time.
-The expectation (and the paper's implicit bet) is roughly linear
-growth in the event volume, which itself grows with routers x churn.
-The benchmark measures HBG construction at the largest size.
+time (indexed default vs the pre-index ``legacy_scan`` reference),
+snapshot consistency-check time, and provenance-trace time.  The
+paper's premise (§4–§5) is that all of this runs *online* in the
+control plane, so throughput columns (events/sec, edges/sec) make
+the budget explicit.
+
+The legacy column is only measured up to ``LEGACY_MAX`` routers —
+beyond that the O(N)-window rescans take tens of seconds per build
+and demonstrate nothing new; the differential equality against the
+indexed path is still asserted wherever both run (and fuzzed further
+by the ``hbg-indexed-equivalence`` testkit oracle).
 """
 
 import time
 
-import pytest
-
 from repro.capture.io_events import IOKind
-from repro.hbr.inference import InferenceEngine
+from repro.hbr.inference import InferenceConfig, InferenceEngine
 from repro.repair.provenance import ProvenanceTracer
 from repro.scenarios.generators import (
     build_random_network,
@@ -22,9 +27,12 @@ from repro.scenarios.generators import (
 from repro.snapshot.base import VerifierView
 from repro.snapshot.consistent import ConsistentSnapshotter
 
-from _report import emit, table
+from _report import emit, emit_json, table
 
-SIZES = (4, 8, 12, 16)
+SIZES = (4, 8, 16, 32, 48)
+
+#: Largest size the legacy path is timed at (see module docstring).
+LEGACY_MAX = 16
 
 
 def _capture(n, seed=0):
@@ -37,8 +45,22 @@ def _capture(n, seed=0):
     return net
 
 
+def _canonical_edges(graph):
+    return sorted(
+        (
+            e.cause,
+            e.effect,
+            e.evidence.technique,
+            e.evidence.rule,
+            e.evidence.confidence,
+        )
+        for e in graph.edges()
+    )
+
+
 def test_scaling(benchmark):
     rows = []
+    trajectory = {"experiment": "C-SCALE_scaling", "sizes": {}}
     largest_events = None
     for n in SIZES:
         net = _capture(n)
@@ -48,6 +70,23 @@ def test_scaling(benchmark):
         t0 = time.perf_counter()
         graph = engine.build_graph(events)
         t_build = time.perf_counter() - t0
+
+        if n <= LEGACY_MAX:
+            legacy_engine = InferenceEngine(
+                config=InferenceConfig(legacy_scan=True)
+            )
+            t0 = time.perf_counter()
+            legacy_graph = legacy_engine.build_graph(events)
+            t_legacy = time.perf_counter() - t0
+            assert _canonical_edges(legacy_graph) == _canonical_edges(
+                graph
+            ), f"indexed path diverges from legacy scan at n={n}"
+            legacy_cell = f"{t_legacy * 1000:.1f} ms"
+            speedup_cell = f"{t_legacy / t_build:.1f}x"
+        else:
+            t_legacy = None
+            legacy_cell = "-"
+            speedup_cell = "-"
 
         snapshotter = ConsistentSnapshotter(
             VerifierView(net.collector),
@@ -66,16 +105,34 @@ def test_scaling(benchmark):
         tracer.trace(target.event_id)
         t_trace = time.perf_counter() - t0
 
+        events_per_sec = len(events) / t_build
+        edges_per_sec = graph.edge_count() / t_build
         rows.append(
             (
                 n,
                 len(events),
                 graph.edge_count(),
                 f"{t_build * 1000:.1f} ms",
+                legacy_cell,
+                speedup_cell,
+                f"{events_per_sec:,.0f}",
+                f"{edges_per_sec:,.0f}",
                 f"{t_check * 1000:.1f} ms",
                 f"{t_trace * 1000:.2f} ms",
             )
         )
+        size_stats = {
+            "events": len(events),
+            "hbg_edges": graph.edge_count(),
+            "build_indexed_seconds": round(t_build, 6),
+            "consistency_check_seconds": round(t_check, 6),
+            "provenance_trace_seconds": round(t_trace, 6),
+            "events_per_sec": round(events_per_sec, 1),
+            "edges_per_sec": round(edges_per_sec, 1),
+        }
+        if t_legacy is not None:
+            size_stats["build_legacy_seconds"] = round(t_legacy, 6)
+        trajectory["sizes"][f"n{n:02d}"] = size_stats
         largest_events = events
 
     benchmark(lambda: InferenceEngine().build_graph(largest_events))
@@ -91,6 +148,10 @@ def test_scaling(benchmark):
             "events",
             "HBG edges",
             "HBG build",
+            "legacy scan",
+            "speedup",
+            "events/sec",
+            "edges/sec",
             "consistency check",
             "provenance trace",
         ),
@@ -98,9 +159,13 @@ def test_scaling(benchmark):
     )
     lines += [
         "",
-        "shape: HBG build and consistency check grow super-linearly in "
-        "event volume (each event scans a time-window of candidates, "
-        "and dense iBGP meshes make windows busier); provenance stays "
+        "shape: the indexed build (repro.hbr.index) holds events/sec "
+        "roughly flat as the network grows, where the legacy per-rule "
+        "window rescan degraded quadratically (timed up to "
+        f"{LEGACY_MAX} routers; identical edge sets asserted wherever "
+        "both run).  The consistency check rides the same indexed "
+        "build plus memoized §5 closure walks; provenance stays "
         "sub-millisecond since it touches only one episode's ancestry.",
     ]
     emit("C-SCALE_scaling", lines)
+    emit_json("scaling", trajectory)

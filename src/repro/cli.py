@@ -173,7 +173,11 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
-    from repro.hbr.inference import InferenceEngine, score_inference
+    from repro.hbr.inference import (
+        InferenceConfig,
+        InferenceEngine,
+        score_inference,
+    )
     from repro.repair.equivalence import PrefixGrouper
     from repro.scenarios.generators import (
         build_random_network,
@@ -195,7 +199,12 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         net, specs, prefixes, events=args.events, start=5.0, seed=args.seed
     )
     net.run(60)
-    graph = InferenceEngine().build_graph(net.collector.all_events())
+    engine = InferenceEngine(
+        config=InferenceConfig(legacy_scan=args.legacy_scan)
+    )
+    graph = engine.build_graph(
+        net.collector.all_events(), parallel=args.workers
+    )
     observable = {e.event_id for e in net.collector}
     score = score_inference(graph, net.ground_truth, observable_ids=observable)
     snapshot = DataPlaneSnapshot.from_live_network(net)
@@ -713,6 +722,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="exit nonzero if HBR inference f1 falls below this (CI gate)",
     )
+    audit.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="build the HBG with N sharded worker processes "
+        "(default: serial indexed build)",
+    )
+    audit.add_argument(
+        "--legacy-scan",
+        action="store_true",
+        help="use the pre-index window-rescan inference path "
+        "(differential-testing reference; much slower)",
+    )
     audit.set_defaults(func=_cmd_audit)
 
     lint = sub.add_parser(
@@ -793,6 +816,8 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--prefixes", type=int, default=6)
     stats.add_argument("--events", type=int, default=12)
     stats.add_argument("--min-f1", type=float, default=0.0)
+    stats.add_argument("--workers", type=int, default=None)
+    stats.add_argument("--legacy-scan", action="store_true")
     stats.set_defaults(func=_cmd_stats)
 
     fuzz = sub.add_parser(
@@ -817,7 +842,8 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "oracle(s) to run — repeatable or comma-separated "
             "(default: all of snapshot-consistency, hbg-distributed, "
-            "whatif-replay, provenance-rollback, replay-determinism)"
+            "hbg-indexed-equivalence, whatif-replay, "
+            "provenance-rollback, replay-determinism)"
         ),
     )
     fuzz.add_argument(

@@ -54,6 +54,9 @@ class HappensBeforeGraph:
         self._events: Dict[int, IOEvent] = {}
         self._out: Dict[int, Dict[int, EdgeEvidence]] = defaultdict(dict)
         self._in: Dict[int, Dict[int, EdgeEvidence]] = defaultdict(dict)
+        # Maintained on every insert/delete so edge_count() is O(1):
+        # the streaming pipeline reads it once per observed event.
+        self._edge_total = 0
 
     # -- construction ------------------------------------------------------
 
@@ -88,6 +91,7 @@ class HappensBeforeGraph:
             return False
         self._out[cause_id][effect_id] = evidence
         self._in[effect_id][cause_id] = evidence
+        self._edge_total += 1
         return True
 
     def _reaches(self, start: int, target: int) -> bool:
@@ -123,7 +127,7 @@ class HappensBeforeGraph:
         return [self._events[i] for i in sorted(self._events)]
 
     def edge_count(self) -> int:
-        return sum(len(targets) for targets in self._out.values())
+        return self._edge_total
 
     def edges(self) -> Iterator[Edge]:
         for cause in sorted(self._out):
@@ -347,8 +351,10 @@ class HappensBeforeGraph:
         for event_id in doomed:
             for effect in list(self._out.get(event_id, ())):
                 del self._in[effect][event_id]
+                self._edge_total -= 1
             for cause in list(self._in.get(event_id, ())):
                 del self._out[cause][event_id]
+                self._edge_total -= 1
             self._out.pop(event_id, None)
             self._in.pop(event_id, None)
             del self._events[event_id]

@@ -36,8 +36,9 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro import obs
 from repro.capture.ground_truth import GroundTruth
-from repro.capture.io_events import IOEvent
+from repro.capture.io_events import IOEvent, IOKind
 from repro.hbr.graph import EdgeEvidence, HappensBeforeGraph
+from repro.hbr.index import EventIndex, MAX_ID, RulePlan, plan_for_rule
 from repro.hbr.rules import HbrRule, default_rules
 
 
@@ -60,6 +61,12 @@ class InferenceConfig:
     ambiguity_discount: bool = True
     #: Link all candidates instead of only the most recent one.
     link_all_candidates: bool = False
+    #: Use the original per-event window rescan instead of the
+    #: inverted indices of :mod:`repro.hbr.index`.  Kept only as the
+    #: reference implementation for differential testing (the
+    #: ``hbg-indexed-equivalence`` oracle); the indexed path is the
+    #: default and produces the identical graph.
+    legacy_scan: bool = False
 
 
 # -- pattern mining ----------------------------------------------------------
@@ -148,6 +155,106 @@ def _prefix_compatible(a: IOEvent, b: IOEvent) -> bool:
     return a.prefix == b.prefix
 
 
+# -- candidate sources ------------------------------------------------------
+
+
+def _admissible(
+    cons: IOEvent, candidates: Iterable[IOEvent]
+) -> List[IOEvent]:
+    """The shared per-candidate filters both sources apply.
+
+    Excludes the consequent itself and enforces the shared-clock
+    constraint: same-router antecedents must not be later than the
+    consequent (no skew allowance on one router's own clock).
+    """
+    result = []
+    for ante in candidates:
+        if ante.event_id == cons.event_id:
+            continue
+        if ante.router == cons.router and (
+            ante.timestamp,
+            ante.event_id,
+        ) > (cons.timestamp, cons.event_id):
+            continue
+        result.append(ante)
+    return result
+
+
+class _ScanSource:
+    """Legacy candidate lookup: rescan the ordered stream per rule.
+
+    Kept as the reference implementation behind
+    ``InferenceConfig.legacy_scan`` so the indexed path can be
+    differentially tested against it forever.
+    """
+
+    __slots__ = ("ordered", "times", "skew")
+
+    def __init__(
+        self,
+        ordered: Sequence[IOEvent],
+        times: Sequence[float],
+        skew: float,
+    ):
+        self.ordered = ordered
+        self.times = times
+        self.skew = skew
+
+    def _window(self, cons: IOEvent, window: float) -> List[IOEvent]:
+        """Events within [cons.t - window, cons.t + skew].
+
+        The forward allowance implements the timestamp technique's
+        skew tolerance: a cause on another (skewed) router may carry a
+        slightly *later* logged timestamp than its effect.
+        """
+        start = bisect.bisect_left(self.times, cons.timestamp - window)
+        end = bisect.bisect_right(self.times, cons.timestamp + self.skew)
+        return _admissible(cons, self.ordered[start:end])
+
+    def rule_candidates(
+        self, cons: IOEvent, window: float, plan: "RulePlan"
+    ) -> List[IOEvent]:
+        return self._window(cons, window)
+
+    def window_candidates(
+        self, cons: IOEvent, window: float
+    ) -> List[IOEvent]:
+        return self._window(cons, window)
+
+
+class _IndexSource:
+    """Indexed candidate lookup over :class:`repro.hbr.index.EventIndex`.
+
+    Rule lookups read only the (router, kind[, prefix]) bucket the
+    rule's precomputed plan names; the naive/pattern modes fall back
+    to the global time-ordered index.  Either way the answer comes
+    back in the same (timestamp, event_id) order the legacy scan
+    produced, so downstream tie-breaking is unchanged.
+    """
+
+    __slots__ = ("index", "skew")
+
+    def __init__(self, index: EventIndex, skew: float):
+        self.index = index
+        self.skew = skew
+
+    def rule_candidates(
+        self, cons: IOEvent, window: float, plan: "RulePlan"
+    ) -> List[IOEvent]:
+        lo = (cons.timestamp - window, 0)
+        hi = (cons.timestamp + self.skew, MAX_ID)
+        return _admissible(
+            cons, self.index.candidates(plan, cons, lo, hi)
+        )
+
+    def window_candidates(
+        self, cons: IOEvent, window: float
+    ) -> List[IOEvent]:
+        lo = (cons.timestamp - window, 0)
+        hi = (cons.timestamp + self.skew, MAX_ID)
+        return _admissible(cons, self.index.window(lo, hi))
+
+
 # -- the combined engine ----------------------------------------------------------
 
 
@@ -167,22 +274,49 @@ class InferenceEngine:
         self.miner = miner
         if self.config.use_patterns and self.miner is None:
             raise ValueError("use_patterns requires a trained PatternMiner")
+        #: Per-rule index query plans, parallel to ``self.rules``.
+        self._plans: Tuple[RulePlan, ...] = tuple(
+            plan_for_rule(rule) for rule in self.rules
+        )
+        #: Rule dispatch buckets: consequent kind -> rule positions.
+        #: A rule whose consequent declares no kinds fires for every
+        #: kind.  Dispatching by kind skips only rules whose
+        #: ``consequent.matches`` would have rejected the event anyway,
+        #: so results (and per-rule obs timings) are unchanged.
+        buckets: Dict[IOKind, List[int]] = {kind: [] for kind in IOKind}
+        for position, rule in enumerate(self.rules):
+            kinds = rule.consequent.kinds or tuple(IOKind)
+            for kind in kinds:
+                buckets[kind].append(position)
+        self._rules_by_kind: Dict[IOKind, Tuple[int, ...]] = {
+            kind: tuple(positions) for kind, positions in buckets.items()
+        }
 
     # -- batch ------------------------------------------------------------
 
-    def build_graph(self, events: Iterable[IOEvent]) -> HappensBeforeGraph:
-        """Infer the full HBG for a finished capture."""
+    def build_graph(
+        self,
+        events: Iterable[IOEvent],
+        parallel: Optional[int] = None,
+    ) -> HappensBeforeGraph:
+        """Infer the full HBG for a finished capture.
+
+        ``parallel`` opts in to the sharded build path of
+        :mod:`repro.hbr.sharded`: the stream is partitioned by router,
+        per-shard edge lists are produced by ``parallel`` worker
+        processes, and the deterministic merge reproduces this
+        method's serial result byte for byte.
+        """
         registry = obs.get_registry()
         if registry.enabled:
             watch = registry.stopwatch()
         ordered = sorted(events, key=lambda e: (e.timestamp, e.event_id))
-        graph = HappensBeforeGraph()
-        for event in ordered:
-            graph.add_event(event)
-        times = [e.timestamp for e in ordered]
-        for index, cons in enumerate(ordered):
-            for ante, evidence in self._edges_into(cons, ordered, times, index):
-                graph.add_edge(ante.event_id, cons.event_id, evidence)
+        if parallel is not None and parallel > 1:
+            from repro.hbr.sharded import build_sharded
+
+            graph = build_sharded(self, ordered, workers=parallel)
+        else:
+            graph = self._build_serial(ordered)
         if registry.enabled:
             registry.counter("inference.batch_builds_total").inc()
             registry.histogram("inference.build_graph_seconds").observe(
@@ -193,45 +327,33 @@ class InferenceEngine:
             )
         return graph
 
-    def _candidates_before(
-        self,
-        cons: IOEvent,
-        ordered: Sequence[IOEvent],
-        times: Sequence[float],
-        cons_index: int,
-        window: float,
-    ) -> List[IOEvent]:
-        """Events within [cons.t - window, cons.t + skew], excluding cons.
+    def _build_serial(
+        self, ordered: Sequence[IOEvent]
+    ) -> HappensBeforeGraph:
+        graph = HappensBeforeGraph()
+        for event in ordered:
+            graph.add_event(event)
+        source = self._batch_source(ordered)
+        for cons in ordered:
+            for ante, evidence in self._edges_into(cons, source):
+                graph.add_edge(ante.event_id, cons.event_id, evidence)
+        return graph
 
-        The forward allowance implements the timestamp technique's
-        skew tolerance: a cause on another (skewed) router may carry a
-        slightly *later* logged timestamp than its effect.
-        """
+    def _batch_source(self, ordered: Sequence[IOEvent]):
+        """The candidate source for a finished, sorted capture."""
         skew = self.config.clock_skew_tolerance
-        start = bisect.bisect_left(times, cons.timestamp - window)
-        end = bisect.bisect_right(times, cons.timestamp + skew)
-        result = []
-        for ante in ordered[start:end]:
-            if ante.event_id == cons.event_id:
-                continue
-            # Same-router events have a shared clock: require strict
-            # non-decreasing order there (no skew allowance).
-            if ante.router == cons.router and ante.timestamp > cons.timestamp:
-                continue
-            if ante.router == cons.router and ante.timestamp == cons.timestamp:
-                if ante.event_id > cons.event_id:
-                    continue
-            result.append(ante)
-        return result
+        if self.config.legacy_scan:
+            times = [e.timestamp for e in ordered]
+            return _ScanSource(ordered, times, skew)
+        index = EventIndex()
+        for event in ordered:
+            index.add(event)
+        return _IndexSource(index, skew)
 
     def _edges_into(
-        self,
-        cons: IOEvent,
-        ordered: Sequence[IOEvent],
-        times: Sequence[float],
-        cons_index: int,
+        self, cons: IOEvent, source
     ) -> List[Tuple[IOEvent, EdgeEvidence]]:
-        edges = self._infer_edges(cons, ordered, times, cons_index)
+        edges = self._infer_edges(cons, source)
         registry = obs.get_registry()
         if edges and registry.enabled:
             registry.counter("inference.hbg_edges_inferred").inc(len(edges))
@@ -256,18 +378,14 @@ class InferenceEngine:
         return edges
 
     def _infer_edges(
-        self,
-        cons: IOEvent,
-        ordered: Sequence[IOEvent],
-        times: Sequence[float],
-        cons_index: int,
+        self, cons: IOEvent, source
     ) -> List[Tuple[IOEvent, EdgeEvidence]]:
         edges: List[Tuple[IOEvent, EdgeEvidence]] = []
         linked: Set[int] = set()
 
         if self.config.naive_prefix_timestamp:
-            for ante in self._candidates_before(
-                cons, ordered, times, cons_index, self.config.naive_window
+            for ante in source.window_candidates(
+                cons, self.config.naive_window
             ):
                 if not _prefix_compatible(ante, cons):
                     continue
@@ -283,7 +401,8 @@ class InferenceEngine:
             # Per-rule wall time is only clocked when observability is
             # on; the disabled path pays one attribute check per call.
             timing = obs.get_registry().enabled
-            for rule in self.rules:
+            for position in self._rules_by_kind[cons.kind]:
+                rule = self.rules[position]
                 if not rule.consequent.matches(cons):
                     continue
                 if timing:
@@ -291,8 +410,8 @@ class InferenceEngine:
                 try:
                     candidates = [
                         ante
-                        for ante in self._candidates_before(
-                            cons, ordered, times, cons_index, rule.window
+                        for ante in source.rule_candidates(
+                            cons, rule.window, self._plans[position]
                         )
                         if rule.pair_matches(ante, cons)
                     ]
@@ -338,9 +457,7 @@ class InferenceEngine:
         if self.config.use_patterns and self.miner is not None:
             threshold = self.config.pattern_confidence_threshold
             best_per_key: Dict[PatternKey, Tuple[float, IOEvent, float]] = {}
-            for ante in self._candidates_before(
-                cons, ordered, times, cons_index, self.miner.window
-            ):
+            for ante in source.window_candidates(cons, self.miner.window):
                 if ante.event_id in linked:
                     continue
                 if not _prefix_compatible(ante, cons):
@@ -380,30 +497,37 @@ class StreamingInference:
     whether the new event is the (skew-delayed) *cause* of recently
     observed events, re-running inference for consequents inside the
     skew horizon.
+
+    The default path maintains an :class:`~repro.hbr.index.EventIndex`
+    incrementally (O(sqrt N) insert, bucketed lookups); the
+    ``legacy_scan`` config flag keeps the original O(N)-per-event
+    sorted-list implementation for differential testing.  Both end-of-
+    observe gauge updates are O(1): the graph tracks its own edge and
+    vertex totals (see :meth:`HappensBeforeGraph.edge_count`), guarded
+    by the overhead test in tests/test_hbr_inference.py.
     """
 
     def __init__(self, engine: InferenceEngine):
         self.engine = engine
         self.graph = HappensBeforeGraph()
-        self._ordered: List[IOEvent] = []
-        self._times: List[float] = []
+        self._legacy = engine.config.legacy_scan
+        skew = engine.config.clock_skew_tolerance
+        if self._legacy:
+            self._ordered: List[IOEvent] = []
+            self._times: List[float] = []
+            self._source = _ScanSource(self._ordered, self._times, skew)
+        else:
+            self._index = EventIndex()
+            self._source = _IndexSource(self._index, skew)
 
     def observe(self, event: IOEvent) -> None:
         registry = obs.get_registry()
         if registry.enabled:
             watch = registry.stopwatch()
-        position = bisect.bisect_right(self._times, event.timestamp)
-        self._ordered.insert(position, event)
-        self._times.insert(position, event.timestamp)
-        self.graph.add_event(event)
-        self._link(event, position)
-        # The new event may be the cause of already-observed events
-        # whose logged timestamps are within the skew horizon ahead.
-        horizon = event.timestamp + self.engine.config.clock_skew_tolerance
-        index = position + 1
-        while index < len(self._ordered) and self._times[index] <= horizon:
-            self._link(self._ordered[index], index)
-            index += 1
+        if self._legacy:
+            self._observe_legacy(event)
+        else:
+            self._observe_indexed(event)
         if registry.enabled:
             registry.counter("inference.events_observed_total").inc()
             registry.histogram("inference.observe_seconds").observe(
@@ -412,14 +536,45 @@ class StreamingInference:
             registry.gauge("inference.hbg_events").set(len(self.graph))
             registry.gauge("inference.hbg_edges").set(self.graph.edge_count())
 
-    def _link(self, cons: IOEvent, index: int) -> None:
-        for ante, evidence in self.engine._edges_into(
-            cons, self._ordered, self._times, index
+    def _observe_indexed(self, event: IOEvent) -> None:
+        self._index.add(event)
+        self.graph.add_event(event)
+        self._link(event)
+        # The new event may be the cause of already-observed events
+        # whose logged timestamps are within the skew horizon ahead.
+        # ``after`` starts strictly past every event sharing this
+        # timestamp, matching the legacy insertion point semantics.
+        horizon = (
+            event.timestamp + self.engine.config.clock_skew_tolerance,
+            MAX_ID,
+        )
+        for cons in list(
+            self._index.after((event.timestamp, MAX_ID), horizon)
         ):
+            self._link(cons)
+
+    def _observe_legacy(self, event: IOEvent) -> None:
+        position = bisect.bisect_right(self._times, event.timestamp)
+        # The O(N) inserts are exactly what the indexed path exists to
+        # avoid; this branch is the differential-testing reference.
+        self._ordered.insert(position, event)  # repro: lint-ignore[PERF001] -- legacy reference path
+        self._times.insert(position, event.timestamp)  # repro: lint-ignore[PERF001] -- legacy reference path
+        self.graph.add_event(event)
+        self._link(event)
+        horizon = event.timestamp + self.engine.config.clock_skew_tolerance
+        index = position + 1
+        while index < len(self._ordered) and self._times[index] <= horizon:
+            self._link(self._ordered[index])
+            index += 1
+
+    def _link(self, cons: IOEvent) -> None:
+        for ante, evidence in self.engine._edges_into(cons, self._source):
             self.graph.add_edge(ante.event_id, cons.event_id, evidence)
 
     def __len__(self) -> int:
-        return len(self._ordered)
+        if self._legacy:
+            return len(self._ordered)
+        return len(self._index)
 
 
 # -- scoring against ground truth ----------------------------------------------

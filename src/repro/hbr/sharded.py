@@ -1,0 +1,178 @@
+"""Sharded (multi-process) HBG construction.
+
+CB-VER (see PAPERS.md) argues control-plane reasoning should be
+modular: partition the network, reason per partition, combine.  The
+same shape applies to HBG *construction* — inference is per-consequent
+and never reads the graph being built, so the event stream can be
+partitioned by router, each shard's edges inferred in a separate
+worker process, and the results merged centrally.
+
+Determinism is the load-bearing property here (the cross-process
+byte-identical gate in tests/test_determinism.py covers this path):
+
+* shard assignment round-robins over the *sorted* router names, so it
+  is independent of hash seeds and worker scheduling;
+* workers return plain edge *records* ``(cons_ts, cons_id, seq,
+  cause_id, evidence)`` — ``seq`` is the edge's position within its
+  consequent's inferred-edge list;
+* the parent sorts all records by ``(cons_ts, cons_id, seq)`` before
+  applying them, which replays the exact ``add_edge`` order of the
+  serial build.  Since inference is graph-stateless, cycle rejection
+  and duplicate-evidence upgrades resolve identically, so the merged
+  graph equals the serial graph byte for byte.
+
+Worker processes are forked (the engine, rule table and event list
+are inherited, not pickled); where ``fork`` is unavailable the shards
+run sequentially in-process, which is slower but identical.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.capture.io_events import IOEvent
+from repro.hbr.graph import EdgeEvidence, HappensBeforeGraph
+
+#: One inferred edge, in merge-sortable form: (consequent timestamp,
+#: consequent id, per-consequent sequence number, cause id, evidence
+#: technique, evidence rule, evidence confidence).  Evidence travels
+#: as primitives — unpickling tens of thousands of dataclasses in the
+#: parent costs more than the workers save.
+EdgeRecord = Tuple[float, int, int, int, str, str, float]
+
+#: Stashed (engine, ordered events) for forked workers — set in the
+#: parent immediately before the fork so children inherit it without
+#: pickling the (possibly large) event list per task.
+_WORK: Optional[Tuple[object, Sequence[IOEvent]]] = None
+
+
+def shard_routers(routers: Sequence[str], workers: int) -> List[List[str]]:
+    """Deterministically round-robin sorted router names over shards.
+
+    Sorting first makes the assignment a pure function of the router
+    set — independent of PYTHONHASHSEED, arrival order, or scheduling.
+    """
+    ordered = sorted(routers)
+    workers = max(1, workers)
+    shards = [ordered[i::workers] for i in range(workers)]
+    return [shard for shard in shards if shard]
+
+
+def infer_shard(
+    engine, ordered: Sequence[IOEvent], routers: Sequence[str]
+) -> List[EdgeRecord]:
+    """Infer edges for consequents hosted on ``routers``.
+
+    The candidate source still spans the *whole* stream: a shard owns
+    its consequents, not its antecedents (peer-symmetric rules reach
+    across shard boundaries).
+    """
+    wanted = frozenset(routers)
+    source = engine._batch_source(ordered)
+    records: List[EdgeRecord] = []
+    for cons in ordered:
+        if cons.router not in wanted:
+            continue
+        for seq, (ante, evidence) in enumerate(
+            engine._infer_edges(cons, source)
+        ):
+            records.append(
+                (
+                    cons.timestamp,
+                    cons.event_id,
+                    seq,
+                    ante.event_id,
+                    evidence.technique,
+                    evidence.rule,
+                    evidence.confidence,
+                )
+            )
+    return records
+
+
+def _run_shard(routers: List[str]) -> List[EdgeRecord]:
+    if _WORK is None:  # set by build_sharded before forking
+        raise RuntimeError("_run_shard called outside build_sharded")
+    engine, ordered = _WORK
+    return infer_shard(engine, ordered, routers)
+
+
+def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-forking platform
+        return None
+
+
+def build_sharded(
+    engine, ordered: Sequence[IOEvent], workers: int
+) -> HappensBeforeGraph:
+    """Build the HBG with ``workers`` forked shard processes.
+
+    ``ordered`` must already be sorted by (timestamp, event_id) —
+    :meth:`InferenceEngine.build_graph` guarantees it.  The result is
+    byte-identical to the serial build.
+    """
+    global _WORK
+    registry = obs.get_registry()
+    graph = HappensBeforeGraph()
+    for event in ordered:
+        graph.add_event(event)
+    routers = sorted({event.router for event in ordered})
+    shards = shard_routers(routers, workers)
+    context = _fork_context() if len(shards) > 1 else None
+    if context is None:
+        shard_results = [
+            infer_shard(engine, ordered, shard) for shard in shards
+        ]
+    else:
+        _WORK = (engine, ordered)
+        try:
+            with context.Pool(processes=len(shards)) as pool:
+                shard_results = pool.map(_run_shard, shards)
+        finally:
+            _WORK = None
+    records: List[EdgeRecord] = []
+    for result in shard_results:
+        records.extend(result)
+    # Replay the serial build's exact insertion order (see module
+    # docstring for why this makes the merge byte-identical).
+    records.sort(key=lambda r: (r[0], r[1], r[2]))
+    recorder = obs.get_recorder()
+    # Most edges share one of a handful of (technique, rule,
+    # confidence) shapes; intern the rebuilt evidence objects.
+    evidence_cache: dict = {}
+    for _cons_ts, cons_id, _seq, cause_id, technique, rule, conf in records:
+        evidence = evidence_cache.get((technique, rule, conf))
+        if evidence is None:
+            evidence = EdgeEvidence(
+                technique=technique, rule=rule, confidence=conf
+            )
+            evidence_cache[(technique, rule, conf)] = evidence
+        graph.add_edge(cause_id, cons_id, evidence)
+        # Worker processes are throwaway forks, so the per-edge obs
+        # emission of _edges_into is replayed here in the parent.
+        if registry.enabled:
+            registry.counter("inference.hbg_edges_inferred").inc()
+            registry.counter(
+                "inference.edges_by_technique",
+                technique=evidence.technique,
+            ).inc()
+        if recorder.enabled:
+            cons = graph.event(cons_id)
+            recorder.record(
+                obs.TraceKind.HBR_EDGE,
+                at=cons.timestamp,
+                router=cons.router,
+                event_id=cons.event_id,
+                cause=cause_id,
+                rule=evidence.rule,
+                technique=evidence.technique,
+                confidence=evidence.confidence,
+            )
+    if registry.enabled:
+        registry.counter("inference.sharded_builds_total").inc()
+        registry.gauge("inference.shard_count").set(len(shards))
+    return graph

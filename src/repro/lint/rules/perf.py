@@ -1,0 +1,128 @@
+"""PERF — hot-path performance rules.
+
+The control-plane pipeline is the paper's product: HBG inference and
+snapshot checking run *online* (§4–§5), so accidentally-quadratic
+idioms in the packages on that path are treated as defects, not
+style.  The two patterns below each caused a real slowdown in this
+repo before the indexed-inference work banished them:
+
+* ``list.insert`` (and ``bisect.insort``) shifts every later element —
+  O(N) per call, O(N²) per stream.  Order-maintaining state belongs in
+  :class:`repro.hbr.index.SortedEventList` or an equivalent structure.
+* ``x in [...]``-style membership against a (statically visible) list
+  scans linearly on every evaluation; sets/frozensets or dict lookups
+  are O(1) and just as readable.
+
+Sanctioned exceptions (a bounded chunk insert, a keyed non-positional
+``insert`` API) carry ``# repro: lint-ignore[PERF001]`` pragmas or
+live in the committed baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from repro.lint.core import FileContext, Finding, Rule, Severity, register
+
+#: Packages on the online pipeline's hot path.
+PERF_PACKAGES = frozenset({"net", "capture", "hbr", "snapshot"})
+
+#: ``bisect`` helpers that are ``list.insert`` in disguise.
+_INSORT_NAMES = frozenset({"insort", "insort_left", "insort_right"})
+
+
+@register
+class LinearInsertRule(Rule):
+    """PERF001: O(N) positional list inserts / linear list membership."""
+
+    name = "PERF001"
+    severity = Severity.WARNING
+    description = (
+        "O(N) list.insert/insort or linear list-membership test on the "
+        "hot path; use an order-maintaining container or a set"
+    )
+    node_types = (ast.Call, ast.Compare)
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.package in PERF_PACKAGES
+
+    def visit(
+        self, node: ast.AST, ctx: FileContext
+    ) -> Optional[Iterable[Finding]]:
+        if isinstance(node, ast.Call):
+            return self._check_call(node, ctx)
+        if isinstance(node, ast.Compare):
+            return self._check_membership(node, ctx)
+        return None
+
+    def _check_call(
+        self, node: ast.Call, ctx: FileContext
+    ) -> Optional[Iterable[Finding]]:
+        func = node.func
+        # obj.insert(index, item) — the two-positional-argument shape of
+        # list.insert.  Keyed single-argument inserts (trie/table APIs
+        # with other arities) are not flagged; a keyed API that happens
+        # to take two arguments belongs in the baseline.
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "insert"
+            and len(node.args) == 2
+            and not node.keywords
+        ):
+            return [
+                ctx.finding(
+                    self,
+                    node,
+                    "positional list.insert() shifts every later "
+                    "element (O(N) per call); keep the sequence in an "
+                    "order-maintaining container instead",
+                )
+            ]
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name in _INSORT_NAMES:
+            return [
+                ctx.finding(
+                    self,
+                    node,
+                    f"bisect.{name}() is list.insert in disguise "
+                    "(O(N) per call); use an order-maintaining "
+                    "container for unbounded sequences",
+                )
+            ]
+        return None
+
+    def _check_membership(
+        self, node: ast.Compare, ctx: FileContext
+    ) -> Optional[Iterable[Finding]]:
+        # Mirrors DET003's heuristic: only comparators *statically
+        # known* to be lists are flagged (displays, comprehensions,
+        # list(...) calls); variables of list type are beyond a
+        # single-pass syntactic check.
+        findings = []
+        for op, comparator in zip(node.ops, node.comparators):
+            if not isinstance(op, (ast.In, ast.NotIn)):
+                continue
+            if self._is_list_expr(comparator):
+                findings.append(
+                    ctx.finding(
+                        self,
+                        node,
+                        "membership test against a list scans linearly "
+                        "on every evaluation; use a set/frozenset",
+                    )
+                )
+        return findings
+
+    def _is_list_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.ListComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "list":
+                return True
+        return False

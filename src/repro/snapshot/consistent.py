@@ -26,6 +26,7 @@ advertisement edges.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -35,6 +36,13 @@ from repro.hbr.graph import HappensBeforeGraph
 from repro.hbr.inference import InferenceEngine
 from repro.net.addr import Prefix
 from repro.snapshot.base import DataPlaneSnapshot, VerifierView
+
+
+#: Distinguishes "memoized as absent" from "not yet memoized".
+_UNSET: object = object()
+
+#: Sorts after every real event id in the FIB-table bisect probes.
+_AFTER_ANY_ID = float("inf")
 
 
 @dataclass
@@ -76,6 +84,17 @@ class ConsistentSnapshotter:
         #: After this long, an unmatched send is presumed lost (e.g. a
         #: partition swallowed it) and stops deferring snapshots.
         self.max_unmatched_age = max_unmatched_age
+        # Per-check() memo state — the §5 recursion re-enters the same
+        # advertisement ancestry from many FIB updates of one cut, so
+        # closed subwalks are cached for the duration of one check.
+        # Reset at the top of check(); never reused across graphs.
+        self._ancestor_memo: Dict[Tuple[int, Optional[Prefix]], List[IOEvent]] = {}
+        self._send_memo: Dict[int, Optional[IOEvent]] = {}
+        self._fib_table: Optional[
+            Dict[Tuple[str, Prefix], List[Tuple[float, int, IOEvent]]]
+        ] = None
+        self._memo_hits = 0
+        self._memo_misses = 0
 
     # -- public API -------------------------------------------------------
 
@@ -148,6 +167,11 @@ class ConsistentSnapshotter:
         prefix: Optional[Prefix] = None,
         at: Optional[float] = None,
     ) -> ConsistencyReport:
+        self._ancestor_memo = {}
+        self._send_memo = {}
+        self._fib_table = None
+        self._memo_hits = 0
+        self._memo_misses = 0
         report = ConsistencyReport(consistent=True)
         if at is not None:
             self._check_send_closure(graph, visible, prefix, at, report)
@@ -174,6 +198,14 @@ class ConsistentSnapshotter:
         for event in latest.values():
             sub = self._walk_fib_update(graph, event, visited)
             report.merge(sub)
+        registry = obs.get_registry()
+        if registry.enabled:
+            registry.counter("snapshot.closure_cache_hits").inc(
+                self._memo_hits
+            )
+            registry.counter("snapshot.closure_cache_misses").inc(
+                self._memo_misses
+            )
         return report
 
     def _check_send_closure(
@@ -241,10 +273,18 @@ class ConsistentSnapshotter:
         fib_event: IOEvent,
         visited: Set[int],
     ) -> ConsistencyReport:
-        """One recursion step of the §5 algorithm."""
+        """One recursion step of the §5 algorithm.
+
+        ``visited`` doubles as the subwalk memo: chains from several
+        cut fronts funnel into the same upstream FIB updates, and a
+        subwalk already closed under this snapshot need not be redone
+        (its verdict is already merged into the report).
+        """
         report = ConsistencyReport(consistent=True)
         if fib_event.event_id in visited:
+            self._memo_hits += 1
             return report
+        self._memo_misses += 1
         visited.add(fib_event.event_id)
         report.steps += 1
         receives = self._advertisement_ancestors(graph, fib_event)
@@ -287,8 +327,20 @@ class ConsistentSnapshotter:
     ) -> List[IOEvent]:
         """ROUTE_RECEIVE ancestors of ``fib_event`` for the same prefix,
         reached without crossing another FIB update (i.e. the receive
-        that this particular FIB change depends on)."""
-        result = []
+        that this particular FIB change depends on).
+
+        The walk is pure in (event, prefix) for a fixed graph, so the
+        closed subwalk is memoized for the rest of this check() — cut
+        fronts for the same prefix on different routers funnel into the
+        same advertisement ancestry over and over.
+        """
+        memo_key = (fib_event.event_id, fib_event.prefix)
+        cached = self._ancestor_memo.get(memo_key)
+        if cached is not None:
+            self._memo_hits += 1
+            return cached
+        self._memo_misses += 1
+        result: List[IOEvent] = []
         stack = [fib_event.event_id]
         seen = {fib_event.event_id}
         while stack:
@@ -306,19 +358,28 @@ class ConsistentSnapshotter:
                 # CONFIG_CHANGE / HARDWARE_STATUS parents terminate the
                 # walk: the FIB update did not depend on an
                 # advertisement along this path.
+        self._ancestor_memo[memo_key] = result
         return result
 
     def _matching_send(
         self, graph: HappensBeforeGraph, recv: IOEvent
     ) -> Optional[IOEvent]:
+        cached = self._send_memo.get(recv.event_id, _UNSET)
+        if cached is not _UNSET:
+            self._memo_hits += 1
+            return cached
+        self._memo_misses += 1
+        found: Optional[IOEvent] = None
         for parent, _evidence in graph.parents(recv.event_id):
             if (
                 parent.kind is IOKind.ROUTE_SEND
                 and parent.router == recv.peer
                 and parent.prefix == recv.prefix
             ):
-                return parent
-        return None
+                found = parent
+                break
+        self._send_memo[recv.event_id] = found
+        return found
 
     def _latest_fib_before(
         self,
@@ -327,18 +388,36 @@ class ConsistentSnapshotter:
         prefix: Optional[Prefix],
         when: float,
     ) -> Optional[IOEvent]:
-        best: Optional[IOEvent] = None
+        """Newest FIB update on ``router`` for ``prefix`` at ``when``.
+
+        Answered from a per-(router, prefix) sorted table built once
+        per check() — the naive per-query scan of every one of the
+        router's events dominated large-network snapshot checks.
+        """
+        if self._fib_table is None:
+            table: Dict[
+                Tuple[str, Prefix], List[Tuple[float, int, IOEvent]]
+            ] = {}
+            for event in graph.events():
+                if event.kind is not IOKind.FIB_UPDATE:
+                    continue
+                if event.prefix is None:
+                    continue
+                table.setdefault((event.router, event.prefix), []).append(
+                    (event.timestamp, event.event_id, event)
+                )
+            # graph.events() yields in event-id order; per-bucket sort
+            # restores the (timestamp, id) order the bisect needs.
+            for bucket in table.values():
+                bucket.sort(key=lambda item: (item[0], item[1]))
+            self._fib_table = table
+        if prefix is None:
+            return None
+        bucket = self._fib_table.get((router, prefix))
+        if not bucket:
+            return None
         slack = self.engine.config.clock_skew_tolerance
-        for event in graph.events_of_router(router):
-            if event.kind is not IOKind.FIB_UPDATE:
-                continue
-            if event.prefix != prefix:
-                continue
-            if event.timestamp > when + slack:
-                continue
-            if best is None or (event.timestamp, event.event_id) > (
-                best.timestamp,
-                best.event_id,
-            ):
-                best = event
-        return best
+        cut = bisect_right(bucket, (when + slack, _AFTER_ANY_ID))
+        if cut == 0:
+            return None
+        return bucket[cut - 1][2]

@@ -11,6 +11,10 @@ agree:
   (per-router subgraphs + partial-path expansion) equals the
   centralized graph — identical edge sets, and root-cause traces
   that stay causally sound against the central graph.
+* ``hbg-indexed-equivalence`` — the indexed (repro.hbr.index) and
+  sharded (repro.hbr.sharded, workers=2) build paths produce exactly
+  the legacy window-scan's edge set and evidence, and the streaming
+  path lands on the same graph as the batch build.
 * ``whatif-replay`` — §6: the what-if engine's forked prediction of
   an injection equals actually replaying that injection live.
 * ``provenance-rollback`` — §6: reverting the provenance-identified
@@ -298,6 +302,81 @@ def hbg_distributed(ctx: OracleContext) -> OracleVerdict:
                 f"are disjoint: central {sorted(central_roots)} vs "
                 f"distributed {sorted(distributed_roots)}"
             )
+
+    return OracleVerdict(
+        oracle="",
+        ok=not problems,
+        detail="; ".join(problems[:5]),
+        checked=checked,
+    )
+
+
+# -- (b') legacy scan vs indexed vs sharded HBG ------------------------------
+
+
+def _evidence_edges(graph) -> List[Tuple[int, int, str, str, float]]:
+    """Canonical (cause, effect, technique, rule, confidence) tuples."""
+    return sorted(
+        (
+            edge.cause,
+            edge.effect,
+            edge.evidence.technique,
+            edge.evidence.rule,
+            edge.evidence.confidence,
+        )
+        for edge in graph.edges()
+    )
+
+
+@oracle("hbg-indexed-equivalence")
+def hbg_indexed_equivalence(ctx: OracleContext) -> OracleVerdict:
+    """The indexed and sharded build paths equal the legacy scan.
+
+    The inverted indices of repro.hbr.index and the multiprocess
+    shards of repro.hbr.sharded are pure performance work: for any
+    capture they must produce exactly the edge set *and evidence*
+    (technique, rule, confidence — the ambiguity discount depends on
+    candidate-set equality, so confidences diverge first) of the
+    original window-rescan implementation.
+    """
+    from repro.hbr.inference import InferenceConfig, InferenceEngine
+
+    execution = ctx.shared
+    events = execution.events()
+    legacy = InferenceEngine(
+        config=InferenceConfig(legacy_scan=True)
+    ).build_graph(events)
+    indexed_engine = InferenceEngine()
+    indexed = indexed_engine.build_graph(events)
+    sharded = indexed_engine.build_graph(events, parallel=2)
+
+    reference = _evidence_edges(legacy)
+    problems: List[str] = []
+    checked = 1 + len(reference)
+    for name, candidate in (("indexed", indexed), ("sharded", sharded)):
+        found = _evidence_edges(candidate)
+        if found != reference:
+            ref_set, got_set = set(reference), set(found)
+            missing = sorted(ref_set - got_set)[:3]
+            extra = sorted(got_set - ref_set)[:3]
+            problems.append(
+                f"{name} path diverges from legacy scan: "
+                f"{len(reference)} vs {len(found)} edges "
+                f"(missing {missing}, extra {extra})"
+            )
+
+    # The streaming path shares the index; one pass over the events
+    # must land on the same graph as the batch build.
+    streaming = indexed_engine.streaming()
+    for event in events:
+        streaming.observe(event)
+    checked += 1
+    if streaming.graph.edge_set() != indexed.edge_set():
+        problems.append(
+            "streaming indexed path disagrees with batch: "
+            f"{len(streaming.graph.edge_set())} vs "
+            f"{len(indexed.edge_set())} edges"
+        )
 
     return OracleVerdict(
         oracle="",

@@ -1,0 +1,16 @@
+# repro: lint-module=repro.hbr.fixture
+"""Bad: O(N) inserts and linear list membership on the hot path (PERF001)."""
+
+from bisect import insort
+
+
+def keep_sorted(history: list, value: float) -> None:
+    history.insert(0, value)
+
+
+def keep_sorted_bisect(history: list, value: float) -> None:
+    insort(history, value)
+
+
+def is_transit(router: str) -> bool:
+    return router in ["r1", "r2", "r3"]

@@ -1,0 +1,19 @@
+# repro: lint-module=repro.hbr.fixture
+"""Good: append + sort-once, set membership, keyed insert (no PERF001)."""
+
+_TRANSIT = frozenset({"r1", "r2", "r3"})
+
+
+def keep_sorted(history: list, value: float) -> None:
+    history.append(value)
+    history.sort()
+
+
+def is_transit(router: str) -> bool:
+    return router in _TRANSIT
+
+
+def keyed_insert(trie, prefix, entry) -> None:
+    # Single-positional-argument keyed API — not a positional
+    # list.insert, so the rule stays quiet.
+    trie.insert(entry)

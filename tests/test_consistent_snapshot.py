@@ -169,3 +169,43 @@ class TestQuiescentConsistency:
         snapshotter = _snapshotter(net)
         _snapshot, report = snapshotter.snapshot(net.sim.now, prefix=P)
         assert report.steps > 0
+
+
+class TestClosureMemoization:
+    """The §5 recursion re-enters the same causal subwalks from every
+    FIB event that funnels through a shared ancestor; one check() now
+    memoizes them and reports the saving via obs counters."""
+
+    def test_cache_hits_surface_as_metrics(self, fast_delays):
+        from repro import obs
+
+        scenario = Fig1Scenario(seed=0, delays=fast_delays)
+        net = scenario.run_fig1b()
+        snapshotter = _snapshotter(net)
+        registry, _tracer = obs.enable()
+        try:
+            _snapshot, report = snapshotter.snapshot(net.sim.now)
+            assert report.consistent
+            hits = registry.counter("snapshot.closure_cache_hits").value
+            misses = registry.counter(
+                "snapshot.closure_cache_misses"
+            ).value
+            assert hits > 0  # shared ancestry funnels through the memo
+            assert misses > 0  # first walk of each subtree still runs
+        finally:
+            obs.disable()
+
+    def test_memo_reset_between_checks(self, fast_delays):
+        """Memo state must not leak across check() calls: a repeat
+        check on the same snapshotter yields the same verdict and the
+        same hit/miss profile, not a fully-warmed cache."""
+        scenario = Fig1Scenario(seed=0, delays=fast_delays)
+        net = scenario.run_fig1b()
+        snapshotter = _snapshotter(net)
+        _s1, first = snapshotter.snapshot(net.sim.now)
+        profile_first = (snapshotter._memo_hits, snapshotter._memo_misses)
+        _s2, second = snapshotter.snapshot(net.sim.now)
+        profile_second = (snapshotter._memo_hits, snapshotter._memo_misses)
+        assert first.consistent == second.consistent
+        assert first.steps == second.steps
+        assert profile_first == profile_second

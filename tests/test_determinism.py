@@ -63,11 +63,78 @@ def _run(hashseed: str) -> str:
 
 
 def test_hbg_edges_byte_identical_across_processes():
+    # The default engine IS the indexed path, so this also gates the
+    # inverted indices of repro.hbr.index against hash-order drift.
     first = _run("1")
     second = _run("2")
     assert first == second
     # Sanity: the run actually produced a graph.
     assert int(first.splitlines()[0]) > 0
+
+
+# All three build paths (legacy scan, indexed, sharded workers=2) on
+# one seeded scenario: each path must agree with the others within a
+# process, and the whole dump must be byte-identical across hostile
+# hash seeds (the sharded path adds fork + merge ordering as fresh
+# opportunities for nondeterminism — see repro.hbr.sharded).
+_PATHS_SCRIPT = """
+from repro.hbr.inference import InferenceConfig, InferenceEngine
+from repro.scenarios.fig2 import Fig2Scenario
+
+net = Fig2Scenario(seed=7).run_fig2a()
+events = net.collector.all_events()
+legacy = InferenceEngine(
+    config=InferenceConfig(legacy_scan=True)
+).build_graph(events)
+engine = InferenceEngine()
+indexed = engine.build_graph(events)
+sharded = engine.build_graph(events, parallel=2)
+
+def dump(graph):
+    return sorted(
+        (
+            e.cause,
+            e.effect,
+            e.evidence.technique,
+            e.evidence.rule,
+            round(e.evidence.confidence, 9),
+        )
+        for e in graph.edges()
+    )
+
+print("legacy==indexed", dump(legacy) == dump(indexed))
+print("indexed==sharded", indexed.to_records() == sharded.to_records())
+edges = dump(indexed)
+print(len(edges))
+for edge in edges:
+    print(edge)
+"""
+
+
+def _run_paths(hashseed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    env["PYTHONHASHSEED"] = hashseed
+    proc = subprocess.run(
+        [sys.executable, "-c", _PATHS_SCRIPT],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_indexed_and_sharded_paths_byte_identical_across_processes():
+    first = _run_paths("1")
+    second = _run_paths("2")
+    assert first == second
+    lines = first.splitlines()
+    assert lines[0] == "legacy==indexed True"
+    assert lines[1] == "indexed==sharded True"
+    assert int(lines[2]) > 0
 
 
 def test_graph_edges_stable_within_process():

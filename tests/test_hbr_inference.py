@@ -232,6 +232,64 @@ class TestStreaming:
             stream.observe(event)
         assert stream.graph.edge_set() == batch.edge_set()
 
+    def test_legacy_scan_streaming_matches_indexed(self, converged_fig1):
+        net = converged_fig1
+        indexed = InferenceEngine().streaming()
+        legacy = InferenceEngine(
+            config=InferenceConfig(legacy_scan=True)
+        ).streaming()
+        for event in net.collector:
+            indexed.observe(event)
+            legacy.observe(event)
+        assert indexed.graph.edge_set() == legacy.graph.edge_set()
+        assert len(indexed) == len(legacy) == len(net.collector)
+
+    def test_observe_gauge_refresh_is_o1(self, converged_fig1):
+        """Per-event gauges must come from the graph's maintained
+        totals, never from re-walking the adjacency maps (the pre-fix
+        ``edge_count()`` summed ``_out.values()`` on every observe).
+        Tripping-collection style, like the recorder overhead guard in
+        tests/test_trace.py: any traversal raises."""
+        from collections import defaultdict
+
+        from repro import obs
+
+        class TrippingAdjacency(defaultdict):
+            def _trip(self):
+                raise AssertionError(
+                    "observe() traversed a graph adjacency map"
+                )
+
+            def values(self):
+                self._trip()
+
+            def items(self):
+                self._trip()
+
+            def __iter__(self):
+                self._trip()
+
+        net = converged_fig1
+        registry, _tracer = obs.enable()
+        try:
+            stream = InferenceEngine().streaming()
+            # Point lookups (getitem / .get) stay allowed; anything
+            # that walks the whole map trips the assertion above.
+            stream.graph._out = TrippingAdjacency(dict)
+            stream.graph._in = TrippingAdjacency(dict)
+            for event in net.collector:
+                stream.observe(event)
+            assert stream.graph.edge_count() > 0
+            assert (
+                registry.gauge("inference.hbg_edges").value
+                == stream.graph.edge_count()
+            )
+            assert registry.gauge("inference.hbg_events").value == len(
+                stream.graph
+            )
+        finally:
+            obs.disable()
+
 
 class TestScoring:
     def test_empty_graph_scores(self, converged_fig1):

@@ -1,0 +1,87 @@
+"""Tests for sharded HBG construction (repro.hbr.sharded)."""
+
+import pytest
+
+from repro import obs
+from repro.hbr import sharded
+from repro.hbr.inference import InferenceEngine
+from repro.hbr.sharded import build_sharded, shard_routers
+from repro.scenarios.fig2 import Fig2Scenario
+
+
+@pytest.fixture
+def fig2_events():
+    net = Fig2Scenario(seed=7).run_fig2a()
+    return net.collector.all_events()
+
+
+class TestShardRouters:
+    def test_round_robin_over_sorted_names(self):
+        shards = shard_routers(["R3", "R1", "R2", "R4"], workers=2)
+        assert shards == [["R1", "R3"], ["R2", "R4"]]
+
+    def test_assignment_ignores_input_order(self):
+        routers = ["R5", "R2", "R9", "R1", "R7"]
+        forward = shard_routers(routers, workers=3)
+        backward = shard_routers(list(reversed(routers)), workers=3)
+        assert forward == backward
+
+    def test_more_workers_than_routers_drops_empty_shards(self):
+        shards = shard_routers(["R1", "R2"], workers=8)
+        assert shards == [["R1"], ["R2"]]
+
+    def test_workers_floor_is_one(self):
+        assert shard_routers(["R1", "R2"], workers=0) == [["R1", "R2"]]
+
+    def test_every_router_lands_in_exactly_one_shard(self):
+        routers = [f"R{i}" for i in range(17)]
+        shards = shard_routers(routers, workers=4)
+        flat = [r for shard in shards for r in shard]
+        assert sorted(flat) == sorted(routers)
+
+
+class TestShardedBuild:
+    def test_byte_identical_to_serial(self, fig2_events):
+        engine = InferenceEngine()
+        serial = engine.build_graph(fig2_events)
+        for workers in (2, 3):
+            parallel = engine.build_graph(fig2_events, parallel=workers)
+            assert parallel.to_records() == serial.to_records()
+
+    def test_workers_exceeding_router_count(self, fig2_events):
+        engine = InferenceEngine()
+        serial = engine.build_graph(fig2_events)
+        parallel = engine.build_graph(fig2_events, parallel=64)
+        assert parallel.to_records() == serial.to_records()
+
+    def test_parallel_one_takes_the_serial_path(self, fig2_events):
+        engine = InferenceEngine()
+        serial = engine.build_graph(fig2_events)
+        also_serial = engine.build_graph(fig2_events, parallel=1)
+        assert also_serial.to_records() == serial.to_records()
+
+    def test_in_process_fallback_is_identical(
+        self, fig2_events, monkeypatch
+    ):
+        """Platforms without fork run the shards sequentially in
+        process; the merge must not care which way the records came."""
+        engine = InferenceEngine()
+        forked = engine.build_graph(fig2_events, parallel=2)
+        monkeypatch.setattr(sharded, "_fork_context", lambda: None)
+        inline = engine.build_graph(fig2_events, parallel=2)
+        assert inline.to_records() == forked.to_records()
+
+    def test_obs_replay_matches_serial_counters(self, fig2_events):
+        engine = InferenceEngine()
+        registry, _tracer = obs.enable()
+        try:
+            graph = build_sharded(engine, list(fig2_events), workers=2)
+            edges = registry.counter("inference.hbg_edges_inferred")
+            assert edges.value == graph.edge_count()
+            assert (
+                registry.counter("inference.sharded_builds_total").value
+                == 1
+            )
+            assert registry.gauge("inference.shard_count").value >= 1
+        finally:
+            obs.disable()

@@ -54,6 +54,7 @@ def test_all_rules_registered():
         "HYG001",
         "HYG002",
         "HYG003",
+        "PERF001",
     }
     for rule in default_rules():
         assert rule.description
@@ -204,6 +205,52 @@ def test_hyg003_skips_test_code():
         "# repro: lint-module=tests.test_x\nassert True\n", path="<t>"
     )
     assert rules_fired(result) == []
+
+
+# -- PERF rule ------------------------------------------------------------
+
+
+def test_perf001_fixture_pair():
+    bad = lint_fixture("perf001_bad.py")
+    assert rules_fired(bad) == ["PERF001"]
+    # list.insert, insort, and the list-membership test.
+    assert len(bad.findings) == 3
+    assert all(f.severity is Severity.WARNING for f in bad.findings)
+    assert rules_fired(lint_fixture("perf001_good.py")) == []
+
+
+def test_perf001_only_in_hot_packages():
+    # The identical insert is fine outside net/capture/hbr/snapshot.
+    result = LintRunner().run_source(
+        "# repro: lint-module=repro.cli\n"
+        "def f(xs, x):\n"
+        "    xs.insert(0, x)\n",
+        path="<cli>",
+    )
+    assert rules_fired(result) == []
+
+
+def test_perf001_ignores_keyed_insert_arity():
+    # One-positional-argument keyed APIs (tries, tables) are not
+    # positional list inserts.
+    result = LintRunner().run_source(
+        "# repro: lint-module=repro.snapshot.fake\n"
+        "def f(trie, entry):\n"
+        "    trie.insert(entry)\n",
+        path="<snap>",
+    )
+    assert rules_fired(result) == []
+
+
+def test_perf001_pragma_suppresses():
+    result = LintRunner().run_source(
+        "# repro: lint-module=repro.hbr.fake\n"
+        "def f(xs, x):\n"
+        "    xs.insert(0, x)  # repro: lint-ignore[PERF001] -- bounded\n",
+        path="<hbr>",
+    )
+    assert result.findings == []
+    assert result.suppressed_by_pragma == 1
 
 
 # -- pragmas --------------------------------------------------------------

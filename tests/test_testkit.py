@@ -142,10 +142,11 @@ class TestExecutionDigest:
 
 
 class TestOracles:
-    def test_registry_has_the_five_oracles(self):
+    def test_registry_has_the_six_oracles(self):
         assert list(ORACLES) == [
             "snapshot-consistency",
             "hbg-distributed",
+            "hbg-indexed-equivalence",
             "whatif-replay",
             "provenance-rollback",
             "replay-determinism",
