@@ -7,6 +7,14 @@ paper's premise (§4–§5) is that all of this runs *online* in the
 control plane, so throughput columns (events/sec, edges/sec) make
 the budget explicit.
 
+Two resource columns join the gate (PR 6): ``ledger_peak_bytes`` —
+the resource ledger's high-watermark over a *streaming* build (the
+batch path's index dies with the build; the streaming one is what an
+always-on daemon would hold resident) — and
+``profiler_samples_per_sec``, the deterministic sampling profiler's
+throughput over one profiled build.  Bytes keys regression-gate like
+seconds keys in ``repro bench diff`` (with their own noise floor).
+
 The legacy column is only measured up to ``LEGACY_MAX`` routers —
 beyond that the O(N)-window rescans take tens of seconds per build
 and demonstrate nothing new; the differential equality against the
@@ -16,8 +24,13 @@ by the ``hbg-indexed-equivalence`` testkit oracle).
 
 import time
 
+from repro import obs
 from repro.capture.io_events import IOKind
-from repro.hbr.inference import InferenceConfig, InferenceEngine
+from repro.hbr.inference import (
+    InferenceConfig,
+    InferenceEngine,
+    StreamingInference,
+)
 from repro.repair.provenance import ProvenanceTracer
 from repro.scenarios.generators import (
     build_random_network,
@@ -43,6 +56,30 @@ def _capture(n, seed=0):
     )
     net.run(60)
     return net
+
+
+#: Refresh the ledger every this many streamed events when hunting
+#: the peak (every event would measure the measuring).
+_LEDGER_REFRESH_EVERY = 2048
+
+
+def _streaming_peak_bytes(events):
+    """Peak ledger bytes over a streaming build of ``events``."""
+    with obs.accounting() as ledger:
+        streaming = StreamingInference(InferenceEngine())
+        for count, event in enumerate(events, start=1):
+            streaming.observe(event)
+            if count % _LEDGER_REFRESH_EVERY == 0:
+                ledger.refresh()
+        ledger.refresh()
+        return ledger.peak_total_bytes()
+
+
+def _profiled_build(events):
+    """One profiled indexed build; returns samples/sec."""
+    with obs.profiling(stride=97, weights="wall") as profiler:
+        InferenceEngine().build_graph(events)
+        return profiler.samples_per_sec()
 
 
 def _canonical_edges(graph):
@@ -105,6 +142,9 @@ def test_scaling(benchmark):
         tracer.trace(target.event_id)
         t_trace = time.perf_counter() - t0
 
+        peak_bytes = _streaming_peak_bytes(events)
+        samples_per_sec = _profiled_build(events)
+
         events_per_sec = len(events) / t_build
         edges_per_sec = graph.edge_count() / t_build
         rows.append(
@@ -119,6 +159,8 @@ def test_scaling(benchmark):
                 f"{edges_per_sec:,.0f}",
                 f"{t_check * 1000:.1f} ms",
                 f"{t_trace * 1000:.2f} ms",
+                f"{peak_bytes / 1024:,.0f} KiB",
+                f"{samples_per_sec:,.0f}",
             )
         )
         size_stats = {
@@ -129,6 +171,8 @@ def test_scaling(benchmark):
             "provenance_trace_seconds": round(t_trace, 6),
             "events_per_sec": round(events_per_sec, 1),
             "edges_per_sec": round(edges_per_sec, 1),
+            "ledger_peak_bytes": peak_bytes,
+            "profiler_samples_per_sec": round(samples_per_sec, 1),
         }
         if t_legacy is not None:
             size_stats["build_legacy_seconds"] = round(t_legacy, 6)
@@ -154,6 +198,8 @@ def test_scaling(benchmark):
             "edges/sec",
             "consistency check",
             "provenance trace",
+            "peak ledger",
+            "samples/sec",
         ),
         rows,
     )
@@ -165,7 +211,11 @@ def test_scaling(benchmark):
         f"{LEGACY_MAX} routers; identical edge sets asserted wherever "
         "both run).  The consistency check rides the same indexed "
         "build plus memoized §5 closure walks; provenance stays "
-        "sub-millisecond since it touches only one episode's ancestry.",
+        "sub-millisecond since it touches only one episode's ancestry.  "
+        "peak ledger is the resource ledger's high-watermark over a "
+        "streaming build (graph + incremental index resident "
+        "together); samples/sec is the deterministic profiler's "
+        "throughput over one profiled build.",
     ]
     emit("C-SCALE_scaling", lines)
     emit_json("scaling", trajectory)

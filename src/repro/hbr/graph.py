@@ -18,6 +18,7 @@ from collections import defaultdict, deque
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
+from repro import obs
 from repro.capture.io_events import IOEvent
 
 
@@ -57,6 +58,18 @@ class HappensBeforeGraph:
         # Maintained on every insert/delete so edge_count() is O(1):
         # the streaming pipeline reads it once per observed event.
         self._edge_total = 0
+        ledger = obs.get_ledger()
+        if ledger.enabled:
+            ledger.register("hbr.graph", self)
+
+    def account_bytes(self, audit: bool = False) -> int:
+        """Resident bytes of vertices + adjacency (ledger callback)."""
+        from repro.obs import resources
+
+        return resources.combined_sizeof(
+            (self._events, self._out, self._in),
+            sample=None if audit else obs.get_ledger().sample,
+        )
 
     # -- construction ------------------------------------------------------
 

@@ -33,6 +33,7 @@ from bisect import bisect_left, insort
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro import obs
 from repro.capture.io_events import IOEvent, IOKind
 from repro.hbr.rules import (
     HbrRule,
@@ -202,7 +203,9 @@ class EventIndex:
     ``(timestamp, event_id)`` order.
     """
 
-    __slots__ = ("_all", "_by_kind", "_by_router_kind", "_by_rkp")
+    # ``__weakref__`` so the resource ledger can hold this index
+    # without extending its lifetime.
+    __slots__ = ("_all", "_by_kind", "_by_router_kind", "_by_rkp", "__weakref__")
 
     def __init__(self) -> None:
         self._all = SortedEventList()
@@ -211,6 +214,24 @@ class EventIndex:
         self._by_rkp: Dict[
             Tuple[str, IOKind, object], SortedEventList
         ] = {}
+        ledger = obs.get_ledger()
+        if ledger.enabled:
+            ledger.register("hbr.index", self)
+
+    def account_bytes(self, audit: bool = False) -> int:
+        """Resident bytes of every bucket (ledger callback).
+
+        The per-kind/per-router buckets share chunk entries with
+        ``_all`` only at the tuple level — each bucket owns its own
+        chunk lists — so the walk's shared-object dedup does the
+        right thing without special-casing.
+        """
+        from repro.obs import resources
+
+        return resources.combined_sizeof(
+            (self._all, self._by_kind, self._by_router_kind, self._by_rkp),
+            sample=None if audit else obs.get_ledger().sample,
+        )
 
     def __len__(self) -> int:
         return len(self._all)

@@ -59,6 +59,24 @@ TRACE_SITES: Dict[str, Sequence[Tuple[str, str]]] = {
         ("ProvenanceTracer.trace", "PROVENANCE_WALK"),
     ),
     "repro.repair.rollback": (("RepairEngine.repair", "ROLLBACK"),),
+    "repro.obs.health": (("HealthEngine.evaluate", "HEALTH"),),
+}
+
+#: module -> (qualname, ledger component) pairs: functions that must
+#: register a long-lived structure with the resource ledger.  One
+#: entry per component in
+#: :data:`repro.obs.resources.KNOWN_COMPONENTS` — the drift test in
+#: tests/test_resources.py enforces the bijection.
+LEDGER_SITES: Dict[str, Sequence[Tuple[str, str]]] = {
+    "repro.hbr.graph": (("HappensBeforeGraph.__init__", "hbr.graph"),),
+    "repro.hbr.index": (("EventIndex.__init__", "hbr.index"),),
+    "repro.snapshot.consistent": (
+        ("ConsistentSnapshotter.__init__", "snapshot.closure_cache"),
+    ),
+    "repro.obs.trace.recorder": (
+        ("FlightRecorder.__init__", "obs.recorder"),
+    ),
+    "repro.testkit.runner": (("FuzzRunner.run", "testkit.corpus"),),
 }
 
 #: Names whose presence in a function body counts as instrumentation.
@@ -73,6 +91,11 @@ _OBS_NAMES = frozenset({"obs", "registry", "tracer"})
 #: ``recorder.enabled`` guard, so a mere ``obs`` reference (metrics
 #: only) must NOT satisfy the trace-site check.
 _TRACE_NAMES = frozenset({"recorder"})
+
+#: Likewise for ledger registration sites: the canonical idiom binds
+#: ``ledger = obs.get_ledger()`` and guards on ``ledger.enabled``, so
+#: the bound ledger is the witness.
+_LEDGER_NAMES = frozenset({"ledger"})
 
 
 def _collect_functions(
@@ -125,6 +148,7 @@ class InstrumentationRule(Rule):
         self,
         entry_points: Optional[Dict[str, Sequence[str]]] = None,
         trace_sites: Optional[Dict[str, Sequence[Tuple[str, str]]]] = None,
+        ledger_sites: Optional[Dict[str, Sequence[Tuple[str, str]]]] = None,
     ) -> None:
         self.entry_points = (
             entry_points if entry_points is not None else STAGE_ENTRY_POINTS
@@ -132,9 +156,16 @@ class InstrumentationRule(Rule):
         self.trace_sites = (
             trace_sites if trace_sites is not None else TRACE_SITES
         )
+        self.ledger_sites = (
+            ledger_sites if ledger_sites is not None else LEDGER_SITES
+        )
 
     def applies_to(self, ctx: FileContext) -> bool:
-        return ctx.module in self.entry_points or ctx.module in self.trace_sites
+        return (
+            ctx.module in self.entry_points
+            or ctx.module in self.trace_sites
+            or ctx.module in self.ledger_sites
+        )
 
     def finish_file(self, ctx: FileContext) -> Optional[Iterable[Finding]]:
         functions = _collect_functions(ctx.tree)
@@ -185,6 +216,30 @@ class InstrumentationRule(Rule):
                         f"trace site '{qualname}' does not reference the "
                         f"flight recorder (must record TraceKind.{kind}; "
                         "bind it via obs.get_recorder())",
+                    )
+                )
+        for qualname, component in self.ledger_sites.get(ctx.module, ()):
+            func = functions.get(qualname)
+            if func is None:
+                findings.append(
+                    ctx.finding(
+                        self,
+                        ctx.tree,
+                        f"configured ledger site '{qualname}' not found; "
+                        "update LEDGER_SITES in "
+                        "repro/lint/rules/obs_rules.py",
+                        severity=Severity.ERROR,
+                    )
+                )
+                continue
+            if not _references_names(func, _LEDGER_NAMES):
+                findings.append(
+                    ctx.finding(
+                        self,
+                        func,
+                        f"ledger site '{qualname}' does not reference the "
+                        f"resource ledger (must register component "
+                        f"'{component}'; bind it via obs.get_ledger())",
                     )
                 )
         return findings

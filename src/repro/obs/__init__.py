@@ -48,6 +48,12 @@ from repro.obs.metrics import (
     NullRegistry,
     Stopwatch,
 )
+from repro.obs.profiler import (
+    NULL_PROFILER,
+    DeterministicProfiler,
+    NullProfiler,
+)
+from repro.obs.resources import NULL_LEDGER, NullLedger, ResourceLedger
 from repro.obs.trace.recorder import (
     NULL_RECORDER,
     FlightRecorder,
@@ -71,15 +77,27 @@ __all__ = [
     "Tracer",
     "NullTracer",
     "SpanRecord",
+    "ResourceLedger",
+    "NullLedger",
+    "DeterministicProfiler",
+    "NullProfiler",
     "enable",
     "disable",
     "enabled",
     "get_registry",
     "get_tracer",
     "get_recorder",
+    "get_ledger",
+    "get_profiler",
     "enable_recording",
     "disable_recording",
     "recording",
+    "enable_ledger",
+    "disable_ledger",
+    "accounting",
+    "enable_profiling",
+    "disable_profiling",
+    "profiling",
     "span",
     "traced",
     "capturing",
@@ -89,6 +107,8 @@ __all__ = [
 _registry = NULL_REGISTRY
 _tracer = NULL_TRACER
 _recorder = NULL_RECORDER
+_ledger = NULL_LEDGER
+_profiler = NULL_PROFILER
 
 
 def get_registry():
@@ -164,6 +184,89 @@ def recording(capacity: int = 4096, overflow: str = "drop-oldest"):
         yield enable_recording(capacity=capacity, overflow=overflow)
     finally:
         _recorder = previous
+
+
+def get_ledger():
+    """The process-wide resource ledger (no-op unless accounting)."""
+    return _ledger
+
+
+def enable_ledger(sample: int = 64) -> ResourceLedger:
+    """Install a fresh :class:`ResourceLedger`; returns it.
+
+    Independent of :func:`enable`, like recording: structures built
+    while the ledger is live register their ``account_bytes`` hooks;
+    structures built before stay unaccounted.
+    """
+    global _ledger
+    _ledger = ResourceLedger(sample=sample)
+    return _ledger
+
+
+def disable_ledger() -> None:
+    """Restore the no-op resource ledger."""
+    global _ledger
+    _ledger = NULL_LEDGER
+
+
+@contextmanager
+def accounting(sample: int = 64):
+    """``with obs.accounting() as ledger: ...`` — scoped byte accounting.
+
+    Restores whatever ledger was installed before, mirroring
+    :func:`recording`.
+    """
+    global _ledger
+    previous = _ledger
+    try:
+        yield enable_ledger(sample=sample)
+    finally:
+        _ledger = previous
+
+
+def get_profiler():
+    """The process-wide sampling profiler (no-op unless profiling)."""
+    return _profiler
+
+
+def enable_profiling(
+    stride: int = 97, weights: str = "wall", max_stack: int = 64
+) -> DeterministicProfiler:
+    """Install a fresh :class:`DeterministicProfiler` and start it."""
+    global _profiler
+    _profiler.stop()
+    _profiler = DeterministicProfiler(
+        stride=stride, weights=weights, max_stack=max_stack
+    )
+    _profiler.start()
+    return _profiler
+
+
+def disable_profiling() -> None:
+    """Stop the profiler and restore the no-op singleton."""
+    global _profiler
+    _profiler.stop()
+    _profiler = NULL_PROFILER
+
+
+@contextmanager
+def profiling(stride: int = 97, weights: str = "wall", max_stack: int = 64):
+    """``with obs.profiling() as profiler: ...`` — scoped profiling.
+
+    Stops the profiler and restores the previous one on exit, so a
+    profiled block cannot leak the ``sys.setprofile`` hook into
+    timing-sensitive peers.
+    """
+    global _profiler
+    previous = _profiler
+    profiler = enable_profiling(
+        stride=stride, weights=weights, max_stack=max_stack
+    )
+    try:
+        yield profiler
+    finally:
+        profiler.stop()
+        _profiler = previous
 
 
 @contextmanager

@@ -35,6 +35,9 @@ from typing import Any, Dict, List, Optional, Tuple
 DEFAULT_THRESHOLD_PCT = 10.0
 #: Default absolute floor (seconds) a time delta must exceed.
 DEFAULT_MIN_ABS = 1e-4
+#: Default absolute floor (bytes) a memory delta must exceed —
+#: allocator jitter and sampling make small byte deltas meaningless.
+DEFAULT_MIN_ABS_BYTES = 1 << 20
 
 _STATUS_ORDER = ("regression", "removed", "added", "changed", "improvement", "ok")
 
@@ -43,6 +46,17 @@ def is_perf_key(path: str) -> bool:
     """Paths where the value is a time and larger means slower."""
     lowered = path.lower()
     return "seconds" in lowered or "latency" in lowered
+
+
+def is_resource_key(path: str) -> bool:
+    """Paths where the value is a byte count and larger means fatter.
+
+    Memory joins the regression gate the same way time did: any
+    ``*bytes*`` key (the scaling bench's ``ledger_peak_bytes``) is a
+    resource where growth beyond threshold + floor is a regression,
+    not mere change.
+    """
+    return "bytes" in path.lower()
 
 
 def flatten(document: Any, prefix: str = "") -> Dict[str, Any]:
@@ -90,6 +104,7 @@ class BenchDiff:
     entries: List[DiffEntry]
     threshold_pct: float
     min_abs: float
+    min_abs_bytes: float = DEFAULT_MIN_ABS_BYTES
 
     def by_status(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}
@@ -121,6 +136,7 @@ class BenchDiff:
         return {
             "threshold_pct": self.threshold_pct,
             "min_abs": self.min_abs,
+            "min_abs_bytes": self.min_abs_bytes,
             "compared_keys": len(self.entries),
             "by_status": self.by_status(),
             "entries": [e.to_dict() for e in self.interesting()],
@@ -177,6 +193,7 @@ def diff_reports(
     new: Dict[str, Any],
     threshold_pct: float = DEFAULT_THRESHOLD_PCT,
     min_abs: float = DEFAULT_MIN_ABS,
+    min_abs_bytes: float = DEFAULT_MIN_ABS_BYTES,
 ) -> BenchDiff:
     """Compare two benchmark report documents key-by-key."""
     old_flat = flatten(old)
@@ -194,27 +211,46 @@ def diff_reports(
             )
             continue
         entries.append(
-            _compare(path, old_flat[path], new_flat[path], threshold_pct, min_abs)
+            _compare(
+                path,
+                old_flat[path],
+                new_flat[path],
+                threshold_pct,
+                min_abs,
+                min_abs_bytes,
+            )
         )
     return BenchDiff(
-        entries=entries, threshold_pct=threshold_pct, min_abs=min_abs
+        entries=entries,
+        threshold_pct=threshold_pct,
+        min_abs=min_abs,
+        min_abs_bytes=min_abs_bytes,
     )
 
 
 def _compare(
-    path: str, old: Any, new: Any, threshold_pct: float, min_abs: float
+    path: str,
+    old: Any,
+    new: Any,
+    threshold_pct: float,
+    min_abs: float,
+    min_abs_bytes: float = DEFAULT_MIN_ABS_BYTES,
 ) -> DiffEntry:
     if not (_is_number(old) and _is_number(new)):
         status = "ok" if old == new else "changed"
         return DiffEntry(path=path, status=status, old=old, new=new)
     delta = new - old
     delta_pct = (delta / old * 100.0) if old else (100.0 if delta else 0.0)
-    if not is_perf_key(path):
+    if is_perf_key(path):
+        floor = min_abs
+    elif is_resource_key(path):
+        floor = min_abs_bytes
+    else:
         status = "ok" if delta == 0 else "changed"
         return DiffEntry(
             path=path, status=status, old=old, new=new, delta_pct=delta_pct
         )
-    over_floor = abs(delta) > min_abs
+    over_floor = abs(delta) > floor
     over_threshold = abs(delta_pct) > threshold_pct
     if over_floor and over_threshold:
         status = "regression" if delta > 0 else "improvement"

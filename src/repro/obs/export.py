@@ -18,6 +18,7 @@ checks and the CI smoke test key off.
 from __future__ import annotations
 
 import json
+import re
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.obs.metrics import (
@@ -268,10 +269,25 @@ def _prom_name(name: str) -> str:
     return "repro_" + name.replace(".", "_").replace("-", "_")
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text-format spec.
+
+    Inside double quotes, backslash, double-quote, and line-feed must
+    be written ``\\\\``, ``\\"``, and ``\\n`` — a router named
+    ``edge"1`` or a detail containing a newline otherwise yields
+    unparseable exposition text.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _prom_labels(labels) -> str:
     if not labels:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    inner = ",".join(
+        f'{k}="{_escape_label_value(str(v))}"' for k, v in labels
+    )
     return "{" + inner + "}"
 
 
@@ -317,6 +333,157 @@ def render_prometheus(
             f"{name}_count{_prom_labels(labels)} {histogram.count}"
         )
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- exposition parsing (round-trip tests, CI smoke validation) --------------
+
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+class ExpositionError(ValueError):
+    """Raised by :func:`parse_exposition` on malformed input."""
+
+
+def _parse_label_block(block: str, line_no: int) -> Dict[str, str]:
+    """Parse ``k="v",k2="v2"`` with spec escapes, or raise."""
+    labels: Dict[str, str] = {}
+    i = 0
+    length = len(block)
+    while i < length:
+        eq = block.find("=", i)
+        if eq < 0:
+            raise ExpositionError(f"line {line_no}: missing '=' in labels")
+        name = block[i:eq].strip()
+        if not _LABEL_NAME_RE.match(name):
+            raise ExpositionError(
+                f"line {line_no}: bad label name {name!r}"
+            )
+        if eq + 1 >= length or block[eq + 1] != '"':
+            raise ExpositionError(
+                f"line {line_no}: label value must be double-quoted"
+            )
+        i = eq + 2
+        chars: List[str] = []
+        while True:
+            if i >= length:
+                raise ExpositionError(
+                    f"line {line_no}: unterminated label value"
+                )
+            ch = block[i]
+            if ch == "\\":
+                if i + 1 >= length:
+                    raise ExpositionError(
+                        f"line {line_no}: dangling escape in label value"
+                    )
+                nxt = block[i + 1]
+                if nxt == "n":
+                    chars.append("\n")
+                elif nxt in ('"', "\\"):
+                    chars.append(nxt)
+                else:
+                    raise ExpositionError(
+                        f"line {line_no}: bad escape \\{nxt} in label value"
+                    )
+                i += 2
+                continue
+            if ch == '"':
+                i += 1
+                break
+            chars.append(ch)
+            i += 1
+        labels[name] = "".join(chars)
+        if i < length:
+            if block[i] != ",":
+                raise ExpositionError(
+                    f"line {line_no}: expected ',' between labels"
+                )
+            i += 1
+    return labels
+
+
+def parse_exposition(text: str) -> dict:
+    """Parse Prometheus text exposition into ``{types, samples}``.
+
+    ``types`` maps metric name → declared type; ``samples`` is a list
+    of ``(name, labels_dict, value)`` tuples in document order.
+    Raises :class:`ExpositionError` on any malformed line — the
+    strictness is the point (this backs the CI format check and the
+    label-escaping round-trip test).
+    """
+    types: Dict[str, str] = {}
+    samples: List[tuple] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    raise ExpositionError(
+                        f"line {line_no}: malformed TYPE line"
+                    )
+                _hash, _type, name, kind = parts
+                if not _METRIC_NAME_RE.match(name):
+                    raise ExpositionError(
+                        f"line {line_no}: bad metric name {name!r}"
+                    )
+                if kind not in (
+                    "counter",
+                    "gauge",
+                    "histogram",
+                    "summary",
+                    "untyped",
+                ):
+                    raise ExpositionError(
+                        f"line {line_no}: bad metric type {kind!r}"
+                    )
+                types[name] = kind
+            continue  # HELP and free comments pass through
+        brace = line.find("{")
+        if brace >= 0:
+            close = line.rfind("}")
+            if close < brace:
+                raise ExpositionError(
+                    f"line {line_no}: unbalanced braces"
+                )
+            name = line[:brace]
+            labels = _parse_label_block(line[brace + 1 : close], line_no)
+            rest = line[close + 1 :].strip()
+        else:
+            fields = line.split(None, 1)
+            if len(fields) != 2:
+                raise ExpositionError(
+                    f"line {line_no}: expected 'name value'"
+                )
+            name, rest = fields
+            labels = {}
+        if not _METRIC_NAME_RE.match(name):
+            raise ExpositionError(
+                f"line {line_no}: bad metric name {name!r}"
+            )
+        value_field = rest.split()[0] if rest else ""
+        try:
+            value = float(value_field)
+        except ValueError as exc:
+            raise ExpositionError(
+                f"line {line_no}: bad sample value {value_field!r}"
+            ) from exc
+        samples.append((name, labels, value))
+    return {"types": types, "samples": samples}
+
+
+def validate_exposition(text: str) -> List[str]:
+    """Errors in ``text`` as strings; empty list means valid."""
+    try:
+        parsed = parse_exposition(text)
+    except ExpositionError as exc:
+        return [str(exc)]
+    errors: List[str] = []
+    if not parsed["samples"]:
+        errors.append("no samples in exposition")
+    return errors
 
 
 #: Format name -> renderer(registry, tracer) for the CLI.

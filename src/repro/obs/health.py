@@ -1,0 +1,414 @@
+"""Declarative health rules evaluated over the metrics registry.
+
+``/healthz`` needs a yes/no, and "yes" has to mean something: this
+module turns the observability stream into a verdict.  A
+:class:`HealthRule` is a threshold over the registry —
+
+* a **gauge/counter ceiling**: ``resource.bytes_total <= 512MiB``
+  (the ledger's grand total must stay bounded);
+* a **failure-rate ratio**: ``snapshot.inconsistent_total /
+  snapshot.consistency_checks_total <= 0.5`` (§5 snapshots must
+  mostly pass their §4.3 consistency check);
+* a **latency percentile**: ``inference.build_graph_seconds.p99 <=
+  1.0`` (HBG construction must stay real-time, the Delta-net bar).
+
+:class:`HealthEngine` evaluates its rules on a tick: it refreshes the
+resource ledger first (so byte ceilings see current data), publishes
+``health.*`` metrics, flips the overall verdict that
+``repro.obs.serve`` returns from ``/healthz``, and — when the flight
+recorder is on — records one :data:`TraceKind.HEALTH` event per tick
+plus one per *failing* rule, so a post-mortem can see exactly when a
+process went unhealthy and which rule tripped, in causal order with
+the pipeline events around it.
+
+Determinism: the tick's ``at`` timestamp is the engine's own tick
+counter, not a wall clock, so recorded HEALTH events are byte-stable
+for a fixed evaluation schedule.  Rules never *fail* on missing
+metrics — an instrument that has not been created yet reports
+``value=None`` and passes (a process that has done nothing is
+healthy, not broken).
+
+Rules parse from compact specs (the CLI's ``--health-rule``)::
+
+    ledger-bytes: resource.bytes_total <= 536870912
+    snapshot-consistency: snapshot.inconsistent_total / snapshot.consistency_checks_total <= 0.5
+    inference-p99: inference.build_graph_seconds.p99 <= 1.0
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
+
+#: Comparison operators a rule may use (value OP threshold == healthy).
+OPS: Tuple[str, ...] = ("<=", "<", ">=", ">")
+
+#: Histogram statistics addressable from a rule spec; ``value`` means
+#: counter/gauge value (or histogram sum when the name is a histogram).
+STATS: Tuple[str, ...] = (
+    "value",
+    "count",
+    "sum",
+    "mean",
+    "min",
+    "max",
+    "p50",
+    "p95",
+    "p99",
+)
+
+
+class HealthRuleError(ValueError):
+    """Raised for malformed rules or rule specs."""
+
+
+@dataclass(frozen=True)
+class HealthRule:
+    """One declarative threshold over the metrics registry."""
+
+    name: str
+    metric: str
+    op: str
+    threshold: float
+    #: Histogram statistic (or ``value`` for counters/gauges).
+    stat: str = "value"
+    #: Label constraints: instruments must carry every listed pair.
+    labels: Tuple[Tuple[str, str], ...] = ()
+    #: When set, the rule value is ``sum(metric) / sum(denominator)``.
+    denominator: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in OPS:
+            raise HealthRuleError(f"unknown operator {self.op!r}")
+        if self.stat not in STATS:
+            raise HealthRuleError(f"unknown stat {self.stat!r}")
+        if self.denominator is not None and self.stat != "value":
+            raise HealthRuleError("ratio rules only support stat='value'")
+
+    def spec(self) -> str:
+        """The rule re-rendered as a parseable spec string."""
+        labels = ""
+        if self.labels:
+            inner = ",".join(f"{k}={v}" for k, v in self.labels)
+            labels = f"{{{inner}}}"
+        stat = f".{self.stat}" if self.stat != "value" else ""
+        expr = f"{self.metric}{labels}{stat}"
+        if self.denominator is not None:
+            expr = f"{self.metric}{labels} / {self.denominator}"
+        # repr() round-trips floats exactly; :g would truncate.
+        return f"{self.name}: {expr} {self.op} {self.threshold!r}"
+
+
+@dataclass(frozen=True)
+class RuleResult:
+    """The verdict of one rule at one tick."""
+
+    rule: HealthRule
+    ok: bool
+    value: Optional[float]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule.name,
+            "spec": self.rule.spec(),
+            "ok": self.ok,
+            "value": self.value,
+        }
+
+
+def _compare(value: float, op: str, threshold: float) -> bool:
+    if op == "<=":
+        return value <= threshold
+    if op == "<":
+        return value < threshold
+    if op == ">=":
+        return value >= threshold
+    return value > threshold
+
+
+def _labels_match(
+    instrument_labels: Sequence[Tuple[str, str]],
+    wanted: Sequence[Tuple[str, str]],
+) -> bool:
+    have = dict(instrument_labels)
+    return all(have.get(k) == v for k, v in wanted)
+
+
+def _sum_scalar(
+    registry: Any, metric: str, labels: Sequence[Tuple[str, str]]
+) -> Optional[float]:
+    """Sum of matching counter/gauge values; None when none exist."""
+    total = 0.0
+    found = False
+    for instrument in list(registry.counters()) + list(registry.gauges()):
+        if instrument.name == metric and _labels_match(
+            instrument.labels, labels
+        ):
+            total += instrument.value
+            found = True
+    return total if found else None
+
+
+def _histogram_stat(
+    registry: Any,
+    metric: str,
+    labels: Sequence[Tuple[str, str]],
+    stat: str,
+) -> Optional[float]:
+    """Worst-case ``stat`` across matching histograms; None if absent.
+
+    Worst-case (max across label sets) rather than a merged value:
+    a p99 ceiling should trip if *any* labelled population breaches
+    it, and percentiles do not merge soundly anyway.
+    """
+    worst: Optional[float] = None
+    for histogram in registry.histograms():
+        if histogram.name != metric:
+            continue
+        if not _labels_match(histogram.labels, labels):
+            continue
+        extracted: Optional[float]
+        if stat == "count":
+            extracted = float(histogram.count)
+        elif stat in ("sum", "value"):
+            extracted = float(histogram.sum)
+        elif stat == "mean":
+            extracted = histogram.mean
+        elif stat == "min":
+            extracted = histogram.min
+        elif stat == "max":
+            extracted = histogram.max
+        else:  # p50 / p95 / p99
+            extracted = histogram.percentile(float(stat[1:]))
+        if extracted is None:
+            continue
+        if worst is None or extracted > worst:
+            worst = extracted
+    return worst
+
+
+def evaluate_rule(rule: HealthRule, registry: Any) -> RuleResult:
+    """One rule against one registry; missing metrics pass."""
+    value: Optional[float]
+    if rule.denominator is not None:
+        numerator = _sum_scalar(registry, rule.metric, rule.labels)
+        denominator = _sum_scalar(registry, rule.denominator, ())
+        if numerator is None or denominator is None or denominator == 0:
+            value = None
+        else:
+            value = numerator / denominator
+    elif rule.stat == "value":
+        value = _sum_scalar(registry, rule.metric, rule.labels)
+        if value is None:
+            value = _histogram_stat(
+                registry, rule.metric, rule.labels, "value"
+            )
+    else:
+        value = _histogram_stat(
+            registry, rule.metric, rule.labels, rule.stat
+        )
+    if value is None:
+        return RuleResult(rule=rule, ok=True, value=None)
+    return RuleResult(
+        rule=rule, ok=_compare(value, rule.op, rule.threshold), value=value
+    )
+
+
+# -- rule spec parsing -------------------------------------------------------
+
+_SPEC_RE = re.compile(
+    r"""^\s*
+    (?P<name>[A-Za-z0-9_.-]+)\s*:\s*
+    (?P<metric>[A-Za-z0-9_.]+)
+    (?:\{(?P<labels>[^}]*)\})?
+    (?:\.(?P<stat>[A-Za-z0-9]+))?
+    \s*
+    (?:/\s*(?P<denominator>[A-Za-z0-9_.]+)\s*)?
+    (?P<op><=|<|>=|>)\s*
+    (?P<threshold>[-+0-9.eE]+)
+    \s*$""",
+    re.VERBOSE,
+)
+
+
+def parse_rule(spec: str) -> HealthRule:
+    """Parse ``name: metric[{k=v}][.stat] [/ metric] OP number``."""
+    match = _SPEC_RE.match(spec)
+    if match is None:
+        raise HealthRuleError(f"unparseable health rule: {spec!r}")
+    metric = match.group("metric")
+    stat = "value"
+    explicit_stat = match.group("stat")
+    if explicit_stat is not None:
+        # ``metric{labels}.p95`` — the suffix sits after the label
+        # block, so the metric group cannot have swallowed it.
+        if explicit_stat not in STATS:
+            raise HealthRuleError(
+                f"unknown stat {explicit_stat!r} in {spec!r}"
+            )
+        stat = explicit_stat
+    else:
+        head, dot, tail = metric.rpartition(".")
+        if dot and tail in STATS and match.group("denominator") is None:
+            metric, stat = head, tail
+    labels: Tuple[Tuple[str, str], ...] = ()
+    raw_labels = match.group("labels")
+    if raw_labels:
+        pairs: List[Tuple[str, str]] = []
+        for part in raw_labels.split(","):
+            if "=" not in part:
+                raise HealthRuleError(
+                    f"bad label constraint {part!r} in {spec!r}"
+                )
+            key, _eq, val = part.partition("=")
+            pairs.append((key.strip(), val.strip().strip('"')))
+        labels = tuple(sorted(pairs))
+    try:
+        threshold = float(match.group("threshold"))
+    except ValueError as exc:
+        raise HealthRuleError(f"bad threshold in {spec!r}") from exc
+    return HealthRule(
+        name=match.group("name"),
+        metric=metric,
+        op=match.group("op"),
+        threshold=threshold,
+        stat=stat,
+        labels=labels,
+        denominator=match.group("denominator"),
+    )
+
+
+#: The out-of-the-box rule set ``repro serve-metrics`` ships with.
+DEFAULT_RULES: Tuple[HealthRule, ...] = (
+    HealthRule(
+        name="ledger-bytes",
+        metric="resource.bytes_total",
+        op="<=",
+        threshold=512 * 1024 * 1024,
+    ),
+    HealthRule(
+        name="snapshot-consistency",
+        metric="snapshot.inconsistent_total",
+        op="<=",
+        threshold=0.5,
+        denominator="snapshot.consistency_checks_total",
+    ),
+    HealthRule(
+        name="inference-p99",
+        metric="inference.build_graph_seconds",
+        op="<=",
+        threshold=1.0,
+        stat="p99",
+    ),
+)
+
+
+@dataclass
+class HealthVerdict:
+    """The engine's overall state after one tick."""
+
+    tick: int
+    ok: bool
+    results: List[RuleResult] = field(default_factory=list)
+
+    def failing(self) -> List[RuleResult]:
+        return [r for r in self.results if not r.ok]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": "repro-health/v1",
+            "tick": self.tick,
+            "ok": self.ok,
+            "rules": [r.to_dict() for r in self.results],
+        }
+
+
+class HealthEngine:
+    """Evaluates a rule set on a tick; see module docstring."""
+
+    def __init__(self, rules: Sequence[HealthRule] = DEFAULT_RULES) -> None:
+        self.rules: Tuple[HealthRule, ...] = tuple(rules)
+        names = [r.name for r in self.rules]
+        if len(names) != len(set(names)):
+            raise HealthRuleError(f"duplicate rule names in {names}")
+        self._tick = 0
+        self._last: Optional[HealthVerdict] = None
+
+    @property
+    def tick(self) -> int:
+        return self._tick
+
+    @property
+    def last(self) -> Optional[HealthVerdict]:
+        return self._last
+
+    def healthy(self) -> bool:
+        """Overall verdict of the most recent tick (healthy-until-ticked)."""
+        return self._last.ok if self._last is not None else True
+
+    def evaluate(
+        self, registry: Any = None, ledger: Any = None
+    ) -> HealthVerdict:
+        """One tick: refresh the ledger, judge every rule, emit obs.
+
+        Ledger refresh happens first so ``resource.bytes`` ceilings
+        judge current occupancy, not the previous tick's.
+        """
+        if registry is None:
+            registry = obs.get_registry()
+        if ledger is None:
+            ledger = obs.get_ledger()
+        if ledger.enabled:
+            ledger.refresh(registry)
+        self._tick += 1
+        results = [evaluate_rule(rule, registry) for rule in self.rules]
+        verdict = HealthVerdict(
+            tick=self._tick,
+            ok=all(r.ok for r in results),
+            results=results,
+        )
+        self._last = verdict
+        if registry.enabled:
+            registry.counter("health.ticks_total").inc()
+            registry.gauge("health.ok").set(1.0 if verdict.ok else 0.0)
+            for result in results:
+                registry.gauge(
+                    "health.rule_ok", rule=result.rule.name
+                ).set(1.0 if result.ok else 0.0)
+                if not result.ok:
+                    registry.counter(
+                        "health.rule_failures_total", rule=result.rule.name
+                    ).inc()
+        recorder = obs.get_recorder()
+        if recorder.enabled:
+            # ``at`` is the deterministic tick counter: health ticks
+            # have no simulation timestamp, and a wall clock would
+            # break byte-identical traces.
+            recorder.record(
+                obs.TraceKind.HEALTH,
+                at=float(self._tick),
+                detail="tick",
+                ok=verdict.ok,
+                rules=len(results),
+                failing=len(verdict.failing()),
+            )
+            for result in verdict.failing():
+                recorder.record(
+                    obs.TraceKind.HEALTH,
+                    at=float(self._tick),
+                    detail=f"rule-failed:{result.rule.name}",
+                    rule=result.rule.name,
+                    value=result.value,
+                    threshold=result.rule.threshold,
+                    op=result.rule.op,
+                )
+        return verdict
+
+    def __repr__(self) -> str:
+        return (
+            f"HealthEngine(rules={[r.name for r in self.rules]}, "
+            f"tick={self._tick}, healthy={self.healthy()})"
+        )

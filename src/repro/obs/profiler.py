@@ -1,0 +1,357 @@
+"""Deterministic sampling profiler attributing time to pipeline stages.
+
+The bench gate can say *that* a build got slower; this module says
+*where*.  It is a stdlib-only sampling profiler built on
+``sys.setprofile``:
+
+* the hook counts interpreter events (calls, returns, C-calls) and
+  takes a stack sample every ``stride``-th event — event-paced rather
+  than timer-paced, so a run of the same seed takes samples at the
+  same points in the program;
+* each sample is weighted either by wall time since the previous
+  sample (``weights="wall"``, read through the obs
+  :class:`~repro.obs.metrics.Stopwatch`, the only sanctioned wall
+  clock) or by a constant 1.0 (``weights="events"``, byte-identical
+  across runs — the mode the determinism tests use);
+* frames are attributed to **pipeline stages** by source path
+  (``net``/``protocols`` → sim, ``hbr`` → inference, …) and to
+  individual **HBR rules** by function name for frames inside
+  ``repro/hbr/rules.py``;
+* results export as collapsed-stack lines, speedscope JSON, and
+  ``profile.self_seconds{stage=}`` histograms via :meth:`publish`.
+
+Like the flight recorder, profiling is **off by default** — and here
+"off" costs literally nothing: no ``sys.setprofile`` hook is
+installed, so the interpreter runs unperturbed (the tripping tests
+assert ``sys.getprofile() is None`` when disabled).  Enable per
+process with ``obs.enable_profiling()`` or scoped with
+``obs.profiling()``.
+
+The hook only observes the thread that installed it; profile the
+thread doing the work (the CLI enables it on the main thread before
+running a scenario).
+"""
+
+from __future__ import annotations
+
+import sys
+from types import FrameType
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import Stopwatch
+
+#: A frame identity: (source path, function name).
+FrameKey = Tuple[str, str]
+#: A sampled stack, root → leaf.
+StackKey = Tuple[FrameKey, ...]
+
+#: Top-level ``repro`` package → pipeline stage.
+STAGE_BY_PACKAGE: Dict[str, str] = {
+    "net": "sim",
+    "protocols": "sim",
+    "scenarios": "sim",
+    "capture": "capture",
+    "hbr": "inference",
+    "snapshot": "snapshot",
+    "verify": "verify",
+    "repair": "repair",
+    "core": "pipeline",
+    "whatif": "whatif",
+    "testkit": "testkit",
+    "obs": "obs",
+}
+
+_EVENTS = frozenset({"call", "return", "c_call", "c_return"})
+
+
+def stage_for_path(filename: str) -> str:
+    """Pipeline stage for a source path (``other`` when unknown)."""
+    parts = filename.replace("\\", "/").split("/")
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro" and i + 1 < len(parts):
+            return STAGE_BY_PACKAGE.get(parts[i + 1], "other")
+    return "other"
+
+
+def _is_rule_frame(key: FrameKey) -> bool:
+    filename, _name = key
+    normal = filename.replace("\\", "/")
+    return normal.endswith("repro/hbr/rules.py")
+
+
+class DeterministicProfiler:
+    """Event-paced sampling profiler (see module docstring)."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        stride: int = 97,
+        weights: str = "wall",
+        max_stack: int = 64,
+    ) -> None:
+        if stride < 1:
+            raise ValueError("stride must be >= 1")
+        if weights not in ("wall", "events"):
+            raise ValueError(f"unknown weights mode: {weights!r}")
+        if max_stack < 1:
+            raise ValueError("max_stack must be >= 1")
+        self.stride = stride
+        self.weights = weights
+        self.max_stack = max_stack
+        self.events_total = 0
+        self.samples_total = 0
+        #: stack → accumulated weight (seconds or sample count).
+        self._stacks: Dict[StackKey, float] = {}
+        #: source path → stage, memoised (hook-path hot).
+        self._stage_cache: Dict[str, str] = {}
+        self._running = False
+        self._watch: Optional[Stopwatch] = None
+        self._wall = Stopwatch()
+        self._wall_seconds = 0.0
+        # Bound once: ``self._hook`` creates a fresh bound-method
+        # object per access, which would defeat the identity check
+        # in :meth:`stop`.
+        self._installed_hook: Optional[Any] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Install the ``sys.setprofile`` hook on the calling thread."""
+        if self._running:
+            return
+        self._running = True
+        self._wall.restart()
+        if self.weights == "wall":
+            self._watch = Stopwatch()
+        self._installed_hook = self._hook
+        sys.setprofile(self._installed_hook)
+
+    def stop(self) -> None:
+        """Remove the hook (idempotent; only removes *our* hook)."""
+        if not self._running:
+            return
+        self._running = False
+        self._wall_seconds += self._wall.elapsed()
+        if sys.getprofile() is self._installed_hook:
+            sys.setprofile(None)
+        self._installed_hook = None
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def wall_seconds(self) -> float:
+        """Wall time spent with the hook installed."""
+        if self._running:
+            return self._wall_seconds + self._wall.elapsed()
+        return self._wall_seconds
+
+    def samples_per_sec(self) -> float:
+        wall = self.wall_seconds()
+        return self.samples_total / wall if wall > 0 else 0.0
+
+    # -- the hook ----------------------------------------------------------
+
+    def _hook(self, frame: FrameType, event: str, arg: Any) -> None:
+        if event not in _EVENTS:
+            return
+        self.events_total += 1
+        if self.events_total % self.stride:
+            return
+        if self._watch is not None:
+            weight = self._watch.elapsed()
+            self._watch.restart()
+        else:
+            weight = 1.0
+        stack: List[FrameKey] = []
+        current: Optional[FrameType] = frame
+        while current is not None and len(stack) < self.max_stack:
+            code = current.f_code
+            stack.append((code.co_filename, code.co_name))
+            current = current.f_back
+        stack.reverse()
+        key: StackKey = tuple(stack)
+        self._stacks[key] = self._stacks.get(key, 0.0) + weight
+        self.samples_total += 1
+
+    # -- attribution -------------------------------------------------------
+
+    def _stage_of(self, key: FrameKey) -> str:
+        filename = key[0]
+        stage = self._stage_cache.get(filename)
+        if stage is None:
+            stage = stage_for_path(filename)
+            self._stage_cache[filename] = stage
+        return stage
+
+    def stacks(self) -> Dict[StackKey, float]:
+        """Sampled stacks (root → leaf) and accumulated weights."""
+        return dict(self._stacks)
+
+    def self_weight_by_stage(self) -> Dict[str, float]:
+        """Sample weight attributed to each stage's *leaf* frames."""
+        totals: Dict[str, float] = {}
+        for stack, weight in self._stacks.items():
+            stage = self._stage_of(stack[-1]) if stack else "other"
+            totals[stage] = totals.get(stage, 0.0) + weight
+        return totals
+
+    def self_weight_by_rule(self) -> Dict[str, float]:
+        """Sample weight attributed to HBR rules (deepest rule frame)."""
+        totals: Dict[str, float] = {}
+        for stack, weight in self._stacks.items():
+            for key in reversed(stack):
+                if _is_rule_frame(key):
+                    rule = key[1]
+                    totals[rule] = totals.get(rule, 0.0) + weight
+                    break
+        return totals
+
+    # -- exports -----------------------------------------------------------
+
+    def collapsed(self) -> List[str]:
+        """Collapsed-stack lines (``frame;frame;leaf weight``), sorted."""
+        lines: List[str] = []
+        for stack, weight in self._stacks.items():
+            path = ";".join(f"{self._frame_label(k)}" for k in stack)
+            lines.append(f"{path} {weight:.9g}")
+        return sorted(lines)
+
+    def _frame_label(self, key: FrameKey) -> str:
+        filename, name = key
+        normal = filename.replace("\\", "/")
+        marker = "/repro/"
+        idx = normal.rfind(marker)
+        short = normal[idx + 1 :] if idx >= 0 else normal.rsplit("/", 1)[-1]
+        return f"{short}:{name}"
+
+    def speedscope(self, name: str = "repro") -> Dict[str, Any]:
+        """The profile as a speedscope ``sampled`` document."""
+        frame_index: Dict[FrameKey, int] = {}
+        frames: List[Dict[str, str]] = []
+        samples: List[List[int]] = []
+        weights: List[float] = []
+        for stack in sorted(self._stacks):
+            indices: List[int] = []
+            for key in stack:
+                idx = frame_index.get(key)
+                if idx is None:
+                    idx = len(frames)
+                    frame_index[key] = idx
+                    frames.append({"name": key[1], "file": key[0]})
+                indices.append(idx)
+            samples.append(indices)
+            weights.append(self._stacks[stack])
+        total = sum(weights)
+        unit = "seconds" if self.weights == "wall" else "none"
+        return {
+            "$schema": "https://www.speedscope.app/file-format-schema.json",
+            "name": name,
+            "exporter": "repro.obs.profiler",
+            "shared": {"frames": frames},
+            "profiles": [
+                {
+                    "type": "sampled",
+                    "name": name,
+                    "unit": unit,
+                    "startValue": 0,
+                    "endValue": total,
+                    "samples": samples,
+                    "weights": weights,
+                }
+            ],
+        }
+
+    def publish(self, registry: Any = None) -> None:
+        """Emit ``profile.*`` metrics into the registry.
+
+        ``profile.self_seconds{stage=}`` carries per-sample self
+        weight; ``profile.rule_self_seconds{rule=}`` the HBR-rule
+        slice; plus counters for samples/events and the sampling rate
+        gauge the bench trajectory records.
+        """
+        if registry is None:
+            from repro import obs
+
+            registry = obs.get_registry()
+        if not registry.enabled:
+            return
+        for stack, weight in sorted(self._stacks.items()):
+            stage = self._stage_of(stack[-1]) if stack else "other"
+            registry.histogram("profile.self_seconds", stage=stage).observe(
+                weight
+            )
+        for rule, weight in sorted(self.self_weight_by_rule().items()):
+            registry.histogram(
+                "profile.rule_self_seconds", rule=rule
+            ).observe(weight)
+        registry.counter("profile.samples_total").inc(self.samples_total)
+        registry.counter("profile.events_total").inc(self.events_total)
+        registry.gauge("profile.samples_per_sec").set(self.samples_per_sec())
+
+    def clear(self) -> None:
+        self._stacks.clear()
+        self.events_total = 0
+        self.samples_total = 0
+        self._wall_seconds = 0.0
+        self._wall.restart()
+
+    def __repr__(self) -> str:
+        return (
+            f"DeterministicProfiler(stride={self.stride}, "
+            f"weights={self.weights!r}, samples={self.samples_total})"
+        )
+
+
+class NullProfiler:
+    """The default profiler: nothing installed, nothing measured."""
+
+    enabled = False
+    running = False
+    stride = 0
+    weights = "none"
+    events_total = 0
+    samples_total = 0
+
+    def start(self) -> None:
+        pass
+
+    def stop(self) -> None:
+        pass
+
+    def wall_seconds(self) -> float:
+        return 0.0
+
+    def samples_per_sec(self) -> float:
+        return 0.0
+
+    def stacks(self) -> Dict[StackKey, float]:
+        return {}
+
+    def self_weight_by_stage(self) -> Dict[str, float]:
+        return {}
+
+    def self_weight_by_rule(self) -> Dict[str, float]:
+        return {}
+
+    def collapsed(self) -> List[str]:
+        return []
+
+    def speedscope(self, name: str = "repro") -> Dict[str, Any]:
+        return {
+            "$schema": "https://www.speedscope.app/file-format-schema.json",
+            "name": name,
+            "exporter": "repro.obs.profiler",
+            "shared": {"frames": []},
+            "profiles": [],
+        }
+
+    def publish(self, registry: Any = None) -> None:
+        pass
+
+    def clear(self) -> None:
+        pass
+
+
+NULL_PROFILER = NullProfiler()

@@ -1,0 +1,180 @@
+"""The live observability endpoint behind ``repro serve-metrics``.
+
+Everything so far renders observability *after* a run; this module
+serves it *during* one.  :class:`MetricsServer` wraps a stdlib
+:class:`~http.server.ThreadingHTTPServer` on a daemon thread — the
+repo's first long-lived process, and deliberately the skeleton the
+ROADMAP's future ``repro serve`` streaming daemon plugs into — with
+four routes:
+
+* ``GET /metrics`` — the Prometheus text exposition of the current
+  registry (the PR-1 exporter, now scrapeable);
+* ``GET /healthz`` — the :class:`~repro.obs.health.HealthEngine`'s
+  verdict as JSON, status 200 when healthy and 503 when any rule is
+  failing (the shape load-balancers and Kubernetes probes expect);
+* ``GET /resources.json`` — the resource ledger's per-component
+  bytes and high-watermarks;
+* ``GET /profile.speedscope.json`` — the sampling profiler's current
+  capture (404 when profiling is off).
+
+A single lock serialises renders against the owner's ``tick()``
+(ledger refresh + health evaluation), so a scrape never reads a
+half-updated gauge set.  The server binds ``127.0.0.1`` by default
+and ``port=0`` asks the OS for a free port (what the tests use);
+:attr:`MetricsServer.port` reports the resolved one.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional, Tuple, Type
+
+from repro import obs
+from repro.obs.export import render_prometheus
+from repro.obs.health import HealthEngine
+
+
+class MetricsServer:
+    """Serve /metrics, /healthz, /resources.json, /profile (see above)."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        engine: Optional[HealthEngine] = None,
+    ) -> None:
+        self.engine = engine if engine is not None else HealthEngine()
+        #: Serialises request rendering against :meth:`tick`.
+        self._lock = threading.Lock()
+        self._httpd = ThreadingHTTPServer(
+            (host, port), self._make_handler()
+        )
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return str(self._httpd.server_address[0])
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolved even when constructed with 0)."""
+        return int(self._httpd.server_address[1])
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> None:
+        """Serve on a daemon thread; returns once the thread is up."""
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Shut the server down and join the serving thread."""
+        if self._thread is None:
+            return
+        self._httpd.shutdown()
+        self._thread.join(timeout=5.0)
+        self._httpd.server_close()
+        self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    # -- the evaluation tick ----------------------------------------------
+
+    def tick(self) -> bool:
+        """One health tick (ledger refresh + rule evaluation).
+
+        The owner's loop calls this on its own schedule; requests
+        between ticks see the last verdict.  Returns the overall
+        health so callers can log transitions.
+        """
+        with self._lock:
+            verdict = self.engine.evaluate()
+        return verdict.ok
+
+    # -- request handling --------------------------------------------------
+
+    def _render(self, path: str) -> Tuple[int, str, bytes]:
+        """(status, content-type, body) for one GET, under the lock."""
+        with self._lock:
+            if path in ("/metrics", "/metrics/"):
+                registry = obs.get_registry()
+                tracer = obs.get_tracer()
+                body = render_prometheus(registry, tracer)
+                return (
+                    200,
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    body.encode("utf-8"),
+                )
+            if path in ("/healthz", "/healthz/"):
+                verdict = self.engine.last
+                if verdict is None:
+                    # First probe before the owner's first tick:
+                    # evaluate inline so /healthz never 500s.
+                    verdict = self.engine.evaluate()
+                status = 200 if verdict.ok else 503
+                payload = json.dumps(
+                    verdict.to_dict(), indent=2, sort_keys=True
+                )
+                return (status, "application/json", payload.encode("utf-8"))
+            if path in ("/resources.json", "/resources.json/"):
+                document = obs.get_ledger().document()
+                payload = json.dumps(document, indent=2, sort_keys=True)
+                return (200, "application/json", payload.encode("utf-8"))
+            if path in (
+                "/profile.speedscope.json",
+                "/profile.speedscope.json/",
+            ):
+                profiler = obs.get_profiler()
+                if not profiler.enabled:
+                    return (
+                        404,
+                        "application/json",
+                        b'{"error": "profiling is not enabled"}',
+                    )
+                payload = json.dumps(profiler.speedscope(), sort_keys=True)
+                return (200, "application/json", payload.encode("utf-8"))
+            return (
+                404,
+                "application/json",
+                b'{"error": "unknown path", "paths": '
+                b'["/metrics", "/healthz", "/resources.json", '
+                b'"/profile.speedscope.json"]}',
+            )
+
+    def _make_handler(self) -> Type[BaseHTTPRequestHandler]:
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            # Stop BaseHTTPRequestHandler from logging every request
+            # to stderr (the CLI owns the terminal).
+            def log_message(self, fmt: str, *args: Any) -> None:
+                pass
+
+            def do_GET(self) -> None:  # noqa: N802 (stdlib casing)
+                path = self.path.split("?", 1)[0]
+                status, content_type, body = server._render(path)
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+        return Handler

@@ -57,6 +57,9 @@ class TraceKind(enum.Enum):
     PROVENANCE_WALK = "provenance_walk"
     #: One repair-engine rollback episode (reverts applied/failed).
     ROLLBACK = "rollback"
+    #: One health-engine evaluation tick (per-rule verdicts in attrs);
+    #: failing rules additionally record one HEALTH event each.
+    HEALTH = "health"
 
 
 #: Overflow policies accepted by :class:`FlightRecorder`.
@@ -147,6 +150,23 @@ class FlightRecorder:
         #: Ring start index (oldest kept event) for drop-oldest mode.
         self._start = 0
         self._next_seq = 1
+        # Lazy import: this module is imported while ``repro.obs``'s
+        # own __init__ is still executing.
+        from repro import obs
+
+        ledger = obs.get_ledger()
+        if ledger.enabled:
+            ledger.register("obs.recorder", self)
+
+    def account_bytes(self, audit: bool = False) -> int:
+        """Resident bytes of the ring buffer (ledger callback)."""
+        from repro import obs
+        from repro.obs import resources
+
+        return resources.combined_sizeof(
+            (self._events,),
+            sample=None if audit else obs.get_ledger().sample,
+        )
 
     # -- writing -----------------------------------------------------------
 

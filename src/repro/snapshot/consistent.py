@@ -95,6 +95,18 @@ class ConsistentSnapshotter:
         ] = None
         self._memo_hits = 0
         self._memo_misses = 0
+        ledger = obs.get_ledger()
+        if ledger.enabled:
+            ledger.register("snapshot.closure_cache", self)
+
+    def account_bytes(self, audit: bool = False) -> int:
+        """Resident bytes of the closure/ancestor caches (ledger)."""
+        from repro.obs import resources
+
+        return resources.combined_sizeof(
+            (self._ancestor_memo, self._send_memo, self._fib_table),
+            sample=None if audit else obs.get_ledger().sample,
+        )
 
     # -- public API -------------------------------------------------------
 

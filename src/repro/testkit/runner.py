@@ -99,6 +99,15 @@ class FuzzReport:
             "results": [r.to_dict() for r in self.results],
         }
 
+    def account_bytes(self, audit: bool = False) -> int:
+        """Resident bytes of the case corpus (resource-ledger callback)."""
+        from repro.obs import resources
+
+        return resources.combined_sizeof(
+            (self.results,),
+            sample=None if audit else obs.get_ledger().sample,
+        )
+
 
 class FuzzRunner:
     """Run fuzz campaigns and mint regression artifacts."""
@@ -145,6 +154,9 @@ class FuzzRunner:
         tracer = obs.get_tracer()
         fuzzer = ScenarioFuzzer(seed)
         report = FuzzReport(seed=seed, oracles=list(self.oracle_names))
+        ledger = obs.get_ledger()
+        if ledger.enabled:
+            ledger.register("testkit.corpus", report)
         deadline = (
             time.monotonic() + minutes * 60.0 if minutes is not None else None
         )

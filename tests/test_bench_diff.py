@@ -22,6 +22,7 @@ from repro.obs.benchdiff import (
     exit_code,
     flatten,
     is_perf_key,
+    is_resource_key,
     load_report,
 )
 
@@ -56,6 +57,27 @@ class TestPerfKeys:
     )
     def test_count_paths_are_not_perf(self, path):
         assert not is_perf_key(path)
+
+
+class TestResourceKeys:
+    @pytest.mark.parametrize(
+        "path",
+        [
+            "ledger_peak_bytes",
+            "sizes.n16.ledger_peak_bytes",
+            "metrics.resource.bytes_total",
+        ],
+    )
+    def test_byte_paths_are_resources(self, path):
+        assert is_resource_key(path)
+        assert not is_perf_key(path)
+
+    @pytest.mark.parametrize(
+        "path",
+        ["wall_seconds", "events_per_sec", "hbg_edges"],
+    )
+    def test_other_paths_are_not_resources(self, path):
+        assert not is_resource_key(path)
 
 
 class TestFlatten:
@@ -119,6 +141,31 @@ class TestDiffReports:
         new = {"op_seconds": 4e-6}
         assert not diff_reports(old, new).has_regression
         assert diff_reports(old, new, min_abs=1e-7).has_regression
+
+    def test_bytes_keys_regress_like_seconds_keys(self):
+        old = {"ledger_peak_bytes": 10 * 1024 * 1024}
+        new = {"ledger_peak_bytes": 16 * 1024 * 1024}
+        diff = diff_reports(old, new, threshold_pct=25.0)
+        assert diff.has_regression
+        [entry] = diff.regressions
+        assert entry.path == "ledger_peak_bytes"
+
+    def test_min_abs_bytes_floor_suppresses_allocator_jitter(self):
+        # 50% relative growth, but only 512 KiB absolute — below the
+        # default 1 MiB byte floor (and far above the seconds floor,
+        # which must not apply to resource keys).
+        old = {"ledger_peak_bytes": 1 << 20}
+        new = {"ledger_peak_bytes": (1 << 20) + (512 << 10)}
+        assert not diff_reports(old, new).has_regression
+        assert diff_reports(
+            old, new, min_abs_bytes=256 << 10
+        ).has_regression
+
+    def test_byte_improvements_are_reported(self):
+        old = {"ledger_peak_bytes": 16 * 1024 * 1024}
+        new = {"ledger_peak_bytes": 10 * 1024 * 1024}
+        [entry] = diff_reports(old, new).interesting()
+        assert entry.status == "improvement"
 
     def test_non_numeric_leaves_compare_by_equality(self):
         diff = diff_reports({"mode": "repair"}, {"mode": "verify"})

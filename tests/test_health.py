@@ -1,0 +1,296 @@
+"""Tests for the health-rule engine: spec parsing round-trips, rule
+evaluation over the metrics registry, verdict wiring, and the HEALTH
+flight-recorder events."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.health import (
+    DEFAULT_RULES,
+    HealthEngine,
+    HealthRule,
+    HealthRuleError,
+    evaluate_rule,
+    parse_rule,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_state():
+    yield
+    obs.disable()
+    obs.disable_recording()
+    obs.disable_ledger()
+
+
+# -- rule construction and parsing -----------------------------------------
+
+
+class TestHealthRule:
+    def test_validates_operator_and_stat(self):
+        with pytest.raises(HealthRuleError):
+            HealthRule(name="x", metric="m", op="==", threshold=1.0)
+        with pytest.raises(HealthRuleError):
+            HealthRule(name="x", metric="m", op="<=", threshold=1.0,
+                       stat="p42")
+        with pytest.raises(HealthRuleError):
+            HealthRule(name="x", metric="m", op="<=", threshold=1.0,
+                       stat="p99", denominator="d")
+
+    def test_spec_round_trips_every_default_rule(self):
+        for rule in DEFAULT_RULES:
+            assert parse_rule(rule.spec()) == rule
+
+    def test_spec_round_trips_labels_and_stats(self):
+        rule = HealthRule(
+            name="edge-p95",
+            metric="verify.latency_seconds",
+            op="<",
+            threshold=0.25,
+            stat="p95",
+            labels=(("router", "R1"),),
+        )
+        assert parse_rule(rule.spec()) == rule
+
+    def test_spec_round_trips_exact_float_thresholds(self):
+        rule = HealthRule(
+            name="big", metric="m", op="<=", threshold=536870912.0
+        )
+        assert parse_rule(rule.spec()).threshold == 536870912.0
+
+
+class TestParseRule:
+    def test_parses_ratio_rules(self):
+        rule = parse_rule("fail-rate: errors_total / requests_total <= 0.1")
+        assert rule.denominator == "requests_total"
+        assert rule.stat == "value"
+        assert rule.threshold == 0.1
+
+    def test_parses_histogram_stat_suffix(self):
+        rule = parse_rule("p99: inference.build_graph_seconds.p99 <= 1.0")
+        assert rule.metric == "inference.build_graph_seconds"
+        assert rule.stat == "p99"
+
+    def test_metric_ending_in_a_stat_like_segment_without_stat(self):
+        # ``.count`` is a STATS name: the trailing segment is a stat,
+        # the rest is the metric.
+        rule = parse_rule("c: capture.events.count >= 1")
+        assert rule.metric == "capture.events" and rule.stat == "count"
+
+    def test_parses_label_constraints(self):
+        rule = parse_rule('r: verify.latency{router=R1,kind="fib"} <= 2')
+        assert rule.labels == (("kind", "fib"), ("router", "R1"))
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "no-colon resource.bytes_total <= 1",
+            "x: metric == 1",
+            "x: metric <= not-a-number",
+            "x: metric{router} <= 1",
+            "",
+        ],
+    )
+    def test_rejects_malformed_specs(self, spec):
+        with pytest.raises(HealthRuleError):
+            parse_rule(spec)
+
+
+# -- rule evaluation -------------------------------------------------------
+
+
+class TestEvaluateRule:
+    def test_missing_metric_passes_with_none_value(self):
+        with obs.capturing() as (registry, _tracer):
+            rule = HealthRule(name="x", metric="absent", op="<=",
+                              threshold=1.0)
+            result = evaluate_rule(rule, registry)
+        assert result.ok and result.value is None
+
+    def test_gauge_ceiling_trips(self):
+        with obs.capturing() as (registry, _tracer):
+            registry.gauge("test.load").set(5.0)
+            rule = HealthRule(name="x", metric="test.load", op="<=",
+                              threshold=1.0)
+            result = evaluate_rule(rule, registry)
+        assert not result.ok and result.value == 5.0
+
+    def test_counter_values_sum_across_label_sets(self):
+        with obs.capturing() as (registry, _tracer):
+            registry.counter("test.errs", router="R1").inc(2)
+            registry.counter("test.errs", router="R2").inc(3)
+            rule = HealthRule(name="x", metric="test.errs", op="<",
+                              threshold=10.0)
+            result = evaluate_rule(rule, registry)
+        assert result.ok and result.value == 5.0
+
+    def test_label_constraints_filter_instruments(self):
+        with obs.capturing() as (registry, _tracer):
+            registry.counter("test.errs", router="R1").inc(2)
+            registry.counter("test.errs", router="R2").inc(30)
+            rule = HealthRule(
+                name="x", metric="test.errs", op="<", threshold=10.0,
+                labels=(("router", "R1"),),
+            )
+            result = evaluate_rule(rule, registry)
+        assert result.ok and result.value == 2.0
+
+    def test_ratio_rule_divides_sums(self):
+        with obs.capturing() as (registry, _tracer):
+            registry.counter("test.bad").inc(1)
+            registry.counter("test.all").inc(4)
+            rule = HealthRule(
+                name="x", metric="test.bad", op="<=", threshold=0.5,
+                denominator="test.all",
+            )
+            result = evaluate_rule(rule, registry)
+        assert result.ok and result.value == 0.25
+
+    def test_ratio_with_zero_denominator_passes(self):
+        with obs.capturing() as (registry, _tracer):
+            registry.counter("test.bad").inc(1)
+            registry.counter("test.all")  # created, never incremented
+            rule = HealthRule(
+                name="x", metric="test.bad", op="<=", threshold=0.5,
+                denominator="test.all",
+            )
+            result = evaluate_rule(rule, registry)
+        assert result.ok and result.value is None
+
+    def test_histogram_percentile_rule(self):
+        with obs.capturing() as (registry, _tracer):
+            for value in (0.01, 0.02, 5.0):
+                registry.histogram("test.latency_seconds").observe(value)
+            rule = HealthRule(
+                name="x", metric="test.latency_seconds", op="<=",
+                threshold=1.0, stat="p99",
+            )
+            result = evaluate_rule(rule, registry)
+        assert not result.ok and result.value == pytest.approx(5.0)
+
+    def test_histogram_stat_takes_worst_label_set(self):
+        with obs.capturing() as (registry, _tracer):
+            registry.histogram("test.lat", stage="fast").observe(0.1)
+            registry.histogram("test.lat", stage="slow").observe(9.0)
+            rule = HealthRule(
+                name="x", metric="test.lat", op="<=", threshold=1.0,
+                stat="max",
+            )
+            result = evaluate_rule(rule, registry)
+        assert not result.ok and result.value == pytest.approx(9.0)
+
+
+# -- the engine ------------------------------------------------------------
+
+
+class TestHealthEngine:
+    def test_rejects_duplicate_rule_names(self):
+        rule = DEFAULT_RULES[0]
+        with pytest.raises(HealthRuleError):
+            HealthEngine(rules=(rule, rule))
+
+    def test_healthy_until_first_failing_tick(self):
+        engine = HealthEngine()
+        assert engine.healthy() and engine.last is None
+        with obs.capturing() as (registry, _tracer):
+            verdict = engine.evaluate(registry=registry)
+        assert verdict.ok and engine.healthy()
+        assert verdict.tick == 1 and engine.tick == 1
+
+    def test_failing_rule_flips_the_verdict(self):
+        with obs.capturing() as (registry, _tracer):
+            registry.gauge("test.load").set(5.0)
+            engine = HealthEngine(
+                rules=(
+                    HealthRule(name="load", metric="test.load", op="<=",
+                               threshold=1.0),
+                )
+            )
+            verdict = engine.evaluate(registry=registry)
+        assert not verdict.ok and not engine.healthy()
+        assert [r.rule.name for r in verdict.failing()] == ["load"]
+
+    def test_verdict_serialises(self):
+        with obs.capturing() as (registry, _tracer):
+            verdict = HealthEngine().evaluate(registry=registry)
+        document = json.loads(json.dumps(verdict.to_dict()))
+        assert document["schema"] == "repro-health/v1"
+        assert document["tick"] == 1
+        assert {r["rule"] for r in document["rules"]} == {
+            rule.name for rule in DEFAULT_RULES
+        }
+
+    def test_emits_health_metrics(self):
+        with obs.capturing() as (registry, _tracer):
+            registry.gauge("test.load").set(5.0)
+            engine = HealthEngine(
+                rules=(
+                    HealthRule(name="load", metric="test.load", op="<=",
+                               threshold=1.0),
+                )
+            )
+            engine.evaluate(registry=registry)
+            engine.evaluate(registry=registry)
+            counters = {c.name: c.value for c in registry.counters()}
+            gauges = {
+                (g.name, dict(g.labels).get("rule")): g.value
+                for g in registry.gauges()
+            }
+        assert counters["health.ticks_total"] == 2
+        assert counters["health.rule_failures_total"] == 2
+        assert gauges[("health.ok", None)] == 0.0
+        assert gauges[("health.rule_ok", "load")] == 0.0
+
+    def test_refreshes_ledger_before_judging_byte_ceilings(self):
+        with obs.capturing() as (registry, _tracer):
+            with obs.accounting() as ledger:
+
+                class Heavy:
+                    def account_bytes(self, audit=False):
+                        return 1000
+
+                heavy = Heavy()
+                ledger.register("test.component", heavy)
+                engine = HealthEngine(
+                    rules=(
+                        HealthRule(
+                            name="bytes",
+                            metric="resource.bytes_total",
+                            op="<=",
+                            threshold=100.0,
+                        ),
+                    )
+                )
+                verdict = engine.evaluate(registry=registry)
+        # The tick refreshed the ledger first, so the ceiling judged
+        # the *current* 1000 bytes — no stale-gauge pass.
+        assert not verdict.ok
+        assert verdict.results[0].value == 1000.0
+
+    def test_records_health_trace_events(self):
+        with obs.recording(capacity=100) as recorder:
+            with obs.capturing() as (registry, _tracer):
+                registry.gauge("test.load").set(5.0)
+                engine = HealthEngine(
+                    rules=(
+                        HealthRule(name="load", metric="test.load",
+                                   op="<=", threshold=1.0),
+                    )
+                )
+                engine.evaluate(registry=registry)
+        events = recorder.events(obs.TraceKind.HEALTH)
+        assert [e.detail for e in events] == ["tick", "rule-failed:load"]
+        tick = events[0]
+        assert tick.at == 1.0  # the tick counter, never a wall clock
+        assert tick.attr("ok") is False and tick.attr("failing") == 1
+        failed = events[1]
+        assert failed.attr("rule") == "load"
+        assert failed.attr("value") == 5.0
+        assert failed.attr("threshold") == 1.0
+
+    def test_no_trace_events_when_recording_disabled(self):
+        with obs.capturing() as (registry, _tracer):
+            HealthEngine().evaluate(registry=registry)
+        assert len(obs.get_recorder()) == 0

@@ -6,13 +6,16 @@ import pytest
 
 from repro import obs
 from repro.obs.export import (
+    ExpositionError,
     format_table,
     missing_sections,
+    parse_exposition,
     registry_to_dict,
     render_json,
     render_jsonl,
     render_prometheus,
     render_table,
+    validate_exposition,
 )
 from repro.obs.metrics import (
     Counter,
@@ -288,6 +291,45 @@ class TestExporters:
         assert 'repro_capture_events{kind="fib_update"} 9' in text
         assert 'repro_verify_latency_seconds{quantile="0.5"} 0.002' in text
         assert "repro_verify_latency_seconds_count 3" in text
+
+    def test_prometheus_label_values_escaped_per_spec(self):
+        registry = MetricsRegistry()
+        registry.counter("capture.events", router='edge"1').inc()
+        registry.counter("capture.events", router="back\\slash").inc()
+        registry.counter("capture.events", router="two\nlines").inc()
+        text = render_prometheus(registry)
+        assert 'router="edge\\"1"' in text
+        assert 'router="back\\\\slash"' in text
+        assert 'router="two\\nlines"' in text
+        # The escaping keeps every sample on its own line.
+        assert len(text.splitlines()) == 4  # 1 TYPE + 3 samples
+
+    def test_prometheus_hostile_labels_round_trip(self):
+        hostile = 'a"b\\c\nd'
+        registry = MetricsRegistry()
+        registry.counter("capture.events", router=hostile).inc(5)
+        registry.gauge("resource.bytes", component=hostile).set(9)
+        parsed = parse_exposition(render_prometheus(registry))
+        by_name = {name: labels for name, labels, _v in parsed["samples"]}
+        assert by_name["repro_capture_events"] == {"router": hostile}
+        assert by_name["repro_resource_bytes"] == {"component": hostile}
+
+    def test_parse_exposition_rejects_malformed_lines(self):
+        for bad in (
+            'm{router="unterminated} 1',
+            'm{router="x"extra="y"} 1',
+            'm{router="bad\\q"} 1',
+            "m one",
+            "# TYPE m sideways",
+            "1bad_name 2",
+        ):
+            with pytest.raises(ExpositionError):
+                parse_exposition(bad)
+
+    def test_validate_exposition_flags_empty_and_accepts_real_output(self):
+        assert validate_exposition("") == ["no samples in exposition"]
+        registry, _ = self._populated()
+        assert validate_exposition(render_prometheus(registry)) == []
 
     def test_missing_sections_detects_dead_and_empty(self):
         registry = MetricsRegistry()

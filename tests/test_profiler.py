@@ -1,0 +1,267 @@
+"""Tests for the deterministic sampling profiler: the zero-cost
+disabled path, event-paced determinism, stage/rule attribution, and
+the collapsed-stack / speedscope / metrics exports."""
+
+import json
+import sys
+
+import pytest
+
+from repro import obs
+from repro.hbr.inference import InferenceEngine
+from repro.obs.profiler import (
+    NULL_PROFILER,
+    DeterministicProfiler,
+    NullProfiler,
+    stage_for_path,
+)
+from repro.scenarios.fig2 import Fig2Scenario
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_state():
+    """Never leak an installed profile hook into other tests."""
+    yield
+    obs.disable_profiling()
+    obs.disable()
+    assert sys.getprofile() is None
+
+
+def _busy_workload(rounds=40):
+    """A deterministic pure-Python workload with a few frames."""
+
+    def leaf(n):
+        return sum(range(n))
+
+    def middle(n):
+        return leaf(n) + leaf(n // 2)
+
+    total = 0
+    for i in range(rounds):
+        total += middle(50 + i)
+    return total
+
+
+def _fig2_events():
+    net = Fig2Scenario().run_fig2a()
+    return net.collector.all_events()
+
+
+class TestStageMapping:
+    @pytest.mark.parametrize(
+        ("path", "stage"),
+        [
+            ("/x/src/repro/hbr/inference.py", "inference"),
+            ("/x/src/repro/net/simulator.py", "sim"),
+            ("/x/src/repro/protocols/bgp.py", "sim"),
+            ("/x/src/repro/snapshot/consistent.py", "snapshot"),
+            ("/x/src/repro/verify/verifier.py", "verify"),
+            ("/x/src/repro/repair/provenance.py", "repair"),
+            ("/x/src/repro/core/pipeline.py", "pipeline"),
+            ("/x/src/repro/obs/metrics.py", "obs"),
+            ("/usr/lib/python3.11/json/encoder.py", "other"),
+        ],
+    )
+    def test_paths_map_to_stages(self, path, stage):
+        assert stage_for_path(path) == stage
+
+    def test_windows_separators_normalised(self):
+        assert stage_for_path("C:\\x\\repro\\hbr\\rules.py") == "inference"
+
+
+class TestLifecycle:
+    def test_validates_arguments(self):
+        with pytest.raises(ValueError):
+            DeterministicProfiler(stride=0)
+        with pytest.raises(ValueError):
+            DeterministicProfiler(weights="cpu")
+        with pytest.raises(ValueError):
+            DeterministicProfiler(max_stack=0)
+
+    def test_start_installs_and_stop_removes_the_hook(self):
+        profiler = DeterministicProfiler(stride=1)
+        assert sys.getprofile() is None
+        profiler.start()
+        try:
+            assert profiler.running
+            assert sys.getprofile() is not None
+        finally:
+            profiler.stop()
+        assert sys.getprofile() is None
+        assert not profiler.running
+
+    def test_stop_leaves_foreign_hooks_alone(self):
+        profiler = DeterministicProfiler(stride=1)
+        profiler.start()
+
+        def foreign(frame, event, arg):
+            pass
+
+        sys.setprofile(foreign)
+        try:
+            profiler.stop()
+            assert sys.getprofile() is foreign
+        finally:
+            sys.setprofile(None)
+
+    def test_clear_resets_counters_and_stacks(self):
+        profiler = DeterministicProfiler(stride=1, weights="events")
+        profiler.start()
+        _busy_workload(5)
+        profiler.stop()
+        assert profiler.samples_total > 0
+        profiler.clear()
+        assert profiler.samples_total == 0
+        assert profiler.events_total == 0
+        assert profiler.stacks() == {}
+
+
+class TestDeterminism:
+    def test_events_mode_is_byte_identical_across_runs(self):
+        def run():
+            profiler = DeterministicProfiler(stride=7, weights="events")
+            profiler.start()
+            _busy_workload()
+            profiler.stop()
+            return profiler
+
+        first, second = run(), run()
+        assert first.collapsed() == second.collapsed()
+        assert first.events_total == second.events_total
+        assert first.samples_total == second.samples_total
+        assert json.dumps(first.speedscope(), sort_keys=True) == json.dumps(
+            second.speedscope(), sort_keys=True
+        )
+
+    def test_stride_paces_sampling(self):
+        profiler = DeterministicProfiler(stride=10, weights="events")
+        profiler.start()
+        _busy_workload()
+        profiler.stop()
+        assert profiler.samples_total == profiler.events_total // 10
+
+
+class TestAttribution:
+    def _profiled_build(self):
+        events = _fig2_events()
+        with obs.profiling(stride=3, weights="events") as profiler:
+            InferenceEngine().build_graph(events)
+        return profiler
+
+    def test_inference_stage_dominates_a_build(self):
+        profiler = self._profiled_build()
+        by_stage = profiler.self_weight_by_stage()
+        assert by_stage, "a build this size must collect samples"
+        assert "inference" in by_stage
+        assert by_stage["inference"] == max(by_stage.values())
+
+    def test_rule_attribution_names_hbr_rules(self):
+        profiler = self._profiled_build()
+        by_rule = profiler.self_weight_by_rule()
+        # Rule frames live in repro/hbr/rules.py; a full build spends
+        # real time there, so at least one rule function must appear.
+        assert by_rule
+        assert all(weight > 0 for weight in by_rule.values())
+
+    def test_max_stack_bounds_sample_depth(self):
+        profiler = DeterministicProfiler(stride=1, weights="events",
+                                         max_stack=3)
+        profiler.start()
+        _busy_workload(10)
+        profiler.stop()
+        assert profiler.stacks()
+        assert all(len(s) <= 3 for s in profiler.stacks())
+
+
+class TestExports:
+    def test_collapsed_lines_are_sorted_and_weighted(self):
+        profiler = DeterministicProfiler(stride=5, weights="events")
+        profiler.start()
+        _busy_workload()
+        profiler.stop()
+        lines = profiler.collapsed()
+        assert lines == sorted(lines)
+        for line in lines:
+            path, weight = line.rsplit(" ", 1)
+            assert ";" in path or ":" in path
+            assert float(weight) > 0
+
+    def test_speedscope_document_shape(self):
+        profiler = DeterministicProfiler(stride=5, weights="events")
+        profiler.start()
+        _busy_workload()
+        profiler.stop()
+        document = json.loads(json.dumps(profiler.speedscope("x")))
+        assert document["$schema"] == (
+            "https://www.speedscope.app/file-format-schema.json"
+        )
+        frames = document["shared"]["frames"]
+        profile = document["profiles"][0]
+        assert profile["type"] == "sampled"
+        assert profile["unit"] == "none"  # events mode
+        assert len(profile["samples"]) == len(profile["weights"])
+        for stack in profile["samples"]:
+            assert all(0 <= index < len(frames) for index in stack)
+        assert profile["endValue"] == pytest.approx(
+            sum(profile["weights"])
+        )
+
+    def test_wall_mode_exports_seconds(self):
+        with obs.profiling(stride=3, weights="wall") as profiler:
+            _busy_workload()
+        assert profiler.speedscope()["profiles"][0]["unit"] == "seconds"
+        assert profiler.wall_seconds() > 0
+        assert profiler.samples_per_sec() > 0
+
+    def test_publish_emits_profile_metrics(self):
+        with obs.capturing() as (registry, _tracer):
+            profiler = DeterministicProfiler(stride=3, weights="events")
+            profiler.start()
+            _busy_workload()
+            profiler.stop()
+            profiler.publish(registry)
+            histograms = {h.name for h in registry.histograms()}
+            counters = {c.name: c.value for c in registry.counters()}
+        assert "profile.self_seconds" in histograms
+        assert counters["profile.samples_total"] == profiler.samples_total
+        assert counters["profile.events_total"] == profiler.events_total
+
+    def test_publish_noop_when_metrics_disabled(self):
+        profiler = DeterministicProfiler(stride=3, weights="events")
+        profiler.start()
+        _busy_workload(5)
+        profiler.stop()
+        profiler.publish(obs.get_registry())  # must not raise
+
+
+class TestObsWiring:
+    def test_off_by_default_with_no_hook_installed(self):
+        assert obs.get_profiler() is NULL_PROFILER
+        assert obs.get_profiler().enabled is False
+        assert sys.getprofile() is None
+
+    def test_enable_disable_profiling(self):
+        profiler = obs.enable_profiling(stride=11, weights="events")
+        assert obs.get_profiler() is profiler and profiler.running
+        obs.disable_profiling()
+        assert obs.get_profiler() is NULL_PROFILER
+        assert sys.getprofile() is None
+
+    def test_profiling_context_restores_and_uninstalls(self):
+        with obs.profiling(stride=11, weights="events") as profiler:
+            assert obs.get_profiler() is profiler
+            assert sys.getprofile() is not None
+        assert obs.get_profiler() is NULL_PROFILER
+        assert sys.getprofile() is None
+        assert not profiler.running
+
+    def test_null_profiler_is_inert(self):
+        null = NullProfiler()
+        null.start()
+        assert sys.getprofile() is None  # "off" installs nothing at all
+        null.stop()
+        assert null.stacks() == {} and null.collapsed() == []
+        assert null.speedscope()["profiles"] == []
+        assert null.samples_per_sec() == 0.0
+        null.publish()
+        null.clear()

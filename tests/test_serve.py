@@ -1,0 +1,261 @@
+"""Tests for the live observability endpoint: MetricsServer routes,
+exposition validity under hostile labels, the /healthz flip, and the
+``repro serve-metrics`` CLI."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.cli import main as cli_main
+from repro.obs.export import parse_exposition, validate_exposition
+from repro.obs.health import HealthEngine, HealthRule
+from repro.obs.serve import MetricsServer
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_state():
+    yield
+    obs.disable()
+    obs.disable_recording()
+    obs.disable_ledger()
+    obs.disable_profiling()
+
+
+def _get(url):
+    """(status, content_type, body_text) for one GET, 4xx/5xx included."""
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return (
+                response.status,
+                response.headers.get("Content-Type", ""),
+                response.read().decode("utf-8"),
+            )
+    except urllib.error.HTTPError as error:
+        return (
+            error.code,
+            error.headers.get("Content-Type", ""),
+            error.read().decode("utf-8"),
+        )
+
+
+class TestMetricsServer:
+    def test_port_zero_resolves_to_a_real_port(self):
+        with MetricsServer(port=0) as server:
+            assert server.port > 0
+            assert server.url.startswith("http://127.0.0.1:")
+
+    def test_metrics_route_serves_valid_exposition(self):
+        with obs.capturing() as (registry, _tracer):
+            registry.counter("verify.fib_writes_verified").inc(3)
+            registry.histogram("verify.latency_seconds").observe(0.01)
+            with MetricsServer(port=0) as server:
+                status, content_type, body = _get(server.url + "/metrics")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        assert "version=0.0.4" in content_type
+        assert validate_exposition(body) == []
+        parsed = parse_exposition(body)
+        assert parsed["types"]["repro_verify_fib_writes_verified"] == (
+            "counter"
+        )
+
+    def test_hostile_label_values_survive_a_live_scrape(self):
+        hostile = 'edge"1\\back\nnewline'
+        with obs.capturing() as (registry, _tracer):
+            registry.counter("test.events", router=hostile).inc(7)
+            with MetricsServer(port=0) as server:
+                _status, _ct, body = _get(server.url + "/metrics")
+        samples = [
+            (name, labels, value)
+            for name, labels, value in parse_exposition(body)["samples"]
+            if name == "repro_test_events"
+        ]
+        assert samples == [("repro_test_events", {"router": hostile}, 7.0)]
+
+    def test_healthz_ok_then_flips_to_503(self):
+        with obs.capturing() as (registry, _tracer):
+            engine = HealthEngine(
+                rules=(
+                    HealthRule(name="load", metric="test.load", op="<=",
+                               threshold=1.0),
+                )
+            )
+            with MetricsServer(port=0, engine=engine) as server:
+                healthz = server.url + "/healthz"
+                status, _ct, body = _get(healthz)  # pre-tick inline eval
+                assert status == 200
+                assert json.loads(body)["ok"] is True
+                registry.gauge("test.load").set(5.0)
+                assert server.tick() is False
+                status, content_type, body = _get(healthz)
+                assert status == 503
+                assert content_type.startswith("application/json")
+                document = json.loads(body)
+                assert document["schema"] == "repro-health/v1"
+                assert document["ok"] is False
+                failing = [
+                    r for r in document["rules"] if not r["ok"]
+                ]
+                assert [r["rule"] for r in failing] == ["load"]
+
+    def test_resources_route_serves_ledger_document(self):
+        with obs.capturing():
+            with obs.accounting() as ledger:
+
+                class Accountable:
+                    def account_bytes(self, audit=False):
+                        return 123
+
+                owner = Accountable()
+                ledger.register("test.component", owner)
+                ledger.refresh()
+                with MetricsServer(port=0) as server:
+                    status, content_type, body = _get(
+                        server.url + "/resources.json"
+                    )
+        assert status == 200 and content_type.startswith("application/json")
+        document = json.loads(body)
+        assert document["schema"] == "repro-resources/v1"
+        assert document["components"]["test.component"]["bytes"] == 123
+
+    def test_profile_route_404_when_profiling_off(self):
+        with MetricsServer(port=0) as server:
+            status, _ct, body = _get(server.url + "/profile.speedscope.json")
+        assert status == 404
+        assert "profiling is not enabled" in body
+
+    def test_profile_route_serves_speedscope_when_on(self):
+        obs.enable_profiling(stride=5, weights="events")
+        try:
+            sum(range(2000))  # collect a few samples
+            with MetricsServer(port=0) as server:
+                status, _ct, body = _get(
+                    server.url + "/profile.speedscope.json"
+                )
+        finally:
+            obs.disable_profiling()
+        assert status == 200
+        document = json.loads(body)
+        assert document["$schema"].startswith("https://www.speedscope.app")
+
+    def test_unknown_path_404_lists_routes(self):
+        with MetricsServer(port=0) as server:
+            status, _ct, body = _get(server.url + "/nope")
+        assert status == 404
+        assert "/metrics" in body and "/healthz" in body
+
+    def test_stop_is_idempotent_and_start_after_stop_refused_cleanly(self):
+        server = MetricsServer(port=0)
+        server.start()
+        server.start()  # second start is a no-op
+        server.stop()
+        server.stop()  # second stop is a no-op
+
+
+class TestServeMetricsCli:
+    def test_short_lived_serve_run_exits_healthy(self, capsys):
+        rc = cli_main(
+            [
+                "serve-metrics",
+                "--port",
+                "0",
+                "--scenario",
+                "fig2",
+                "--interval",
+                "0.05",
+                "--duration",
+                "0.1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "serving on http://127.0.0.1:" in out
+        assert "health: ok" in out
+
+    def test_custom_health_rule_can_fail_the_run(self, capsys):
+        # health.ticks_total starts counting with the first tick, so a
+        # <= 0 ceiling on it must fail by the second tick.
+        rc = cli_main(
+            [
+                "serve-metrics",
+                "--port",
+                "0",
+                "--scenario",
+                "none",
+                "--interval",
+                "0.05",
+                "--duration",
+                "0.2",
+                "--health-rule",
+                "no-ticks: health.ticks_total <= 0",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "FAILING" in out and "no-ticks" in out
+
+    def test_custom_rule_overrides_same_named_default(self, capsys):
+        # Without the override this duplicate name would be rejected by
+        # HealthEngine; with it, the user's bound replaces the default's
+        # and the run stays healthy even under a profiler-inflated p99.
+        rc = cli_main(
+            [
+                "serve-metrics",
+                "--port",
+                "0",
+                "--scenario",
+                "fig2",
+                "--interval",
+                "0.05",
+                "--duration",
+                "0.1",
+                "--health-rule",
+                "inference-p99: inference.build_graph_seconds.p99 <= 1e9",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "health: ok" in out
+
+    def test_malformed_health_rule_is_a_usage_error(self, capsys):
+        rc = cli_main(
+            [
+                "serve-metrics",
+                "--port",
+                "0",
+                "--scenario",
+                "none",
+                "--duration",
+                "0.05",
+                "--health-rule",
+                "not a rule",
+            ]
+        )
+        assert rc == 2
+        assert "serve-metrics" in capsys.readouterr().err
+
+    def test_profile_output_writes_speedscope_file(self, tmp_path, capsys):
+        target = tmp_path / "profile.speedscope.json"
+        rc = cli_main(
+            [
+                "serve-metrics",
+                "--port",
+                "0",
+                "--scenario",
+                "fig2",
+                "--interval",
+                "0.05",
+                "--duration",
+                "0.1",
+                "--profile",
+                "--profile-output",
+                str(target),
+            ]
+        )
+        assert rc == 0
+        document = json.loads(target.read_text())
+        assert document["profiles"], "profiled warmup must collect samples"
+        assert document["$schema"].startswith("https://www.speedscope.app")

@@ -212,9 +212,10 @@ def _run_pipeline_scenario_inline():
 
     Inline (rather than via the CLI helper) so this file controls the
     recorder's scope; it must exercise snapshot builds, verify
-    verdicts, provenance walks and a rollback.
+    verdicts, provenance walks, a rollback, and one health tick.
     """
     from repro.core.pipeline import IntegratedControlPlane, PipelineMode
+    from repro.obs.health import HealthEngine
     from repro.scenarios.fig2 import bad_lp_change
     from repro.scenarios.paper_net import P, paper_policy
     from repro.verify.policy import LoopFreedomPolicy
@@ -227,6 +228,9 @@ def _run_pipeline_scenario_inline():
     ).arm()
     net.apply_config_change(bad_lp_change())
     net.run(120)
+    # One health-engine tick, the way the serve-metrics loop would:
+    # it records the TraceKind.HEALTH events this scenario asserts on.
+    HealthEngine().evaluate()
     return net, pipeline
 
 
