@@ -279,16 +279,92 @@ def _relativize_findings(findings, root: str):
     return rewritten
 
 
+def _changed_files(ref: str) -> Optional[List[str]]:
+    """Python files differing from ``ref`` (plus untracked ones).
+
+    Paths are returned absolute, anchored at the git toplevel —
+    ``git diff --name-only`` and ``git ls-files --full-name`` both
+    print toplevel-relative paths regardless of cwd, and the lint
+    engine matches them against whatever form the lint paths used.
+    Returns ``None`` when git is unavailable or the ref is unknown —
+    the caller reports the error.
+    """
+    import os
+    import subprocess
+
+    def run(command: List[str]) -> Optional[str]:
+        try:
+            proc = subprocess.run(
+                command, capture_output=True, text=True, timeout=30
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        if proc.returncode != 0:
+            return None
+        return proc.stdout
+
+    toplevel_out = run(["git", "rev-parse", "--show-toplevel"])
+    if toplevel_out is None or not toplevel_out.strip():
+        return None
+    toplevel = toplevel_out.strip()
+
+    files: List[str] = []
+    for command in (
+        ["git", "diff", "--name-only", ref, "--"],
+        ["git", "ls-files", "--others", "--exclude-standard", "--full-name"],
+    ):
+        out = run(command)
+        if out is None:
+            return None
+        files.extend(
+            os.path.join(toplevel, line.strip())
+            for line in out.splitlines()
+            if line.strip().endswith(".py")
+        )
+    return sorted({os.path.normpath(f) for f in files})
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     import json
     import os
 
     from repro.lint import LintRunner, Severity, sort_findings
     from repro.lint import baseline as baseline_mod
+    from repro.lint.cache import CACHE_DIR_NAME
 
     paths = args.paths or [os.path.dirname(os.path.abspath(__file__))]
+
+    restrict_to = None
+    if args.changed is not None:
+        changed = _changed_files(args.changed)
+        if changed is None:
+            print(
+                f"repro lint: cannot resolve --changed against "
+                f"{args.changed!r} (not a git checkout, or unknown ref)",
+                file=sys.stderr,
+            )
+            return 2
+        restrict_to = set(changed)
+
+    cache_dir = None
+    if args.deep and not args.no_cache:
+        if args.cache_dir:
+            cache_dir = args.cache_dir
+        else:
+            # Default the cache next to the committed baseline (the
+            # repo root, by convention) so every cwd shares one cache.
+            anchor = args.baseline or _default_lint_baseline(paths)
+            anchor_dir = (
+                os.path.dirname(os.path.abspath(anchor))
+                if anchor and anchor != "none"
+                else os.curdir
+            )
+            cache_dir = os.path.join(anchor_dir, CACHE_DIR_NAME)
+
     try:
-        result = LintRunner().run_paths(paths)
+        result = LintRunner(deep=args.deep, cache_dir=cache_dir).run_paths(
+            paths, restrict_to=restrict_to
+        )
     except FileNotFoundError as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2
@@ -335,7 +411,15 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         "suppressed_by_baseline": suppressed,
         "baseline": baseline_path,
         "stale_baseline_entries": stale,
+        "deep": bool(args.deep),
     }
+    if args.deep:
+        summary["analysis_cache"] = (
+            "disabled"
+            if result.cache_hit is None
+            else ("hit" if result.cache_hit else "miss")
+        )
+        summary["analysis_seconds"] = round(result.analysis_seconds, 6)
     if args.format == "json":
         print(
             json.dumps(
@@ -361,11 +445,24 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                 )
             )
             print()
+            for finding in findings:
+                if not finding.evidence:
+                    continue
+                print(f"call chain for {finding.rule} at {finding.location}:")
+                for hop in finding.evidence:
+                    print(f"    {hop}")
+                print()
         print(
             f"{result.files_scanned} file(s) scanned, "
             f"{len(findings)} finding(s) "
             f"({result.suppressed_by_pragma} pragma-suppressed, "
             f"{suppressed} baselined)"
+            + (
+                f"; deep analysis {summary['analysis_cache']} "
+                f"in {result.analysis_seconds:.2f}s"
+                if args.deep
+                else ""
+            )
         )
         for fingerprint in stale:
             print(f"stale baseline entry (fixed? remove it): {fingerprint}")
@@ -872,7 +969,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="run the repo's static-analysis pass (DET/LAY/OBS/HYG rules)",
+        help="run the repo's static-analysis pass "
+        "(DET/LAY/OBS/HYG/PERF rules; --deep adds DET100/CONC00x)",
     )
     lint.add_argument(
         "paths",
@@ -905,6 +1003,35 @@ def build_parser() -> argparse.ArgumentParser:
         default="error",
         help="exit nonzero if any finding is at/above this severity "
         "(default: error)",
+    )
+    lint.add_argument(
+        "--deep",
+        action="store_true",
+        help="also run the whole-program pass (call graph + dataflow: "
+        "DET100 determinism taint, CONC001-003 fork/thread safety) "
+        "with call-chain evidence per finding",
+    )
+    lint.add_argument(
+        "--changed",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="REF",
+        help="restrict single-file rules to files differing from the "
+        "git ref (default ref: HEAD); whole-program rules still see "
+        "the full call graph",
+    )
+    lint.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="deep-analysis cache directory (default: .repro-lint-cache "
+        "next to the baseline file)",
+    )
+    lint.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the deep-analysis cache for this run",
     )
     lint.set_defaults(func=_cmd_lint)
 

@@ -214,9 +214,21 @@ class EventIndex:
         self._by_rkp: Dict[
             Tuple[str, IOKind, object], SortedEventList
         ] = {}
+
+    def track(self) -> "EventIndex":
+        """Register with the resource ledger; returns ``self``.
+
+        Registration is explicit rather than a constructor side
+        effect because indices are also built inside forked shard
+        workers (repro.hbr.sharded), where a ledger registration
+        would mutate the doomed forked copy and silently vanish at
+        join — lint rule CONC001 checks exactly this.  Only
+        parent-process owners call ``track()``.
+        """
         ledger = obs.get_ledger()
         if ledger.enabled:
             ledger.register("hbr.index", self)
+        return self
 
     def account_bytes(self, audit: bool = False) -> int:
         """Resident bytes of every bucket (ledger callback).

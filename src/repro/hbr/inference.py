@@ -221,6 +221,10 @@ class _ScanSource:
     ) -> List[IOEvent]:
         return self._window(cons, window)
 
+    def track(self) -> "_ScanSource":
+        """No resources worth ledger-tracking here; returns ``self``."""
+        return self
+
 
 class _IndexSource:
     """Indexed candidate lookup over :class:`repro.hbr.index.EventIndex`.
@@ -253,6 +257,17 @@ class _IndexSource:
         lo = (cons.timestamp - window, 0)
         hi = (cons.timestamp + self.skew, MAX_ID)
         return _admissible(cons, self.index.window(lo, hi))
+
+    def track(self) -> "_IndexSource":
+        """Register the underlying index with the resource ledger.
+
+        Deliberately *not* called from :meth:`InferenceEngine._batch_source`:
+        that constructor path also runs inside forked shard workers,
+        where a ledger registration dies with the worker (CONC001).
+        Parent-process owners opt in after construction.
+        """
+        self.index.track()
+        return self
 
 
 # -- the combined engine ----------------------------------------------------------
@@ -333,14 +348,23 @@ class InferenceEngine:
         graph = HappensBeforeGraph()
         for event in ordered:
             graph.add_event(event)
-        source = self._batch_source(ordered)
+        # .track() here, not in _batch_source: the serial build runs in
+        # the parent, so ledger registration of the index is safe.
+        source = self._batch_source(ordered).track()
         for cons in ordered:
             for ante, evidence in self._edges_into(cons, source):
                 graph.add_edge(ante.event_id, cons.event_id, evidence)
         return graph
 
     def _batch_source(self, ordered: Sequence[IOEvent]):
-        """The candidate source for a finished, sorted capture."""
+        """The candidate source for a finished, sorted capture.
+
+        Free of ledger registration (and every other process-global
+        mutation): forked shard workers call this too, so anything
+        written to the obs singletons here would land in the doomed
+        forked copy.  Parent-only owners call ``.track()`` on the
+        returned source.
+        """
         skew = self.config.clock_skew_tolerance
         if self.config.legacy_scan:
             times = [e.timestamp for e in ordered]
@@ -353,8 +377,20 @@ class InferenceEngine:
     def _edges_into(
         self, cons: IOEvent, source
     ) -> List[Tuple[IOEvent, EdgeEvidence]]:
-        edges = self._infer_edges(cons, source)
         registry = obs.get_registry()
+        timing_sink = None
+        if registry.enabled:
+            # Serial/streaming path: per-rule wall time goes straight
+            # into the registry histograms.  The sink indirection keeps
+            # _infer_edges free of process-global mutation so the
+            # forked shard workers (see repro.hbr.sharded) can reuse it
+            # with an aggregating sink instead — a CONC001 requirement.
+            def timing_sink(rule_name: str, seconds: float) -> None:
+                registry.histogram(
+                    "inference.rule_seconds", rule=rule_name
+                ).observe(seconds)
+
+        edges = self._infer_edges(cons, source, timing_sink)
         if edges and registry.enabled:
             registry.counter("inference.hbg_edges_inferred").inc(len(edges))
             for _ante, evidence in edges:
@@ -378,8 +414,16 @@ class InferenceEngine:
         return edges
 
     def _infer_edges(
-        self, cons: IOEvent, source
+        self, cons: IOEvent, source, timing_sink=None
     ) -> List[Tuple[IOEvent, EdgeEvidence]]:
+        """Infer this consequent's in-edges (pure inference, no obs).
+
+        ``timing_sink(rule_name, seconds)``, when provided, receives
+        per-rule wall time.  This function must stay free of registry
+        / recorder mutation: it runs inside forked shard workers,
+        where any process-global emission would silently die with the
+        worker (lint rule CONC001 checks exactly this).
+        """
         edges: List[Tuple[IOEvent, EdgeEvidence]] = []
         linked: Set[int] = set()
 
@@ -398,14 +442,13 @@ class InferenceEngine:
             return edges
 
         if self.config.use_rules:
-            # Per-rule wall time is only clocked when observability is
-            # on; the disabled path pays one attribute check per call.
-            timing = obs.get_registry().enabled
+            # Per-rule wall time is only clocked when a sink asks for
+            # it; the disabled path pays one None check per call.
             for position in self._rules_by_kind[cons.kind]:
                 rule = self.rules[position]
                 if not rule.consequent.matches(cons):
                     continue
-                if timing:
+                if timing_sink is not None:
                     rule_watch = obs.get_registry().stopwatch()
                 try:
                     candidates = [
@@ -449,10 +492,8 @@ class InferenceEngine:
                             )
                         )
                 finally:
-                    if timing:
-                        obs.get_registry().histogram(
-                            "inference.rule_seconds", rule=rule.name
-                        ).observe(rule_watch.elapsed())
+                    if timing_sink is not None:
+                        timing_sink(rule.name, rule_watch.elapsed())
 
         if self.config.use_patterns and self.miner is not None:
             threshold = self.config.pattern_confidence_threshold
@@ -517,7 +558,9 @@ class StreamingInference:
             self._times: List[float] = []
             self._source = _ScanSource(self._ordered, self._times, skew)
         else:
-            self._index = EventIndex()
+            # Streaming inference lives in the parent process, so the
+            # index is ledger-tracked here.
+            self._index = EventIndex().track()
             self._source = _IndexSource(self._index, skew)
 
     def observe(self, event: IOEvent) -> None:

@@ -29,7 +29,7 @@ run sequentially in-process, which is slower but identical.
 from __future__ import annotations
 
 import multiprocessing
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.capture.io_events import IOEvent
@@ -41,6 +41,14 @@ from repro.hbr.graph import EdgeEvidence, HappensBeforeGraph
 #: as primitives — unpickling tens of thousands of dataclasses in the
 #: parent costs more than the workers save.
 EdgeRecord = Tuple[float, int, int, int, str, str, float]
+
+#: Per-rule timing aggregate a shard returns: rule name ->
+#: (invocations, total wall seconds).  Workers must not touch the
+#: process-global registry (anything they wrote would die with the
+#: forked process — lint rule CONC001), so timings travel home in the
+#: return value and the parent folds them into
+#: ``inference.rule_invocations_total`` / ``inference.rule_seconds_total``.
+ShardTimings = Dict[str, Tuple[int, float]]
 
 #: Stashed (engine, ordered events) for forked workers — set in the
 #: parent immediately before the fork so children inherit it without
@@ -62,21 +70,36 @@ def shard_routers(routers: Sequence[str], workers: int) -> List[List[str]]:
 
 def infer_shard(
     engine, ordered: Sequence[IOEvent], routers: Sequence[str]
-) -> List[EdgeRecord]:
+) -> Tuple[List[EdgeRecord], ShardTimings]:
     """Infer edges for consequents hosted on ``routers``.
 
     The candidate source still spans the *whole* stream: a shard owns
     its consequents, not its antecedents (peer-symmetric rules reach
-    across shard boundaries).
+    across shard boundaries).  Returns the edge records plus the
+    shard's per-rule timing aggregate (empty when obs is off).
     """
     wanted = frozenset(routers)
     source = engine._batch_source(ordered)
     records: List[EdgeRecord] = []
+    tallies: Dict[str, List[float]] = {}
+    timing_sink = None
+    if obs.get_registry().enabled:
+        # Aggregate locally; the parent merges after the join.  The
+        # sink only writes this worker's own dict — never the (forked,
+        # doomed) registry copy.
+        def timing_sink(rule_name: str, seconds: float) -> None:
+            tally = tallies.get(rule_name)
+            if tally is None:
+                tallies[rule_name] = [1, seconds]
+            else:
+                tally[0] += 1
+                tally[1] += seconds
+
     for cons in ordered:
         if cons.router not in wanted:
             continue
         for seq, (ante, evidence) in enumerate(
-            engine._infer_edges(cons, source)
+            engine._infer_edges(cons, source, timing_sink)
         ):
             records.append(
                 (
@@ -89,10 +112,13 @@ def infer_shard(
                     evidence.confidence,
                 )
             )
-    return records
+    return records, {
+        rule: (int(count), seconds)
+        for rule, (count, seconds) in tallies.items()
+    }
 
 
-def _run_shard(routers: List[str]) -> List[EdgeRecord]:
+def _run_shard(routers: List[str]) -> Tuple[List[EdgeRecord], ShardTimings]:
     if _WORK is None:  # set by build_sharded before forking
         raise RuntimeError("_run_shard called outside build_sharded")
     engine, ordered = _WORK
@@ -135,8 +161,16 @@ def build_sharded(
         finally:
             _WORK = None
     records: List[EdgeRecord] = []
-    for result in shard_results:
-        records.extend(result)
+    merged_timings: Dict[str, List[float]] = {}
+    for shard_records, shard_timings in shard_results:
+        records.extend(shard_records)
+        for rule, (count, seconds) in shard_timings.items():
+            merged = merged_timings.get(rule)
+            if merged is None:
+                merged_timings[rule] = [count, seconds]
+            else:
+                merged[0] += count
+                merged[1] += seconds
     # Replay the serial build's exact insertion order (see module
     # docstring for why this makes the merge byte-identical).
     records.sort(key=lambda r: (r[0], r[1], r[2]))
@@ -175,4 +209,16 @@ def build_sharded(
     if registry.enabled:
         registry.counter("inference.sharded_builds_total").inc()
         registry.gauge("inference.shard_count").set(len(shards))
+        # Replay the workers' per-rule timing aggregates.  Counters,
+        # not histograms: per-call sample order is worker-scheduling
+        # noise, but invocation counts and total seconds merge
+        # deterministically.
+        for rule in sorted(merged_timings):
+            count, seconds = merged_timings[rule]
+            registry.counter(
+                "inference.rule_invocations_total", rule=rule
+            ).inc(count)
+            registry.counter(
+                "inference.rule_seconds_total", rule=rule
+            ).inc(seconds)
     return graph

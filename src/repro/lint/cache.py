@@ -1,0 +1,117 @@
+"""Content-hash cache for whole-program analysis results.
+
+The deep pass (call graph + dataflow) costs a few seconds over
+``src/repro``; its output depends only on the *content* of the files
+analysed and the analyzer version.  The cache key is therefore::
+
+    sha256(ANALYSIS_VERSION · (relpath, sha256(content))* sorted)
+
+A hit replays the stored post-pragma findings verbatim (baseline
+application still happens downstream, so editing the baseline never
+invalidates the cache).  Entries are JSON, one file per key, pruned
+to the most recent :data:`MAX_ENTRIES` by mtime.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.lint.core import Finding
+
+#: Bump whenever rule logic, the call-graph builder, or the dataflow
+#: engine changes meaning for identical sources.
+ANALYSIS_VERSION = "deep-v1"
+
+#: Default cache directory name, created next to the lint baseline.
+CACHE_DIR_NAME = ".repro-lint-cache"
+
+MAX_ENTRIES = 8
+
+
+def file_digest(source: bytes) -> str:
+    return hashlib.sha256(source).hexdigest()
+
+
+def cache_key(entries: Iterable[Tuple[str, str]]) -> str:
+    """Key from (relpath, content digest) pairs; order-insensitive."""
+    hasher = hashlib.sha256(ANALYSIS_VERSION.encode("utf-8"))
+    for path, digest in sorted(entries):
+        hasher.update(b"\x00")
+        hasher.update(path.encode("utf-8"))
+        hasher.update(b"\x01")
+        hasher.update(digest.encode("ascii"))
+    return hasher.hexdigest()
+
+
+class AnalysisCache:
+    """Tiny JSON file store for deep-pass findings."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    def load(self, key: str) -> Optional[List[Finding]]:
+        try:
+            with open(self._path(key), encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != ANALYSIS_VERSION
+            or not isinstance(payload.get("findings"), list)
+        ):
+            return None
+        try:
+            findings = [Finding.from_dict(f) for f in payload["findings"]]
+        except (KeyError, TypeError, ValueError):
+            return None
+        # Refresh mtime so the LRU prune keeps hot entries.
+        try:
+            os.utime(self._path(key))
+        except OSError:
+            pass
+        return findings
+
+    def store(self, key: str, findings: Sequence[Finding]) -> None:
+        payload: Dict[str, object] = {
+            "version": ANALYSIS_VERSION,
+            "findings": [f.to_dict() for f in findings],
+        }
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            tmp = self._path(key) + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp, self._path(key))
+        except OSError:
+            return
+        self._prune()
+
+    def _prune(self) -> None:
+        try:
+            names = [
+                n for n in os.listdir(self.directory) if n.endswith(".json")
+            ]
+        except OSError:
+            return
+        if len(names) <= MAX_ENTRIES:
+            return
+        stamped = []
+        for name in names:
+            full = os.path.join(self.directory, name)
+            try:
+                stamped.append((os.path.getmtime(full), name, full))
+            except OSError:
+                continue
+        stamped.sort(reverse=True)
+        for _mtime, _name, full in stamped[MAX_ENTRIES:]:
+            try:
+                os.remove(full)
+            except OSError:
+                pass

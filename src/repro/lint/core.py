@@ -11,7 +11,7 @@ rules are built from:
   fingerprint used by the baseline;
 * :class:`Rule` + :func:`register` — the plugin registry;
 * :class:`FileContext` — parsed tree, module identity, source lines,
-  and the ``# repro: lint-ignore[...]`` pragma index for one file.
+  and the per-line ``lint-ignore`` pragma index for one file.
 
 Suppression pragmas go on the line that triggers the finding::
 
@@ -56,7 +56,14 @@ class Severity(enum.IntEnum):
 
 @dataclass(frozen=True)
 class Finding:
-    """One diagnostic emitted by a rule."""
+    """One diagnostic emitted by a rule.
+
+    ``evidence`` carries the whole-program rules' provenance: the call
+    chain from the flagged function down to the nondeterministic /
+    unsafe sink, one ``qualified.name (path:line)`` hop per entry.
+    It is display-only — deliberately excluded from the fingerprint so
+    refactors along the chain do not churn the baseline.
+    """
 
     rule: str
     severity: Severity
@@ -65,6 +72,7 @@ class Finding:
     line: int
     col: int
     message: str
+    evidence: Tuple[str, ...] = ()
 
     @property
     def location(self) -> str:
@@ -73,13 +81,14 @@ class Finding:
     def fingerprint(self) -> str:
         """Baseline identity: stable across moves within a file.
 
-        Deliberately excludes line/column so that unrelated edits
-        above a grandfathered finding do not invalidate the baseline.
+        Deliberately excludes line/column (and evidence) so that
+        unrelated edits above a grandfathered finding do not
+        invalidate the baseline.
         """
         return f"{self.rule}|{self.path}|{self.message}"
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "rule": self.rule,
             "severity": str(self.severity),
             "path": self.path,
@@ -88,6 +97,25 @@ class Finding:
             "col": self.col,
             "message": self.message,
         }
+        if self.evidence:
+            payload["evidence"] = list(self.evidence)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Finding":
+        """Inverse of :meth:`to_dict` (the analysis cache round-trip)."""
+        return cls(
+            rule=str(payload["rule"]),
+            severity=Severity.parse(str(payload["severity"])),
+            path=str(payload["path"]),
+            module=str(payload.get("module", "")),
+            line=int(payload["line"]),  # type: ignore[arg-type]
+            col=int(payload.get("col", 0)),  # type: ignore[arg-type]
+            message=str(payload["message"]),
+            evidence=tuple(
+                str(hop) for hop in payload.get("evidence", ())  # type: ignore[union-attr]
+            ),
+        )
 
 
 _PRAGMA_RE = re.compile(r"#\s*repro:\s*lint-ignore\[([^\]]*)\]")
@@ -98,17 +126,22 @@ IGNORE_ALL = "*"
 
 
 def scan_pragmas(lines: Sequence[str]) -> Dict[int, Set[str]]:
-    """Map 1-based line number -> set of rule names ignored there."""
+    """Map 1-based line number -> set of rule names ignored there.
+
+    One pragma may list several rules (``lint-ignore[DET100,CONC001]``)
+    and one line may carry several pragma comments; every bracket
+    group on the line contributes to the set (``finditer``, not
+    ``search`` — a second pragma used to be silently dropped).
+    """
     pragmas: Dict[int, Set[str]] = {}
     for number, text in enumerate(lines, start=1):
-        match = _PRAGMA_RE.search(text)
-        if match is None:
-            continue
-        names = {
-            part.strip()
-            for part in match.group(1).split(",")
-            if part.strip()
-        }
+        names: Set[str] = set()
+        for match in _PRAGMA_RE.finditer(text):
+            names.update(
+                part.strip()
+                for part in match.group(1).split(",")
+                if part.strip()
+            )
         if names:
             pragmas[number] = names
     return pragmas
@@ -132,6 +165,11 @@ class FileContext:
     tree: ast.AST
     lines: List[str] = field(default_factory=list)
     pragmas: Dict[int, Set[str]] = field(default_factory=dict)
+    #: (line, name) pragma entries that actually suppressed a finding —
+    #: the engine's unused-pragma check (HYG004) reads this.
+    pragma_hits: Set[Tuple[int, str]] = field(default_factory=set)
+    #: Names of rules that ran on this file (filled by the engine).
+    rules_ran: Set[str] = field(default_factory=set)
 
     @property
     def package(self) -> str:
@@ -145,7 +183,13 @@ class FileContext:
         names = self.pragmas.get(line)
         if not names:
             return False
-        return rule in names or IGNORE_ALL in names
+        if rule in names:
+            self.pragma_hits.add((line, rule))
+            return True
+        if IGNORE_ALL in names:
+            self.pragma_hits.add((line, IGNORE_ALL))
+            return True
+        return False
 
     def finding(
         self,
@@ -176,7 +220,11 @@ class Rule:
     * :meth:`finish_file` — called after each file's walk (whole-tree
       analyses such as qualified-name lookups);
     * :meth:`finish_project` — called once after every file, for
-      cross-file analyses (the import graph).
+      cross-file analyses (the import graph);
+    * :meth:`finish_whole_program` — called once per *deep* run with
+      the resolved :class:`~repro.lint.callgraph.Project` (symbol
+      table + call graph).  Only rules with ``needs_project = True``
+      receive it, and only when the engine runs in deep mode.
 
     Each hook returns an iterable of :class:`Finding` (or ``None``).
     Rules are instantiated fresh per engine run, so instance state is
@@ -188,6 +236,9 @@ class Rule:
     description: str = ""
     #: AST node classes this rule's :meth:`visit` is dispatched for.
     node_types: Tuple[Type[ast.AST], ...] = ()
+    #: True for whole-program (call-graph / dataflow) rules; they only
+    #: run under ``LintRunner(deep=True)`` / ``repro lint --deep``.
+    needs_project: bool = False
 
     def applies_to(self, ctx: FileContext) -> bool:
         """Whether this rule runs on ``ctx`` at all (default: yes)."""
@@ -202,6 +253,9 @@ class Rule:
         return None
 
     def finish_project(self) -> Optional[Iterable[Finding]]:
+        return None
+
+    def finish_whole_program(self, project) -> Optional[Iterable[Finding]]:
         return None
 
 

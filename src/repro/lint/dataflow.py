@@ -1,0 +1,232 @@
+"""Fixpoint dataflow over the lint call graph.
+
+Two analyses power the whole-program rule family:
+
+* :class:`TaintAnalysis` — *backward* reachability from external
+  sinks.  DET100 seeds it with the nondeterminism surface
+  (``time.*``, ``random.*``, ``os.urandom``, env reads …); a function
+  is tainted when it calls a seed directly or calls a tainted
+  function, and every tainted function remembers its **shortest**
+  witness chain down to the seed so findings can print provenance.
+  Sanitizers cut propagation: a call that goes *through* a sanitizer
+  function does not carry taint upward.
+
+* :class:`ReachabilityAnalysis` — *forward* closure from entry
+  points (fork workers, HTTP handler threads), tracking whether every
+  path to a function went through a lock-guarded call site.  CONC001
+  and CONC002 walk this closure looking for shared-state writes.
+
+Both run to a fixpoint over the finite function set with monotone
+state, so termination is structural; chains are tie-broken
+lexicographically so the analysis is deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.lint.callgraph import Project
+
+
+def _shorter(a: Tuple[str, ...], b: Tuple[str, ...]) -> Tuple[str, ...]:
+    """Prefer the shorter chain; tie-break lexicographically."""
+    if len(a) != len(b):
+        return a if len(a) < len(b) else b
+    return min(a, b)
+
+
+class TaintAnalysis:
+    """Backward taint: which functions transitively reach a seed sink.
+
+    ``seed_match(dotted)`` classifies an *external* call target; it
+    returns a short human label for the sink (``"wall clock"``) or
+    ``None``.  ``is_sanitizer(qname)`` marks internal functions whose
+    own taint must not flow to callers (the ``obs.Stopwatch`` /
+    explicit-rng quarantine boundary).
+    """
+
+    def __init__(
+        self,
+        project: Project,
+        seed_match: Callable[[str], Optional[str]],
+        is_sanitizer: Optional[Callable[[str], bool]] = None,
+    ) -> None:
+        self.project = project
+        self.seed_match = seed_match
+        self.is_sanitizer = is_sanitizer or (lambda _q: False)
+        #: qname -> (chain of qnames ending at the sink description)
+        self.chains: Dict[str, Tuple[str, ...]] = {}
+        #: qname -> (label, dotted sink, "path:line" witness site).
+        #: The label+dotted pair is location-free — rules put it in the
+        #: finding *message* (baseline-stable); the site only appears
+        #: in the evidence chain.
+        self.sinks: Dict[str, Tuple[str, str, str]] = {}
+        self._run()
+
+    def _run(self) -> None:
+        project = self.project
+        # Seed: functions directly calling a matching external target.
+        for qname in sorted(project.functions):
+            fn = project.functions[qname]
+            best: Optional[Tuple[str, str, str]] = None
+            for dotted, line, _locked in sorted(fn.external_calls):
+                label = self.seed_match(dotted)
+                if label is None:
+                    continue
+                candidate = (label, dotted, f"{fn.path}:{line}")
+                if best is None or candidate < best:
+                    best = candidate
+            if best is not None:
+                self.sinks[qname] = best
+                self.chains[qname] = (qname,)
+        # Propagate backwards along call edges to a fixpoint.
+        changed = True
+        while changed:
+            changed = False
+            for callee in sorted(self.chains):
+                if self.is_sanitizer(callee):
+                    continue
+                chain = self.chains[callee]
+                sink = self.sinks[callee]
+                for edge in self.project.callers(callee):
+                    if edge.kind == "decorator":
+                        continue
+                    caller = edge.src
+                    candidate = (caller,) + chain
+                    if len(candidate) > 12:
+                        continue
+                    current = self.chains.get(caller)
+                    if current is None:
+                        self.chains[caller] = candidate
+                        self.sinks[caller] = sink
+                        changed = True
+                    else:
+                        merged = _shorter(current, candidate)
+                        if merged != current:
+                            self.chains[caller] = merged
+                            self.sinks[caller] = sink
+                            changed = True
+
+    def tainted(self, qname: str) -> bool:
+        return qname in self.chains
+
+    def sink_label(self, qname: str) -> str:
+        """Location-free sink description, e.g. ``wall clock (time.time)``."""
+        label, dotted, _site = self.sinks[qname]
+        return f"{label} ({dotted})"
+
+    def evidence(self, qname: str) -> Tuple[str, ...]:
+        """Human chain: each hop ``qname (path:line)``, then the sink."""
+        chain = self.chains.get(qname)
+        if chain is None:
+            return ()
+        label, dotted, site = self.sinks[qname]
+        hops = [self.project.describe(hop) for hop in chain]
+        hops.append(f"-> {label} ({dotted}) at {site}")
+        return tuple(hops)
+
+
+class ReachabilityAnalysis:
+    """Forward closure from entry points, with lock-path tracking.
+
+    ``state[qname]`` is ``True`` when *every* discovered path from an
+    entry point to ``qname`` passed through at least one call site
+    lexically inside a ``with <lock>:`` block — such functions are
+    serialized and their writes are safe.  ``False`` means at least
+    one unlocked path exists.  The meet is logical AND, monotone
+    downward, so the fixpoint terminates.
+    """
+
+    def __init__(
+        self,
+        project: Project,
+        entries: Iterable[str],
+        stop: Optional[FrozenSet[str]] = None,
+    ) -> None:
+        self.project = project
+        self.stop = stop or frozenset()
+        #: qname -> all-paths-locked?
+        self.state: Dict[str, bool] = {}
+        #: qname -> witness chain from the nearest entry point
+        self.chains: Dict[str, Tuple[str, ...]] = {}
+        self._run(sorted(set(entries)))
+
+    def _run(self, entries: List[str]) -> None:
+        project = self.project
+        worklist: List[str] = []
+        for entry in entries:
+            if entry in project.functions:
+                self.state[entry] = False
+                self.chains[entry] = (entry,)
+                worklist.append(entry)
+        while worklist:
+            qname = worklist.pop(0)
+            if qname in self.stop:
+                continue
+            locked_here = self.state[qname]
+            chain = self.chains[qname]
+            if len(chain) > 12:
+                continue
+            for edge in project.callees(qname):
+                if edge.kind == "decorator":
+                    continue
+                if edge.dst not in project.functions:
+                    continue
+                new_state = locked_here or edge.locked
+                candidate = chain + (edge.dst,)
+                current = self.state.get(edge.dst)
+                if current is None:
+                    self.state[edge.dst] = new_state
+                    self.chains[edge.dst] = candidate
+                    worklist.append(edge.dst)
+                else:
+                    merged = current and new_state
+                    better_chain = _shorter(self.chains[edge.dst], candidate)
+                    if merged != current or better_chain != self.chains[edge.dst]:
+                        self.state[edge.dst] = merged
+                        self.chains[edge.dst] = better_chain
+                        worklist.append(edge.dst)
+
+    def reachable(self) -> List[str]:
+        return sorted(self.state)
+
+    def unlocked(self, qname: str) -> bool:
+        """Reachable with at least one lock-free path."""
+        return qname in self.state and not self.state[qname]
+
+    def evidence(self, qname: str) -> Tuple[str, ...]:
+        chain = self.chains.get(qname)
+        if chain is None:
+            return ()
+        return tuple(self.project.describe(hop) for hop in chain)
+
+
+def reached_global_writes(
+    project: Project,
+    reach: ReachabilityAnalysis,
+    *,
+    only_unlocked: bool = False,
+) -> List[Tuple[str, str, str, int]]:
+    """(global qname, writer qname, how, line) for writes in the closure.
+
+    A write counts when the writer function is reachable; with
+    ``only_unlocked`` the writer must be reachable on a lock-free
+    path *and* the write itself must not sit inside a lexical
+    ``with <lock>`` block.  Only module globals known to the project
+    are reported — writes to locals shadowing nothing are already
+    filtered during extraction.
+    """
+    out: List[Tuple[str, str, str, int]] = []
+    for qname in reach.reachable():
+        if only_unlocked and not reach.unlocked(qname):
+            continue
+        fn = project.functions.get(qname)
+        if fn is None:
+            continue
+        for name, line, how, locked in fn.global_writes:
+            if only_unlocked and locked:
+                continue
+            global_q = f"{fn.module}.{name}"
+            if global_q in project.globals:
+                out.append((global_q, qname, how, line))
+    return sorted(set(out))

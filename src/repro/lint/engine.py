@@ -6,22 +6,48 @@ the tree a single time, dispatching each node to the rules that
 registered interest in its type.  File-level hooks run after the
 walk; project-level hooks (the import-graph rules) run after the last
 file.  Pragma suppression happens centrally so individual rules never
-need to think about it.
+need to think about it — including for project-level and
+whole-program findings, which are suppressed by a pragma on the line
+they anchor to in their home file.
+
+Two modes:
+
+* **fast** (default) — the syntactic single-file pass plus the
+  import-graph project rules.  Whole-program rules (``needs_project``)
+  are excluded entirely.
+* **deep** (``LintRunner(deep=True)`` / ``repro lint --deep``) — the
+  fast pass *plus* the resolved call graph
+  (:mod:`repro.lint.callgraph`) and the dataflow rule family
+  (DET100/CONC001-003), with per-finding call-chain evidence.  Deep
+  results are cached by content hash (:mod:`repro.lint.cache`) so a
+  warm run costs only the syntactic pass.
 
 The engine is itself instrumented with :mod:`repro.obs` — ``repro
---metrics lint`` reports files scanned, findings per rule, and wall
-time like any other pipeline stage.
+--metrics lint`` reports files scanned, findings per rule, wall time,
+and ``lint.analysis_seconds`` for the whole-program phase.
 """
 
 from __future__ import annotations
 
 import ast
 import os
+import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Type,
+)
 
 from repro import obs
+from repro.lint.cache import AnalysisCache, cache_key, file_digest
 from repro.lint.core import (
+    IGNORE_ALL,
+    RULE_REGISTRY,
     FileContext,
     Finding,
     Rule,
@@ -39,6 +65,11 @@ class LintResult:
     findings: List[Finding] = field(default_factory=list)
     files_scanned: int = 0
     suppressed_by_pragma: int = 0
+    #: True/False when a deep run hit/missed the analysis cache;
+    #: ``None`` for fast runs.
+    cache_hit: Optional[bool] = None
+    #: Wall seconds spent in the whole-program phase (0.0 when fast).
+    analysis_seconds: float = 0.0
 
     def by_severity(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}
@@ -97,26 +128,86 @@ def module_name_for(path: str) -> str:
 class LintRunner:
     """Drives a rule set over a file list in a single AST pass each."""
 
-    def __init__(self, rules: Optional[Sequence[Rule]] = None):
-        self.rules: List[Rule] = (
+    def __init__(
+        self,
+        rules: Optional[Sequence[Rule]] = None,
+        *,
+        deep: bool = False,
+        cache_dir: Optional[str] = None,
+    ):
+        all_rules: List[Rule] = (
             list(rules) if rules is not None else default_rules()
+        )
+        self.deep = deep
+        #: Whole-program rules run only in deep mode; in fast mode they
+        #: are dropped entirely (so HYG004 never counts them as "ran").
+        self.deep_rules: List[Rule] = [
+            r for r in all_rules if r.needs_project
+        ]
+        self.rules: List[Rule] = [
+            r for r in all_rules if not r.needs_project
+        ]
+        self.cache = (
+            AnalysisCache(cache_dir) if (deep and cache_dir) else None
+        )
+        #: path -> FileContext for every parsed file of the run; the
+        #: whole-program phase and pragma suppression read this.
+        self._contexts: Dict[str, FileContext] = {}
+        #: path -> sha256 of the source (the analysis-cache key input).
+        self._digests: Dict[str, str] = {}
+        self._hyg004 = next(
+            (r for r in self.rules if r.name == "HYG004"), None
         )
 
     # -- public API --------------------------------------------------------
 
-    def run_paths(self, paths: Sequence[str]) -> LintResult:
+    def run_paths(
+        self,
+        paths: Sequence[str],
+        restrict_to: Optional[Set[str]] = None,
+    ) -> LintResult:
+        """Lint ``paths``; with ``restrict_to``, dispatch single-file
+        rules only on those files (``repro lint --changed``) while
+        still parsing everything so whole-program and import-graph
+        analyses see the full picture.
+        """
         registry = obs.get_registry()
         if registry.enabled:
             watch = registry.stopwatch()
         result = LintResult()
+        if restrict_to is not None:
+            # Absolute on both sides: callers hand in git-toplevel
+            # paths while discover_files yields whatever form `paths`
+            # used, and a form mismatch must not silently restrict
+            # every file.
+            restrict_to = {os.path.abspath(p) for p in restrict_to}
         with obs.span("lint.run"):
             for path in discover_files(paths):
-                self._lint_file(path, result)
-            self._finish_project(result)
+                restricted = restrict_to is not None and (
+                    os.path.abspath(path) not in restrict_to
+                )
+                # A restricted file still needs parsing when a later
+                # phase consumes every tree; otherwise skip it whole.
+                if restricted and not (self.deep or self._has_project_rules()):
+                    continue
+                self._lint_file(path, result, dispatch=not restricted)
+            self._finish_project(result, restrict_to)
+            if self.deep:
+                self._finish_whole_program(result)
+            self._emit_unused_pragmas(result, restrict_to)
         if registry.enabled:
             registry.counter("lint.runs_total").inc()
             registry.histogram("lint.run_seconds").observe(watch.elapsed())
             registry.gauge("lint.files_scanned").set(result.files_scanned)
+            if self.deep:
+                registry.histogram("lint.analysis_seconds").observe(
+                    result.analysis_seconds
+                )
+                if result.cache_hit is not None:
+                    registry.counter(
+                        "lint.deep_cache_total",
+                        outcome="hit" if result.cache_hit else "miss",
+                    ).inc()
             for finding in result.findings:
                 registry.counter(
                     "lint.findings_total", rule=finding.rule
@@ -129,12 +220,23 @@ class LintRunner:
         """Lint one in-memory source blob (tests, fixtures, tooling)."""
         result = LintResult()
         self._lint_source(source, path, result, module=module)
-        self._finish_project(result)
+        self._finish_project(result, None)
+        if self.deep:
+            self._finish_whole_program(result)
+        self._emit_unused_pragmas(result, None)
         return result
 
     # -- internals ---------------------------------------------------------
 
-    def _lint_file(self, path: str, result: LintResult) -> None:
+    def _has_project_rules(self) -> bool:
+        return any(
+            type(r).finish_project is not Rule.finish_project
+            for r in self.rules
+        )
+
+    def _lint_file(
+        self, path: str, result: LintResult, dispatch: bool = True
+    ) -> None:
         try:
             with open(path, encoding="utf-8") as handle:
                 source = handle.read()
@@ -151,7 +253,7 @@ class LintRunner:
                 )
             )
             return
-        self._lint_source(source, path, result)
+        self._lint_source(source, path, result, dispatch=dispatch)
 
     def _lint_source(
         self,
@@ -159,6 +261,7 @@ class LintRunner:
         path: str,
         result: LintResult,
         module: str = "",
+        dispatch: bool = True,
     ) -> None:
         lines = source.splitlines()
         declared = scan_module_directive(lines)
@@ -185,33 +288,238 @@ class LintRunner:
             lines=lines,
             pragmas=scan_pragmas(lines),
         )
+        self._contexts[path] = ctx
+        if self.deep:
+            self._digests[path] = file_digest(source.encode("utf-8"))
+        if not dispatch:
+            # Parsed for the cross-file phases only (--changed): the
+            # single-file rules do not run and files_scanned does not
+            # count it.
+            self._record_project_edges(ctx, result)
+            return
         result.files_scanned += 1
         active = [rule for rule in self.rules if rule.applies_to(ctx)]
         if not active:
             return
-        dispatch: Dict[Type[ast.AST], List[Rule]] = {}
+        ctx.rules_ran.update(rule.name for rule in active)
+        if self.deep:
+            ctx.rules_ran.update(
+                rule.name
+                for rule in self.deep_rules
+                if rule.applies_to(ctx)
+            )
+        node_dispatch: Dict[Type[ast.AST], List[Rule]] = {}
         for rule in active:
             for node_type in rule.node_types:
-                dispatch.setdefault(node_type, []).append(rule)
-        if dispatch:
-            for node in ast.walk(tree):
-                interested = dispatch.get(type(node))
-                if not interested:
-                    continue
-                for rule in interested:
-                    self._collect(rule.visit(node, ctx), ctx, result)
+                node_dispatch.setdefault(node_type, []).append(rule)
+        if node_dispatch:
+            self._walk(tree, node_dispatch, ctx, result)
         for rule in active:
             self._collect(rule.finish_file(ctx), ctx, result)
 
-    def _finish_project(self, result: LintResult) -> None:
+    def _walk(
+        self,
+        tree: ast.AST,
+        node_dispatch: Dict[Type[ast.AST], List[Rule]],
+        ctx: FileContext,
+        result: LintResult,
+    ) -> None:
+        """Hand-rolled DFS — measurably faster than :func:`ast.walk`
+        (no generator frames, no per-node ``iter_child_nodes``); node
+        visit order is not part of the rule contract.
+        """
+        get = node_dispatch.get
+        collect = self._collect
+        stack = [tree]
+        push = stack.append
+        while stack:
+            node = stack.pop()
+            interested = get(node.__class__)
+            if interested is not None:
+                for rule in interested:
+                    collect(rule.visit(node, ctx), ctx, result)
+            for name in node._fields:
+                child = getattr(node, name, None)
+                child_cls = child.__class__
+                if child_cls is list:
+                    for item in child:
+                        if isinstance(item, ast.AST):
+                            push(item)
+                elif isinstance(child, ast.AST):
+                    push(child)
+
+    def _record_project_edges(
+        self, ctx: FileContext, result: LintResult
+    ) -> None:
+        """Feed a non-dispatched (--changed-skipped) file to project
+        rules that accumulate cross-file state via ``visit`` (the
+        import-graph family), without emitting its per-file findings.
+        """
+        sink = LintResult()
+        recorders = [
+            rule
+            for rule in self.rules
+            if type(rule).finish_project is not Rule.finish_project
+            and rule.applies_to(ctx)
+        ]
+        if not recorders:
+            return
+        node_dispatch: Dict[Type[ast.AST], List[Rule]] = {}
+        for rule in recorders:
+            for node_type in rule.node_types:
+                node_dispatch.setdefault(node_type, []).append(rule)
+        if node_dispatch:
+            self._walk(ctx.tree, node_dispatch, ctx, sink)
+        # Per-file findings from unchanged files are dropped by
+        # design; only the accumulated project state matters.
+
+    def _finish_project(
+        self, result: LintResult, restrict_to: Optional[Set[str]]
+    ) -> None:
         for rule in self.rules:
             produced = rule.finish_project()
             if not produced:
                 continue
-            # Project-level findings carry their own path; pragma
-            # suppression does not apply (no single source line owns
-            # a cross-file property).
-            result.findings.extend(produced)
+            for finding in produced:
+                if restrict_to is not None and (
+                    os.path.abspath(finding.path) not in restrict_to
+                ):
+                    continue
+                ctx = self._contexts.get(finding.path)
+                if ctx is not None and ctx.suppressed(
+                    finding.rule, finding.line
+                ):
+                    result.suppressed_by_pragma += 1
+                else:
+                    result.findings.append(finding)
+
+    # -- deep mode ---------------------------------------------------------
+
+    def _finish_whole_program(self, result: LintResult) -> None:
+        # perf_counter, not obs.Stopwatch: analysis_seconds feeds the
+        # CLI summary (and the bench gate) even when obs is disabled.
+        started = time.perf_counter()
+        from repro.lint.callgraph import build_project
+
+        repro_ctxs = {
+            path: ctx
+            for path, ctx in sorted(self._contexts.items())
+            if ctx.module == "repro" or ctx.module.startswith("repro.")
+        }
+        key = cache_key(
+            (path, self._digests[path])
+            for path in repro_ctxs
+            if path in self._digests
+        )
+        cached = self.cache.load(key) if self.cache is not None else None
+        if cached is not None:
+            result.cache_hit = True
+            payload_findings = cached
+            # Replay pragma consumption so HYG004 is warm/cold-stable.
+            for finding in payload_findings:
+                if finding.rule == "_PRAGMA_HIT":
+                    ctx = self._contexts.get(finding.path)
+                    if ctx is not None:
+                        ctx.pragma_hits.add((finding.line, finding.message))
+                    result.suppressed_by_pragma += 1
+                else:
+                    result.findings.append(finding)
+            result.analysis_seconds = time.perf_counter() - started
+            return
+        if self.cache is not None:
+            result.cache_hit = False  # None = cache disabled entirely
+        with obs.span("lint.whole_program"):
+            project = build_project(
+                [
+                    (path, ctx.module, ctx.tree)
+                    for path, ctx in repro_ctxs.items()
+                ]
+            )
+            produced: List[Finding] = []
+            for rule in self.deep_rules:
+                findings = rule.finish_whole_program(project)
+                if findings:
+                    produced.extend(findings)
+        kept: List[Finding] = []
+        stored: List[Finding] = []
+        for finding in sorted(
+            produced, key=lambda f: (f.path, f.line, f.rule, f.message)
+        ):
+            ctx = self._contexts.get(finding.path)
+            if ctx is not None and ctx.suppressed(finding.rule, finding.line):
+                result.suppressed_by_pragma += 1
+                # Record the consumed pragma entry in the cache as a
+                # sentinel pseudo-finding so warm runs replay it.
+                name = (
+                    finding.rule
+                    if (finding.line, finding.rule) in ctx.pragma_hits
+                    else IGNORE_ALL
+                )
+                stored.append(
+                    Finding(
+                        rule="_PRAGMA_HIT",
+                        severity=Severity.INFO,
+                        path=finding.path,
+                        module=finding.module,
+                        line=finding.line,
+                        col=0,
+                        message=name,
+                    )
+                )
+            else:
+                kept.append(finding)
+                stored.append(finding)
+        result.findings.extend(kept)
+        if self.cache is not None:
+            self.cache.store(key, stored)
+        result.analysis_seconds = time.perf_counter() - started
+
+    # -- unused-pragma reporting (HYG004) ----------------------------------
+
+    def _emit_unused_pragmas(
+        self, result: LintResult, restrict_to: Optional[Set[str]]
+    ) -> None:
+        rule = self._hyg004
+        if rule is None:
+            return
+        for path in sorted(self._contexts):
+            if restrict_to is not None and (
+                os.path.abspath(path) not in restrict_to
+            ):
+                continue
+            ctx = self._contexts[path]
+            if not ctx.pragmas or not rule.applies_to(ctx):
+                continue
+            for line in sorted(ctx.pragmas):
+                for name in sorted(ctx.pragmas[line]):
+                    if (line, name) in ctx.pragma_hits:
+                        continue
+                    if name == IGNORE_ALL:
+                        # Wildcards count as used when *any* rule was
+                        # consumed on the line.
+                        if any(hit[0] == line for hit in ctx.pragma_hits):
+                            continue
+                    elif name in RULE_REGISTRY and name not in ctx.rules_ran:
+                        # The named rule did not run on this file
+                        # (deep-only rule in fast mode, or an
+                        # applies_to() opt-out) — not evidence of an
+                        # unused pragma.
+                        continue
+                    finding = Finding(
+                        rule=rule.name,
+                        severity=rule.severity,
+                        path=ctx.path,
+                        module=ctx.module,
+                        line=line,
+                        col=0,
+                        message=(
+                            f"lint-ignore[{name}] suppressed nothing"
+                            if name == IGNORE_ALL or name in RULE_REGISTRY
+                            else f"lint-ignore[{name}] suppressed nothing "
+                            "(unknown rule name)"
+                        ),
+                    )
+                    self._collect([finding], ctx, result)
 
     @staticmethod
     def _collect(

@@ -5,4 +5,12 @@ one of these modules (or a new one imported here) and decorating it
 with :func:`repro.lint.core.register`.  See docs/STATIC_ANALYSIS.md.
 """
 
-from repro.lint.rules import det, hyg, lay, obs_rules, perf  # noqa: F401
+from repro.lint.rules import (  # noqa: F401
+    concurrency,
+    det,
+    det_flow,
+    hyg,
+    lay,
+    obs_rules,
+    perf,
+)

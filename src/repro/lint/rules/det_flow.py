@@ -1,0 +1,133 @@
+"""DET100 — interprocedural determinism taint.
+
+DET001-003 (:mod:`repro.lint.rules.det`) ban the *syntactic* surface:
+``import time`` in pipeline packages, global-RNG helpers, unordered
+set iteration.  They cannot see a helper three calls away that reads
+the wall clock.  DET100 closes that hole with whole-program taint:
+any function in a replay-critical package (``net``, ``protocols``,
+``capture``, ``hbr``, ``snapshot``) that *transitively* reaches a
+nondeterministic sink is flagged, with the full call chain attached
+as evidence.
+
+Sinks: wall clocks (``time.*``, ``datetime.now``/``today``), the
+global RNG (``random.*`` module functions), entropy sources
+(``os.urandom``, ``uuid.uuid1/uuid4``, ``secrets.*``) and environment
+reads (``os.getenv``, ``os.environ.get``).
+
+Sanitizers: everything under ``repro.obs`` / ``repro.lint`` — the
+Stopwatch quarantine is exactly the blessed way to touch the clock,
+and its taint must not leak to callers; ``random.Random(seed)`` /
+``random.SystemRandom`` constructions are *not* seeds (explicit-rng
+instances passed as parameters stay opaque to the resolver, which is
+the intended escape hatch — determinism is the caller's seed).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.lint.core import Finding, Rule, Severity, register
+from repro.lint.dataflow import TaintAnalysis
+
+#: Packages whose functions are flagged when tainted.  Taint still
+#: *propagates through* other packages (a tainted helper in ``core``
+#: taints its ``hbr`` caller) — this set only gates where findings
+#: are reported.
+DET_FLOW_PACKAGES = frozenset({"net", "protocols", "capture", "hbr", "snapshot"})
+
+#: Module prefixes whose functions sanitize (absorb) taint.
+SANITIZER_PREFIXES = ("repro.obs.", "repro.lint.")
+
+_DATETIME_SINKS = frozenset(
+    {
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "date.today",
+    }
+)
+
+_ENTROPY_SINKS = frozenset({"os.urandom", "uuid.uuid1", "uuid.uuid4"})
+
+_ENV_SINKS = frozenset({"os.getenv", "os.environ.get", "os.environ.setdefault"})
+
+#: ``random`` attributes that are explicit-RNG *constructors*, not
+#: global-state draws.
+_RANDOM_OK = frozenset({"Random", "SystemRandom", "seed"})
+
+
+def classify_sink(dotted: str) -> Optional[str]:
+    """Label a resolved external call when it is a determinism sink."""
+    if dotted.startswith("time."):
+        return "wall clock"
+    if dotted in _DATETIME_SINKS:
+        return "wall clock"
+    if dotted.startswith("random."):
+        rest = dotted.split(".", 1)[1]
+        if rest.split(".")[0] not in _RANDOM_OK:
+            return "global RNG"
+        return None
+    if dotted in _ENTROPY_SINKS or dotted.startswith("secrets."):
+        return "entropy source"
+    if dotted in _ENV_SINKS:
+        return "environment read"
+    return None
+
+
+def is_sanitizer(qname: str) -> bool:
+    return qname.startswith(SANITIZER_PREFIXES)
+
+
+def _package_of(module: str) -> str:
+    parts = module.split(".")
+    if len(parts) >= 2 and parts[0] == "repro":
+        return parts[1]
+    return ""
+
+
+@register
+class DeterminismFlowRule(Rule):
+    """DET100: no transitive nondeterminism in replay-critical packages."""
+
+    name = "DET100"
+    severity = Severity.ERROR
+    description = (
+        "function in a replay-critical package (net/protocols/capture/"
+        "hbr/snapshot) transitively reaches a nondeterministic sink "
+        "(wall clock, global RNG, entropy, environment); route timing "
+        "through obs.Stopwatch and randomness through an explicit "
+        "seeded rng parameter"
+    )
+    needs_project = True
+
+    def finish_whole_program(self, project) -> Optional[Iterable[Finding]]:
+        taint = TaintAnalysis(project, classify_sink, is_sanitizer)
+        findings: List[Finding] = []
+        for qname in sorted(taint.chains):
+            fn = project.functions.get(qname)
+            if fn is None:
+                continue
+            if _package_of(fn.module) not in DET_FLOW_PACKAGES:
+                continue
+            if is_sanitizer(qname):
+                continue
+            findings.append(
+                Finding(
+                    rule=self.name,
+                    severity=self.severity,
+                    path=fn.path,
+                    module=fn.module,
+                    line=fn.line,
+                    col=0,
+                    message=(
+                        f"'{qname}' transitively reaches nondeterministic "
+                        f"{taint.sink_label(qname)}"
+                    ),
+                    evidence=taint.evidence(qname),
+                )
+            )
+        return findings

@@ -129,3 +129,30 @@ class AssertInSourceRule(Rule):
                 "ValueError/RuntimeError explicitly",
             )
         ]
+
+
+@register
+class UnusedPragmaRule(Rule):
+    """HYG004: ``lint-ignore`` pragmas that suppress nothing.
+
+    A suppression that outlives its finding is a blind spot: the rule
+    could fire again on that line and nobody would see it.  The
+    *engine* emits this rule (it alone knows which pragma entries
+    consumed a finding); this class exists so HYG004 has a registry
+    entry, a severity, and documentation like every other rule.  A
+    pragma entry is unused when it suppressed nothing AND the rule it
+    names actually ran on the file — deep-only rule names are skipped
+    in fast mode rather than reported, so a fast pre-commit pass never
+    flags a pragma that the deep CI pass needs.
+    """
+
+    name = "HYG004"
+    severity = Severity.WARNING
+    description = (
+        "lint-ignore pragma suppressed no finding; delete it (or fix "
+        "the rule name) so suppressions cannot outlive their findings"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        # Emission lives in the engine; the rule itself never visits.
+        return not _is_test_code(ctx)

@@ -2,7 +2,7 @@
 
 The reproduction's packages form a strict stack::
 
-    net → protocols → capture → hbr → {snapshot, verify} → repair → cli
+    net → capture → protocols → hbr → {snapshot, verify} → repair → cli
 
 (an arrow means "may be imported by"; higher layers may import lower
 ones, never the reverse).  ``repro.obs`` and the root ``repro``
@@ -10,6 +10,13 @@ facade are importable from anywhere; ``repro.lint`` sits beside the
 CLI.  LAY001 flags order violations; LAY002 detects import cycles
 between packages, which are always fatal — a cyclic layering cannot
 be reasoned about at all (CB-VER's "stable foundation" argument).
+
+The stack originally declared ``protocols`` *below* ``capture``,
+which grandfathered six inversions into the baseline: the protocol
+machinery logs through ``capture``'s event types, so the real
+dependency direction is capture-first.  ``capture`` itself imports
+only ``repro.net.addr`` (+ ``obs``), making the re-layering sound;
+the burned-down baseline and its ratchet test keep it that way.
 """
 
 from __future__ import annotations
@@ -24,8 +31,8 @@ from repro.lint.core import FileContext, Finding, Rule, Severity, register
 #: acyclic; LAY002 guards the cycle case.
 LAYERS: Dict[str, int] = {
     "net": 1,
-    "protocols": 2,
-    "capture": 3,
+    "capture": 2,
+    "protocols": 3,
     "hbr": 4,
     "snapshot": 5,
     "verify": 5,
@@ -110,7 +117,7 @@ class LayerOrderRule(_ImportGraphMixin, Rule):
     severity = Severity.ERROR
     description = (
         "import from a higher architectural layer; the stack is "
-        "net → protocols → capture → hbr → {snapshot, verify} → "
+        "net → capture → protocols → hbr → {snapshot, verify} → "
         "repair → cli"
     )
 

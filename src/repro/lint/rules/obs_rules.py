@@ -69,7 +69,10 @@ TRACE_SITES: Dict[str, Sequence[Tuple[str, str]]] = {
 #: tests/test_resources.py enforces the bijection.
 LEDGER_SITES: Dict[str, Sequence[Tuple[str, str]]] = {
     "repro.hbr.graph": (("HappensBeforeGraph.__init__", "hbr.graph"),),
-    "repro.hbr.index": (("EventIndex.__init__", "hbr.index"),),
+    # Registration moved out of __init__ into the explicit track()
+    # opt-in so forked shard workers can build untracked indices
+    # (CONC001 — a worker-side registration dies with the fork).
+    "repro.hbr.index": (("EventIndex.track", "hbr.index"),),
     "repro.snapshot.consistent": (
         ("ConsistentSnapshotter.__init__", "snapshot.closure_cache"),
     ),

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import math
 import random
+import threading
 import time
 import zlib
 from typing import Dict, Iterable, List, Optional, Tuple
@@ -271,12 +272,26 @@ Metric = object  # Counter | Gauge | Histogram (py3.10-safe alias)
 
 
 class MetricsRegistry:
-    """Lazily-created, label-keyed instruments grouped into sections."""
+    """Lazily-created, label-keyed instruments grouped into sections.
+
+    The registry is **internally synchronized**: instrument creation
+    and iteration hold a private lock, so a ``/metrics`` scrape on an
+    HTTP handler thread can render while the pipeline thread creates
+    new instruments (the CONC002 lint rule's "self-synchronized"
+    contract — before the lock, ``sorted(self._counters)`` during a
+    scrape raced creation with ``RuntimeError: dictionary changed
+    size during iteration``).  The hot path stays cheap: a lookup
+    that *hits* is a plain ``dict.get`` with no lock (CPython dict
+    reads are atomic); only a miss takes the lock, double-checking
+    before creating.  Mutating an already-obtained instrument
+    (``Counter.inc`` …) was and remains lock-free single-writer.
+    """
 
     enabled = True
 
     def __init__(self, histogram_max_samples: int = 8192):
         self.histogram_max_samples = histogram_max_samples
+        self._lock = threading.Lock()
         self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
         self._gauges: Dict[Tuple[str, LabelKey], Gauge] = {}
         self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
@@ -287,26 +302,35 @@ class MetricsRegistry:
         key = (name, _label_key(labels))
         instrument = self._counters.get(key)
         if instrument is None:
-            instrument = Counter(name, key[1])
-            self._counters[key] = instrument
+            with self._lock:
+                instrument = self._counters.get(key)
+                if instrument is None:
+                    instrument = Counter(name, key[1])
+                    self._counters[key] = instrument
         return instrument
 
     def gauge(self, name: str, **labels: str) -> Gauge:
         key = (name, _label_key(labels))
         instrument = self._gauges.get(key)
         if instrument is None:
-            instrument = Gauge(name, key[1])
-            self._gauges[key] = instrument
+            with self._lock:
+                instrument = self._gauges.get(key)
+                if instrument is None:
+                    instrument = Gauge(name, key[1])
+                    self._gauges[key] = instrument
         return instrument
 
     def histogram(self, name: str, **labels: str) -> Histogram:
         key = (name, _label_key(labels))
         instrument = self._histograms.get(key)
         if instrument is None:
-            instrument = Histogram(
-                name, key[1], max_samples=self.histogram_max_samples
-            )
-            self._histograms[key] = instrument
+            with self._lock:
+                instrument = self._histograms.get(key)
+                if instrument is None:
+                    instrument = Histogram(
+                        name, key[1], max_samples=self.histogram_max_samples
+                    )
+                    self._histograms[key] = instrument
         return instrument
 
     def stopwatch(self) -> Stopwatch:
@@ -314,15 +338,20 @@ class MetricsRegistry:
         return Stopwatch()
 
     # -- iteration ---------------------------------------------------------
+    # Each method snapshots the key set under the lock; callers get a
+    # stable list even while other threads create instruments.
 
     def counters(self) -> List[Counter]:
-        return [self._counters[k] for k in sorted(self._counters)]
+        with self._lock:
+            return [self._counters[k] for k in sorted(self._counters)]
 
     def gauges(self) -> List[Gauge]:
-        return [self._gauges[k] for k in sorted(self._gauges)]
+        with self._lock:
+            return [self._gauges[k] for k in sorted(self._gauges)]
 
     def histograms(self) -> List[Histogram]:
-        return [self._histograms[k] for k in sorted(self._histograms)]
+        with self._lock:
+            return [self._histograms[k] for k in sorted(self._histograms)]
 
     def all_metrics(self) -> Iterable[object]:
         yield from self.counters()
@@ -334,14 +363,18 @@ class MetricsRegistry:
         return sorted(names)
 
     def clear(self) -> None:
-        self._counters.clear()
-        self._gauges.clear()
-        self._histograms.clear()
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
 
     def __len__(self) -> int:
-        return (
-            len(self._counters) + len(self._gauges) + len(self._histograms)
-        )
+        with self._lock:
+            return (
+                len(self._counters)
+                + len(self._gauges)
+                + len(self._histograms)
+            )
 
 
 # -- the no-op side ----------------------------------------------------------

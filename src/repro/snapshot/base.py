@@ -71,7 +71,9 @@ class DataPlaneSnapshot:
         if table is None:
             table = PrefixTrie()
             self._tables[entry.router] = table
-        table.insert(entry.prefix, entry)
+        # PrefixTrie.insert is keyed on the prefix, not a positional
+        # list insert — PERF001's pattern match is a false positive.
+        table.insert(entry.prefix, entry)  # repro: lint-ignore[PERF001]
 
     def remove(self, router: str, prefix: Prefix) -> None:
         table = self._tables.get(router)

@@ -1,0 +1,21 @@
+# repro: lint-module=repro.hbr.flowfork
+"""CONC001 bad: the fork worker appends to a module global.
+
+The write lands in the forked copy's list and evaporates at join —
+the parent's ``RESULTS`` never changes.
+"""
+
+import multiprocessing
+
+RESULTS = []
+
+
+def worker(item):
+    RESULTS.append(item)
+    return item
+
+
+def fan_out(items):
+    context = multiprocessing.get_context("fork")
+    with context.Pool(2) as pool:
+        return pool.map(worker, items)

@@ -1,0 +1,15 @@
+# repro: lint-module=repro.hbr.flowforkok
+"""CONC001 good: the worker communicates through its return value."""
+
+import multiprocessing
+
+
+def worker(item):
+    return item * 2
+
+
+def fan_out(items):
+    context = multiprocessing.get_context("fork")
+    with context.Pool(2) as pool:
+        doubled = pool.map(worker, items)
+    return sum(doubled)

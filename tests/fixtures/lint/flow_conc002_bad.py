@@ -1,0 +1,11 @@
+# repro: lint-module=repro.analysis.flowserve
+"""CONC002 bad: a handler thread writes a module global with no lock."""
+
+from http.server import BaseHTTPRequestHandler
+
+HITS = []
+
+
+class MetricsHandler(BaseHTTPRequestHandler):
+    def do_GET(self):
+        HITS.append(self.path)

@@ -1,0 +1,14 @@
+# repro: lint-module=repro.analysis.flowserveok
+"""CONC002 good: the handler-thread write is lock-serialized."""
+
+import threading
+from http.server import BaseHTTPRequestHandler
+
+HITS = []
+_HITS_LOCK = threading.Lock()
+
+
+class MetricsHandler(BaseHTTPRequestHandler):
+    def do_GET(self):
+        with _HITS_LOCK:
+            HITS.append(self.path)

@@ -1,0 +1,17 @@
+# repro: lint-module=repro.hbr.flowbad
+"""DET100 bad: an env read two calls below a replay-critical function.
+
+``import os`` is invisible to the syntactic DET rules — only the
+whole-program taint pass can see that ``window_key`` ultimately
+depends on the environment.
+"""
+
+import os
+
+
+def _salt() -> str:
+    return os.getenv("REPRO_SALT", "")
+
+
+def window_key(router: str) -> str:
+    return router + _salt()

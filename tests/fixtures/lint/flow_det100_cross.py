@@ -1,0 +1,8 @@
+# repro: lint-module=repro.snapshot.flowcross
+"""DET100 bad: the tainted helper lives in another module entirely."""
+
+from repro.net.flowentropy import fresh_id
+
+
+def snapshot_id() -> str:
+    return fresh_id()

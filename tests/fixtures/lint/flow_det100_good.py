@@ -1,0 +1,17 @@
+# repro: lint-module=repro.hbr.flowgood
+"""DET100 good: timing through the obs sanitizer, rng via a parameter.
+
+``elapsed_of`` touches the wall clock internally, but it lives under
+``repro.obs`` so its taint is absorbed there; ``rng`` is an opaque
+explicit-RNG parameter, which is the blessed randomness idiom.
+"""
+
+from repro.obs.flowwatch import elapsed_of
+
+
+def timed_build(started: float) -> float:
+    return elapsed_of(started)
+
+
+def pick(rng, items):
+    return items[rng.randrange(len(items))]

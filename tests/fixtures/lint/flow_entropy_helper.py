@@ -1,0 +1,8 @@
+# repro: lint-module=repro.net.flowentropy
+"""Cross-module DET100 sink: a uuid4 draw in the lowest layer."""
+
+import uuid
+
+
+def fresh_id() -> str:
+    return str(uuid.uuid4())

@@ -1,0 +1,8 @@
+# repro: lint-module=repro.obs.flowwatch
+"""A wall-clock helper under repro.obs — the sanctioned quarantine."""
+
+import time
+
+
+def elapsed_of(started: float) -> float:
+    return time.time() - started

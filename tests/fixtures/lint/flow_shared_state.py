@@ -1,0 +1,8 @@
+# repro: lint-module=repro.net.flowshared
+"""CONC003 subject: an ownerless module-level dict."""
+
+SEEN = {}
+
+
+def remember(key, value):
+    SEEN[key] = value

@@ -1,0 +1,8 @@
+# repro: lint-module=repro.capture.flowstage
+"""First pipeline stage writing into the shared dict."""
+
+from repro.net.flowshared import remember
+
+
+def record_event(event_id):
+    remember(event_id, "captured")

@@ -1,0 +1,8 @@
+# repro: lint-module=repro.hbr.flowstage
+"""Second pipeline stage writing into the same shared dict."""
+
+from repro.net.flowshared import remember
+
+
+def link_event(event_id):
+    remember(event_id, "linked")

@@ -85,3 +85,54 @@ class TestShardedBuild:
             assert registry.gauge("inference.shard_count").value >= 1
         finally:
             obs.disable()
+
+    def test_rule_timings_survive_the_fork(self, fig2_events):
+        """Per-rule inference timings must reach the parent registry.
+
+        Workers may not touch the forked registry copy (CONC001), so
+        shards return timing aggregates that the parent replays into
+        `inference.rule_invocations_total` / `..rule_seconds_total`.
+        The invocation counts must equal the serial build's
+        `inference.rule_seconds` histogram sample counts — same
+        events, same rules, same number of rule invocations.
+        """
+        events = list(fig2_events)
+        registry, _tracer = obs.enable()
+        try:
+            InferenceEngine().build_graph(events)
+            serial_counts = {
+                h.labels: h.count
+                for h in registry.histograms()
+                if h.name == "inference.rule_seconds"
+            }
+        finally:
+            obs.disable()
+        assert serial_counts, "serial build recorded no rule timings"
+
+        registry, _tracer = obs.enable()
+        try:
+            build_sharded(InferenceEngine(), events, workers=2)
+            sharded_counts = {
+                c.labels: c.value
+                for c in registry.counters()
+                if c.name == "inference.rule_invocations_total"
+            }
+            sharded_seconds = {
+                c.labels: c.value
+                for c in registry.counters()
+                if c.name == "inference.rule_seconds_total"
+            }
+        finally:
+            obs.disable()
+        assert sharded_counts == serial_counts
+        assert set(sharded_seconds) == set(serial_counts)
+        assert all(v >= 0 for v in sharded_seconds.values())
+
+    def test_infer_shard_timings_disabled_without_registry(
+        self, fig2_events
+    ):
+        engine = InferenceEngine()
+        ordered = list(fig2_events)
+        routers = sorted({e.router for e in ordered})
+        _records, timings = sharded.infer_shard(engine, ordered, routers)
+        assert timings == {}

@@ -22,7 +22,6 @@ from repro.lint import (
     baseline,
     default_rules,
     module_name_for,
-    sort_findings,
 )
 from repro.lint.rules.obs_rules import InstrumentationRule
 
@@ -48,12 +47,17 @@ def test_all_rules_registered():
         "DET001",
         "DET002",
         "DET003",
+        "DET100",
+        "CONC001",
+        "CONC002",
+        "CONC003",
         "LAY001",
         "LAY002",
         "OBS001",
         "HYG001",
         "HYG002",
         "HYG003",
+        "HYG004",
         "PERF001",
     }
     for rule in default_rules():
@@ -281,7 +285,9 @@ def test_pragma_for_other_rule_does_not_suppress():
         "import time  # repro: lint-ignore[HYG001]\n"
     )
     result = LintRunner().run_source(source, path="<fixture>")
-    assert rules_fired(result) == ["DET001"]
+    # DET001 still fires; HYG004 additionally flags the pragma as
+    # unused, since HYG001 had nothing to suppress on that line.
+    assert rules_fired(result) == ["DET001", "HYG004"]
 
 
 # -- baseline -------------------------------------------------------------

@@ -148,6 +148,71 @@ class TestRegistry:
             assert obs.get_registry() is registry
         assert not obs.enabled()
 
+    def test_metric_creation_is_serialized_by_internal_lock(self):
+        """Regression for the scrape-vs-pipeline registry race.
+
+        Before the registry grew its internal lock, a /metrics scrape
+        thread iterating ``counters()`` raced metric *creation* on the
+        owner thread ("dictionary changed size during iteration").
+        Creation of a new metric must block while the lock is held;
+        the get-or-create hit path must not need it.
+        """
+        import threading
+
+        registry = MetricsRegistry()
+        registry.counter("pre.total")
+        created = threading.Event()
+
+        def create_new():
+            registry.counter("post.total").inc()
+            created.set()
+
+        with registry._lock:
+            worker = threading.Thread(target=create_new, daemon=True)
+            worker.start()
+            assert not created.wait(0.1), "creation ignored the lock"
+            # The lock-free hit path must still work while held.
+            assert registry.counter("pre.total") is not None
+        worker.join(timeout=5)
+        assert created.is_set()
+        assert registry.counter("post.total").value == 1
+
+    def test_concurrent_creation_and_snapshot_do_not_race(self):
+        """Hammer get-or-create against snapshot iteration."""
+        import threading
+
+        registry = MetricsRegistry()
+        errors = []
+
+        def creator():
+            try:
+                for i in range(300):
+                    registry.counter("c.total", i=str(i)).inc()
+                    registry.histogram("h.seconds", i=str(i)).observe(0.1)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def scraper():
+            try:
+                for _ in range(300):
+                    list(registry.counters())
+                    list(registry.histograms())
+                    registry.all_metrics()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=creator),
+            threading.Thread(target=scraper),
+            threading.Thread(target=scraper),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert errors == []
+        assert len(registry.counters()) == 300
+
 
 class TestTracer:
     def test_nesting_records_parent_child(self):
