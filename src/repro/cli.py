@@ -632,6 +632,146 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """Verify a generated run: batch, incremental, or differential."""
+    from repro.capture.io_events import IOKind
+    from repro.hbr.inference import InferenceEngine
+    from repro.scenarios.generators import (
+        build_random_network,
+        churn_workload,
+        external_prefixes,
+    )
+    from repro.snapshot.base import DataPlaneSnapshot, VerifierView
+    from repro.snapshot.consistent import ConsistentSnapshotter
+    from repro.verify.incremental import (
+        IncrementalVerifier,
+        incremental_engine,
+    )
+    from repro.verify.policy import (
+        BlackholeFreedomPolicy,
+        LoopFreedomPolicy,
+    )
+
+    net, specs = build_random_network(
+        args.routers, uplinks=args.uplinks, seed=args.seed
+    )
+    net.start()
+    churn_workload(
+        net,
+        specs,
+        external_prefixes(args.prefixes),
+        events=args.events,
+        start=2.0,
+        seed=args.seed,
+    )
+    net.run(60)
+    internal = net.topology.internal_routers()
+    lags = {}
+    if args.straggler_lag > 0 and internal:
+        lags[internal[0]] = args.straggler_lag
+    view = VerifierView(net.collector, lags=lags)
+    events = net.collector.all_events()
+    policies = (LoopFreedomPolicy(), BlackholeFreedomPolicy())
+    drained = net.sim.now + max(lags.values(), default=0.0) + 1e-6
+
+    incremental = None
+    if args.incremental or args.differential:
+        engine = incremental_engine()
+        streaming = engine.streaming()
+        incremental = IncrementalVerifier(
+            internal,
+            topology=net.topology,
+            policies=policies,
+            view=view,
+            engine=engine,
+        ).attach(streaming)
+        batch_engine = InferenceEngine()
+        mismatches = 0
+        fed = []
+        started = time.perf_counter()
+        for event in sorted(
+            events, key=lambda e: (view.arrival_time(e), e.event_id)
+        ):
+            streaming.observe(event)
+            fed.append(event)
+            if not args.differential:
+                continue
+            if event.kind is not IOKind.FIB_UPDATE or event.prefix is None:
+                continue
+            inc = incremental.last_report(event.prefix)
+            batch = ConsistentSnapshotter(view, internal).check(
+                batch_engine.build_graph(fed),
+                fed,
+                prefix=event.prefix,
+                at=incremental.clock,
+            )
+            batch_violations = []
+            batch_snapshot = DataPlaneSnapshot.from_fib_events(fed)
+            for policy in policies:
+                batch_violations.extend(
+                    policy.check(batch_snapshot, net.topology)
+                )
+            if (inc.consistent, inc.missing_routers) != (
+                batch.consistent,
+                batch.missing_routers,
+            ) or incremental.violations() != batch_violations:
+                mismatches += 1
+                print(
+                    f"MISMATCH after event {event.event_id} "
+                    f"({event.router} {event.prefix}): incremental "
+                    f"({inc.consistent}, {sorted(inc.missing_routers)}, "
+                    f"{len(incremental.violations())} violation(s)) vs "
+                    f"batch ({batch.consistent}, "
+                    f"{sorted(batch.missing_routers)}, "
+                    f"{len(batch_violations)} violation(s))"
+                )
+        wall = time.perf_counter() - started
+        per_update = incremental.verify_seconds_total / max(
+            incremental.deltas_applied, 1
+        )
+        print(
+            f"incremental: {len(events)} event(s) streamed, "
+            f"{incremental.deltas_applied} FIB delta(s) verified, "
+            f"{incremental.atoms.atom_count()} atom(s), "
+            f"{incremental.checks_run} §5 check(s)"
+        )
+        print(
+            f"incremental: {per_update * 1e6:.0f} µs/update "
+            f"(feed wall {wall:.2f}s), "
+            f"{len(incremental.violations())} final violation(s)"
+        )
+        if args.differential:
+            print(
+                f"differential: {incremental.deltas_applied} delta(s) "
+                f"compared against batch, {mismatches} mismatch(es)"
+            )
+            if mismatches:
+                return 1
+        if args.incremental and not args.differential:
+            return 0
+
+    if not args.incremental:
+        snapshotter = ConsistentSnapshotter(view, internal)
+        started = time.perf_counter()
+        snapshot, report = snapshotter.snapshot(drained)
+        wall = time.perf_counter() - started
+        violations = []
+        for policy in policies:
+            violations.extend(policy.check(snapshot, net.topology))
+        print(
+            f"batch: snapshot at {drained:.3f}s is "
+            f"{'consistent' if report.consistent else 'INCONSISTENT'} "
+            f"({report.steps} walk step(s), {wall * 1000:.1f} ms), "
+            f"{len(violations)} violation(s)"
+        )
+        for violation in violations[:10]:
+            print(f"  {violation}")
+        if not report.consistent:
+            for reason in report.reasons[:5]:
+                print(f"  defer: {reason}")
+    return 0
+
+
 #: Scenarios runnable under ``repro trace``.
 _TRACE_SCENARIOS = ("fig1", "fig2", "fig5", "pipeline")
 
@@ -1079,6 +1219,53 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--legacy-scan", action="store_true")
     stats.set_defaults(func=_cmd_stats)
 
+    verify = sub.add_parser(
+        "verify",
+        help="verify a generated run (batch, --incremental, --differential)",
+    )
+    verify.add_argument(
+        "--routers", type=int, default=8, help="network size (default: 8)"
+    )
+    verify.add_argument(
+        "--uplinks", type=int, default=2, help="external uplinks (default: 2)"
+    )
+    verify.add_argument(
+        "--prefixes",
+        type=int,
+        default=4,
+        help="external prefixes in the workload (default: 4)",
+    )
+    verify.add_argument(
+        "--events",
+        type=int,
+        default=10,
+        help="churn events in the workload (default: 10)",
+    )
+    verify.add_argument(
+        "--seed", type=int, default=0, help="workload seed (default: 0)"
+    )
+    verify.add_argument(
+        "--straggler-lag",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="log-delivery lag for one router (exercises arrival-order "
+        "feeds; default: 0)",
+    )
+    verify.add_argument(
+        "--incremental",
+        action="store_true",
+        help="stream FIB deltas through the atom-based incremental "
+        "verifier instead of one batch snapshot",
+    )
+    verify.add_argument(
+        "--differential",
+        action="store_true",
+        help="run incremental AND re-derive the batch verdict after "
+        "every FIB delta; exit 1 on any divergence",
+    )
+    verify.set_defaults(func=_cmd_verify)
+
     fuzz = sub.add_parser(
         "fuzz",
         help="fuzz the pipeline with differential oracles (repro.testkit)",
@@ -1102,7 +1289,8 @@ def build_parser() -> argparse.ArgumentParser:
             "oracle(s) to run — repeatable or comma-separated "
             "(default: all of snapshot-consistency, hbg-distributed, "
             "hbg-indexed-equivalence, whatif-replay, "
-            "provenance-rollback, replay-determinism)"
+            "provenance-rollback, verify-incremental-equivalence, "
+            "replay-determinism)"
         ),
     )
     fuzz.add_argument(

@@ -107,6 +107,23 @@ class HappensBeforeGraph:
         self._edge_total += 1
         return True
 
+    def clear_in_edges(self, effect_id: int) -> int:
+        """Remove every in-edge of ``effect_id``; returns how many.
+
+        The streaming re-link path replaces a consequent's inferred
+        in-edges wholesale: when a late-arriving event changes which
+        candidate a rule picks, the previously chosen edge must not
+        linger next to the new one, or the streaming graph drifts from
+        the batch build's.
+        """
+        incoming = self._in.pop(effect_id, None)
+        if not incoming:
+            return 0
+        for cause in incoming:
+            del self._out[cause][effect_id]
+        self._edge_total -= len(incoming)
+        return len(incoming)
+
     def _reaches(self, start: int, target: int) -> bool:
         if start == target:
             return True

@@ -194,6 +194,33 @@ def plan_for_rule(rule: HbrRule) -> RulePlan:
     )
 
 
+def forward_plan_for_rule(rule: HbrRule) -> RulePlan:
+    """The mirror of :func:`plan_for_rule`: given an *antecedent*
+    event, which buckets can hold the rule's consequents?
+
+    Reuses :class:`RulePlan` because the field access is symmetric:
+    ``same_router`` means the consequent lives under the antecedent's
+    router, and ``peer_symmetric`` (``a.peer == b.router``) means it
+    lives under the antecedent's ``peer``.  Streaming full_relink uses
+    this to find the already-observed events a late-arriving cause
+    must re-link, without scanning the whole re-link window.
+    """
+    relations = rule.relations
+    if same_router in relations:
+        router_from = "same"
+    elif peer_symmetric in relations:
+        router_from = "peer"
+    else:
+        router_from = "any"
+    return RulePlan(
+        router_from=router_from,
+        kinds=tuple(rule.consequent.kinds),
+        prefix_narrowed=(
+            same_prefix in relations and router_from != "any"
+        ),
+    )
+
+
 class EventIndex:
     """Inverted per-(router, kind[, prefix]) indices over the stream.
 

@@ -38,7 +38,13 @@ from repro import obs
 from repro.capture.ground_truth import GroundTruth
 from repro.capture.io_events import IOEvent, IOKind
 from repro.hbr.graph import EdgeEvidence, HappensBeforeGraph
-from repro.hbr.index import EventIndex, MAX_ID, RulePlan, plan_for_rule
+from repro.hbr.index import (
+    EventIndex,
+    MAX_ID,
+    RulePlan,
+    forward_plan_for_rule,
+    plan_for_rule,
+)
 from repro.hbr.rules import HbrRule, default_rules
 
 
@@ -67,6 +73,16 @@ class InferenceConfig:
     #: ``hbg-indexed-equivalence`` oracle); the indexed path is the
     #: default and produces the identical graph.
     legacy_scan: bool = False
+    #: Streaming only: after each observe, re-link every
+    #: already-observed consequent whose candidate window contains the
+    #: new event — not just those inside the skew horizon.  Required
+    #: when events are fed in *arrival* order (per-router log lag can
+    #: deliver a cause long after its effects were observed); with it,
+    #: the streaming graph equals the batch build of the same event
+    #: set after every observe.  Off by default because in-order feeds
+    #: don't need it and the wider re-link window costs per-observe
+    #: work proportional to recent-event density.
+    full_relink: bool = False
 
 
 # -- pattern mining ----------------------------------------------------------
@@ -527,6 +543,19 @@ class InferenceEngine:
 
     # -- streaming ------------------------------------------------------------
 
+    def relink_window(self) -> float:
+        """Timestamp span *ahead* of a new event within which an
+        already-observed consequent could have it as a candidate —
+        the re-link horizon ``full_relink`` streaming must cover."""
+        window = 0.0
+        if self.config.use_rules and self.rules:
+            window = max(window, max(rule.window for rule in self.rules))
+        if self.config.naive_prefix_timestamp:
+            window = max(window, self.config.naive_window)
+        if self.config.use_patterns and self.miner is not None:
+            window = max(window, self.miner.window)
+        return window
+
     def streaming(self) -> "StreamingInference":
         return StreamingInference(self)
 
@@ -553,6 +582,31 @@ class StreamingInference:
         self.graph = HappensBeforeGraph()
         self._legacy = engine.config.legacy_scan
         skew = engine.config.clock_skew_tolerance
+        #: With full_relink, re-link everything whose candidate window
+        #: [cons.t - rule.window, cons.t + skew] can contain the new
+        #: event: consequents up to one *per-event* horizon ahead (see
+        #: :meth:`_ahead_horizon` — scoped to the rules the new event
+        #: can antecede, so a FIB update does not pay the 60 s config
+        #: window) and up to one skew behind (the new event may be a
+        #: forward-skew cause).  Within the horizon, only consequents
+        #: whose candidate sets the new event can actually enter are
+        #: re-linked (:meth:`_could_affect`) — skipping the rest is
+        #: sound because `_infer_edges` is a pure function of each
+        #: rule's candidate list.
+        self._full = engine.config.full_relink
+        self._relink_ahead = (
+            engine.relink_window() if self._full else skew
+        )
+        self._relink_behind = skew if self._full else 0.0
+        #: Forward (antecedent → consequent-bucket) query plans,
+        #: parallel to engine.rules; only the full_relink path uses
+        #: them.
+        self._fplans: Tuple[RulePlan, ...] = tuple(
+            forward_plan_for_rule(rule) for rule in engine.rules
+        )
+        #: ``listener(event, relinked)`` callbacks, notified after each
+        #: observe() — the delta feed the incremental verifier rides.
+        self._listeners: List = []
         if self._legacy:
             self._ordered: List[IOEvent] = []
             self._times: List[float] = []
@@ -563,14 +617,80 @@ class StreamingInference:
             self._index = EventIndex().track()
             self._source = _IndexSource(self._index, skew)
 
+    def _ahead_horizon(self, event: IOEvent) -> float:
+        """How far ahead of ``event`` a consequent's candidate window
+        can still reach back to it.
+
+        Without ``full_relink`` this is the flat skew allowance.  With
+        it, the bound is the widest window among the *rules whose
+        antecedent pattern matches this event* (plus the naive/pattern
+        windows when those techniques are on): an event no rule
+        accepts as an antecedent cannot enter any later candidate
+        list, so scanning the global ``relink_window()`` for it would
+        only re-derive identical edges.
+        """
+        if not self._full:
+            return self._relink_ahead
+        config = self.engine.config
+        window = 0.0
+        if config.use_rules:
+            for rule in self.engine.rules:
+                if rule.window > window and rule.antecedent.matches(event):
+                    window = rule.window
+        if config.naive_prefix_timestamp:
+            window = max(window, config.naive_window)
+        if config.use_patterns and self.engine.miner is not None:
+            window = max(window, self.engine.miner.window)
+        return window
+
+    def _could_affect(self, event: IOEvent, cons: IOEvent) -> bool:
+        """Conservatively: can ``event`` enter ``cons``'s candidate
+        lists?  False means re-linking ``cons`` is provably a no-op.
+
+        Mirrors the admissibility + per-rule filters of
+        ``_infer_edges``: a same-router antecedent later than the
+        consequent is excluded everywhere (`_admissible`), and a rule
+        only considers antecedents within its own window that
+        ``pair_matches``.  Naive/pattern techniques are prefix-gated
+        only (their confidence checks stay inside the re-link).
+        """
+        if cons.router == event.router and (
+            (event.timestamp, event.event_id)
+            > (cons.timestamp, cons.event_id)
+        ):
+            return False
+        config = self.engine.config
+        if config.naive_prefix_timestamp or (
+            config.use_patterns and self.engine.miner is not None
+        ):
+            if _prefix_compatible(event, cons):
+                return True
+        if config.use_rules:
+            delta = cons.timestamp - event.timestamp
+            for position in self.engine._rules_by_kind[cons.kind]:
+                rule = self.engine.rules[position]
+                if delta <= rule.window and rule.pair_matches(event, cons):
+                    return True
+        return False
+
+    def subscribe(self, listener) -> None:
+        """Register ``listener(event, relinked)``.
+
+        Called after every :meth:`observe` with the newly observed
+        event and the tuple of *already-observed* events whose
+        in-edges were re-inferred because of it.  Listeners run after
+        the graph is updated, outside the observe metrics window.
+        """
+        self._listeners.append(listener)
+
     def observe(self, event: IOEvent) -> None:
         registry = obs.get_registry()
         if registry.enabled:
             watch = registry.stopwatch()
         if self._legacy:
-            self._observe_legacy(event)
+            relinked = self._observe_legacy(event)
         else:
-            self._observe_indexed(event)
+            relinked = self._observe_indexed(event)
         if registry.enabled:
             registry.counter("inference.events_observed_total").inc()
             registry.histogram("inference.observe_seconds").observe(
@@ -578,25 +698,79 @@ class StreamingInference:
             )
             registry.gauge("inference.hbg_events").set(len(self.graph))
             registry.gauge("inference.hbg_edges").set(self.graph.edge_count())
+        for listener in self._listeners:
+            listener(event, relinked)
 
-    def _observe_indexed(self, event: IOEvent) -> None:
+    def _observe_indexed(self, event: IOEvent) -> Tuple[IOEvent, ...]:
         self._index.add(event)
         self.graph.add_event(event)
         self._link(event)
         # The new event may be the cause of already-observed events
-        # whose logged timestamps are within the skew horizon ahead.
+        # whose logged timestamps are within the re-link horizon.
         # ``after`` starts strictly past every event sharing this
         # timestamp, matching the legacy insertion point semantics.
-        horizon = (
-            event.timestamp + self.engine.config.clock_skew_tolerance,
-            MAX_ID,
-        )
+        if self._full:
+            return self._relink_forward(event)
+        relinked: List[IOEvent] = []
+        horizon = (event.timestamp + self._relink_ahead, MAX_ID)
         for cons in list(
             self._index.after((event.timestamp, MAX_ID), horizon)
         ):
             self._link(cons)
+            relinked.append(cons)
+        return tuple(relinked)
 
-    def _observe_legacy(self, event: IOEvent) -> None:
+    def _relink_forward(self, event: IOEvent) -> Tuple[IOEvent, ...]:
+        """Full-relink via forward bucket queries.
+
+        For each rule the new event can antecede, read the consequent
+        buckets the forward plan names over
+        ``[event.t - skew, event.t + rule.window]`` — a superset of
+        every candidate list the event can enter — then keep exactly
+        the consequents :meth:`_could_affect` confirms.  Equivalent to
+        scanning the whole ``relink_window()`` horizon, at the cost of
+        a few bucket reads per observe instead of the entire stream.
+        """
+        collected: Dict[int, IOEvent] = {}
+        lo = (event.timestamp - self._relink_behind, 0)
+        config = self.engine.config
+        if config.use_rules:
+            for position, rule in enumerate(self.engine.rules):
+                if not rule.antecedent.matches(event):
+                    continue
+                hi = (event.timestamp + rule.window, MAX_ID)
+                fplan = self._fplans[position]
+                if fplan.kinds:
+                    candidates = self._index.candidates(
+                        fplan, event, lo, hi
+                    )
+                else:
+                    # A kind-free consequent pattern has no bucket.
+                    candidates = self._index.window(lo, hi)
+                for cons in candidates:
+                    collected.setdefault(cons.event_id, cons)
+        naive_window = 0.0
+        if config.naive_prefix_timestamp:
+            naive_window = config.naive_window
+        if config.use_patterns and self.engine.miner is not None:
+            naive_window = max(naive_window, self.engine.miner.window)
+        if naive_window:
+            hi = (event.timestamp + naive_window, MAX_ID)
+            for cons in self._index.window(lo, hi):
+                if _prefix_compatible(event, cons):
+                    collected.setdefault(cons.event_id, cons)
+        collected.pop(event.event_id, None)
+        relinked: List[IOEvent] = []
+        for cons in sorted(
+            collected.values(), key=lambda e: (e.timestamp, e.event_id)
+        ):
+            if not self._could_affect(event, cons):
+                continue
+            self._link(cons)
+            relinked.append(cons)
+        return tuple(relinked)
+
+    def _observe_legacy(self, event: IOEvent) -> Tuple[IOEvent, ...]:
         position = bisect.bisect_right(self._times, event.timestamp)
         # The O(N) inserts are exactly what the indexed path exists to
         # avoid; this branch is the differential-testing reference.
@@ -604,13 +778,33 @@ class StreamingInference:
         self._times.insert(position, event.timestamp)  # repro: lint-ignore[PERF001] -- legacy reference path
         self.graph.add_event(event)
         self._link(event)
-        horizon = event.timestamp + self.engine.config.clock_skew_tolerance
+        relinked: List[IOEvent] = []
+        if self._relink_behind:
+            start = bisect.bisect_left(
+                self._times, event.timestamp - self._relink_behind
+            )
+            for cons in self._ordered[start:position]:
+                if cons.event_id == event.event_id:
+                    continue
+                if self._full and not self._could_affect(event, cons):
+                    continue
+                self._link(cons)
+                relinked.append(cons)
+        horizon = event.timestamp + self._ahead_horizon(event)
         index = position + 1
         while index < len(self._ordered) and self._times[index] <= horizon:
-            self._link(self._ordered[index])
+            cons = self._ordered[index]
+            if not self._full or self._could_affect(event, cons):
+                self._link(cons)
+                relinked.append(cons)
             index += 1
+        return tuple(relinked)
 
     def _link(self, cons: IOEvent) -> None:
+        # Replace, don't accumulate: a re-link may change which
+        # candidate a pick-latest rule chooses, and the superseded
+        # edge must go (clear is a no-op for a fresh event).
+        self.graph.clear_in_edges(cons.event_id)
         for ante, evidence in self.engine._edges_into(cons, self._source):
             self.graph.add_edge(ante.event_id, cons.event_id, evidence)
 

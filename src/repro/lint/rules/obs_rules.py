@@ -34,6 +34,7 @@ STAGE_ENTRY_POINTS: Dict[str, Sequence[str]] = {
     "repro.snapshot.base": ("DataPlaneSnapshot.from_fib_events",),
     "repro.snapshot.consistent": ("ConsistentSnapshotter.snapshot",),
     "repro.verify.verifier": ("DataPlaneVerifier.verify",),
+    "repro.verify.incremental": ("IncrementalVerifier.apply",),
     "repro.repair.provenance": ("ProvenanceTracer.trace",),
     "repro.core.pipeline": ("IntegratedControlPlane._guard",),
     "repro.testkit.runner": ("FuzzRunner.run",),

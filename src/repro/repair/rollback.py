@@ -17,7 +17,7 @@ surfaced in the report rather than assumed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro import obs
 from repro.capture.io_events import IOEvent, IOKind
@@ -73,11 +73,29 @@ class RepairReport:
 
 
 class RepairEngine:
-    """Applies root-cause reverts to a live network and re-verifies."""
+    """Applies root-cause reverts to a live network and re-verifies.
 
-    def __init__(self, network, verifier: DataPlaneVerifier):
+    ``snapshotters`` registers cache-holding verification components —
+    persistent-memo :class:`~repro.snapshot.consistent.ConsistentSnapshotter`
+    instances and :class:`~repro.verify.incremental.IncrementalVerifier`
+    wrappers — whose ``invalidate()`` is called after any revert is
+    applied.  A revert re-converges the network and later replays
+    re-use event ids, so every memo keyed by event id or
+    (router, prefix) may silently describe a different event; failing
+    to invalidate serves stale closures (the cache-coherence hazard
+    docs/INCREMENTAL_VERIFY.md documents and
+    tests/test_verify_incremental.py reproduces).
+    """
+
+    def __init__(
+        self,
+        network,
+        verifier: DataPlaneVerifier,
+        snapshotters: Sequence = (),
+    ):
         self.network = network
         self.verifier = verifier
+        self.snapshotters = list(snapshotters)
 
     def _find_change(self, change_id: int) -> Optional[ConfigChange]:
         for router in self.network.configs.routers():
@@ -163,6 +181,12 @@ class RepairEngine:
                     note=f"reverted {change}",
                 )
             )
+        if any(a.succeeded for a in actions):
+            # The revert invalidates every registered verification
+            # cache *before* any re-verification or replay consumes
+            # post-revert events.
+            for snapshotter in self.snapshotters:
+                snapshotter.invalidate()
         post: Optional[VerificationResult] = None
         converge_seconds = 0.0
         # settle == 0 means the caller is inside a running simulation

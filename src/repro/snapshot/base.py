@@ -83,6 +83,17 @@ class DataPlaneSnapshot:
     def routers(self) -> List[str]:
         return sorted(self._tables)
 
+    def has_router(self, router: str) -> bool:
+        """Whether ``router`` has a (possibly empty) reconstructed table.
+
+        Load-bearing for :meth:`trace`'s external-router heuristic: a
+        router with *no* table counts as delivered, one with a table
+        but no matching entry as a black hole — so the first entry a
+        router ever installs changes trace outcomes for every address,
+        which the incremental verifier must treat as a global event.
+        """
+        return router in self._tables
+
     def entry(self, router: str, prefix: Prefix) -> Optional[SnapshotEntry]:
         table = self._tables.get(router)
         if table is None:

@@ -22,13 +22,29 @@ network".
 This is a Chandy–Lamport-style consistent-cut condition specialised
 to the HBG: the visible event set must be causally closed along
 advertisement edges.
+
+Two memoization regimes share the walk:
+
+* **batch** (default): memos are scoped to one :meth:`check` call and
+  reset at its top — the historical behaviour, correct for any graph.
+* **persistent** (``persistent_memo=True``): memos survive across
+  checks so the incremental verifier can re-check one prefix per FIB
+  delta at near-constant cost.  Correctness then depends on
+  *invalidation*: every cached walk records the event ids and FIB
+  buckets it traversed, and :meth:`invalidate_event` /
+  :meth:`note_fib_event` drop exactly the entries whose inputs
+  changed.  :meth:`invalidate` is the big hammer for rollback replay
+  (see docs/INCREMENTAL_VERIFY.md): replaying a capture re-uses event
+  ids, so any memo entry may silently describe a different event —
+  persistent snapshotters must be invalidated wholesale before a
+  replay's events are fed.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro import obs
 from repro.capture.io_events import IOEvent, IOKind
@@ -69,11 +85,12 @@ class ConsistentSnapshotter:
 
     def __init__(
         self,
-        view: VerifierView,
+        view: Optional[VerifierView],
         internal_routers: Sequence[str],
         engine: Optional[InferenceEngine] = None,
         inflight_bound: float = 0.1,
         max_unmatched_age: Optional[float] = 30.0,
+        persistent_memo: bool = False,
     ):
         self.view = view
         self.internal_routers = set(internal_routers)
@@ -84,15 +101,38 @@ class ConsistentSnapshotter:
         #: After this long, an unmatched send is presumed lost (e.g. a
         #: partition swallowed it) and stops deferring snapshots.
         self.max_unmatched_age = max_unmatched_age
-        # Per-check() memo state — the §5 recursion re-enters the same
-        # advertisement ancestry from many FIB updates of one cut, so
-        # closed subwalks are cached for the duration of one check.
-        # Reset at the top of check(); never reused across graphs.
-        self._ancestor_memo: Dict[Tuple[int, Optional[Prefix]], List[IOEvent]] = {}
-        self._send_memo: Dict[int, Optional[IOEvent]] = {}
+        #: Keep memos across checks (the incremental verifier's mode).
+        #: The owner must then feed :meth:`note_fib_event` for every
+        #: FIB update and :meth:`invalidate_event` for every event
+        #: whose in-edges the streaming layer re-inferred; batch
+        #: :meth:`snapshot` is unsupported (it builds a fresh graph
+        #: per call, which would poison the caches).
+        self.persistent_memo = persistent_memo
+        # §5 recursion memos, bucketed per prefix (a walk never
+        # crosses prefixes: advertisement ancestry follows same-prefix
+        # route events only).  Per-prefix buckets make both the batch
+        # reset and the persistent invalidation O(1) per bucket.
+        # Ancestor entries are (receives, traversed-ids); closure
+        # entries are (report, dependency-keys).
+        self._ancestor_memo: Dict[
+            Optional[Prefix], Dict[int, Tuple[List[IOEvent], frozenset]]
+        ] = {}
+        self._send_memo: Dict[Optional[Prefix], Dict[int, object]] = {}
+        self._closure_memo: Dict[
+            Optional[Prefix], Dict[int, Tuple[ConsistencyReport, frozenset]]
+        ] = {}
+        #: prefix -> dependency key -> memo entries to drop when the
+        #: dependency changes.  Keys are traversed event ids, plus
+        #: ("fib", router) for FIB-table reads.  Entries for already
+        #: dropped memos linger harmlessly (pops are no-ops).
+        self._dep_index: Dict[Optional[Prefix], Dict[object, Set[Tuple[str, int]]]] = {}
+        #: (router, prefix) -> largest ``when + slack`` cutoff any
+        #: cached walk queried the FIB table with; a new FIB event at
+        #: or before it can change those walks' answers.
+        self._max_cutoff: Dict[Tuple[str, Prefix], float] = {}
         self._fib_table: Optional[
             Dict[Tuple[str, Prefix], List[Tuple[float, int, IOEvent]]]
-        ] = None
+        ] = {} if persistent_memo else None
         self._memo_hits = 0
         self._memo_misses = 0
         ledger = obs.get_ledger()
@@ -104,7 +144,13 @@ class ConsistentSnapshotter:
         from repro.obs import resources
 
         return resources.combined_sizeof(
-            (self._ancestor_memo, self._send_memo, self._fib_table),
+            (
+                self._ancestor_memo,
+                self._send_memo,
+                self._closure_memo,
+                self._dep_index,
+                self._fib_table,
+            ),
             sample=None if audit else obs.get_ledger().sample,
         )
 
@@ -120,6 +166,14 @@ class ConsistentSnapshotter:
         to a specific FIB update); otherwise every prefix seen in any
         FIB event is checked.
         """
+        if self.persistent_memo:
+            raise RuntimeError(
+                "snapshot() builds a fresh graph per call and would "
+                "poison persistent memos; use check_incremental() "
+                "(or a batch snapshotter) instead"
+            )
+        if self.view is None:
+            raise RuntimeError("snapshot() needs a VerifierView")
         registry = obs.get_registry()
         if registry.enabled:
             watch = registry.stopwatch()
@@ -170,6 +224,96 @@ class ConsistentSnapshotter:
             return snapshot, report, when
         return None, report, when
 
+    # -- persistent-memo maintenance --------------------------------------
+
+    def note_fib_event(self, event: IOEvent) -> None:
+        """Incrementally maintain the per-(router, prefix) FIB table.
+
+        The persistent-memo replacement for the lazy batch build in
+        :meth:`_latest_fib_before`.  An arrival that lands at or
+        before a cutoff some cached walk already queried invalidates
+        those walks (the Fig. 1c resolution path: a straggler's FIB
+        update finally arrives and flips the verdict).
+        """
+        if event.kind is not IOKind.FIB_UPDATE or event.prefix is None:
+            return
+        if self._fib_table is None:
+            self._fib_table = {}
+        key = (event.router, event.prefix)
+        bucket = self._fib_table.setdefault(key, [])
+        item = (event.timestamp, event.event_id, event)
+        bucket.append(item)
+        if len(bucket) > 1 and (bucket[-2][0], bucket[-2][1]) > (
+            item[0],
+            item[1],
+        ):
+            # Out-of-order arrival (straggler log): restore order by
+            # re-sorting the bucket — rare, and keeps the hot path an
+            # append (PERF001's discipline for the snapshot layer).
+            bucket.sort(key=lambda it: (it[0], it[1]))
+        cutoff = self._max_cutoff.get(key)
+        if cutoff is not None and event.timestamp <= cutoff:
+            self._drop_dependents(event.prefix, ("fib", event.router))
+
+    def invalidate_event(self, event: IOEvent) -> None:
+        """Drop memo entries whose cached walk traversed ``event``.
+
+        Call for every already-observed event whose in-edges the
+        streaming layer re-inferred.  Prefix-less events (config /
+        hardware) need no invalidation: the walks never read their
+        parents (they terminate the ancestry).
+        """
+        if event.prefix is None:
+            return
+        self._drop_dependents(event.prefix, event.event_id)
+
+    def invalidate_prefix(self, prefix: Prefix) -> None:
+        """Drop every memo entry for one prefix (coarse hook)."""
+        self._ancestor_memo.pop(prefix, None)
+        self._send_memo.pop(prefix, None)
+        self._closure_memo.pop(prefix, None)
+        self._dep_index.pop(prefix, None)
+
+    def invalidate(self) -> None:
+        """Drop every cached closure, walk and FIB-table entry.
+
+        The rollback-replay hook: a replayed capture re-uses event ids
+        (``reset_event_ids``), so after a replay *every* memo entry may
+        describe an event that no longer exists — per-(router, prefix)
+        keys collide silently and serve stale closures.  Persistent
+        snapshotters must be invalidated before replayed events are
+        fed (:class:`repro.repair.rollback.RepairEngine` calls this
+        for every registered snapshotter after applying reverts).
+        """
+        self._ancestor_memo = {}
+        self._send_memo = {}
+        self._closure_memo = {}
+        self._dep_index = {}
+        self._max_cutoff = {}
+        self._fib_table = {} if self.persistent_memo else None
+
+    def _drop_dependents(self, prefix: Optional[Prefix], dep_key) -> None:
+        index = self._dep_index.get(prefix)
+        if not index:
+            return
+        entries = index.pop(dep_key, None)
+        if not entries:
+            return
+        for kind, event_id in entries:
+            if kind == "clo":
+                self._closure_memo.get(prefix, {}).pop(event_id, None)
+            elif kind == "anc":
+                self._ancestor_memo.get(prefix, {}).pop(event_id, None)
+            else:
+                self._send_memo.get(prefix, {}).pop(event_id, None)
+
+    def _register_deps(
+        self, prefix: Optional[Prefix], entry: Tuple[str, int], deps: Iterable
+    ) -> None:
+        index = self._dep_index.setdefault(prefix, {})
+        for dep in deps:
+            index.setdefault(dep, set()).add(entry)
+
     # -- the §5 walk ------------------------------------------------------------
 
     def check(
@@ -179,14 +323,13 @@ class ConsistentSnapshotter:
         prefix: Optional[Prefix] = None,
         at: Optional[float] = None,
     ) -> ConsistencyReport:
-        self._ancestor_memo = {}
-        self._send_memo = {}
-        self._fib_table = None
-        self._memo_hits = 0
-        self._memo_misses = 0
-        report = ConsistencyReport(consistent=True)
-        if at is not None:
-            self._check_send_closure(graph, visible, prefix, at, report)
+        if not self.persistent_memo:
+            self._ancestor_memo = {}
+            self._send_memo = {}
+            self._closure_memo = {}
+            self._dep_index = {}
+            self._max_cutoff = {}
+            self._fib_table = None
         fib_events = [
             e
             for e in visible
@@ -206,9 +349,46 @@ class ConsistentSnapshotter:
                 current.event_id,
             ):
                 latest[key] = event
+        return self._run_check(graph, latest.values(), visible, prefix, at)
+
+    def check_incremental(
+        self,
+        graph: HappensBeforeGraph,
+        cut_events: Iterable[IOEvent],
+        sends: Sequence[IOEvent],
+        prefix: Optional[Prefix] = None,
+        at: Optional[float] = None,
+    ) -> ConsistencyReport:
+        """Scoped §5 check over a pre-filtered cut (incremental feed).
+
+        ``cut_events`` are the latest FIB updates per (router, prefix)
+        — the cut front — and ``sends`` the candidate unmatched sends;
+        the incremental verifier maintains both per prefix so this
+        check never scans the full visible stream.  Verdicts
+        (``consistent`` + ``missing_routers``) equal :meth:`check`'s
+        on the same graph and cut; ``reasons`` may repeat entries and
+        ``steps`` reflects only un-memoized work.
+        """
+        return self._run_check(graph, cut_events, sends, prefix, at)
+
+    def _run_check(
+        self,
+        graph: HappensBeforeGraph,
+        cut_events: Iterable[IOEvent],
+        sends: Sequence[IOEvent],
+        prefix: Optional[Prefix],
+        at: Optional[float],
+    ) -> ConsistencyReport:
+        self._memo_hits = 0
+        self._memo_misses = 0
+        report = ConsistencyReport(consistent=True)
+        if at is not None:
+            self._check_send_closure(graph, sends, prefix, at, report)
         visited: Set[int] = set()
-        for event in latest.values():
-            sub = self._walk_fib_update(graph, event, visited)
+        track = self.persistent_memo
+        for event in cut_events:
+            deps: Optional[Set] = set() if track else None
+            sub = self._walk_fib_update(graph, event, visited, deps)
             report.merge(sub)
         registry = obs.get_registry()
         if registry.enabled:
@@ -223,7 +403,7 @@ class ConsistentSnapshotter:
     def _check_send_closure(
         self,
         graph: HappensBeforeGraph,
-        visible: Sequence[IOEvent],
+        sends: Sequence[IOEvent],
         prefix: Optional[Prefix],
         at: float,
         report: ConsistencyReport,
@@ -239,13 +419,18 @@ class ConsistentSnapshotter:
         cost is deferring a few propagation-delays' worth of probes
         even under zero log lag.
 
+        ``sends`` may be any event sequence (the batch path passes the
+        whole visible stream; the incremental path passes only its
+        maintained unmatched-send set) — non-qualifying events are
+        filtered here.
+
         Known limitation: an advertisement permanently lost in the
         network (e.g. sent just as a partition formed) defers this
         prefix's snapshots until ``max_unmatched_age`` passes, after
         which the send is presumed dead and ignored.
         """
         slack = self.inflight_bound + self.engine.config.clock_skew_tolerance
-        for send in visible:
+        for send in sends:
             if send.kind is not IOKind.ROUTE_SEND:
                 continue
             if send.protocol != "bgp":
@@ -284,6 +469,7 @@ class ConsistentSnapshotter:
         graph: HappensBeforeGraph,
         fib_event: IOEvent,
         visited: Set[int],
+        deps: Optional[Set] = None,
     ) -> ConsistencyReport:
         """One recursion step of the §5 algorithm.
 
@@ -291,15 +477,41 @@ class ConsistentSnapshotter:
         cut fronts funnel into the same upstream FIB updates, and a
         subwalk already closed under this snapshot need not be redone
         (its verdict is already merged into the report).
+
+        With ``deps`` given (persistent mode), the closed subwalk's
+        verdict is additionally cached across checks, keyed by this
+        FIB event, with every traversed event id and FIB-table bucket
+        recorded as a dependency; ``deps`` accumulates them so callers
+        inherit their subtree's dependencies transitively.  Returned
+        reports are read-only — persistent mode hands back the cached
+        objects themselves (``merge`` never mutates its argument).
         """
-        report = ConsistencyReport(consistent=True)
-        if fib_event.event_id in visited:
+        event_id = fib_event.event_id
+        prefix = fib_event.prefix
+        if event_id in visited:
             self._memo_hits += 1
-            return report
+            if deps is not None:
+                cached = self._closure_memo.get(prefix, {}).get(event_id)
+                if cached is not None:
+                    deps |= cached[1]
+                else:
+                    deps.add(event_id)
+            return ConsistencyReport(consistent=True)
+        if deps is not None:
+            cached = self._closure_memo.get(prefix, {}).get(event_id)
+            if cached is not None:
+                self._memo_hits += 1
+                visited.add(event_id)
+                deps |= cached[1]
+                return cached[0]
         self._memo_misses += 1
-        visited.add(fib_event.event_id)
+        visited.add(event_id)
+        local: Optional[Set] = set() if deps is not None else None
+        if local is not None:
+            local.add(event_id)
+        report = ConsistencyReport(consistent=True)
         report.steps += 1
-        receives = self._advertisement_ancestors(graph, fib_event)
+        receives = self._advertisement_ancestors(graph, fib_event, local)
         for recv in receives:
             report.steps += 1
             sender = recv.peer
@@ -307,7 +519,7 @@ class ConsistentSnapshotter:
                 # "...the router from which the update was received is
                 # external to the network" — the walk terminates here.
                 continue
-            send = self._matching_send(graph, recv)
+            send = self._matching_send(graph, recv, local)
             if send is None:
                 report.consistent = False
                 report.missing_routers.add(sender)
@@ -320,7 +532,7 @@ class ConsistentSnapshotter:
             # BGP property: the sender installed its FIB before
             # sending.  Its FIB update must therefore be visible.
             sender_fib = self._latest_fib_before(
-                graph, sender, recv.prefix, send.timestamp
+                graph, sender, recv.prefix, send.timestamp, local
             )
             if sender_fib is None:
                 report.consistent = False
@@ -330,27 +542,41 @@ class ConsistentSnapshotter:
                     f"update has not reached the verifier"
                 )
                 continue
-            sub = self._walk_fib_update(graph, sender_fib, visited)
+            sub = self._walk_fib_update(graph, sender_fib, visited, local)
             report.merge(sub)
+        if deps is not None:
+            frozen = frozenset(local)
+            self._closure_memo.setdefault(prefix, {})[event_id] = (
+                report,
+                frozen,
+            )
+            self._register_deps(prefix, ("clo", event_id), frozen)
+            deps |= frozen
         return report
 
     def _advertisement_ancestors(
-        self, graph: HappensBeforeGraph, fib_event: IOEvent
+        self,
+        graph: HappensBeforeGraph,
+        fib_event: IOEvent,
+        deps: Optional[Set] = None,
     ) -> List[IOEvent]:
         """ROUTE_RECEIVE ancestors of ``fib_event`` for the same prefix,
         reached without crossing another FIB update (i.e. the receive
         that this particular FIB change depends on).
 
         The walk is pure in (event, prefix) for a fixed graph, so the
-        closed subwalk is memoized for the rest of this check() — cut
-        fronts for the same prefix on different routers funnel into the
-        same advertisement ancestry over and over.
+        closed subwalk is memoized — cut fronts for the same prefix on
+        different routers funnel into the same advertisement ancestry
+        over and over.  In persistent mode the traversed event ids are
+        the entry's dependencies: re-linking any of them drops it.
         """
-        memo_key = (fib_event.event_id, fib_event.prefix)
-        cached = self._ancestor_memo.get(memo_key)
+        memo = self._ancestor_memo.setdefault(fib_event.prefix, {})
+        cached = memo.get(fib_event.event_id)
         if cached is not None:
             self._memo_hits += 1
-            return cached
+            if deps is not None:
+                deps |= cached[1]
+            return cached[0]
         self._memo_misses += 1
         result: List[IOEvent] = []
         stack = [fib_event.event_id]
@@ -370,13 +596,25 @@ class ConsistentSnapshotter:
                 # CONFIG_CHANGE / HARDWARE_STATUS parents terminate the
                 # walk: the FIB update did not depend on an
                 # advertisement along this path.
-        self._ancestor_memo[memo_key] = result
+        frozen = frozenset(seen) if deps is not None else frozenset()
+        memo[fib_event.event_id] = (result, frozen)
+        if deps is not None:
+            self._register_deps(
+                fib_event.prefix, ("anc", fib_event.event_id), frozen
+            )
+            deps |= frozen
         return result
 
     def _matching_send(
-        self, graph: HappensBeforeGraph, recv: IOEvent
+        self,
+        graph: HappensBeforeGraph,
+        recv: IOEvent,
+        deps: Optional[Set] = None,
     ) -> Optional[IOEvent]:
-        cached = self._send_memo.get(recv.event_id, _UNSET)
+        if deps is not None:
+            deps.add(recv.event_id)
+        memo = self._send_memo.setdefault(recv.prefix, {})
+        cached = memo.get(recv.event_id, _UNSET)
         if cached is not _UNSET:
             self._memo_hits += 1
             return cached
@@ -390,7 +628,11 @@ class ConsistentSnapshotter:
             ):
                 found = parent
                 break
-        self._send_memo[recv.event_id] = found
+        memo[recv.event_id] = found
+        if deps is not None:
+            self._register_deps(
+                recv.prefix, ("snd", recv.event_id), (recv.event_id,)
+            )
         return found
 
     def _latest_fib_before(
@@ -399,12 +641,15 @@ class ConsistentSnapshotter:
         router: str,
         prefix: Optional[Prefix],
         when: float,
+        deps: Optional[Set] = None,
     ) -> Optional[IOEvent]:
         """Newest FIB update on ``router`` for ``prefix`` at ``when``.
 
-        Answered from a per-(router, prefix) sorted table built once
-        per check() — the naive per-query scan of every one of the
-        router's events dominated large-network snapshot checks.
+        Answered from a per-(router, prefix) sorted table — built once
+        per check() in batch mode (the naive per-query scan of every
+        one of the router's events dominated large-network snapshot
+        checks), maintained by :meth:`note_fib_event` in persistent
+        mode.
         """
         if self._fib_table is None:
             table: Dict[
@@ -425,11 +670,18 @@ class ConsistentSnapshotter:
             self._fib_table = table
         if prefix is None:
             return None
+        slack = self.engine.config.clock_skew_tolerance
+        cutoff = when + slack
+        if deps is not None:
+            deps.add(("fib", router))
+            key = (router, prefix)
+            current = self._max_cutoff.get(key)
+            if current is None or cutoff > current:
+                self._max_cutoff[key] = cutoff
         bucket = self._fib_table.get((router, prefix))
         if not bucket:
             return None
-        slack = self.engine.config.clock_skew_tolerance
-        cut = bisect_right(bucket, (when + slack, _AFTER_ANY_ID))
+        cut = bisect_right(bucket, (cutoff, _AFTER_ANY_ID))
         if cut == 0:
             return None
         return bucket[cut - 1][2]

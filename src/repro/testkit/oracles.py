@@ -604,7 +604,119 @@ def provenance_rollback(ctx: OracleContext) -> OracleVerdict:
     )
 
 
-# -- (e) byte-identical replay ----------------------------------------------
+# -- (e) incremental vs batch verification -----------------------------------
+
+
+@oracle("verify-incremental-equivalence")
+def verify_incremental_equivalence(ctx: OracleContext) -> OracleVerdict:
+    """The incremental verifier equals the batch pipeline per delta.
+
+    Events are fed in *arrival* order (per-router log lag applied) to
+    a full-relink streaming inference carrying an
+    :class:`~repro.verify.incremental.IncrementalVerifier`.  After
+    every FIB delta, three batch references are recomputed from
+    scratch over exactly the events fed so far:
+
+    * the §5 verdict (``consistent`` + ``missing_routers``) from a
+      fresh :class:`ConsistentSnapshotter` over a fresh batch HBG,
+    * the forwarding reconstruction
+      (:meth:`DataPlaneSnapshot.from_fib_events`),
+    * the policy violation list from the batch policy checks.
+
+    All three must match the incremental verifier's state exactly —
+    the equivalence contract docs/INCREMENTAL_VERIFY.md promises.
+    """
+    from repro.hbr.inference import InferenceEngine
+    from repro.verify.incremental import IncrementalVerifier, incremental_engine
+    from repro.verify.policy import BlackholeFreedomPolicy, LoopFreedomPolicy
+
+    execution = ctx.shared
+    internal = execution.internal_routers
+    topology = execution.network.topology
+    view = execution.view
+    policies = (LoopFreedomPolicy(), BlackholeFreedomPolicy())
+
+    engine = incremental_engine()
+    streaming = engine.streaming()
+    incremental = IncrementalVerifier(
+        internal,
+        topology=topology,
+        policies=policies,
+        view=view,
+        engine=engine,
+    ).attach(streaming)
+
+    batch_engine = InferenceEngine()
+    arrival_order = sorted(
+        execution.events(),
+        key=lambda e: (view.arrival_time(e), e.event_id),
+    )
+    problems: List[str] = []
+    checked = 0
+    fed: List = []
+    for event in arrival_order:
+        streaming.observe(event)
+        fed.append(event)
+        if (
+            event.kind is not IOKind.FIB_UPDATE
+            or event.prefix is None
+            or problems
+        ):
+            continue
+        clock = incremental.clock
+        checked += 3
+
+        inc_report = incremental.last_report(event.prefix)
+        batch_graph = batch_engine.build_graph(fed)
+        batch_report = ConsistentSnapshotter(view, internal).check(
+            batch_graph, fed, prefix=event.prefix, at=clock
+        )
+        if (inc_report.consistent, inc_report.missing_routers) != (
+            batch_report.consistent,
+            batch_report.missing_routers,
+        ):
+            problems.append(
+                f"§5 verdict diverges after event {event.event_id} "
+                f"({event.router} {event.prefix}): incremental "
+                f"({inc_report.consistent}, "
+                f"{sorted(inc_report.missing_routers)}) vs batch "
+                f"({batch_report.consistent}, "
+                f"{sorted(batch_report.missing_routers)})"
+            )
+
+        batch_snapshot = DataPlaneSnapshot.from_fib_events(
+            fed, taken_at=clock
+        )
+        inc_map = _forwarding_map(
+            incremental.snapshot, incremental.snapshot.routers()
+        )
+        batch_map = _forwarding_map(batch_snapshot, batch_snapshot.routers())
+        if inc_map != batch_map:
+            problems.append(
+                f"forwarding reconstruction diverges after event "
+                f"{event.event_id}: incremental {inc_map} vs batch "
+                f"{batch_map}"
+            )
+
+        batch_violations = []
+        for policy in policies:
+            batch_violations.extend(policy.check(batch_snapshot, topology))
+        if incremental.violations() != batch_violations:
+            problems.append(
+                f"policy violations diverge after event {event.event_id}: "
+                f"incremental {incremental.violations()[:3]} vs batch "
+                f"{batch_violations[:3]}"
+            )
+
+    return OracleVerdict(
+        oracle="",
+        ok=not problems,
+        detail="; ".join(problems[:5]),
+        checked=checked,
+    )
+
+
+# -- (f) byte-identical replay ----------------------------------------------
 
 
 @oracle("replay-determinism")

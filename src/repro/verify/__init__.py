@@ -24,15 +24,19 @@ from repro.verify.policy import (
     Violation,
     WaypointPolicy,
 )
+from repro.verify.atoms import AtomTable
 from repro.verify.headerspace import EquivalenceClass, compute_equivalence_classes
+from repro.verify.incremental import IncrementalVerifier, incremental_engine
 from repro.verify.verifier import DataPlaneVerifier, VerificationResult
 from repro.verify.distributed import DistributedVerifier
 
 __all__ = [
+    "AtomTable",
     "BlackholeFreedomPolicy",
     "DataPlaneVerifier",
     "DistributedVerifier",
     "EquivalenceClass",
+    "IncrementalVerifier",
     "LoopFreedomPolicy",
     "Policy",
     "PreferredExitPolicy",
@@ -41,4 +45,5 @@ __all__ = [
     "Violation",
     "WaypointPolicy",
     "compute_equivalence_classes",
+    "incremental_engine",
 ]

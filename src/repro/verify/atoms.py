@@ -1,0 +1,106 @@
+"""Delta-net-style atoms: the prefix-range partition for incremental verify.
+
+Delta-net (PAPERS.md) observes that the set of prefixes installed in a
+network induces a partition of the address space into *atoms* —
+maximal half-open address ranges that every installed prefix either
+fully contains or is disjoint from.  Any FIB delta for a prefix can
+only change forwarding behaviour for addresses inside that prefix's
+range, i.e. inside the atoms the prefix covers; every other atom's
+behaviour is untouched.  That locality is what lets the incremental
+verifier (:mod:`repro.verify.incremental`) re-check only the affected
+slice of the data plane per update.
+
+The partition here is the boundary-set formulation: a sorted list of
+boundary addresses, initially ``[0, 2^32]``, refined by inserting the
+first address and the past-the-end address of each observed prefix.
+Atoms are the half-open intervals ``[bounds[i], bounds[i+1])``.
+
+Refinement is *minimal* (a prefix adds at most its two boundaries,
+and only when absent) and *monotone*: withdrawing a prefix does not
+merge atoms back.  Monotonicity buys order-independence — the table
+after any permutation of the same delta set is byte-identical (the
+boundary set is a set) — at the cost of a partition that can be finer
+than the live prefix set strictly requires.  The atom count is
+bounded by ``2 * |distinct prefixes ever seen| + 1``, which for
+control-plane workloads (a fixed advertised prefix universe under
+churn) is small and stable.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import List, Tuple
+
+from repro.net.addr import IPV4_MAX, Prefix
+
+#: Past-the-end sentinel: one past the highest IPv4 address.
+_END = IPV4_MAX + 1
+
+
+class AtomTable:
+    """The sorted boundary set inducing the atom partition."""
+
+    __slots__ = ("_bounds",)
+
+    def __init__(self) -> None:
+        self._bounds: List[int] = [0, _END]
+
+    def __len__(self) -> int:
+        return len(self._bounds) - 1
+
+    def atom_count(self) -> int:
+        """Number of atoms (always ``len(boundaries) - 1``)."""
+        return len(self._bounds) - 1
+
+    def boundaries(self) -> Tuple[int, ...]:
+        return tuple(self._bounds)
+
+    def ensure(self, prefix: Prefix) -> int:
+        """Refine the partition with ``prefix``'s two boundaries.
+
+        Returns how many boundaries were actually new (0, 1 or 2) —
+        the "minimal refinement" contract the property tests pin down.
+        """
+        added = 0
+        for bound in (prefix.first_address(), prefix.last_address() + 1):
+            position = bisect_left(self._bounds, bound)
+            if self._bounds[position] != bound:
+                self._bounds.insert(position, bound)
+                added += 1
+        return added
+
+    def atoms(self) -> List[Tuple[int, int]]:
+        """All atoms as half-open ``(start, end)`` address ranges."""
+        return [
+            (self._bounds[i], self._bounds[i + 1])
+            for i in range(len(self._bounds) - 1)
+        ]
+
+    def atom_of(self, address: int) -> Tuple[int, int]:
+        """The atom containing ``address``."""
+        if not 0 <= address < _END:
+            raise ValueError(f"address out of IPv4 range: {address}")
+        position = bisect_right(self._bounds, address) - 1
+        return (self._bounds[position], self._bounds[position + 1])
+
+    def atoms_within(self, prefix: Prefix) -> List[Tuple[int, int]]:
+        """Atoms overlapping ``prefix``'s address range.
+
+        After :meth:`ensure` of the same prefix, every returned atom
+        lies fully inside the prefix (its boundaries are in the set),
+        so this is exactly the set of atoms a delta for the prefix can
+        touch.
+        """
+        first = prefix.first_address()
+        end = prefix.last_address() + 1
+        lo = bisect_right(self._bounds, first) - 1
+        hi = bisect_left(self._bounds, end)
+        if self._bounds[hi] != end:
+            hi += 1
+        return [
+            (self._bounds[i], self._bounds[i + 1]) for i in range(lo, hi)
+        ]
+
+    def to_bytes(self) -> bytes:
+        """Canonical serialisation for cross-process determinism checks."""
+        return ",".join(str(bound) for bound in self._bounds).encode("ascii")

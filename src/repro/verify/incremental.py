@@ -1,0 +1,362 @@
+"""Incremental atom-based verification: §5 per FIB delta, not per snapshot.
+
+The paper's verifier is meant to run *continuously* as updates stream
+in, but the batch pipeline re-derives the whole §5 closure and
+re-probes every policy per snapshot — the scaling bottleneck BENCH
+C-SCALE exposed.  This module is the Delta-net-style answer
+(PAPERS.md): partition the address space into atoms
+(:mod:`repro.verify.atoms`), maintain per-router forwarding state and
+per-prefix §5 bookkeeping incrementally, and on each FIB delta
+re-check only
+
+* the §5 consistency of the delta's own prefix, against persistent
+  closure memos (:class:`ConsistentSnapshotter` in
+  ``persistent_memo`` mode), and
+* the policy invariants of the probe addresses inside the delta's
+  atoms — every other atom's forwarding behaviour is provably
+  untouched by the delta.
+
+CB-VER's stable-interface framing (PAPERS.md) dictates the contract
+held invariant between deltas: after every observed event, verdicts
+equal what the batch path (fresh :class:`ConsistentSnapshotter` +
+:class:`DataPlaneVerifier` over the visible event set) would produce.
+The ``verify-incremental-equivalence`` testkit oracle checks exactly
+that after every delta of a fuzzed execution.
+
+One deliberate global exception to atom locality: the *first* FIB
+entry a router ever installs (and, symmetrically, a replay wiping a
+router) flips :meth:`DataPlaneSnapshot.trace`'s external-router
+heuristic for every address, so such deltas re-probe all atoms.
+
+The delta feed is :meth:`StreamingInference.subscribe` — the
+streaming layer must run with ``full_relink`` so its graph equals the
+batch build after every observe even under per-router log lag
+(arrival-order feeds); :meth:`attach` enforces this.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro import obs
+from repro.capture.io_events import IOEvent, IOKind, RouteAction
+from repro.hbr.inference import (
+    InferenceConfig,
+    InferenceEngine,
+    StreamingInference,
+)
+from repro.net.addr import Prefix
+from repro.net.topology import Topology
+from repro.snapshot.base import DataPlaneSnapshot, SnapshotEntry, VerifierView
+from repro.snapshot.consistent import ConsistencyReport, ConsistentSnapshotter
+from repro.verify.atoms import AtomTable
+from repro.verify.policy import Policy, Violation
+
+#: FIB protocols participating in the §5 BGP closure recursion.
+_BGP_PROTOCOLS = ("ebgp", "ibgp", "bgp")
+
+
+def incremental_engine(**overrides) -> InferenceEngine:
+    """An inference engine configured for the incremental feed."""
+    return InferenceEngine(
+        config=InferenceConfig(full_relink=True, **overrides)
+    )
+
+
+class IncrementalVerifier:
+    """Per-delta §5 + policy verification over a streaming HBG.
+
+    Wire-up::
+
+        engine = incremental_engine()
+        streaming = engine.streaming()
+        verifier = IncrementalVerifier(
+            internal_routers, topology=topo, policies=[...],
+            view=view, engine=engine,
+        ).attach(streaming)
+        for event in events_in_arrival_order:
+            streaming.observe(event)   # verifier.ingest() runs inside
+        verifier.violations(), verifier.consistency(prefix)
+    """
+
+    def __init__(
+        self,
+        internal_routers: Sequence[str],
+        topology: Optional[Topology] = None,
+        policies: Sequence[Policy] = (),
+        view: Optional[VerifierView] = None,
+        engine: Optional[InferenceEngine] = None,
+        inflight_bound: float = 0.1,
+        max_unmatched_age: Optional[float] = 30.0,
+    ):
+        self.internal_routers = set(internal_routers)
+        self.topology = topology
+        self.policies: Tuple[Policy, ...] = tuple(policies)
+        self.view = view
+        self.engine = engine or incremental_engine()
+        self.snapshotter = ConsistentSnapshotter(
+            view,
+            internal_routers,
+            engine=self.engine,
+            inflight_bound=inflight_bound,
+            max_unmatched_age=max_unmatched_age,
+            persistent_memo=True,
+        )
+        self.streaming: Optional[StreamingInference] = None
+        self.atoms = AtomTable()
+        #: The incrementally maintained forwarding reconstruction.
+        self.snapshot = DataPlaneSnapshot()
+        #: Per-prefix cut front: latest BGP FIB update per router.
+        self._cut: Dict[Prefix, Dict[str, IOEvent]] = {}
+        #: Per-prefix internal BGP sends with no receive linked yet —
+        #: the only sends the per-delta send-closure scan must visit.
+        self._unmatched: Dict[Prefix, Dict[int, IOEvent]] = {}
+        self._send_by_id: Dict[int, IOEvent] = {}
+        #: receive id -> send ids credited as matched through it, so a
+        #: re-link of the receive can revoke (and re-derive) credit.
+        self._match_by_recv: Dict[int, Set[int]] = {}
+        #: Last §5 report per prefix (refreshed on each delta).
+        self._reports: Dict[Prefix, ConsistencyReport] = {}
+        #: Per-policy violation cache keyed by probe address.
+        self._policy_hits: List[Dict[int, List[Violation]]] = [
+            {} for _ in self.policies
+        ]
+        #: Verifier-visible wall clock (max arrival time seen).
+        self.clock = 0.0
+        # Plain accumulators for benchmarks (the registry histograms
+        # carry the same numbers when obs is enabled).
+        self.deltas_applied = 0
+        self.verify_seconds_total = 0.0
+        self.check_seconds_total = 0.0
+        self.checks_run = 0
+        self.atoms_touched_total = 0
+
+    # -- wiring -----------------------------------------------------------
+
+    def attach(self, streaming: StreamingInference) -> "IncrementalVerifier":
+        """Subscribe to a streaming inference's delta feed."""
+        if not streaming.engine.config.full_relink:
+            raise ValueError(
+                "IncrementalVerifier needs a full_relink streaming "
+                "engine: without it the streaming graph diverges from "
+                "the batch build under arrival-order feeds, voiding "
+                "the batch-equivalence guarantee"
+            )
+        self.streaming = streaming
+        streaming.subscribe(self.ingest)
+        return self
+
+    def invalidate(self) -> None:
+        """Rollback-replay hook: drop all derived state.
+
+        Replayed captures re-use event ids, so every cache keyed by
+        event id or (router, prefix) — closure memos, cut fronts,
+        unmatched sends, the forwarding reconstruction — may silently
+        describe a different event after a replay.  The repair engine
+        calls this for registered verifiers/snapshotters after
+        applying reverts.
+        """
+        self.snapshotter.invalidate()
+        self.snapshot = DataPlaneSnapshot()
+        self._cut.clear()
+        self._unmatched.clear()
+        self._send_by_id.clear()
+        self._match_by_recv.clear()
+        self._reports.clear()
+        for cache in self._policy_hits:
+            cache.clear()
+
+    # -- the delta feed ---------------------------------------------------
+
+    def ingest(self, event: IOEvent, relinked: Tuple[IOEvent, ...] = ()) -> None:
+        """Feed one observed event plus the events re-linked by it.
+
+        This is the :meth:`StreamingInference.subscribe` listener.
+        Non-FIB events only update bookkeeping (send matching, memo
+        invalidation); FIB deltas additionally trigger the scoped
+        re-verification in :meth:`apply`.
+        """
+        arrival = (
+            self.view.arrival_time(event)
+            if self.view is not None
+            else event.timestamp
+        )
+        if arrival > self.clock:
+            self.clock = arrival
+        if event.kind is IOKind.ROUTE_SEND:
+            self._note_send(event)
+        for stale in relinked:
+            self.snapshotter.invalidate_event(stale)
+            if stale.kind is IOKind.ROUTE_RECEIVE:
+                self._rematch_receive(stale)
+        if event.kind is IOKind.ROUTE_RECEIVE:
+            self._rematch_receive(event)
+        elif event.kind is IOKind.FIB_UPDATE and event.prefix is not None:
+            self.snapshotter.note_fib_event(event)
+            self.apply(event)
+
+    def apply(self, event: IOEvent) -> ConsistencyReport:
+        """Apply one FIB delta: update atoms and forwarding state,
+        re-check §5 for the delta's prefix, and re-probe the policies
+        of the touched atoms."""
+        registry = obs.get_registry()
+        watch = obs.Stopwatch()
+        prefix = event.prefix
+        self.atoms.ensure(prefix)
+        touched = len(self.atoms.atoms_within(prefix))
+        self.atoms_touched_total += touched
+        global_dirty = False
+        if event.action is RouteAction.WITHDRAW:
+            self.snapshot.remove(event.router, prefix)
+        else:
+            if not self.snapshot.has_router(event.router):
+                # First entry ever on this router: the trace heuristic
+                # flips from "external, delivered" to "internal, may
+                # blackhole" for every address — atom locality does
+                # not apply, re-probe everything.
+                global_dirty = True
+            self.snapshot.install(SnapshotEntry.from_event(event))
+        self.snapshot.set_taken_at(self.clock)
+        if event.protocol in _BGP_PROTOCOLS:
+            front = self._cut.setdefault(prefix, {})
+            current = front.get(event.router)
+            if current is None or (event.timestamp, event.event_id) > (
+                current.timestamp,
+                current.event_id,
+            ):
+                front[event.router] = event
+        report = self.consistency(prefix)
+        self._refresh_policies(prefix, global_dirty)
+        elapsed = watch.elapsed()
+        self.deltas_applied += 1
+        self.verify_seconds_total += elapsed
+        if registry.enabled:
+            registry.gauge("verify.atoms_total").set(self.atoms.atom_count())
+            registry.histogram("verify.atoms_touched").observe(touched)
+            registry.histogram("verify.incremental_seconds").observe(elapsed)
+            registry.counter("verify.incremental_deltas_total").inc()
+        return report
+
+    # -- verdicts ---------------------------------------------------------
+
+    def consistency(
+        self, prefix: Prefix, at: Optional[float] = None
+    ) -> ConsistencyReport:
+        """The §5 verdict for one prefix at the current visibility.
+
+        Equals a batch :meth:`ConsistentSnapshotter.check` with the
+        same prefix over the visible event set (``consistent`` and
+        ``missing_routers``; see ``check_incremental`` for the caveat
+        on ``reasons``/``steps``).
+        """
+        if self.streaming is None:
+            raise RuntimeError("attach() a StreamingInference first")
+        when = self.clock if at is None else at
+        front = self._cut.get(prefix)
+        sends = self._unmatched.get(prefix)
+        watch = obs.Stopwatch()
+        report = self.snapshotter.check_incremental(
+            self.streaming.graph,
+            list(front.values()) if front else (),
+            list(sends.values()) if sends else (),
+            prefix=prefix,
+            at=when,
+        )
+        self.check_seconds_total += watch.elapsed()
+        self.checks_run += 1
+        self._reports[prefix] = report
+        return report
+
+    def last_report(self, prefix: Prefix) -> Optional[ConsistencyReport]:
+        return self._reports.get(prefix)
+
+    def violations(self) -> List[Violation]:
+        """Current policy violations, in batch-verifier order."""
+        result: List[Violation] = []
+        for cache in self._policy_hits:
+            for address in sorted(cache):
+                result.extend(cache[address])
+        return result
+
+    # -- internals --------------------------------------------------------
+
+    def _refresh_policies(self, prefix: Prefix, global_dirty: bool) -> None:
+        if not self.policies or self.topology is None:
+            return
+        first = prefix.first_address()
+        last = prefix.last_address()
+        for policy, cache in zip(self.policies, self._policy_hits):
+            addresses = policy.probe_addresses(self.snapshot)
+            if global_dirty:
+                relevant = addresses
+                cache.clear()
+            else:
+                # Only probe addresses inside the delta's atoms can
+                # change outcome; prune cached ones its withdraw
+                # removed from the probe set.
+                relevant = [a for a in addresses if first <= a <= last]
+                live = set(relevant)
+                for stale in [
+                    a for a in cache if first <= a <= last and a not in live
+                ]:
+                    del cache[stale]
+            for address in relevant:
+                found = policy.check_addresses(
+                    self.snapshot, self.topology, [address]
+                )
+                if found:
+                    cache[address] = found
+                else:
+                    cache.pop(address, None)
+
+    def _note_send(self, send: IOEvent) -> None:
+        if (
+            send.protocol != "bgp"
+            or send.prefix is None
+            or send.peer not in self.internal_routers
+        ):
+            return
+        self._send_by_id[send.event_id] = send
+        if not self._send_matched(send):
+            self._unmatched.setdefault(send.prefix, {})[
+                send.event_id
+            ] = send
+
+    def _send_matched(self, send: IOEvent) -> bool:
+        if self.streaming is None:
+            return False
+        return any(
+            child.kind is IOKind.ROUTE_RECEIVE
+            for child, _evidence in self.streaming.graph.children(
+                send.event_id
+            )
+        )
+
+    def _rematch_receive(self, recv: IOEvent) -> None:
+        """Re-derive which sends this receive's in-edges credit.
+
+        A re-link replaces the receive's in-edges wholesale, so credit
+        granted through it is revoked first; sends that lost their
+        only receive go back into the unmatched set (the batch
+        criterion is "any ROUTE_RECEIVE child", checked live)."""
+        for send_id in self._match_by_recv.pop(recv.event_id, ()):
+            send = self._send_by_id.get(send_id)
+            if send is not None and not self._send_matched(send):
+                self._unmatched.setdefault(send.prefix, {})[send_id] = send
+        if self.streaming is None:
+            return
+        credited: Set[int] = set()
+        for parent, _evidence in self.streaming.graph.parents(
+            recv.event_id
+        ):
+            if (
+                parent.kind is IOKind.ROUTE_SEND
+                and parent.event_id in self._send_by_id
+            ):
+                credited.add(parent.event_id)
+                send = self._send_by_id[parent.event_id]
+                bucket = self._unmatched.get(send.prefix)
+                if bucket is not None:
+                    bucket.pop(parent.event_id, None)
+        if credited:
+            self._match_by_recv[recv.event_id] = credited

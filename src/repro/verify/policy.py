@@ -45,14 +45,36 @@ class Violation:
 
 
 class Policy:
-    """Base class; subclasses implement :meth:`check`."""
+    """Base class; subclasses implement :meth:`check_addresses`.
+
+    :meth:`check` probes every address in :meth:`probe_addresses`;
+    :meth:`check_addresses` restricts the probe set, which is how the
+    incremental verifier re-checks only the addresses a FIB delta can
+    affect.  The contract the differential oracle pins down:
+    ``check(s, t) == check_addresses(s, t, probe_addresses(s))``, and
+    checking addresses one at a time concatenates to the same result.
+    """
 
     name = "policy"
 
     def check(
         self, snapshot: DataPlaneSnapshot, topology: Topology
     ) -> List[Violation]:
+        return self.check_addresses(
+            snapshot, topology, self.probe_addresses(snapshot)
+        )
+
+    def check_addresses(
+        self,
+        snapshot: DataPlaneSnapshot,
+        topology: Topology,
+        addresses: Sequence[int],
+    ) -> List[Violation]:
         raise NotImplementedError
+
+    def probe_addresses(self, snapshot: DataPlaneSnapshot) -> List[int]:
+        """The addresses this policy probes on ``snapshot``."""
+        return self.addresses_of_interest(snapshot)
 
     def addresses_of_interest(self, snapshot: DataPlaneSnapshot) -> List[int]:
         """Default probe set: first address of every snapshot prefix."""
@@ -73,14 +95,18 @@ class LoopFreedomPolicy(Policy):
     def __init__(self, prefixes: Optional[Sequence[Prefix]] = None):
         self.prefixes = list(prefixes) if prefixes else None
 
-    def check(
-        self, snapshot: DataPlaneSnapshot, topology: Topology
+    def probe_addresses(self, snapshot: DataPlaneSnapshot) -> List[int]:
+        if self.prefixes is not None:
+            return [p.first_address() for p in self.prefixes]
+        return self.addresses_of_interest(snapshot)
+
+    def check_addresses(
+        self,
+        snapshot: DataPlaneSnapshot,
+        topology: Topology,
+        addresses: Sequence[int],
     ) -> List[Violation]:
         violations: List[Violation] = []
-        if self.prefixes is not None:
-            addresses = [p.first_address() for p in self.prefixes]
-        else:
-            addresses = self.addresses_of_interest(snapshot)
         for address in addresses:
             prefix = Prefix(address, 32)
             for source in self._internal_sources(snapshot, topology):
@@ -112,14 +138,18 @@ class BlackholeFreedomPolicy(Policy):
     def __init__(self, prefixes: Optional[Sequence[Prefix]] = None):
         self.prefixes = list(prefixes) if prefixes else None
 
-    def check(
-        self, snapshot: DataPlaneSnapshot, topology: Topology
+    def probe_addresses(self, snapshot: DataPlaneSnapshot) -> List[int]:
+        if self.prefixes is not None:
+            return [p.first_address() for p in self.prefixes]
+        return self.addresses_of_interest(snapshot)
+
+    def check_addresses(
+        self,
+        snapshot: DataPlaneSnapshot,
+        topology: Topology,
+        addresses: Sequence[int],
     ) -> List[Violation]:
         violations: List[Violation] = []
-        if self.prefixes is not None:
-            addresses = [p.first_address() for p in self.prefixes]
-        else:
-            addresses = self.addresses_of_interest(snapshot)
         for address in addresses:
             prefix = Prefix(address, 32)
             for source in self._internal_sources(snapshot, topology):
@@ -146,11 +176,19 @@ class ReachabilityPolicy(Policy):
         self.prefix = prefix
         self.sources = list(sources)
 
-    def check(
-        self, snapshot: DataPlaneSnapshot, topology: Topology
+    def probe_addresses(self, snapshot: DataPlaneSnapshot) -> List[int]:
+        return [self.prefix.first_address()]
+
+    def check_addresses(
+        self,
+        snapshot: DataPlaneSnapshot,
+        topology: Topology,
+        addresses: Sequence[int],
     ) -> List[Violation]:
         violations: List[Violation] = []
         address = self.prefix.first_address()
+        if address not in addresses:
+            return violations
         for source in self.sources:
             path, outcome = snapshot.trace(source, address)
             if outcome != "delivered":
@@ -185,11 +223,19 @@ class WaypointPolicy(Policy):
         self.waypoint = waypoint
         self.sources = list(sources) if sources else None
 
-    def check(
-        self, snapshot: DataPlaneSnapshot, topology: Topology
+    def probe_addresses(self, snapshot: DataPlaneSnapshot) -> List[int]:
+        return [self.prefix.first_address()]
+
+    def check_addresses(
+        self,
+        snapshot: DataPlaneSnapshot,
+        topology: Topology,
+        addresses: Sequence[int],
     ) -> List[Violation]:
         violations: List[Violation] = []
         address = self.prefix.first_address()
+        if address not in addresses:
+            return violations
         sources = self.sources or self._internal_sources(snapshot, topology)
         for source in sources:
             if source == self.waypoint:
@@ -252,8 +298,14 @@ class PreferredExitPolicy(Policy):
             return self.fallback_exit
         return None
 
-    def check(
-        self, snapshot: DataPlaneSnapshot, topology: Topology
+    def probe_addresses(self, snapshot: DataPlaneSnapshot) -> List[int]:
+        return [self.prefix.first_address()]
+
+    def check_addresses(
+        self,
+        snapshot: DataPlaneSnapshot,
+        topology: Topology,
+        addresses: Sequence[int],
     ) -> List[Violation]:
         required = self.required_exit(topology)
         if required is None:
@@ -261,6 +313,8 @@ class PreferredExitPolicy(Policy):
         required_uplink = self.uplink_of[required]
         violations: List[Violation] = []
         address = self.prefix.first_address()
+        if address not in addresses:
+            return violations
         sources = self.sources or self._internal_sources(snapshot, topology)
         for source in sources:
             path, outcome = snapshot.trace(source, address)

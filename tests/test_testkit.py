@@ -142,13 +142,14 @@ class TestExecutionDigest:
 
 
 class TestOracles:
-    def test_registry_has_the_six_oracles(self):
+    def test_registry_has_the_seven_oracles(self):
         assert list(ORACLES) == [
             "snapshot-consistency",
             "hbg-distributed",
             "hbg-indexed-equivalence",
             "whatif-replay",
             "provenance-rollback",
+            "verify-incremental-equivalence",
             "replay-determinism",
         ]
 

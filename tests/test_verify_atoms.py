@@ -1,0 +1,183 @@
+"""Property and metamorphic tests for the atom partition
+(:mod:`repro.verify.atoms`) — the Delta-net-style address-space
+refinement the incremental verifier scopes its re-checks with.
+
+The properties that make atoms usable as a verification index:
+
+* **disjoint + cover** — the atoms partition [0, 2^32) exactly;
+* **minimal refinement** — inserting one prefix adds at most two
+  boundaries (its first address and one-past-its-last);
+* **order independence** — any insertion order of the same prefix set
+  yields a byte-identical table (``to_bytes``), because boundaries
+  are monotone: nothing is ever merged away;
+* **query coherence** — ``atom_of`` and ``atoms_within`` agree with
+  the boundary list.
+"""
+
+import os
+import random
+import subprocess
+import sys
+
+import pytest
+
+from repro.net.addr import IPV4_MAX, Prefix
+from repro.verify.atoms import AtomTable
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+_END = IPV4_MAX + 1
+
+
+def _random_prefixes(seed, count):
+    rng = random.Random(f"atoms/{seed}")
+    prefixes = []
+    for _ in range(count):
+        length = rng.randint(0, 32)
+        prefixes.append(Prefix(rng.randint(0, IPV4_MAX), length))
+    return prefixes
+
+
+class TestPartitionProperties:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_atoms_disjoint_and_cover(self, seed):
+        table = AtomTable()
+        for prefix in _random_prefixes(seed, 40):
+            table.ensure(prefix)
+        atoms = table.atoms()
+        assert atoms[0][0] == 0
+        assert atoms[-1][1] == _END
+        for (a_start, a_end), (b_start, _b_end) in zip(atoms, atoms[1:]):
+            assert a_start < a_end
+            assert a_end == b_start  # contiguous => disjoint + covering
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_ensure_adds_at_most_two_boundaries(self, seed):
+        table = AtomTable()
+        for prefix in _random_prefixes(seed, 40):
+            before = table.atom_count()
+            added = table.ensure(prefix)
+            assert 0 <= added <= 2
+            assert table.atom_count() == before + added
+            # Re-inserting is a no-op: the refinement is minimal.
+            assert table.ensure(prefix) == 0
+
+    def test_prefix_boundaries_land_exactly(self):
+        table = AtomTable()
+        prefix = Prefix.parse("10.0.0.0/8")
+        table.ensure(prefix)
+        bounds = table.boundaries()
+        assert prefix.first_address() in bounds
+        assert prefix.last_address() + 1 in bounds
+
+    def test_universe_prefix_adds_nothing(self):
+        table = AtomTable()
+        assert table.ensure(Prefix(0, 0)) == 0
+        assert table.atom_count() == 1
+
+
+class TestOrderIndependence:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_permutation_byte_identity(self, seed):
+        prefixes = _random_prefixes(seed, 30)
+        reference = AtomTable()
+        for prefix in prefixes:
+            reference.ensure(prefix)
+        rng = random.Random(f"perm/{seed}")
+        for _ in range(5):
+            shuffled = list(prefixes)
+            rng.shuffle(shuffled)
+            table = AtomTable()
+            for prefix in shuffled:
+                table.ensure(prefix)
+            assert table.to_bytes() == reference.to_bytes()
+
+    def test_withdraw_has_no_inverse(self):
+        """Atoms are monotone: the table never coarsens, so replaying
+        announce/withdraw churn in any interleaving converges to the
+        same partition (what the incremental verifier relies on)."""
+        table = AtomTable()
+        table.ensure(Prefix.parse("10.0.0.0/8"))
+        frozen = table.to_bytes()
+        # There is deliberately no remove(); re-ensure is idempotent.
+        table.ensure(Prefix.parse("10.0.0.0/8"))
+        assert table.to_bytes() == frozen
+
+
+class TestQueries:
+    def test_atom_of_matches_atoms_within(self):
+        table = AtomTable()
+        overlapping = [
+            Prefix.parse("10.0.0.0/8"),
+            Prefix.parse("10.1.0.0/16"),
+            Prefix.parse("10.1.2.0/24"),
+            Prefix.parse("192.168.0.0/16"),
+        ]
+        for prefix in overlapping:
+            table.ensure(prefix)
+        for prefix in overlapping:
+            atoms = table.atoms_within(prefix)
+            # The union of the returned atoms is exactly the prefix range.
+            assert atoms[0][0] == prefix.first_address()
+            assert atoms[-1][1] == prefix.last_address() + 1
+            for (a_start, a_end), (b_start, _b) in zip(atoms, atoms[1:]):
+                assert a_end == b_start
+            for start, end in atoms:
+                assert table.atom_of(start) == (start, end)
+                assert table.atom_of(end - 1) == (start, end)
+
+    def test_nested_prefixes_refine(self):
+        table = AtomTable()
+        table.ensure(Prefix.parse("10.0.0.0/8"))
+        assert len(table.atoms_within(Prefix.parse("10.0.0.0/8"))) == 1
+        table.ensure(Prefix.parse("10.1.0.0/16"))
+        # The /8 now spans three atoms: before, the /16, and after.
+        assert len(table.atoms_within(Prefix.parse("10.0.0.0/8"))) == 3
+        assert len(table.atoms_within(Prefix.parse("10.1.0.0/16"))) == 1
+
+    def test_atom_of_out_of_range(self):
+        table = AtomTable()
+        with pytest.raises(ValueError):
+            table.atom_of(-1)
+        with pytest.raises(ValueError):
+            table.atom_of(_END)
+
+
+# Cross-process determinism, the hostile-hash-seed variant the DET
+# rules guard elsewhere: the canonical byte form must not depend on
+# interpreter hash randomisation (sets/dicts leaking into ordering).
+_SCRIPT = """
+import random
+from repro.net.addr import IPV4_MAX, Prefix
+from repro.verify.atoms import AtomTable
+
+rng = random.Random("atoms/xproc")
+table = AtomTable()
+for _ in range(200):
+    table.ensure(Prefix(rng.randint(0, IPV4_MAX), rng.randint(0, 32)))
+print(table.atom_count())
+print(table.to_bytes().decode("ascii"))
+"""
+
+
+def _run(hashseed):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    env["PYTHONHASHSEED"] = hashseed
+    proc = subprocess.run(
+        [sys.executable, "-c", _SCRIPT],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_atom_table_byte_identical_across_processes():
+    first = _run("1")
+    second = _run("2")
+    assert first == second
+    assert int(first.splitlines()[0]) > 1

@@ -1,0 +1,509 @@
+"""Adversarial tests for the incremental atom-based verifier.
+
+Every scenario here is chosen to break a naive "re-check only the
+delta's prefix" implementation:
+
+* overlapping /8 vs /24 prefixes, where longest-prefix-match makes a
+  delta on one prefix change trace outcomes for addresses probed on
+  behalf of the other;
+* withdraw-then-readvertise churn on one (router, prefix), where the
+  cut front must track the latest delta and the forwarding table must
+  not resurrect stale entries;
+* the Fig. 1c straggler feed through the incremental path: arriving
+  in per-router-lag order, the verifier must defer (inconsistent,
+  naming R2) rather than alarm on the phantom loop;
+* the 0→1 table transition, where a router's *first* FIB entry flips
+  the trace heuristic for every address — the one delta that is
+  deliberately not atom-local;
+* the cache-coherence hazard: persistent §5 memos served across a
+  rollback replay (event-id reuse) are stale unless ``invalidate()``
+  runs — and :class:`RepairEngine` runs it for registered
+  snapshotters.
+
+Each step is compared against the batch pipeline recomputed from
+scratch — the same contract the ``verify-incremental-equivalence``
+fuzz oracle checks on random workloads.
+"""
+
+import pytest
+
+from repro.capture.io_events import (
+    IOEvent,
+    IOKind,
+    RouteAction,
+    reset_event_ids,
+)
+from repro.hbr.graph import EdgeEvidence, HappensBeforeGraph
+from repro.hbr.inference import InferenceEngine
+from repro.net.addr import Prefix
+from repro.net.config import ConfigChange, local_pref_map
+from repro.repair.provenance import ProvenanceResult
+from repro.repair.rollback import RepairEngine
+from repro.scenarios.fig1 import Fig1Scenario
+from repro.scenarios.generators import (
+    build_random_network,
+    churn_workload,
+    external_prefixes,
+)
+from repro.scenarios.paper_net import P
+from repro.snapshot.base import DataPlaneSnapshot, VerifierView
+from repro.snapshot.consistent import ConsistentSnapshotter
+from repro.verify.incremental import IncrementalVerifier, incremental_engine
+from repro.verify.policy import BlackholeFreedomPolicy, LoopFreedomPolicy
+from repro.verify.verifier import DataPlaneVerifier
+
+P8 = Prefix.parse("10.0.0.0/8")
+P24 = Prefix.parse("10.1.0.0/24")
+Q16 = Prefix.parse("192.168.0.0/16")
+
+
+def _fib(router, prefix, t, next_hop=None, action=RouteAction.ANNOUNCE):
+    attrs = {}
+    if next_hop is not None:
+        attrs["next_hop_router"] = next_hop
+    return IOEvent.create(
+        router,
+        IOKind.FIB_UPDATE,
+        t,
+        protocol="bgp",
+        prefix=prefix,
+        action=action,
+        attrs=attrs,
+    )
+
+
+def _verifier(topology, policies, internal=("R1", "R2", "R3"), view=None):
+    engine = incremental_engine()
+    streaming = engine.streaming()
+    verifier = IncrementalVerifier(
+        internal,
+        topology=topology,
+        policies=policies,
+        view=view,
+        engine=engine,
+    ).attach(streaming)
+    return verifier, streaming
+
+
+def _assert_matches_batch(verifier, fed, internal, topology, policies, prefix):
+    """Recompute the batch pipeline from scratch and compare."""
+    graph = InferenceEngine().build_graph(fed)
+    batch_report = ConsistentSnapshotter(None, internal).check(
+        graph, fed, prefix=prefix, at=verifier.clock
+    )
+    inc_report = verifier.last_report(prefix)
+    assert inc_report.consistent == batch_report.consistent
+    assert inc_report.missing_routers == batch_report.missing_routers
+    snapshot = DataPlaneSnapshot.from_fib_events(fed)
+    batch_violations = [
+        v for policy in policies for v in policy.check(snapshot, topology)
+    ]
+    assert verifier.violations() == batch_violations
+    return batch_violations
+
+
+class TestOverlappingPrefixes:
+    """A /24 inside a /8: LPM couples the two prefixes' verdicts."""
+
+    def test_loop_on_more_specific_only(self, paper_network):
+        topology = paper_network.topology
+        policies = (LoopFreedomPolicy(), BlackholeFreedomPolicy())
+        verifier, streaming = _verifier(topology, policies)
+        fed = []
+
+        def step(event):
+            streaming.observe(event)
+            fed.append(event)
+            return _assert_matches_batch(
+                verifier, fed, ("R1", "R2", "R3"), topology, policies,
+                event.prefix,
+            )
+
+        # Clean /8 everywhere: R2, R3 forward to R1, R1 delivers.
+        assert step(_fib("R1", P8, 1.0)) == []
+        assert step(_fib("R2", P8, 1.1, next_hop="R1")) == []
+        assert step(_fib("R3", P8, 1.2, next_hop="R1")) == []
+        assert verifier.atoms.atom_count() == 3  # below, /8, above
+
+        # A /24 loop strictly inside the /8: R1 <-> R2 for 10.1.0.0,
+        # while the /8 probe address 10.0.0.0 stays clean.
+        step(_fib("R1", P24, 2.0, next_hop="R2"))
+        found = step(_fib("R2", P24, 2.1, next_hop="R1"))
+        loops = [v for v in found if v.policy == "loop-freedom"]
+        assert loops, "expected the /24 forwarding loop"
+        assert all(v.prefix == Prefix(P24.first_address(), 32) for v in loops)
+        # The /8's own probe address never alarms.
+        assert not any(
+            v.prefix == Prefix(P8.first_address(), 32) for v in found
+        )
+        # The /24 split the /8's atom range.
+        assert len(verifier.atoms.atoms_within(P8)) == 3
+
+        # Withdrawing R2's /24 does NOT clear the loop: R2 now matches
+        # 10.1.0.0 through its /8 entry, which still points at R1 —
+        # exactly the cross-prefix coupling a per-prefix-only
+        # invalidation would miss (the batch comparison pins it).
+        found = step(_fib("R2", P24, 3.0, action=RouteAction.WITHDRAW))
+        assert any(v.policy == "loop-freedom" for v in found)
+
+        # Only withdrawing R1's /24 too restores loop freedom.
+        found = step(_fib("R1", P24, 3.1, action=RouteAction.WITHDRAW))
+        assert found == []
+
+
+class TestWithdrawReadvertiseChurn:
+    def test_cut_front_tracks_latest_delta(self, paper_network):
+        topology = paper_network.topology
+        policies = (LoopFreedomPolicy(), BlackholeFreedomPolicy())
+        verifier, streaming = _verifier(topology, policies)
+        fed = []
+        sequence = [
+            _fib("R1", P8, 1.0),
+            _fib("R1", P8, 1.5, action=RouteAction.WITHDRAW),
+            _fib("R1", P8, 2.0, next_hop="R2"),
+            _fib("R2", P8, 2.1),
+            _fib("R1", P8, 2.5, action=RouteAction.WITHDRAW),
+            _fib("R1", P8, 3.0),
+        ]
+        for event in sequence:
+            streaming.observe(event)
+            fed.append(event)
+            _assert_matches_batch(
+                verifier, fed, ("R1", "R2", "R3"), topology, policies, P8
+            )
+        # Churn on one (router, prefix) never grows the atom table.
+        assert verifier.atoms.atom_count() == 3
+        # The final announce wins: R1 delivers directly again.
+        entry = verifier.snapshot.entry("R1", P8)
+        assert entry is not None
+        assert entry.next_hop_router is None
+        assert entry.source_event_id == sequence[-1].event_id
+
+    def test_generated_churn_with_straggler(self):
+        """A generated workload, fed in arrival order with one lagging
+        router, lands on the batch pipeline's exact final state."""
+        net, specs = build_random_network(5, uplinks=2, seed=3)
+        net.start()
+        churn_workload(
+            net, specs, external_prefixes(3), events=6, start=2.0, seed=3
+        )
+        net.run(60)
+        internal = net.topology.internal_routers()
+        view = VerifierView(net.collector, lags={internal[0]: 0.3})
+        policies = (LoopFreedomPolicy(), BlackholeFreedomPolicy())
+        verifier, streaming = _verifier(
+            net.topology, policies, internal=internal, view=view
+        )
+        fed = sorted(
+            net.collector.all_events(),
+            key=lambda e: (view.arrival_time(e), e.event_id),
+        )
+        withdrawals = 0
+        for event in fed:
+            streaming.observe(event)
+            if (
+                event.kind is IOKind.FIB_UPDATE
+                and event.action is RouteAction.WITHDRAW
+            ):
+                withdrawals += 1
+        assert withdrawals > 0, "workload produced no withdraw churn"
+        assert verifier.deltas_applied > 0
+        for prefix in sorted(
+            verifier.snapshot.all_prefixes() | set(external_prefixes(3))
+        ):
+            verifier.consistency(prefix)
+            _assert_matches_batch(
+                verifier, fed, internal, net.topology, policies, prefix
+            )
+
+
+class TestFig1cIncremental:
+    def test_straggler_defers_instead_of_phantom_loop(self, fast_delays):
+        scenario = Fig1Scenario(seed=0, delays=fast_delays)
+        net = scenario.run_fig1b()
+        view = VerifierView(net.collector, lags={"R2": 0.5})
+        internal = net.topology.internal_routers()
+        policies = (LoopFreedomPolicy(prefixes=[P]),)
+        verifier, streaming = _verifier(
+            net.topology, policies, internal=internal, view=view
+        )
+        arrival_order = sorted(
+            net.collector.all_events(),
+            key=lambda e: (view.arrival_time(e), e.event_id),
+        )
+        deferred_on_r2 = False
+        phantom = False
+        for event in arrival_order:
+            streaming.observe(event)
+            if event.kind is not IOKind.FIB_UPDATE or event.prefix is None:
+                continue
+            report = verifier.consistency(P)
+            if not report.consistent and "R2" in report.missing_routers:
+                deferred_on_r2 = True
+            if report.consistent and any(
+                v.policy == "loop-freedom" for v in verifier.violations()
+            ):
+                phantom = True
+        # The Fig. 1c window exists (R2's log lags, the cut is refused
+        # naming R2) ...
+        assert deferred_on_r2
+        # ... and no consistent cut ever exhibited the phantom loop.
+        assert not phantom
+        # Once every log has drained, the verdict closes clean.
+        final = verifier.consistency(P)
+        assert final.consistent
+        assert verifier.violations() == []
+
+
+class TestFirstEntryGlobalRecheck:
+    def test_unrelated_prefix_flips_trace_heuristic(self, paper_network):
+        """R2's first-ever FIB entry turns R2 from "external, assume
+        delivered" into "internal, may blackhole" for EVERY address —
+        a delta whose policy impact escapes its own atoms."""
+        topology = paper_network.topology
+        policies = (LoopFreedomPolicy(), BlackholeFreedomPolicy())
+        verifier, streaming = _verifier(topology, policies)
+        fed = []
+
+        event = _fib("R1", P8, 1.0, next_hop="R2")
+        streaming.observe(event)
+        fed.append(event)
+        # R2 has no table yet: the hop into it counts as delivered.
+        assert verifier.violations() == []
+        _assert_matches_batch(
+            verifier, fed, ("R1", "R2", "R3"), topology, policies, P8
+        )
+
+        # R2's first entry is for a DISJOINT prefix — its atoms do not
+        # overlap the /8 — yet the blackhole for 10.0.0.0 must appear.
+        event = _fib("R2", Q16, 2.0)
+        streaming.observe(event)
+        fed.append(event)
+        found = _assert_matches_batch(
+            verifier, fed, ("R1", "R2", "R3"), topology, policies, Q16
+        )
+        blackholes = [v for v in found if v.policy == "blackhole-freedom"]
+        assert blackholes, "expected the 0->1 transition blackhole"
+        assert blackholes[0].router == "R1"
+        assert blackholes[0].prefix == Prefix(P8.first_address(), 32)
+
+
+class TestRollbackInvalidation:
+    """Event-id reuse across a replay poisons persistent memos."""
+
+    def _first_run(self):
+        reset_event_ids()
+        recv = IOEvent.create(
+            "R1",
+            IOKind.ROUTE_RECEIVE,
+            1.0,
+            protocol="bgp",
+            prefix=P8,
+            action=RouteAction.ANNOUNCE,
+            peer="R2",
+        )
+        fib = IOEvent.create(
+            "R1",
+            IOKind.FIB_UPDATE,
+            1.01,
+            protocol="bgp",
+            prefix=P8,
+            action=RouteAction.ANNOUNCE,
+        )
+        graph = HappensBeforeGraph()
+        graph.add_event(recv)
+        graph.add_event(fib)
+        graph.add_edge(
+            recv.event_id, fib.event_id, EdgeEvidence(technique="rule")
+        )
+        return graph, fib
+
+    def _replay_run(self):
+        """Same event ids as :meth:`_first_run`, different history:
+        this time R2's send (and its own FIB update) are present."""
+        reset_event_ids()
+        recv = IOEvent.create(
+            "R1",
+            IOKind.ROUTE_RECEIVE,
+            1.0,
+            protocol="bgp",
+            prefix=P8,
+            action=RouteAction.ANNOUNCE,
+            peer="R2",
+        )
+        fib = IOEvent.create(
+            "R1",
+            IOKind.FIB_UPDATE,
+            1.01,
+            protocol="bgp",
+            prefix=P8,
+            action=RouteAction.ANNOUNCE,
+        )
+        send = IOEvent.create(
+            "R2",
+            IOKind.ROUTE_SEND,
+            0.99,
+            protocol="bgp",
+            prefix=P8,
+            action=RouteAction.ANNOUNCE,
+            peer="R1",
+        )
+        fib_r2 = IOEvent.create(
+            "R2",
+            IOKind.FIB_UPDATE,
+            0.98,
+            protocol="bgp",
+            prefix=P8,
+            action=RouteAction.ANNOUNCE,
+        )
+        graph = HappensBeforeGraph()
+        for event in (recv, fib, send, fib_r2):
+            graph.add_event(event)
+        graph.add_edge(
+            send.event_id, recv.event_id, EdgeEvidence(technique="rule")
+        )
+        graph.add_edge(
+            recv.event_id, fib.event_id, EdgeEvidence(technique="rule")
+        )
+        return graph, fib, fib_r2
+
+    def test_stale_without_invalidate_fresh_with(self):
+        snapshotter = ConsistentSnapshotter(
+            None, ("R1", "R2"), persistent_memo=True
+        )
+        graph1, fib1 = self._first_run()
+        snapshotter.note_fib_event(fib1)
+        first = snapshotter.check_incremental(
+            graph1, [fib1], [], prefix=P8, at=1.05
+        )
+        assert not first.consistent
+        assert first.missing_routers == {"R2"}
+
+        graph2, fib2, fib_r2 = self._replay_run()
+        # Ground truth: a fresh batch check calls the replay consistent.
+        fresh = ConsistentSnapshotter(None, ("R1", "R2")).check_incremental(
+            graph2, [fib2, fib_r2], [], prefix=P8, at=1.05
+        )
+        assert fresh.consistent
+
+        # The hazard: without invalidation the persistent snapshotter
+        # serves the first run's cached verdict for the reused id.
+        snapshotter.note_fib_event(fib2)
+        snapshotter.note_fib_event(fib_r2)
+        stale = snapshotter.check_incremental(
+            graph2, [fib2, fib_r2], [], prefix=P8, at=1.05
+        )
+        assert not stale.consistent, (
+            "memo invalidation made id reuse safe? update this test and "
+            "the INCREMENTAL_VERIFY.md hazard note"
+        )
+
+        # The fix: invalidate() between runs restores correctness.
+        snapshotter.invalidate()
+        snapshotter.note_fib_event(fib2)
+        snapshotter.note_fib_event(fib_r2)
+        after = snapshotter.check_incremental(
+            graph2, [fib2, fib_r2], [], prefix=P8, at=1.05
+        )
+        assert after.consistent
+
+    def test_repair_engine_invalidates_registered_snapshotters(self):
+        change = ConfigChange(
+            "R1",
+            "set_route_map",
+            key="r1-uplink-lp",
+            value=local_pref_map("r1-uplink-lp", 5),
+            description="bad change",
+        )
+        change.previous = local_pref_map("r1-uplink-lp", 100)
+        cause = IOEvent.create(
+            "R1",
+            IOKind.CONFIG_CHANGE,
+            1.0,
+            attrs={"change_id": change.change_id},
+        )
+        target = IOEvent.create(
+            "R1",
+            IOKind.FIB_UPDATE,
+            2.0,
+            protocol="bgp",
+            prefix=P8,
+            action=RouteAction.ANNOUNCE,
+        )
+        provenance = ProvenanceResult(
+            target=target,
+            root_causes=[cause],
+            chains={cause.event_id: [cause, target]},
+            ancestry={cause.event_id},
+            min_confidence=0.0,
+        )
+
+        class _FakeConfigs:
+            def routers(self):
+                return ["R1"]
+
+            def changes(self, router):
+                return [change]
+
+        class _FakeSim:
+            now = 2.5
+
+        class _FakeNetwork:
+            configs = _FakeConfigs()
+            sim = _FakeSim()
+
+            def __init__(self):
+                self.applied = []
+
+            def apply_config_change(self, applied_change):
+                self.applied.append(applied_change)
+
+        class _Spy:
+            calls = 0
+
+            def invalidate(self):
+                self.calls += 1
+
+        spy = _Spy()
+        network = _FakeNetwork()
+        engine = RepairEngine(
+            network, DataPlaneVerifier(None, []), snapshotters=[spy]
+        )
+        report = engine.repair(provenance, settle=0)
+        assert any(action.succeeded for action in report.actions)
+        assert network.applied, "inverse change was not applied"
+        assert spy.calls == 1, "registered snapshotter was not invalidated"
+
+        # No successful revert -> caches stay warm (no invalidation).
+        hardware = IOEvent.create(
+            "R1", IOKind.HARDWARE_STATUS, 1.0, attrs={"link": "R1|R2"}
+        )
+        unrepairable = ProvenanceResult(
+            target=target,
+            root_causes=[hardware],
+            chains={hardware.event_id: [hardware, target]},
+            ancestry={hardware.event_id},
+            min_confidence=0.0,
+        )
+        engine.repair(unrepairable, settle=0)
+        assert spy.calls == 1
+
+
+class TestWiring:
+    def test_attach_requires_full_relink(self):
+        engine = InferenceEngine()
+        verifier = IncrementalVerifier(("R1",), engine=engine)
+        with pytest.raises(ValueError, match="full_relink"):
+            verifier.attach(engine.streaming())
+
+    def test_invalidate_resets_derived_state(self, paper_network):
+        policies = (LoopFreedomPolicy(),)
+        verifier, streaming = _verifier(paper_network.topology, policies)
+        streaming.observe(_fib("R1", P8, 1.0, next_hop="R2"))
+        streaming.observe(_fib("R2", P8, 1.1, next_hop="R1"))
+        assert verifier.violations()
+        assert verifier.snapshot.routers()
+        verifier.invalidate()
+        assert verifier.violations() == []
+        assert verifier.snapshot.routers() == []
+        assert verifier.last_report(P8) is None
