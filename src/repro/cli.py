@@ -32,6 +32,7 @@ import time
 from typing import List, Optional
 
 from repro import obs
+from repro.obs.atomicio import atomic_write_text
 from repro.obs.export import (
     RENDERERS,
     format_table,
@@ -504,8 +505,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         else:
             rendered = RENDERERS[args.format](registry, tracer)
         if args.output:
-            with open(args.output, "w") as handle:
-                handle.write(rendered + "\n")
+            atomic_write_text(args.output, rendered + "\n")
             print(f"wrote {args.format} metrics report to {args.output}")
         else:
             print(rendered)
@@ -871,8 +871,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         return 1
 
     if args.output:
-        with open(args.output, "w") as handle:
-            handle.write(rendered + "\n")
+        atomic_write_text(args.output, rendered + "\n")
         print(
             f"wrote {args.format} trace for scenario {args.scenario!r} "
             f"to {args.output} ({len(graph.events())} HBG events, "
@@ -924,7 +923,11 @@ def _cmd_serve_metrics(args: argparse.Namespace) -> int:
     # with SIGINT ignored, so TERM is the only signal a pipeline can
     # rely on.  signal.signal only works from the main thread; when
     # invoked elsewhere (tests), fall through without a handler.
+    # One-shot: supervisors that signal the whole process group (GNU
+    # timeout, docker stop) deliver TERM more than once, and a repeat
+    # mid-cleanup would abort the shutdown it asked for.
     def _on_sigterm(signum: int, frame: object) -> None:
+        signal.signal(signal.SIGTERM, signal.SIG_IGN)
         raise KeyboardInterrupt
 
     previous_sigterm = None
@@ -936,6 +939,8 @@ def _cmd_serve_metrics(args: argparse.Namespace) -> int:
     obs.enable()
     obs.enable_ledger()
     obs.enable_recording()
+    if args.verdict_ledger:
+        obs.enable_verdicts(path=args.verdict_ledger)
     if args.profile:
         obs.enable_profiling()
     try:
@@ -951,6 +956,13 @@ def _cmd_serve_metrics(args: argparse.Namespace) -> int:
         elif args.scenario != "none":
             with contextlib.redirect_stdout(warmup_output):
                 _STATS_SCENARIOS[args.scenario](args)
+        if args.verdict_ledger:
+            # One planted-violation replay guarantees the detection /
+            # exposure SLIs have samples and the ledger holds both a
+            # failing and a recovering verdict before the first scrape.
+            with contextlib.redirect_stdout(warmup_output):
+                _run_continuous_replay("fig2", seed=args.seed, repair=True)
+            obs.get_verdicts().flush()
         obs.get_ledger().refresh()
 
         engine = HealthEngine(rules=rules)
@@ -968,7 +980,7 @@ def _cmd_serve_metrics(args: argparse.Namespace) -> int:
         server.start()
         print(
             f"serving on {server.url} — /metrics /healthz "
-            f"/resources.json /profile.speedscope.json "
+            f"/resources.json /verdicts.json /profile.speedscope.json "
             f"(scenario={args.scenario}, tick every {args.interval:g}s"
             + (f", stopping after {args.duration:g}s)" if args.duration else ")")
         )
@@ -1016,8 +1028,187 @@ def _cmd_serve_metrics(args: argparse.Namespace) -> int:
         if previous_sigterm is not None:
             signal.signal(signal.SIGTERM, previous_sigterm)
         obs.disable_profiling()
+        obs.disable_verdicts()
         obs.disable_recording()
         obs.disable_ledger()
+        obs.disable()
+
+
+#: Scenarios runnable under ``repro watch`` (continuous replay).
+_WATCH_SCENARIOS = ("fig1", "fig2", "fig5")
+
+
+def _run_continuous_replay(
+    scenario: str,
+    seed: int = 0,
+    repair: bool = True,
+    progress=None,
+):
+    """Replay one scenario through the streaming verifier with the
+    continuous monitor attached; returns ``(net, verifier, monitor)``.
+
+    The monitor subscribes *before* the verifier so watermarks and
+    first-suspect timestamps are updated before each verdict fires —
+    detection latency is measured from the FIB update that made a
+    prefix suspect, not from the verdict that judged it.  When
+    ``repair`` is set and the replay ends with open violations, the
+    root cause is traced and rolled back so the ledger also records
+    the recovery (exposure windows close).
+    """
+    from repro.obs.continuous import ContinuousMonitor
+    from repro.snapshot.base import VerifierView
+    from repro.verify.incremental import (
+        IncrementalVerifier,
+        incremental_engine,
+    )
+    from repro.verify.policy import (
+        BlackholeFreedomPolicy,
+        LoopFreedomPolicy,
+    )
+
+    if scenario == "fig2":
+        from repro.scenarios.fig2 import Fig2Scenario
+        from repro.scenarios.paper_net import P, paper_policy
+
+        net = Fig2Scenario(seed=seed).run_fig2a()
+        policies = [paper_policy(), LoopFreedomPolicy(prefixes=[P])]
+    elif scenario == "fig1":
+        from repro.scenarios.fig1 import Fig1Scenario
+
+        net = Fig1Scenario(seed=seed).run_fig1b()
+        policies = [LoopFreedomPolicy(), BlackholeFreedomPolicy()]
+    elif scenario == "fig5":
+        from repro.scenarios.fig5 import Fig5Scenario
+
+        net = Fig5Scenario(seed=seed).run_localpref_change()
+        policies = [LoopFreedomPolicy(), BlackholeFreedomPolicy()]
+    else:
+        raise ValueError(f"unknown watch scenario {scenario!r}")
+
+    internal = net.topology.internal_routers()
+    view = VerifierView(net.collector)
+    engine = incremental_engine()
+    streaming = engine.streaming()
+    monitor = ContinuousMonitor(view=view).attach(streaming)
+    verifier = IncrementalVerifier(
+        internal,
+        topology=net.topology,
+        policies=policies,
+        view=view,
+        engine=engine,
+    ).attach(streaming)
+    monitor.atoms = verifier.atoms
+    verdicts = obs.get_verdicts()
+    if verdicts.enabled:
+        monitor.bind_ledger(verdicts)
+
+    ordered = sorted(
+        net.collector.all_events(),
+        key=lambda e: (view.arrival_time(e), e.event_id),
+    )
+    for index, event in enumerate(ordered, start=1):
+        streaming.observe(event)
+        if progress is not None:
+            progress(index, len(ordered))
+
+    if repair and verifier.violations():
+        from repro.capture.io_events import IOKind
+        from repro.repair.provenance import ProvenanceTracer
+        from repro.repair.rollback import RepairEngine
+        from repro.verify.verifier import DataPlaneVerifier
+
+        violated = {
+            v.prefix for v in verifier.violations() if v.prefix is not None
+        }
+        # Only FIB churn after the most recent config change is suspect:
+        # tracing the baseline announcements too would let the repair
+        # engine revert legitimate steady state.
+        cutoff = max(
+            (
+                e.timestamp
+                for e in net.collector.all_events()
+                if e.kind is IOKind.CONFIG_CHANGE
+            ),
+            default=0.0,
+        )
+        fibs = [
+            e
+            for e in net.collector.all_events()
+            if e.kind is IOKind.FIB_UPDATE
+            and e.prefix in violated
+            and e.timestamp > cutoff
+        ]
+        if fibs:
+            provenance = ProvenanceTracer(streaming.graph).trace_many(
+                [e.event_id for e in fibs]
+            )
+            RepairEngine(
+                net, DataPlaneVerifier(net.topology, policies)
+            ).repair(provenance, settle=30.0)
+            # Stream the recovery too: the rollback emitted fresh
+            # config/FIB events, and feeding them through the same
+            # verifier flips the per-router verdicts back to PASS.
+            fed = {e.event_id for e in ordered}
+            tail = sorted(
+                (
+                    e
+                    for e in net.collector.all_events()
+                    if e.event_id not in fed
+                ),
+                key=lambda e: (view.arrival_time(e), e.event_id),
+            )
+            for event in tail:
+                streaming.observe(event)
+    return net, verifier, monitor
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    """Replay a scenario and render the continuous-verification table."""
+    from repro.obs.continuous import render_watch_table
+
+    obs.enable()
+    obs.enable_verdicts(path=args.verdict_ledger)
+    try:
+
+        def _redraw(index: int, total: int) -> None:
+            if args.refresh <= 0 or index % args.refresh:
+                return
+            sys.stdout.write("\x1b[2J\x1b[H")
+            print(render_watch_table(obs.get_registry(), obs.get_verdicts()))
+            print(f"... replayed {index}/{total} event(s)")
+
+        try:
+            net, verifier, monitor = _run_continuous_replay(
+                args.scenario,
+                seed=args.seed,
+                repair=not args.no_repair,
+                progress=_redraw,
+            )
+        except ValueError as exc:
+            print(f"repro watch: {exc}", file=sys.stderr)
+            return 2
+        verdicts = obs.get_verdicts()
+        verdicts.flush()
+        if args.refresh > 0:
+            sys.stdout.write("\x1b[2J\x1b[H")
+        print(render_watch_table(obs.get_registry(), verdicts))
+        exposed = monitor.exposed_prefixes()
+        print(
+            f"replayed {monitor.tracker.events_seen} event(s) "
+            f"(scenario={args.scenario}, seed={args.seed}): "
+            f"{len(verdicts)} verdict(s), "
+            f"{monitor.detections} detection(s), "
+            f"{monitor.exposures_closed} exposure(s) closed, "
+            f"{len(exposed)} still exposed"
+        )
+        if args.verdict_ledger:
+            print(
+                f"wrote verdict ledger ({len(verdicts)} record(s)) "
+                f"to {args.verdict_ledger}"
+            )
+        return 1 if exposed else 0
+    finally:
+        obs.disable_verdicts()
         obs.disable()
 
 
@@ -1443,6 +1634,16 @@ def build_parser() -> argparse.ArgumentParser:
             "'p99: inference.build_graph_seconds.p99 <= 0.5'"
         ),
     )
+    serve.add_argument(
+        "--verdict-ledger",
+        default=None,
+        metavar="FILE",
+        help=(
+            "enable the verdict ledger, persist it to FILE, and run a "
+            "planted-violation replay during warmup so /verdicts.json "
+            "and the detection/exposure SLIs have data"
+        ),
+    )
     # The audit scenario's knobs, mirroring `repro stats`.
     serve.add_argument("--routers", type=int, default=8)
     serve.add_argument("--uplinks", type=int, default=2)
@@ -1452,6 +1653,45 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=None)
     serve.add_argument("--legacy-scan", action="store_true")
     serve.set_defaults(func=_cmd_serve_metrics)
+
+    watch = sub.add_parser(
+        "watch",
+        help=(
+            "replay a scenario through the streaming verifier and "
+            "render the continuous-verification status table"
+        ),
+    )
+    watch.add_argument(
+        "--scenario",
+        choices=_WATCH_SCENARIOS,
+        default="fig2",
+        help=(
+            "scenario to replay; fig2 plants the paper's §2 violation "
+            "(default: fig2)"
+        ),
+    )
+    watch.add_argument(
+        "--verdict-ledger",
+        default=None,
+        metavar="FILE",
+        help="persist the verdict ledger (repro-verdicts/v1 JSONL) here",
+    )
+    watch.add_argument(
+        "--refresh",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "redraw the table every N replayed events "
+            "(default: 0 = render once at the end)"
+        ),
+    )
+    watch.add_argument(
+        "--no-repair",
+        action="store_true",
+        help="skip root-cause rollback; exposures stay open on exit",
+    )
+    watch.set_defaults(func=_cmd_watch)
 
     from repro.obs.benchdiff import (
         DEFAULT_MIN_ABS,

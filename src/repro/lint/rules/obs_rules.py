@@ -80,7 +80,21 @@ LEDGER_SITES: Dict[str, Sequence[Tuple[str, str]]] = {
     "repro.obs.trace.recorder": (
         ("FlightRecorder.__init__", "obs.recorder"),
     ),
+    "repro.obs.ledger": (("VerdictLedger.__init__", "obs.verdicts"),),
     "repro.testkit.runner": (("FuzzRunner.run", "testkit.corpus"),),
+}
+
+#: module -> (qualname, verdict kind) pairs: functions that must
+#: append to the verdict ledger (:mod:`repro.obs.ledger`).  One entry
+#: per kind in :data:`repro.obs.ledger.KINDS` — the drift test in
+#: tests/test_verdicts.py enforces the bijection, so a refactor
+#: cannot silently drop a verdict kind from the continuous record.
+VERDICT_SITES: Dict[str, Sequence[Tuple[str, str]]] = {
+    "repro.verify.verifier": (("DataPlaneVerifier.verify", "snapshot"),),
+    "repro.verify.incremental": (
+        ("IncrementalVerifier.apply", "incremental"),
+    ),
+    "repro.repair.rollback": (("RepairEngine.repair", "rollback"),),
 }
 
 #: Names whose presence in a function body counts as instrumentation.
@@ -100,6 +114,11 @@ _TRACE_NAMES = frozenset({"recorder"})
 #: ``ledger = obs.get_ledger()`` and guards on ``ledger.enabled``, so
 #: the bound ledger is the witness.
 _LEDGER_NAMES = frozenset({"ledger"})
+
+#: And for verdict sites: ``verdicts = obs.get_verdicts()`` plus one
+#: ``verdicts.enabled`` guard, so the bound verdict ledger is the
+#: witness (a metrics-only ``obs`` reference must not satisfy it).
+_VERDICT_NAMES = frozenset({"verdicts"})
 
 
 def _collect_functions(
@@ -153,6 +172,7 @@ class InstrumentationRule(Rule):
         entry_points: Optional[Dict[str, Sequence[str]]] = None,
         trace_sites: Optional[Dict[str, Sequence[Tuple[str, str]]]] = None,
         ledger_sites: Optional[Dict[str, Sequence[Tuple[str, str]]]] = None,
+        verdict_sites: Optional[Dict[str, Sequence[Tuple[str, str]]]] = None,
     ) -> None:
         self.entry_points = (
             entry_points if entry_points is not None else STAGE_ENTRY_POINTS
@@ -163,12 +183,16 @@ class InstrumentationRule(Rule):
         self.ledger_sites = (
             ledger_sites if ledger_sites is not None else LEDGER_SITES
         )
+        self.verdict_sites = (
+            verdict_sites if verdict_sites is not None else VERDICT_SITES
+        )
 
     def applies_to(self, ctx: FileContext) -> bool:
         return (
             ctx.module in self.entry_points
             or ctx.module in self.trace_sites
             or ctx.module in self.ledger_sites
+            or ctx.module in self.verdict_sites
         )
 
     def finish_file(self, ctx: FileContext) -> Optional[Iterable[Finding]]:
@@ -244,6 +268,30 @@ class InstrumentationRule(Rule):
                         f"ledger site '{qualname}' does not reference the "
                         f"resource ledger (must register component "
                         f"'{component}'; bind it via obs.get_ledger())",
+                    )
+                )
+        for qualname, kind in self.verdict_sites.get(ctx.module, ()):
+            func = functions.get(qualname)
+            if func is None:
+                findings.append(
+                    ctx.finding(
+                        self,
+                        ctx.tree,
+                        f"configured verdict site '{qualname}' not found; "
+                        "update VERDICT_SITES in "
+                        "repro/lint/rules/obs_rules.py",
+                        severity=Severity.ERROR,
+                    )
+                )
+                continue
+            if not _references_names(func, _VERDICT_NAMES):
+                findings.append(
+                    ctx.finding(
+                        self,
+                        func,
+                        f"verdict site '{qualname}' does not reference the "
+                        f"verdict ledger (must record kind '{kind}'; bind "
+                        "it via obs.get_verdicts())",
                     )
                 )
         return findings

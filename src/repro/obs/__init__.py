@@ -53,6 +53,12 @@ from repro.obs.profiler import (
     DeterministicProfiler,
     NullProfiler,
 )
+from repro.obs.ledger import (
+    NULL_VERDICTS,
+    NullVerdictLedger,
+    VerdictLedger,
+    VerdictRecord,
+)
 from repro.obs.resources import NULL_LEDGER, NullLedger, ResourceLedger
 from repro.obs.trace.recorder import (
     NULL_RECORDER,
@@ -79,6 +85,9 @@ __all__ = [
     "SpanRecord",
     "ResourceLedger",
     "NullLedger",
+    "VerdictLedger",
+    "VerdictRecord",
+    "NullVerdictLedger",
     "DeterministicProfiler",
     "NullProfiler",
     "enable",
@@ -95,6 +104,10 @@ __all__ = [
     "enable_ledger",
     "disable_ledger",
     "accounting",
+    "get_verdicts",
+    "enable_verdicts",
+    "disable_verdicts",
+    "verdicts",
     "enable_profiling",
     "disable_profiling",
     "profiling",
@@ -109,6 +122,7 @@ _tracer = NULL_TRACER
 _recorder = NULL_RECORDER
 _ledger = NULL_LEDGER
 _profiler = NULL_PROFILER
+_verdicts = NULL_VERDICTS
 
 
 def get_registry():
@@ -222,6 +236,68 @@ def accounting(sample: int = 64):
         yield enable_ledger(sample=sample)
     finally:
         _ledger = previous
+
+
+def get_verdicts():
+    """The process-wide verdict ledger (no-op unless enabled)."""
+    return _verdicts
+
+
+def enable_verdicts(
+    path: Optional[str] = None,
+    capacity: int = 4096,
+    rotate_records: int = 100_000,
+    flush_every: int = 256,
+) -> VerdictLedger:
+    """Install a fresh :class:`VerdictLedger`; returns it.
+
+    Independent of :func:`enable`, like recording and accounting:
+    verdict sites (``DataPlaneVerifier.verify``,
+    ``IncrementalVerifier.apply``, ``RepairEngine.repair``) start
+    appending the moment this is on, and pay one attribute check when
+    it is not.
+    """
+    global _verdicts
+    _verdicts = VerdictLedger(
+        path=path,
+        capacity=capacity,
+        rotate_records=rotate_records,
+        flush_every=flush_every,
+    )
+    return _verdicts
+
+
+def disable_verdicts() -> None:
+    """Flush and restore the no-op verdict ledger."""
+    global _verdicts
+    _verdicts.flush()
+    _verdicts = NULL_VERDICTS
+
+
+@contextmanager
+def verdicts(
+    path: Optional[str] = None,
+    capacity: int = 4096,
+    rotate_records: int = 100_000,
+    flush_every: int = 256,
+):
+    """``with obs.verdicts() as ledger: ...`` — scoped verdict logging.
+
+    Flushes and restores whatever ledger was installed before,
+    mirroring :func:`recording`.
+    """
+    global _verdicts
+    previous = _verdicts
+    try:
+        yield enable_verdicts(
+            path=path,
+            capacity=capacity,
+            rotate_records=rotate_records,
+            flush_every=flush_every,
+        )
+    finally:
+        _verdicts.flush()
+        _verdicts = previous
 
 
 def get_profiler():

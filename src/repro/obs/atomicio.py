@@ -1,0 +1,68 @@
+"""Atomic file publication: temp-file + ``os.replace``.
+
+Several artifacts in this repo are consumed by *other* processes —
+``repro stats --output`` feeds the CI ``bench diff`` gate, trace
+exports feed Perfetto, and the verdict ledger feeds operators'
+tooling.  A plain ``open(path, "w")`` that dies mid-write (OOM kill,
+SIGKILL, full disk) leaves a truncated file that the consumer then
+parses as corrupt-but-present data, which is strictly worse than no
+file at all.
+
+:func:`atomic_write_text` closes that window: the content is written
+to a uniquely named sibling temp file in the *same directory* (so the
+final rename never crosses a filesystem boundary) and published with
+``os.replace``, which POSIX guarantees is atomic.  Readers see either
+the complete old content or the complete new content, never a
+half-written mix, and a crash at any point leaves the destination
+untouched (the temp file is removed on failure).
+
+The ``write`` parameter exists for the fault-injection regression
+test: it lets a test substitute a writer that fails partway and then
+assert the destination was never disturbed.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Callable, Optional
+
+
+def atomic_write_text(
+    path: str,
+    text: str,
+    encoding: str = "utf-8",
+    write: Optional[Callable] = None,
+) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    ``write(handle, text)``, when given, replaces the default
+    ``handle.write(text)`` — the hook the fault-injecting regression
+    test uses to kill the writer mid-stream.  On any failure the temp
+    file is removed and ``path`` is left exactly as it was.
+    """
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    handle = tempfile.NamedTemporaryFile(
+        mode="w",
+        encoding=encoding,
+        dir=directory,
+        prefix="." + os.path.basename(path) + ".",
+        suffix=".tmp",
+        delete=False,
+    )
+    temp_path = handle.name
+    try:
+        with handle:
+            if write is None:
+                handle.write(text)
+            else:
+                write(handle, text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import json
 import re
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.obs.metrics import (
     MetricsRegistry,
@@ -265,6 +265,29 @@ def render_jsonl(
     return "\n".join(lines)
 
 
+#: The fixed ``le`` ladder for cumulative ``_bucket`` series.  Spans
+#: sub-millisecond pipeline latencies through the count-valued
+#: histograms (probe counts, atom fan-outs); everything beyond the
+#: last bound lands in ``+Inf``.  A fixed ladder keeps two runs of
+#: the same scenario byte-identical and lets PromQL aggregate across
+#: processes.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+    50.0,
+    100.0,
+    1000.0,
+    10000.0,
+)
+
+
 def _prom_name(name: str) -> str:
     return "repro_" + name.replace(".", "_").replace("-", "_")
 
@@ -315,7 +338,7 @@ def render_prometheus(
         lines.append(f"{name}{_prom_labels(gauge.labels)} {gauge.value:g}")
     for histogram in registry.histograms():
         name = _prom_name(histogram.name)
-        declare(name, "summary")
+        declare(name, "histogram")
         labels = histogram.labels
         for quantile, value in (
             ("0.5", histogram.percentile(50)),
@@ -326,6 +349,17 @@ def render_prometheus(
                 continue
             q_labels = labels + (("quantile", quantile),)
             lines.append(f"{name}{_prom_labels(q_labels)} {value:g}")
+        for bound, cumulative in zip(
+            DEFAULT_BUCKETS, histogram.bucket_counts(DEFAULT_BUCKETS)
+        ):
+            b_labels = labels + (("le", f"{bound:g}"),)
+            lines.append(
+                f"{name}_bucket{_prom_labels(b_labels)} {cumulative}"
+            )
+        inf_labels = labels + (("le", "+Inf"),)
+        lines.append(
+            f"{name}_bucket{_prom_labels(inf_labels)} {histogram.count}"
+        )
         lines.append(
             f"{name}_sum{_prom_labels(labels)} {histogram.sum:g}"
         )

@@ -303,6 +303,31 @@ DEFAULT_RULES: Tuple[HealthRule, ...] = (
         threshold=1.0,
         stat="p99",
     ),
+    # Continuous-verification SLIs (docs/OBSERVABILITY.md): burn-rate
+    # style ceilings on the tail of each histogram.  Missing metrics
+    # pass, so batch runs without the continuous monitor are
+    # unaffected.
+    HealthRule(
+        name="sli-detection-latency",
+        metric="verify.detection_latency_seconds",
+        op="<=",
+        threshold=30.0,
+        stat="p99",
+    ),
+    HealthRule(
+        name="sli-exposure",
+        metric="verify.exposure_seconds",
+        op="<=",
+        threshold=120.0,
+        stat="p99",
+    ),
+    HealthRule(
+        name="sli-verdict-staleness",
+        metric="verify.verdict_staleness_seconds",
+        op="<=",
+        threshold=60.0,
+        stat="p99",
+    ),
 )
 
 

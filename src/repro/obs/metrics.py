@@ -43,6 +43,7 @@ import random
 import threading
 import time
 import zlib
+from bisect import bisect_right
 from typing import Dict, Iterable, List, Optional, Tuple
 
 LabelKey = Tuple[Tuple[str, str], ...]
@@ -260,6 +261,31 @@ class Histogram:
             "p95": self.percentile(95),
             "p99": self.percentile(99),
         }
+
+    def bucket_counts(self, boundaries: Iterable[float]) -> List[int]:
+        """Cumulative observation counts at each upper bound.
+
+        The Prometheus ``_bucket{le=}`` series: for each boundary, how
+        many observations were ``<=`` it.  Exact while the reservoir
+        still holds every observation (``count <= max_samples``);
+        beyond that the reservoir's empirical CDF is scaled to the
+        true count.  Counts are clamped monotone non-decreasing, and
+        the caller's trailing ``+Inf`` bucket is always ``count``.
+        """
+        bounds = list(boundaries)
+        if not self._samples:
+            return [0 for _ in bounds]
+        ordered = sorted(self._samples)
+        held = len(ordered)
+        scale = self._count / held
+        counts: List[int] = []
+        floor = 0
+        for bound in bounds:
+            rank = bisect_right(ordered, bound)
+            scaled = min(self._count, int(round(rank * scale)))
+            floor = max(floor, scaled)
+            counts.append(floor)
+        return counts
 
     def __repr__(self) -> str:
         return (

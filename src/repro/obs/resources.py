@@ -55,6 +55,7 @@ KNOWN_COMPONENTS: Tuple[str, ...] = (
     "hbr.graph",
     "hbr.index",
     "obs.recorder",
+    "obs.verdicts",
     "snapshot.closure_cache",
     "testkit.corpus",
 )

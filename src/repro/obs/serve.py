@@ -14,6 +14,8 @@ four routes:
   failing (the shape load-balancers and Kubernetes probes expect);
 * ``GET /resources.json`` — the resource ledger's per-component
   bytes and high-watermarks;
+* ``GET /verdicts.json`` — the verdict ledger's bounded tail
+  (schema ``repro-verdicts/v1``; 404 when the ledger is off);
 * ``GET /profile.speedscope.json`` — the sampling profiler's current
   capture (404 when profiling is off).
 
@@ -138,6 +140,18 @@ class MetricsServer:
                 document = obs.get_ledger().document()
                 payload = json.dumps(document, indent=2, sort_keys=True)
                 return (200, "application/json", payload.encode("utf-8"))
+            if path in ("/verdicts.json", "/verdicts.json/"):
+                verdicts = obs.get_verdicts()
+                if not verdicts.enabled:
+                    return (
+                        404,
+                        "application/json",
+                        b'{"error": "verdict ledger is not enabled"}',
+                    )
+                payload = json.dumps(
+                    verdicts.document(), indent=2, sort_keys=True
+                )
+                return (200, "application/json", payload.encode("utf-8"))
             if path in (
                 "/profile.speedscope.json",
                 "/profile.speedscope.json/",
@@ -156,7 +170,7 @@ class MetricsServer:
                 "application/json",
                 b'{"error": "unknown path", "paths": '
                 b'["/metrics", "/healthz", "/resources.json", '
-                b'"/profile.speedscope.json"]}',
+                b'"/verdicts.json", "/profile.speedscope.json"]}',
             )
 
     def _make_handler(self) -> Type[BaseHTTPRequestHandler]:

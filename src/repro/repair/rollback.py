@@ -224,6 +224,29 @@ class RepairEngine:
                 failed=sum(1 for a in actions if not a.succeeded),
                 unrepairable=len(unrepairable),
             )
+        verdicts = obs.get_verdicts()
+        if verdicts.enabled:
+            reverted = sum(1 for a in actions if a.succeeded)
+            root_refs = tuple(
+                sorted(
+                    {a.root_cause.event_id for a in actions if a.succeeded}
+                    | {provenance.target.event_id}
+                )
+            )
+            verdicts.record(
+                kind="rollback",
+                at=self.network.sim.now,
+                ok=post.ok if post is not None else bool(reverted),
+                event_id=provenance.target.event_id,
+                event_time=provenance.target.timestamp,
+                detail="; ".join(a.note for a in actions if a.succeeded)
+                or "no revert applied",
+                violations=len(post.violations) if post is not None else 0,
+                refs=root_refs,
+                reverted=reverted,
+                failed=sum(1 for a in actions if not a.succeeded),
+                unrepairable=len(unrepairable),
+            )
         return RepairReport(
             actions=actions,
             post_verification=post,

@@ -184,6 +184,11 @@ class FuzzRunner:
             registry.gauge("testkit.cases_per_second").set(
                 report.cases / elapsed
             )
+        # Oracle cases stream verdicts too; make sure a campaign ends
+        # with the ledger durable rather than waiting on flush_every.
+        verdict_log = obs.get_verdicts()
+        if verdict_log.enabled:
+            verdict_log.flush()
         return report
 
     def _run_case(self, index, case, registry) -> CaseResult:

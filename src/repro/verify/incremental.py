@@ -235,6 +235,29 @@ class IncrementalVerifier:
             registry.histogram("verify.atoms_touched").observe(touched)
             registry.histogram("verify.incremental_seconds").observe(elapsed)
             registry.counter("verify.incremental_deltas_total").inc()
+        verdicts = obs.get_verdicts()
+        if verdicts.enabled:
+            prefix_violations = self._violations_within(prefix)
+            ok = report.consistent and not prefix_violations
+            if not report.consistent:
+                detail = report.reasons[0] if report.reasons else "inconsistent"
+            elif prefix_violations:
+                detail = str(prefix_violations[0])
+            else:
+                detail = "ok"
+            verdicts.record(
+                kind="incremental",
+                at=self.clock,
+                ok=ok,
+                prefix=str(prefix),
+                router=event.router,
+                event_id=event.event_id,
+                event_time=event.timestamp,
+                detail=detail,
+                violations=len(prefix_violations),
+                missing_routers=tuple(report.missing_routers),
+                refs=(event.event_id,),
+            )
         return report
 
     # -- verdicts ---------------------------------------------------------
@@ -269,6 +292,17 @@ class IncrementalVerifier:
 
     def last_report(self, prefix: Prefix) -> Optional[ConsistencyReport]:
         return self._reports.get(prefix)
+
+    def _violations_within(self, prefix: Prefix) -> List[Violation]:
+        """Cached policy violations probed inside ``prefix``'s range."""
+        first = prefix.first_address()
+        last = prefix.last_address()
+        result: List[Violation] = []
+        for cache in self._policy_hits:
+            for address in sorted(cache):
+                if first <= address <= last:
+                    result.extend(cache[address])
+        return result
 
     def violations(self) -> List[Violation]:
         """Current policy violations, in batch-verifier order."""

@@ -49,6 +49,36 @@ class VerificationResult:
         )
 
 
+def _provenance_refs(
+    snapshot: DataPlaneSnapshot, violations: Sequence[Violation]
+) -> Tuple[int, ...]:
+    """HBG event ids of the FIB entries behind ``violations``.
+
+    Each violated flow's forwarding decisions live in snapshot
+    entries, and every entry carries the ``source_event_id`` of the
+    FIB_UPDATE it was reconstructed from — the refs a §6 provenance
+    walk starts from.
+    """
+    refs: set = set()
+    for violation in violations:
+        for router in violation.path or (
+            (violation.router,) if violation.router else ()
+        ):
+            if router is None or not snapshot.has_router(router):
+                continue
+            for entry in snapshot.entries_of(router):
+                if violation.prefix is not None and (
+                    entry.prefix.last_address()
+                    < violation.prefix.first_address()
+                    or violation.prefix.last_address()
+                    < entry.prefix.first_address()
+                ):
+                    continue
+                if entry.source_event_id:
+                    refs.add(entry.source_event_id)
+    return tuple(sorted(refs))
+
+
 class DataPlaneVerifier:
     """Centralized verification over reconstructed snapshots."""
 
@@ -95,6 +125,24 @@ class DataPlaneVerifier:
                 violations=len(violations),
                 policies=len(self.policies),
                 probes=probes,
+            )
+        verdicts = obs.get_verdicts()
+        if verdicts.enabled:
+            verdicts.record(
+                kind="snapshot",
+                at=snapshot.taken_at if snapshot.taken_at is not None else 0.0,
+                ok=not violations,
+                detail="ok" if not violations else "violations",
+                violations=len(violations),
+                refs=_provenance_refs(snapshot, violations),
+                violation_detail=[
+                    {
+                        "policy": v.policy,
+                        "prefix": str(v.prefix) if v.prefix else None,
+                        "router": v.router,
+                    }
+                    for v in violations
+                ],
             )
         return VerificationResult(
             violations=violations,

@@ -481,3 +481,93 @@ class TestPipelineIntegration:
             names = {record.name for record in tracer.records}
         assert "pipeline.detect_and_repair" in names
         assert "snapshot.wait_until_consistent" in names
+
+
+class TestPrometheusHistogramBuckets:
+    def _exact_histogram(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("verify.latency_seconds")
+        for _ in range(4):
+            histogram.observe(0.003)
+        for _ in range(6):
+            histogram.observe(0.07)
+        return registry, histogram
+
+    def test_bucket_counts_exact_below_reservoir(self):
+        from repro.obs.export import DEFAULT_BUCKETS
+
+        _registry, histogram = self._exact_histogram()
+        counts = dict(
+            zip(DEFAULT_BUCKETS, histogram.bucket_counts(DEFAULT_BUCKETS))
+        )
+        assert counts[0.001] == 0
+        assert counts[0.005] == 4
+        assert counts[0.05] == 4
+        assert counts[0.1] == 10
+        assert counts[10000.0] == 10
+
+    def test_bucket_counts_monotone_under_reservoir_scaling(self):
+        from repro.obs.export import DEFAULT_BUCKETS
+        from repro.obs.metrics import Histogram
+
+        histogram = Histogram("verify.latency_seconds")
+        for i in range(20000):
+            histogram.observe(0.003 if i % 2 else 0.07)
+        counts = histogram.bucket_counts(DEFAULT_BUCKETS)
+        assert counts == sorted(counts)  # cumulative → nondecreasing
+        assert counts[-1] == histogram.count
+        by_bound = dict(zip(DEFAULT_BUCKETS, counts))
+        # Reservoir CDF scaled to the true count: ~half under 5ms.
+        assert by_bound[0.005] == pytest.approx(10000, rel=0.05)
+
+    def test_render_emits_cumulative_le_series_and_type(self):
+        registry, histogram = self._exact_histogram()
+        text = render_prometheus(registry)
+        assert "# TYPE repro_verify_latency_seconds histogram" in text
+        assert (
+            'repro_verify_latency_seconds_bucket{le="0.005"} 4' in text
+        )
+        assert (
+            'repro_verify_latency_seconds_bucket{le="+Inf"} 10' in text
+        )
+        assert "repro_verify_latency_seconds_count 10" in text
+        # Quantile gauges survive alongside the buckets.
+        assert 'repro_verify_latency_seconds{quantile="0.5"}' in text
+
+    def test_bucket_series_round_trip_and_validate(self):
+        registry, histogram = self._exact_histogram()
+        text = render_prometheus(registry)
+        assert validate_exposition(text) == []
+        parsed = parse_exposition(text)
+        assert parsed["types"]["repro_verify_latency_seconds"] == (
+            "histogram"
+        )
+        buckets = [
+            (labels["le"], value)
+            for name, labels, value in parsed["samples"]
+            if name == "repro_verify_latency_seconds_bucket"
+        ]
+        values = [v for _le, v in buckets]
+        assert values == sorted(values)
+        assert buckets[-1] == ("+Inf", 10.0)
+        count = next(
+            value
+            for name, _labels, value in parsed["samples"]
+            if name == "repro_verify_latency_seconds_count"
+        )
+        assert buckets[-1][1] == count
+
+    def test_labelled_histogram_buckets_keep_their_labels(self):
+        registry = MetricsRegistry()
+        registry.histogram("verify.latency_seconds", router="R1").observe(
+            0.003
+        )
+        parsed = parse_exposition(render_prometheus(registry))
+        labelled = [
+            labels
+            for name, labels, _v in parsed["samples"]
+            if name == "repro_verify_latency_seconds_bucket"
+        ]
+        assert labelled and all(
+            entry["router"] == "R1" and "le" in entry for entry in labelled
+        )

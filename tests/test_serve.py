@@ -21,6 +21,7 @@ def _clean_global_state():
     obs.disable()
     obs.disable_recording()
     obs.disable_ledger()
+    obs.disable_verdicts()
     obs.disable_profiling()
 
 
@@ -259,3 +260,113 @@ class TestServeMetricsCli:
         document = json.loads(target.read_text())
         assert document["profiles"], "profiled warmup must collect samples"
         assert document["$schema"].startswith("https://www.speedscope.app")
+
+
+class TestVerdictsRoute:
+    def test_404_when_verdict_ledger_off(self):
+        with MetricsServer(port=0) as server:
+            status, _ct, body = _get(server.url + "/verdicts.json")
+        assert status == 404
+        assert "verdict ledger is not enabled" in body
+
+    def test_serves_ledger_document_when_on(self):
+        with obs.verdicts() as ledger:
+            ledger.record(
+                kind="incremental",
+                at=1.5,
+                ok=False,
+                prefix="203.0.113.0/24",
+                router="R2",
+                refs=(7,),
+            )
+            with MetricsServer(port=0) as server:
+                status, content_type, body = _get(
+                    server.url + "/verdicts.json"
+                )
+        assert status == 200 and content_type.startswith("application/json")
+        document = json.loads(body)
+        assert document["schema"] == "repro-verdicts/v1"
+        assert document["failing_total"] == 1
+        record = document["records"][0]
+        assert record["prefix"] == "203.0.113.0/24"
+        assert record["refs"] == [7]
+
+    def test_404_fallback_lists_verdicts_route(self):
+        with MetricsServer(port=0) as server:
+            status, _ct, body = _get(server.url + "/nope")
+        assert status == 404
+        assert "/verdicts.json" in body
+
+
+class TestConcurrentScrapes:
+    def test_scrapes_stay_valid_under_registry_and_ledger_churn(self):
+        """Hammer every route from reader threads while writers mutate
+        the registry and append verdicts: every response must parse."""
+        import threading
+
+        with obs.capturing() as (registry, _tracer):
+            with obs.verdicts() as ledger:
+                stop = threading.Event()
+                errors = []
+
+                def writer(index):
+                    i = 0
+                    while not stop.is_set():
+                        registry.counter(
+                            "verify.fib_writes_verified", worker=str(index)
+                        ).inc()
+                        registry.histogram(
+                            "verify.detection_latency_seconds"
+                        ).observe(0.001 * (i % 7))
+                        ledger.record(
+                            kind="incremental",
+                            at=float(i),
+                            ok=bool(i % 2),
+                            prefix="203.0.113.0/24",
+                        )
+                        i += 1
+
+                def reader(url, parse):
+                    while not stop.is_set():
+                        status, _ct, body = _get(url)
+                        try:
+                            assert status == 200
+                            parse(body)
+                        except Exception as exc:  # noqa: BLE001
+                            errors.append(f"{url}: {exc}")
+                            return
+
+                with MetricsServer(port=0) as server:
+                    threads = [
+                        threading.Thread(target=writer, args=(n,))
+                        for n in range(2)
+                    ] + [
+                        threading.Thread(
+                            target=reader,
+                            args=(
+                                server.url + "/metrics",
+                                lambda b: validate_exposition(b) == []
+                                or (_ for _ in ()).throw(
+                                    AssertionError("invalid exposition")
+                                ),
+                            ),
+                        ),
+                        threading.Thread(
+                            target=reader,
+                            args=(server.url + "/verdicts.json", json.loads),
+                        ),
+                        threading.Thread(
+                            target=reader,
+                            args=(server.url + "/resources.json", json.loads),
+                        ),
+                    ]
+                    for t in threads:
+                        t.start()
+                    import time as _time
+
+                    _time.sleep(1.0)
+                    stop.set()
+                    for t in threads:
+                        t.join(timeout=10)
+                assert not errors, errors
+                assert ledger.appended_total > 0
