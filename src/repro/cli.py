@@ -204,9 +204,35 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     engine = InferenceEngine(
         config=InferenceConfig(legacy_scan=args.legacy_scan)
     )
-    graph = engine.build_graph(
-        net.collector.all_events(), parallel=args.workers
-    )
+    distributed_rows = []
+    if args.distributed:
+        from repro.hbr.distributed import DistributedHbg
+
+        dist = DistributedHbg(InferenceEngine())
+        dist.ingest_all(net.collector.all_events())
+        dist.build_all(workers=args.workers)
+        graph = dist.merged_graph()
+        stats = dist.last_build
+        central = engine.build_graph(net.collector.all_events())
+        distributed_rows = [
+            ("distributed routers", stats.routers),
+            ("boundary messages", stats.boundary_messages),
+            ("boundary events shipped", stats.boundary_events),
+            ("boundary bytes", stats.boundary_bytes),
+            ("central-collector bytes", stats.central_bytes),
+            (
+                "byte savings vs central",
+                f"{stats.central_bytes / max(1, stats.boundary_bytes):.1f}x",
+            ),
+            (
+                "merge byte-identical to central",
+                "yes" if graph.to_records() == central.to_records() else "NO",
+            ),
+        ]
+    else:
+        graph = engine.build_graph(
+            net.collector.all_events(), parallel=args.workers
+        )
     observable = {e.event_id for e in net.collector}
     score = score_inference(graph, net.ground_truth, observable_ids=observable)
     snapshot = DataPlaneSnapshot.from_live_network(net)
@@ -227,7 +253,8 @@ def _cmd_audit(args: argparse.Namespace) -> int:
                     "compression (prefixes/group)",
                     f"{PrefixGrouper.compression(groups):.1f}",
                 ),
-            ],
+            ]
+            + distributed_rows,
         )
     )
     if score.f1 < args.min_f1:
@@ -1296,6 +1323,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the pre-index window-rescan inference path "
         "(differential-testing reference; much slower)",
     )
+    audit.add_argument(
+        "--distributed",
+        action="store_true",
+        help="build the HBG distributedly (per-router subgraphs + "
+        "boundary-summary exchange; --workers sizes the fork pool) "
+        "and report boundary traffic vs the central baseline",
+    )
     audit.set_defaults(func=_cmd_audit)
 
     lint = sub.add_parser(
@@ -1479,7 +1513,8 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "oracle(s) to run — repeatable or comma-separated "
             "(default: all of snapshot-consistency, hbg-distributed, "
-            "hbg-indexed-equivalence, whatif-replay, "
+            "hbg-indexed-equivalence, hbg-distributed-equivalence, "
+            "whatif-replay, "
             "provenance-rollback, verify-incremental-equivalence, "
             "replay-determinism)"
         ),

@@ -23,10 +23,18 @@ from repro.hbr.inference import (
     PatternMiner,
     score_inference,
 )
-from repro.hbr.distributed import DistributedHbg, RouterSubgraph
+from repro.hbr.distributed import (
+    BoundarySummary,
+    DistributedHbg,
+    DistributionUnsupported,
+    RouterSubgraph,
+    supports_distribution,
+)
 
 __all__ = [
+    "BoundarySummary",
     "DistributedHbg",
+    "DistributionUnsupported",
     "Edge",
     "EdgeEvidence",
     "HappensBeforeGraph",
@@ -37,4 +45,5 @@ __all__ = [
     "RouterSubgraph",
     "default_rules",
     "score_inference",
+    "supports_distribution",
 ]

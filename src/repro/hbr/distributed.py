@@ -5,23 +5,218 @@
     can be passed to neighboring routers that can expand the paths
     based on their happens-before subgraph."
 
-:class:`RouterSubgraph` holds one router's I/Os and intra-router
-edges; :class:`DistributedHbg` coordinates path expansion across
-subgraphs by exchanging :class:`PartialPath` messages over the
-cross-router (send→receive) edges.  The message counter lets the
-C-DIST benchmark compare communication cost against shipping every
-event to a central collector.
+This is a real distributed construction engine, not a facade over the
+central build:
+
+* :class:`RouterSubgraph` maintains an incremental
+  :class:`~repro.hbr.index.EventIndex` over *only its own* events —
+  every :meth:`~RouterSubgraph.ingest` is an O(sqrt N) indexed insert
+  (the streaming shape of :mod:`repro.hbr.inference`), so per-router
+  work scales with per-router traffic, not with network size.
+* Cross-router candidates come from **boundary summaries**: each
+  router publishes, per neighbor, the compact bucket of its
+  ROUTE_SEND/ROUTE_RECEIVE events addressed to that neighbor (peer,
+  protocol, prefix, action, timestamp window) — never the full event
+  stream.  Which kinds ship at all is derived from the engine's rule
+  plans (:func:`boundary_kinds`); the default rule set needs sends
+  only.
+* Equivalence to the central build is an argument, not a hope.  Every
+  rule plan is either ``same``-router — answerable from the local
+  index alone, whose ``(router, kind[, prefix])`` buckets are
+  *identical* to the central index's — or ``peer`` — answerable from
+  the neighbor's boundary bucket, because the engine filters
+  candidates through ``rule.pair_matches`` whose ``peer_symmetric``
+  relation keeps exactly the antecedents with ``peer ==
+  cons.router``, which is precisely what the summary contains.  The
+  post-filter candidate lists (the only input to edge choice *and*
+  the ambiguity discount) are therefore identical, and replaying the
+  merged edge records in ``(cons_ts, cons_id, seq)`` order reproduces
+  the serial build's exact ``add_edge`` order — the byte-identity
+  argument of :mod:`repro.hbr.sharded`.  Engine configurations that
+  break the argument (naive/pattern techniques, ``legacy_scan``,
+  custom rules with no router relation or with peer-side antecedents
+  beyond send/receive) are **refused** with
+  :exc:`DistributionUnsupported` instead of silently falling back to
+  a central rebuild.
+
+:meth:`DistributedHbg.build_all` optionally forks a worker pool over
+routers (``workers=N``) exactly like the sharded build; the merge is
+deterministic either way.  :meth:`DistributedHbg.merged_graph` is a
+true merge of the per-router edge records — it never calls the global
+``build_graph`` over the full event list.  The boundary-traffic
+meters (:class:`BoundaryExchangeStats`, ``distributed.*`` obs
+metrics) let the C-SCALE/C-DIST benchmarks compare message cost
+against shipping every event to a central collector.
 """
 
 from __future__ import annotations
 
+import bisect
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro import obs
 from repro.capture.io_events import IOEvent, IOKind
-from repro.hbr.graph import HappensBeforeGraph
-from repro.hbr.inference import InferenceEngine
+from repro.hbr.graph import EdgeEvidence, HappensBeforeGraph
+from repro.hbr.index import EventIndex, MAX_ID, RulePlan
+from repro.hbr.inference import InferenceEngine, _admissible
+from repro.hbr.sharded import (
+    EdgeRecord,
+    ShardTimings,
+    _fork_context,
+    shard_routers,
+)
+
+#: Event kinds that can appear in a boundary summary at all: the
+#: send/receive pairs that cross router boundaries.  A peer-plan rule
+#: whose antecedent needs anything else (a neighbor's RIB/FIB/config
+#: events) cannot be answered from summaries and is refused.
+BOUNDARY_KINDS = frozenset({IOKind.ROUTE_SEND, IOKind.ROUTE_RECEIVE})
+
+#: Unbounded lower time bound for full-index iteration.
+_TIME_FLOOR = float("-inf")
+
+
+class DistributionUnsupported(ValueError):
+    """The engine's config or rules cannot be built distributedly.
+
+    Raised instead of silently centralizing: a caller that asked for
+    the distributed path must know it did not get it.
+    """
+
+
+def distribution_obstacles(engine: InferenceEngine) -> List[str]:
+    """Why ``engine`` cannot run distributed (empty list = it can).
+
+    The checks mirror the equivalence argument in the module
+    docstring: every candidate lookup must be answerable from a
+    router's local index or a neighbor's boundary summary.
+    """
+    config = engine.config
+    obstacles: List[str] = []
+    if config.naive_prefix_timestamp:
+        obstacles.append(
+            "naive prefix/timestamp linking scans the global stream"
+        )
+    if config.use_patterns:
+        obstacles.append("pattern matching scans the global stream")
+    if config.legacy_scan:
+        obstacles.append(
+            "legacy_scan bypasses the per-router indices the "
+            "subgraphs maintain"
+        )
+    for rule, plan in zip(engine.rules, engine._plans):
+        if plan.router_from == "any":
+            obstacles.append(
+                f"rule {rule.name!r} has no same-router/peer relation "
+                "(its antecedents need the global index)"
+            )
+        elif plan.router_from == "peer":
+            foreign = [
+                kind.value
+                for kind in plan.kinds
+                if kind not in BOUNDARY_KINDS
+            ]
+            if foreign:
+                obstacles.append(
+                    f"rule {rule.name!r} needs neighbor "
+                    f"{'/'.join(foreign)} events, which boundary "
+                    "summaries do not carry"
+                )
+    return obstacles
+
+
+def supports_distribution(engine: InferenceEngine) -> bool:
+    return not distribution_obstacles(engine)
+
+
+def check_distribution(engine: InferenceEngine) -> None:
+    obstacles = distribution_obstacles(engine)
+    if obstacles:
+        raise DistributionUnsupported(
+            "engine cannot build distributedly: " + "; ".join(obstacles)
+        )
+
+
+def boundary_kinds(engine: InferenceEngine) -> Tuple[IOKind, ...]:
+    """The event kinds boundary summaries must carry for ``engine``.
+
+    Derived from the rule plans: only peer-plan antecedent kinds ship.
+    With the default rule set that is ``(ROUTE_SEND,)`` — receives
+    never antecede a cross-router rule, so they stay home.
+    """
+    needed: Set[IOKind] = set()
+    for plan in engine._plans:
+        if plan.router_from == "peer":
+            needed.update(k for k in plan.kinds if k in BOUNDARY_KINDS)
+    return tuple(sorted(needed, key=lambda kind: kind.value))
+
+
+def _wire_bytes(event: IOEvent) -> int:
+    """Deterministic estimate of one event's on-the-wire size.
+
+    A fixed header (event id, timestamp, kind tag, field lengths)
+    plus the variable-length fields.  Used for the boundary-traffic
+    vs central-collector cost model; deterministic by construction so
+    benchmark columns replay identically.
+    """
+    total = 26
+    for text in (
+        event.router,
+        event.peer,
+        event.protocol,
+        str(event.prefix) if event.prefix is not None else None,
+        event.action.value if event.action is not None else None,
+    ):
+        if text:
+            total += len(text)
+    for key, value in event.attrs:
+        total += len(str(key)) + len(str(value))
+    return total
+
+
+@dataclass(frozen=True)
+class BoundarySummary:
+    """The compact per-neighbor bucket one router publishes.
+
+    ``events`` is sorted by ``(timestamp, event_id)`` and contains
+    only this router's boundary-kind events addressed to ``neighbor``
+    — the keys (peer, protocol, prefix, action, timestamp) the
+    receiving side needs to resolve cross-router send→receive edges.
+    """
+
+    origin: str
+    neighbor: str
+    events: Tuple[IOEvent, ...]
+
+    def wire_bytes(self) -> int:
+        return sum(_wire_bytes(event) for event in self.events)
+
+
+@dataclass(frozen=True)
+class BoundaryExchangeStats:
+    """Traffic meter for one summary-exchange round."""
+
+    messages: int
+    events: int
+    bytes: int
+
+
+@dataclass(frozen=True)
+class DistributedBuildStats:
+    """What one :meth:`DistributedHbg.build_all` cost."""
+
+    routers: int
+    events: int
+    edges: int
+    workers: int
+    boundary_messages: int
+    boundary_events: int
+    boundary_bytes: int
+    #: Cost of the alternative: shipping every captured event to a
+    #: central collector (same wire-size model as the summaries).
+    central_bytes: int
 
 
 @dataclass(frozen=True)
@@ -42,13 +237,89 @@ class PartialPath:
         return PartialPath(self.event_ids + (event_id,))
 
 
+class _DistributedSource:
+    """Candidate source over a router's local index + boundary index.
+
+    ``same``-plan lookups read the local index (bucket contents are
+    identical to the central index's — buckets are keyed by the
+    consequent's own router).  ``peer``-plan lookups read the boundary
+    index built from neighbor summaries; the engine's ``pair_matches``
+    post-filter makes the resulting candidate lists identical to the
+    central build's (see module docstring).  Global-window lookups
+    (naive/pattern techniques) are impossible here by design —
+    :func:`check_distribution` refuses such engines up front.
+    """
+
+    __slots__ = ("local", "boundary", "skew")
+
+    def __init__(self, local: EventIndex, boundary: EventIndex, skew: float):
+        self.local = local
+        self.boundary = boundary
+        self.skew = skew
+
+    def rule_candidates(
+        self, cons: IOEvent, window: float, plan: "RulePlan"
+    ) -> List[IOEvent]:
+        lo = (cons.timestamp - window, 0)
+        hi = (cons.timestamp + self.skew, MAX_ID)
+        if plan.router_from == "same":
+            index = self.local
+        elif plan.router_from == "peer":
+            index = self.boundary
+        else:  # pragma: no cover - refused by check_distribution
+            raise DistributionUnsupported(
+                "rule without a router relation reached the "
+                "distributed source"
+            )
+        return _admissible(cons, index.candidates(plan, cons, lo, hi))
+
+    def window_candidates(
+        self, cons: IOEvent, window: float
+    ) -> List[IOEvent]:  # pragma: no cover - refused by check_distribution
+        raise DistributionUnsupported(
+            "naive/pattern candidate scans need the global stream"
+        )
+
+    def track(self) -> "_DistributedSource":
+        """No ledger registration: subgraph indices are owned (and
+        sized) by their subgraphs, and this source is also built
+        inside forked workers (CONC001)."""
+        return self
+
+
 class RouterSubgraph:
-    """One router's share of the HBG."""
+    """One router's share of the HBG.
+
+    Ingest is streaming: each event lands in the local
+    :class:`EventIndex` (O(sqrt N) insert, same bucket layout the
+    central build uses), the per-neighbor outbox, and — for sends —
+    the bisected ``find_matching_send`` buckets.  Nothing here ever
+    sees another router's full event stream; cross-router inference
+    reads only the boundary summaries neighbors published.
+    """
 
     def __init__(self, router: str, engine: Optional[InferenceEngine] = None):
         self.router = router
         self.engine = engine or InferenceEngine()
         self._events: List[IOEvent] = []
+        #: Local events, incrementally indexed (never remote events —
+        #: those live in the boundary index so local bucket contents
+        #: stay identical to the central index's).
+        self._local = EventIndex()
+        #: neighbor -> boundary-kind events addressed to it.
+        self._outbox: Dict[str, List[IOEvent]] = {}
+        #: origin -> the latest summary that neighbor published to us.
+        self._inbox: Dict[str, BoundarySummary] = {}
+        self._boundary: Optional[EventIndex] = None
+        #: (peer, protocol, prefix, action) -> [(ts, id, event)] for
+        #: the bisected send lookup; buckets sort lazily on first use.
+        self._send_buckets: Dict[
+            Tuple[str, Optional[str], object, object],
+            List[Tuple[float, int, IOEvent]],
+        ] = {}
+        self._dirty_sends: Set[
+            Tuple[str, Optional[str], object, object]
+        ] = set()
         self.graph = HappensBeforeGraph()
 
     def ingest(self, event: IOEvent) -> None:
@@ -57,14 +328,148 @@ class RouterSubgraph:
                 f"event of {event.router} offered to subgraph of {self.router}"
             )
         self._events.append(event)
-
-    def build(self) -> HappensBeforeGraph:
-        """(Re)infer intra-router edges from this router's own events."""
-        self.graph = self.engine.build_graph(self._events)
-        return self.graph
+        self._local.add(event)
+        if event.kind in BOUNDARY_KINDS and event.peer:
+            self._outbox.setdefault(event.peer, []).append(event)
+            if event.kind is IOKind.ROUTE_SEND:
+                key = (event.peer, event.protocol, event.prefix, event.action)
+                self._send_buckets.setdefault(key, []).append(
+                    (event.timestamp, event.event_id, event)
+                )
+                self._dirty_sends.add(key)
 
     def events(self) -> List[IOEvent]:
         return list(self._events)
+
+    def event_count(self) -> int:
+        return len(self._events)
+
+    def ordered_events(self) -> Iterable[IOEvent]:
+        """Local events in ``(timestamp, event_id)`` order."""
+        return self._local.window((_TIME_FLOOR, 0), (float("inf"), MAX_ID))
+
+    # -- boundary-summary exchange ----------------------------------------
+
+    def neighbors(self) -> List[str]:
+        """Routers this one exchanged route messages with."""
+        return sorted(self._outbox)
+
+    def summary_for(
+        self, neighbor: str, kinds: Sequence[IOKind]
+    ) -> BoundarySummary:
+        """The boundary bucket this router publishes to ``neighbor``."""
+        wanted = frozenset(kinds)
+        selected = sorted(
+            (
+                event
+                for event in self._outbox.get(neighbor, ())
+                if event.kind in wanted
+            ),
+            key=lambda e: (e.timestamp, e.event_id),
+        )
+        return BoundarySummary(
+            origin=self.router, neighbor=neighbor, events=tuple(selected)
+        )
+
+    def receive_summary(self, summary: BoundarySummary) -> None:
+        """Accept a neighbor's boundary summary (replacing any older
+        one from the same origin)."""
+        self._inbox[summary.origin] = summary
+        self._boundary = None
+
+    def _boundary_index(self) -> EventIndex:
+        if self._boundary is None:
+            index = EventIndex()
+            for origin in sorted(self._inbox):
+                for event in self._inbox[origin].events:
+                    index.add(event)
+            self._boundary = index
+        return self._boundary
+
+    # -- inference ---------------------------------------------------------
+
+    def infer_records(self) -> Tuple[List[EdgeRecord], ShardTimings]:
+        """Edge records for this router's consequents.
+
+        Pure per-consequent inference over the local index plus the
+        boundary summaries received so far; identical to the central
+        build's records for these consequents (module docstring).
+        Safe inside forked workers: per-rule timings aggregate into
+        the returned dict, never into the process-global registry
+        (CONC001).
+        """
+        engine = self.engine
+        source = _DistributedSource(
+            self._local,
+            self._boundary_index(),
+            engine.config.clock_skew_tolerance,
+        )
+        records: List[EdgeRecord] = []
+        tallies: Dict[str, List[float]] = {}
+        timing_sink = None
+        if obs.get_registry().enabled:
+
+            def timing_sink(rule_name: str, seconds: float) -> None:
+                tally = tallies.get(rule_name)
+                if tally is None:
+                    tallies[rule_name] = [1, seconds]
+                else:
+                    tally[0] += 1
+                    tally[1] += seconds
+
+        for cons in self.ordered_events():
+            for seq, (ante, evidence) in enumerate(
+                engine._infer_edges(cons, source, timing_sink)
+            ):
+                records.append(
+                    (
+                        cons.timestamp,
+                        cons.event_id,
+                        seq,
+                        ante.event_id,
+                        evidence.technique,
+                        evidence.rule,
+                        evidence.confidence,
+                    )
+                )
+        return records, {
+            rule: (int(count), seconds)
+            for rule, (count, seconds) in tallies.items()
+        }
+
+    def build(self) -> HappensBeforeGraph:
+        """(Re)infer this router's *local* graph: its own events plus
+        the intra-router edges among them.
+
+        Cross-router edges (whose cause lives on a neighbor) are not
+        materialized here — they belong to the merged graph and to the
+        partial-path protocol.  Standalone (before any summary
+        exchange) this reproduces exactly what inference over the
+        local events alone would produce.
+        """
+        check_distribution(self.engine)
+        records, _timings = self.infer_records()
+        records.sort(key=lambda r: (r[0], r[1], r[2]))
+        self._populate_graph(records)
+        return self.graph
+
+    def _populate_graph(self, records: Sequence[EdgeRecord]) -> None:
+        """Rebuild ``self.graph`` from sorted records (intra edges only)."""
+        graph = HappensBeforeGraph()
+        for event in self.ordered_events():
+            graph.add_event(event)
+        evidence_cache: dict = {}
+        for _ts, cons_id, _seq, cause_id, technique, rule, conf in records:
+            if cause_id not in graph or cons_id not in graph:
+                continue
+            evidence = evidence_cache.get((technique, rule, conf))
+            if evidence is None:
+                evidence = EdgeEvidence(
+                    technique=technique, rule=rule, confidence=conf
+                )
+                evidence_cache[(technique, rule, conf)] = evidence
+            graph.add_edge(cause_id, cons_id, evidence)
+        self.graph = graph
 
     def local_parents(self, event_id: int) -> List[IOEvent]:
         return [event for event, _ in self.graph.parents(event_id)]
@@ -74,30 +479,54 @@ class RouterSubgraph:
 
         Used when a neighbor hands us a partial path whose frontier is
         a receive-from-us: the cross-router HBR [we send] → [they
-        receive] is resolved against our local events.
+        receive] is resolved against our local events.  A bisected
+        lookup in the (peer, protocol, prefix, action) bucket: the
+        latest send no later than the receive plus the clock-skew
+        tolerance (lowest event id among timestamp ties).
         """
-        best: Optional[IOEvent] = None
-        for event in self._events:
-            if event.kind is not IOKind.ROUTE_SEND:
-                continue
-            if event.peer != receive.router:
-                continue
-            if event.protocol != receive.protocol:
-                continue
-            if event.prefix != receive.prefix:
-                continue
-            if event.action != receive.action:
-                continue
-            if event.timestamp > receive.timestamp + \
-                    self.engine.config.clock_skew_tolerance:
-                continue
-            if best is None or event.timestamp > best.timestamp:
-                best = event
-        return best
+        key = (receive.router, receive.protocol, receive.prefix, receive.action)
+        bucket = self._send_buckets.get(key)
+        if not bucket:
+            return None
+        if key in self._dirty_sends:
+            # Event ids are unique, so (ts, id) decides every
+            # comparison before the IOEvent element is reached.
+            bucket.sort()
+            self._dirty_sends.discard(key)
+        horizon = (
+            receive.timestamp + self.engine.config.clock_skew_tolerance,
+            MAX_ID,
+        )
+        position = bisect.bisect_right(bucket, horizon)
+        if position == 0:
+            return None
+        latest_ts = bucket[position - 1][0]
+        first = bisect.bisect_left(bucket, (latest_ts,))
+        return bucket[first][2]
+
+
+#: Stashed DistributedHbg for forked workers — set in the parent
+#: immediately before the fork so children inherit the subgraphs
+#: without pickling them per task.
+_WORK: Optional["DistributedHbg"] = None
+
+
+def _run_shard(routers: List[str]) -> Tuple[List[EdgeRecord], ShardTimings]:
+    if _WORK is None:  # set by DistributedHbg.build_all before forking
+        raise RuntimeError("_run_shard called outside build_all")
+    return _WORK._infer_shard(routers)
 
 
 class DistributedHbg:
-    """A set of router subgraphs plus the path-expansion protocol."""
+    """A set of router subgraphs plus the exchange protocols.
+
+    Two kinds of cross-router traffic, both metered:
+
+    * **boundary summaries** at build time (compact per-neighbor
+      send/receive buckets — the construction-side exchange);
+    * **partial paths** at analysis time (the §5 path-expansion
+      protocol, counted in :attr:`messages_exchanged`).
+    """
 
     def __init__(self, engine: Optional[InferenceEngine] = None):
         self.engine = engine or InferenceEngine()
@@ -105,6 +534,16 @@ class DistributedHbg:
         #: Count of partial paths passed between routers (the cost
         #: metric for the distributed-vs-central comparison).
         self.messages_exchanged = 0
+        #: O(1) owner-map lookups served (each replaces what used to
+        #: be a scan over every subgraph).
+        self.owner_lookups = 0
+        #: event_id -> owning router, maintained on ingest.
+        self._owner: Dict[int, str] = {}
+        self._central_bytes = 0
+        self._records: Optional[List[EdgeRecord]] = None
+        self.last_build: Optional[DistributedBuildStats] = None
+
+    # -- ingest ------------------------------------------------------------
 
     def ingest(self, event: IOEvent) -> None:
         subgraph = self.subgraphs.get(event.router)
@@ -112,20 +551,192 @@ class DistributedHbg:
             subgraph = RouterSubgraph(event.router, self.engine)
             self.subgraphs[event.router] = subgraph
         subgraph.ingest(event)
+        self._owner[event.event_id] = event.router
+        self._central_bytes += _wire_bytes(event)
+        self._records = None
 
     def ingest_all(self, events: Iterable[IOEvent]) -> None:
         for event in events:
             self.ingest(event)
 
-    def build_all(self) -> None:
-        for subgraph in self.subgraphs.values():
-            subgraph.build()
+    def event_count(self) -> int:
+        return len(self._owner)
+
+    # -- construction ------------------------------------------------------
+
+    def exchange_summaries(self) -> BoundaryExchangeStats:
+        """One summary-exchange round: every router publishes its
+        per-neighbor boundary buckets.  Idempotent (a newer summary
+        replaces the origin's older one); empty buckets stay home."""
+        kinds = boundary_kinds(self.engine)
+        messages = events = bytes_total = 0
+        for origin_name in sorted(self.subgraphs):
+            origin = self.subgraphs[origin_name]
+            for neighbor in origin.neighbors():
+                target = self.subgraphs.get(neighbor)
+                if target is None:
+                    # External peer: it contributed no events, so the
+                    # central build had nothing from it either.
+                    continue
+                summary = origin.summary_for(neighbor, kinds)
+                if not summary.events:
+                    continue
+                target.receive_summary(summary)
+                messages += 1
+                events += len(summary.events)
+                bytes_total += summary.wire_bytes()
+        return BoundaryExchangeStats(
+            messages=messages, events=events, bytes=bytes_total
+        )
+
+    def _infer_shard(
+        self, routers: Sequence[str]
+    ) -> Tuple[List[EdgeRecord], ShardTimings]:
+        records: List[EdgeRecord] = []
+        merged: Dict[str, List[float]] = {}
+        for name in routers:
+            shard_records, timings = self.subgraphs[name].infer_records()
+            records.extend(shard_records)
+            for rule, (count, seconds) in timings.items():
+                tally = merged.get(rule)
+                if tally is None:
+                    merged[rule] = [count, seconds]
+                else:
+                    tally[0] += count
+                    tally[1] += seconds
+        return records, {
+            rule: (int(count), seconds)
+            for rule, (count, seconds) in merged.items()
+        }
+
+    def build_all(self, workers: Optional[int] = None) -> None:
+        """Exchange boundary summaries, infer every router's edges
+        (optionally with ``workers`` forked processes), and populate
+        the per-router local graphs.
+
+        Raises :exc:`DistributionUnsupported` for engines whose rules
+        or config cannot be answered from local indices plus boundary
+        summaries — never a silent central rebuild.
+        """
+        global _WORK
+        check_distribution(self.engine)
+        registry = obs.get_registry()
+        if registry.enabled:
+            watch = registry.stopwatch()
+        exchange = self.exchange_summaries()
+        names = sorted(self.subgraphs)
+        shards = shard_routers(names, workers or 1)
+        context = _fork_context() if len(shards) > 1 else None
+        if context is None:
+            results = [self._infer_shard(shard) for shard in shards]
+        else:
+            _WORK = self
+            try:
+                with context.Pool(processes=len(shards)) as pool:
+                    results = pool.map(_run_shard, shards)
+            finally:
+                _WORK = None
+        records: List[EdgeRecord] = []
+        merged_timings: Dict[str, List[float]] = {}
+        for shard_records, shard_timings in results:
+            records.extend(shard_records)
+            for rule, (count, seconds) in shard_timings.items():
+                tally = merged_timings.get(rule)
+                if tally is None:
+                    merged_timings[rule] = [count, seconds]
+                else:
+                    tally[0] += count
+                    tally[1] += seconds
+        # Replay the serial build's exact insertion order (the
+        # byte-identity argument of repro.hbr.sharded).
+        records.sort(key=lambda r: (r[0], r[1], r[2]))
+        self._records = records
+        for name in names:
+            subgraph = self.subgraphs[name]
+            subgraph._populate_graph(
+                [r for r in records if self._owner[r[1]] == name]
+            )
+        self.last_build = DistributedBuildStats(
+            routers=len(names),
+            events=len(self._owner),
+            edges=len(records),
+            workers=len(shards),
+            boundary_messages=exchange.messages,
+            boundary_events=exchange.events,
+            boundary_bytes=exchange.bytes,
+            central_bytes=self._central_bytes,
+        )
+        recorder = obs.get_recorder()
+        if recorder.enabled:
+            # Workers are throwaway forks: replay their HBR_EDGE trace
+            # records in the parent, as the sharded build does.
+            for cons_ts, cons_id, _seq, cause_id, technique, rule, conf in (
+                records
+            ):
+                recorder.record(
+                    obs.TraceKind.HBR_EDGE,
+                    at=cons_ts,
+                    router=self._owner[cons_id],
+                    event_id=cons_id,
+                    cause=cause_id,
+                    rule=rule,
+                    technique=technique,
+                    confidence=conf,
+                )
+        if registry.enabled:
+            registry.counter("distributed.builds_total").inc()
+            registry.gauge("distributed.router_count").set(len(names))
+            registry.histogram("distributed.build_seconds").observe(
+                watch.elapsed()
+            )
+            registry.counter("distributed.boundary_messages_total").inc(
+                exchange.messages
+            )
+            registry.counter("distributed.boundary_events_total").inc(
+                exchange.events
+            )
+            registry.counter("distributed.boundary_bytes_total").inc(
+                exchange.bytes
+            )
+            registry.counter("distributed.central_baseline_bytes_total").inc(
+                self._central_bytes
+            )
+            # Workers are throwaway forks: replay their per-rule
+            # timing aggregates and per-edge counters in the parent,
+            # exactly as the sharded build does.
+            for technique_rule, count in _edge_tallies(records).items():
+                registry.counter(
+                    "inference.edges_by_technique",
+                    technique=technique_rule,
+                ).inc(count)
+            if records:
+                registry.counter("inference.hbg_edges_inferred").inc(
+                    len(records)
+                )
+            for rule in sorted(merged_timings):
+                count, seconds = merged_timings[rule]
+                registry.counter(
+                    "inference.rule_invocations_total", rule=rule
+                ).inc(count)
+                registry.counter(
+                    "inference.rule_seconds_total", rule=rule
+                ).inc(seconds)
+
+    def _ensure_built(self) -> None:
+        if self._records is None:
+            self.build_all()
+
+    # -- lookups -----------------------------------------------------------
 
     def _find_event(self, event_id: int) -> Tuple[str, IOEvent]:
-        for router, subgraph in self.subgraphs.items():
-            if event_id in subgraph.graph:
-                return router, subgraph.graph.event(event_id)
-        raise KeyError(f"event {event_id} not in any subgraph")
+        """O(1) owner-map lookup (was: a scan over every subgraph)."""
+        self.owner_lookups += 1
+        router = self._owner.get(event_id)
+        if router is None:
+            raise KeyError(f"event {event_id} not in any subgraph")
+        return router, self.subgraphs[router].graph.event(event_id)
+
+    # -- analysis ----------------------------------------------------------
 
     def trace_root_causes(self, event_id: int) -> List[IOEvent]:
         """Distributed provenance: expand partial paths to leaves.
@@ -134,7 +745,10 @@ class DistributedHbg:
         expansion step uses only one router's subgraph, and crossing
         to another router costs one exchanged message.
         """
+        self._ensure_built()
         start_router, _ = self._find_event(event_id)
+        registry = obs.get_registry()
+        messages_before = self.messages_exchanged
         roots: Dict[int, IOEvent] = {}
         queue: deque = deque()
         queue.append((start_router, PartialPath((event_id,))))
@@ -164,19 +778,53 @@ class DistributedHbg:
                         )
             if not extended:
                 roots[frontier.event_id] = frontier
+        if registry.enabled:
+            registry.counter("distributed.partial_path_messages_total").inc(
+                self.messages_exchanged - messages_before
+            )
+            registry.counter("distributed.owner_lookups_total").inc()
         return [roots[i] for i in sorted(roots)]
 
     def merged_graph(self) -> HappensBeforeGraph:
-        """Union of all subgraphs plus inferred cross-router edges.
+        """True merge of the per-router edge records.
 
-        Equivalent to what the central collector would build; used to
-        validate that distribution loses nothing.
+        Byte-identical to the serial/indexed/sharded central builds
+        (the determinism gate holds all four to the same edge dump).
+        Never calls the global ``build_graph`` over the full event
+        list — the per-router records *are* the graph.
         """
+        self._ensure_built()
+        registry = obs.get_registry()
         merged = HappensBeforeGraph()
         all_events: List[IOEvent] = []
-        for subgraph in self.subgraphs.values():
-            all_events.extend(subgraph.events())
-        return self.engine.build_graph(all_events)
+        for name in sorted(self.subgraphs):
+            all_events.extend(self.subgraphs[name].events())
+        all_events.sort(key=lambda e: (e.timestamp, e.event_id))
+        for event in all_events:
+            merged.add_event(event)
+        evidence_cache: dict = {}
+        for _ts, cons_id, _seq, cause_id, technique, rule, conf in (
+            self._records or ()
+        ):
+            evidence = evidence_cache.get((technique, rule, conf))
+            if evidence is None:
+                evidence = EdgeEvidence(
+                    technique=technique, rule=rule, confidence=conf
+                )
+                evidence_cache[(technique, rule, conf)] = evidence
+            merged.add_edge(cause_id, cons_id, evidence)
+        if registry.enabled:
+            registry.counter("distributed.merges_total").inc()
+        return merged
 
     def routers(self) -> List[str]:
         return sorted(self.subgraphs)
+
+
+def _edge_tallies(records: Sequence[EdgeRecord]) -> Dict[str, int]:
+    """Per-technique edge counts for the parent-side obs replay."""
+    tallies: Dict[str, int] = {}
+    for record in records:
+        technique = record[4]
+        tallies[technique] = tallies.get(technique, 0) + 1
+    return tallies

@@ -31,6 +31,10 @@ STAGE_ENTRY_POINTS: Dict[str, Sequence[str]] = {
         "InferenceEngine.build_graph",
         "StreamingInference.observe",
     ),
+    "repro.hbr.distributed": (
+        "DistributedHbg.build_all",
+        "DistributedHbg.merged_graph",
+    ),
     "repro.snapshot.base": ("DataPlaneSnapshot.from_fib_events",),
     "repro.snapshot.consistent": ("ConsistentSnapshotter.snapshot",),
     "repro.verify.verifier": ("DataPlaneVerifier.verify",),

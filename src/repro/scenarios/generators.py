@@ -23,6 +23,7 @@ cases replayable.
 from __future__ import annotations
 
 import random
+from collections import deque
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -32,6 +33,7 @@ from repro.net.config import (
     ConfigChange,
     OspfInterfaceConfig,
     RouterConfig,
+    StaticRouteConfig,
     local_pref_map,
 )
 from repro.net.simulator import DelayModel
@@ -226,6 +228,143 @@ def build_random_network(
         clock_skews=clock_skews,
         log_drop_rate=log_drop_rate,
         deterministic_bgp=deterministic_bgp,
+    )
+    return network, specs
+
+
+def _bfs_parents(
+    topo: Topology, root: str, internal: Sequence[str]
+) -> Dict[str, Optional[str]]:
+    """BFS-tree parent of every internal router, rooted at ``root``.
+
+    Neighbor iteration is sorted, so the tree is a pure function of
+    the topology — independent of hash seeds and insertion order.
+    """
+    members = frozenset(internal)
+    parents: Dict[str, Optional[str]] = {root: None}
+    queue: deque = deque([root])
+    while queue:
+        here = queue.popleft()
+        neighbors = sorted(
+            link.other_end(here).router
+            for link in topo.links_of(here)
+            if link.other_end(here).router in members
+        )
+        for neighbor in neighbors:
+            if neighbor not in parents:
+                parents[neighbor] = here
+                queue.append(neighbor)
+    return parents
+
+
+def build_scaled_network(
+    n: int,
+    uplinks: int = 2,
+    hub_count: int = 2,
+    seed: int = 0,
+    extra_edge_fraction: float = 0.25,
+    delays: Optional[DelayModel] = None,
+    clock_skews: Optional[Dict[str, float]] = None,
+    rng: Optional[random.Random] = None,
+) -> Tuple[Network, List[UplinkSpec]]:
+    """A single-AS network whose event count scales O(n), for n≥128.
+
+    :func:`build_random_network`'s iBGP full mesh (O(n²) sessions) and
+    OSPF underlay (every /30 advertised to every router) both blow up
+    quadratically in captured events, which caps the scaling
+    benchmarks near n=48.  This family swaps in the two standard
+    large-network designs:
+
+    * **route reflection** (RFC 4456): the first ``hub_count`` routers
+      (by sorted name) peer with everyone; every other router peers
+      only with the hubs, which reflect with ``next_hop_self`` — O(n)
+      sessions and O(n) route events per external prefix;
+    * a **static underlay** instead of OSPF: each router carries one
+      /32 static per border router's loopback, pointing at its
+      BFS-tree parent toward that border (recursive next-hop
+      resolution walks the chain hop by hop), so the IGP contributes
+      O(uplinks·n) events instead of O(n²).
+
+    Full data-plane coverage is preserved: every internal router
+    resolves and installs every external prefix.
+    """
+    rng = rng or random.Random(seed)
+    topo = random_connected_topology(
+        n, extra_edge_fraction=extra_edge_fraction, seed=seed, rng=rng
+    )
+    specs = attach_uplinks(topo, uplinks, seed=seed, rng=rng)
+    uplink_of = {spec.router: spec for spec in specs}
+    internal = topo.internal_routers()
+    hubs = sorted(internal)[: max(1, hub_count)]
+    hub_set = frozenset(hubs)
+    borders = sorted(spec.router for spec in specs)
+    parent_maps = {
+        border: _bfs_parents(topo, border, internal) for border in borders
+    }
+    loopback_of = {name: topo.router(name).loopback for name in internal}
+    configs: List[RouterConfig] = []
+    for index, name in enumerate(internal):
+        config = RouterConfig(router=name, asn=65000, router_id=index + 1)
+        spec = uplink_of.get(name)
+        if spec is not None:
+            map_name = f"{name.lower()}-uplink-lp"
+            config.add_route_map(local_pref_map(map_name, spec.local_pref))
+            config.add_bgp_neighbor(
+                BgpNeighborConfig(
+                    peer=spec.external,
+                    remote_asn=spec.remote_asn,
+                    import_map=map_name,
+                )
+            )
+        if name in hub_set:
+            for peer in internal:
+                if peer == name:
+                    continue
+                config.add_bgp_neighbor(
+                    BgpNeighborConfig(
+                        peer=peer,
+                        remote_asn=65000,
+                        next_hop_self=True,
+                        route_reflector_client=peer not in hub_set,
+                    )
+                )
+        else:
+            for hub in hubs:
+                config.add_bgp_neighbor(
+                    BgpNeighborConfig(
+                        peer=hub, remote_asn=65000, next_hop_self=True
+                    )
+                )
+        for border in borders:
+            if border == name:
+                continue
+            parent = parent_maps[border].get(name)
+            if parent is None:
+                continue
+            link = topo.link_between(name, parent)
+            config.static_routes.append(
+                StaticRouteConfig(
+                    prefix=Prefix(loopback_of[border], 32),
+                    next_hop=link.interface_of(parent).address,
+                )
+            )
+        configs.append(config)
+    for spec in specs:
+        config = RouterConfig(
+            router=spec.external,
+            asn=spec.remote_asn,
+            router_id=1000 + spec.remote_asn,
+        )
+        config.add_bgp_neighbor(
+            BgpNeighborConfig(peer=spec.router, remote_asn=65000)
+        )
+        configs.append(config)
+    network = Network(
+        topo,
+        configs,
+        seed=seed,
+        delays=delays or DelayModel(),
+        clock_skews=clock_skews,
     )
     return network, specs
 

@@ -15,6 +15,11 @@ agree:
   sharded (repro.hbr.sharded, workers=2) build paths produce exactly
   the legacy window-scan's edge set and evidence, and the streaming
   path lands on the same graph as the batch build.
+* ``hbg-distributed-equivalence`` — the distributed construction
+  engine (per-router indexed subgraphs + boundary-summary exchange,
+  serial and forked) merges to exactly the legacy/indexed/sharded
+  edge set and evidence, while exchanging strictly fewer bytes than
+  shipping every event to a central collector.
 * ``whatif-replay`` — §6: the what-if engine's forked prediction of
   an injection equals actually replaying that injection live.
 * ``provenance-rollback`` — §6: reverting the provenance-identified
@@ -377,6 +382,71 @@ def hbg_indexed_equivalence(ctx: OracleContext) -> OracleVerdict:
             f"{len(streaming.graph.edge_set())} vs "
             f"{len(indexed.edge_set())} edges"
         )
+
+    return OracleVerdict(
+        oracle="",
+        ok=not problems,
+        detail="; ".join(problems[:5]),
+        checked=checked,
+    )
+
+
+# -- (b'') distributed construction vs every central build path --------------
+
+
+@oracle("hbg-distributed-equivalence")
+def hbg_distributed_equivalence(ctx: OracleContext) -> OracleVerdict:
+    """Distributed construction merges to the central edge set.
+
+    The boundary-summary engine of repro.hbr.distributed claims the
+    strongest form of equivalence: its merged graph is byte-identical
+    to the serial indexed build (hence, transitively, to the legacy
+    scan and the sharded build — the other equivalence oracle pins
+    those).  Checked here with full evidence tuples, for both the
+    serial and the forked (workers=2) record builds, plus the traffic
+    claim that makes the design worthwhile: boundary bytes strictly
+    below shipping every event to a central collector.
+    """
+    from repro.hbr.distributed import DistributedHbg
+    from repro.hbr.inference import InferenceEngine
+
+    execution = ctx.shared
+    events = execution.events()
+    engine = InferenceEngine()
+    central = engine.build_graph(events)
+    reference = _evidence_edges(central)
+
+    problems: List[str] = []
+    checked = len(reference)
+    for name, workers in (("serial", None), ("forked", 2)):
+        distributed = DistributedHbg(InferenceEngine())
+        distributed.ingest_all(events)
+        distributed.build_all(workers=workers)
+        merged = distributed.merged_graph()
+        found = _evidence_edges(merged)
+        checked += 1
+        if found != reference:
+            ref_set, got_set = set(reference), set(found)
+            missing = sorted(ref_set - got_set)[:3]
+            extra = sorted(got_set - ref_set)[:3]
+            problems.append(
+                f"{name} distributed merge diverges from central: "
+                f"{len(reference)} vs {len(found)} edges "
+                f"(missing {missing}, extra {extra})"
+            )
+        if merged.to_records() != central.to_records():
+            problems.append(
+                f"{name} distributed merge not byte-identical to "
+                "central (records differ)"
+            )
+        stats = distributed.last_build
+        checked += 1
+        if events and stats.boundary_bytes >= stats.central_bytes:
+            problems.append(
+                f"{name} boundary exchange ({stats.boundary_bytes}B) "
+                "not below central collection "
+                f"({stats.central_bytes}B)"
+            )
 
     return OracleVerdict(
         oracle="",

@@ -98,6 +98,66 @@ class TestRandomNetwork:
         assert path[-1] == "R5"
 
 
+class TestScaledNetwork:
+    """The O(n)-event family for the n≥128 scaling benchmarks."""
+
+    def test_full_coverage_without_ospf(self):
+        from repro.capture.io_events import IOKind
+        from repro.scenarios.generators import build_scaled_network
+
+        net, specs = build_scaled_network(16, seed=0)
+        net.start()
+        prefixes = external_prefixes(2)
+        for prefix in prefixes:
+            net.announce_prefix(specs[0].external, prefix)
+        net.run(30)
+        # Route reflection + the static underlay must install every
+        # external prefix on every internal router.
+        for router in net.topology.internal_routers():
+            for prefix in prefixes:
+                path, outcome = net.trace_path(
+                    router, prefix.first_address()
+                )
+                assert outcome == "delivered", (router, str(prefix))
+        # No OSPF: the IGP event budget is the static-config one.
+        events = net.collector.all_events()
+        assert not any(e.protocol == "ospf" for e in events)
+
+    def test_events_scale_linearly(self):
+        from repro.capture.io_events import reset_event_ids
+        from repro.scenarios.generators import build_scaled_network
+
+        counts = {}
+        for n in (8, 16):
+            reset_event_ids()
+            net, specs = build_scaled_network(n, seed=0)
+            net.start()
+            net.announce_prefix(specs[0].external, external_prefixes(1)[0])
+            net.run(30)
+            counts[n] = len(net.collector.all_events())
+        # Doubling n must not quadruple events (the full-mesh + OSPF
+        # family does): allow 3x for constant-factor noise.
+        assert counts[16] < 3 * counts[8]
+
+    def test_deterministic_per_seed(self):
+        from repro.scenarios.generators import build_scaled_network
+
+        first, _ = build_scaled_network(12, seed=5)
+        second, _ = build_scaled_network(12, seed=5)
+        assert sorted(first.topology.routers) == sorted(
+            second.topology.routers
+        )
+        first_links = sorted(
+            (link.a.router, link.b.router)
+            for link in first.topology.links.values()
+        )
+        second_links = sorted(
+            (link.a.router, link.b.router)
+            for link in second.topology.links.values()
+        )
+        assert first_links == second_links
+
+
 class TestWorkloads:
     def test_churn_schedule_shape(self):
         net, specs = build_random_network(5, uplinks=2, seed=4)

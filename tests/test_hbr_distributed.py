@@ -2,12 +2,33 @@
 
 import pytest
 
-from repro.capture.io_events import IOKind
-from repro.hbr.distributed import DistributedHbg, RouterSubgraph
-from repro.hbr.inference import InferenceEngine
+from repro.capture.io_events import IOEvent, IOKind, RouteAction
+from repro.hbr.distributed import (
+    DistributedHbg,
+    DistributionUnsupported,
+    RouterSubgraph,
+    boundary_kinds,
+    supports_distribution,
+)
+from repro.hbr.inference import InferenceConfig, InferenceEngine, PatternMiner
+from repro.net.addr import Prefix, parse_ip
 from repro.repair.provenance import ProvenanceTracer
 from repro.scenarios.fig2 import Fig2Scenario
 from repro.scenarios.paper_net import P
+
+PFX = Prefix(parse_ip("203.0.113.0"), 24)
+
+
+def _event(router, kind, ts, peer=None, prefix=PFX, action=RouteAction.ANNOUNCE):
+    return IOEvent.create(
+        kind=kind,
+        timestamp=ts,
+        router=router,
+        peer=peer,
+        protocol="bgp",
+        prefix=prefix,
+        action=action,
+    )
 
 
 @pytest.fixture
@@ -119,3 +140,208 @@ class TestDistributedHbg:
         dist = self._build(fig2_net)
         with pytest.raises(KeyError):
             dist.trace_root_causes(10**9)
+
+    def test_merged_graph_byte_identical_to_central(self, fig2_net):
+        dist = self._build(fig2_net)
+        central = InferenceEngine().build_graph(
+            fig2_net.collector.all_events()
+        )
+        assert dist.merged_graph().to_records() == central.to_records()
+
+    def test_forked_build_byte_identical(self, fig2_net):
+        events = fig2_net.collector.all_events()
+        serial = DistributedHbg()
+        serial.ingest_all(events)
+        serial.build_all()
+        forked = DistributedHbg()
+        forked.ingest_all(events)
+        forked.build_all(workers=2)
+        assert forked.merged_graph().to_records() == (
+            serial.merged_graph().to_records()
+        )
+        assert forked.last_build.workers == 2
+
+    def test_merged_graph_never_rebuilds_centrally(self, fig2_net, monkeypatch):
+        """Regression for the prototype's dead-merge bug: the old
+        merged_graph() built (and discarded) a merge, then quietly
+        called the global build_graph over the full event list."""
+        dist = DistributedHbg()
+        dist.ingest_all(fig2_net.collector.all_events())
+
+        def forbidden(self, events, parallel=None):
+            raise AssertionError(
+                "distributed path called the central build_graph"
+            )
+
+        monkeypatch.setattr(InferenceEngine, "build_graph", forbidden)
+        dist.build_all()
+        merged = dist.merged_graph()
+        assert merged.edge_count() > 0
+
+    def test_owner_map_lookup(self, fig2_net):
+        dist = self._build(fig2_net)
+        event = fig2_net.collector.events_of("R2")[0]
+        before = dist.owner_lookups
+        router, found = dist._find_event(event.event_id)
+        assert router == "R2"
+        assert found.event_id == event.event_id
+        assert dist.owner_lookups == before + 1
+
+    def test_build_stats_meter_boundary_traffic(self, fig2_net):
+        dist = self._build(fig2_net)
+        stats = dist.last_build
+        assert stats.routers == 3
+        assert stats.boundary_messages > 0
+        assert stats.boundary_events > 0
+        # The point of summaries: strictly cheaper than shipping every
+        # event to a central collector.
+        assert 0 < stats.boundary_bytes < stats.central_bytes
+
+    def test_ingest_after_build_invalidates(self, fig2_net):
+        dist = self._build(fig2_net)
+        edges_before = dist.merged_graph().edge_count()
+        extra_recv = _event(
+            "R1", IOKind.ROUTE_RECEIVE, 10_000.0, peer="R2"
+        )
+        extra_send = _event(
+            "R2", IOKind.ROUTE_SEND, 9_999.999, peer="R1"
+        )
+        dist.ingest(extra_send)
+        dist.ingest(extra_recv)
+        merged = dist.merged_graph()  # implicit rebuild
+        assert extra_recv.event_id in merged
+        assert (extra_send.event_id, extra_recv.event_id) in {
+            (e.cause, e.effect) for e in merged.edges()
+        }
+        assert merged.edge_count() > edges_before
+
+
+class TestDistributionSupport:
+    def test_default_engine_supported(self):
+        assert supports_distribution(InferenceEngine())
+
+    @pytest.mark.parametrize(
+        "make_engine",
+        [
+            lambda: InferenceEngine(
+                config=InferenceConfig(naive_prefix_timestamp=True)
+            ),
+            lambda: InferenceEngine(
+                config=InferenceConfig(use_patterns=True),
+                miner=PatternMiner(),
+            ),
+            lambda: InferenceEngine(
+                config=InferenceConfig(legacy_scan=True)
+            ),
+        ],
+    )
+    def test_global_scan_configs_refused(self, make_engine):
+        engine = make_engine()
+        assert not supports_distribution(engine)
+        dist = DistributedHbg(engine)
+        dist.ingest(_event("R1", IOKind.RIB_UPDATE, 1.0))
+        with pytest.raises(DistributionUnsupported):
+            dist.build_all()
+
+    def test_default_boundary_kinds_are_sends_only(self):
+        # No default rule has a receive antecedent across routers, so
+        # summaries carry sends only — half the boundary traffic.
+        assert boundary_kinds(InferenceEngine()) == (IOKind.ROUTE_SEND,)
+
+
+class TestBoundaryExchange:
+    def _pair(self):
+        dist = DistributedHbg()
+        dist.ingest(_event("R1", IOKind.ROUTE_SEND, 1.0, peer="R2"))
+        dist.ingest(_event("R1", IOKind.ROUTE_SEND, 2.0, peer="R2"))
+        dist.ingest(_event("R1", IOKind.ROUTE_RECEIVE, 1.5, peer="R2"))
+        dist.ingest(_event("R2", IOKind.ROUTE_RECEIVE, 1.01, peer="R1"))
+        return dist
+
+    def test_summary_carries_sorted_send_keys(self):
+        dist = self._pair()
+        summary = dist.subgraphs["R1"].summary_for(
+            "R2", boundary_kinds(dist.engine)
+        )
+        assert summary.origin == "R1"
+        assert summary.neighbor == "R2"
+        # Sends only (the receive stays home), in (ts, id) order.
+        assert [e.timestamp for e in summary.events] == [1.0, 2.0]
+        assert all(e.kind is IOKind.ROUTE_SEND for e in summary.events)
+        assert summary.wire_bytes() > 0
+
+    def test_exchange_stats(self):
+        dist = self._pair()
+        stats = dist.exchange_summaries()
+        # R1→R2 carries two sends; R2 has no sends, so nothing flows
+        # back (empty summaries stay home).
+        assert stats.messages == 1
+        assert stats.events == 2
+        assert stats.bytes > 0
+
+    def test_exchange_is_idempotent(self):
+        dist = self._pair()
+        dist.exchange_summaries()
+        dist.exchange_summaries()
+        dist.build_all()
+        merged = dist.merged_graph()
+        central = InferenceEngine().build_graph(
+            [e for sg in dist.subgraphs.values() for e in sg.events()]
+        )
+        assert merged.to_records() == central.to_records()
+
+
+class TestClockSkewEdges:
+    """Boundary matching at the edges of clock_skew_tolerance."""
+
+    SKEW = InferenceConfig().clock_skew_tolerance  # 0.050
+
+    def _dist(self, send_ts, recv_ts):
+        dist = DistributedHbg()
+        send = _event("R2", IOKind.ROUTE_SEND, send_ts, peer="R1")
+        recv = _event("R1", IOKind.ROUTE_RECEIVE, recv_ts, peer="R2")
+        dist.ingest(send)
+        dist.ingest(recv)
+        return dist, send, recv
+
+    def _edge_pairs(self, dist):
+        dist.build_all()
+        return {(e.cause, e.effect) for e in dist.merged_graph().edges()}
+
+    def test_send_just_inside_tolerance_links(self):
+        # Skewed clocks: the send is stamped *after* the receive but
+        # within tolerance — still a valid cross-router edge.
+        dist, send, recv = self._dist(10.0 + self.SKEW, 10.0)
+        assert (send.event_id, recv.event_id) in self._edge_pairs(dist)
+
+    def test_send_just_outside_tolerance_does_not_link(self):
+        dist, send, recv = self._dist(10.0 + self.SKEW + 1e-6, 10.0)
+        assert (send.event_id, recv.event_id) not in self._edge_pairs(dist)
+
+    def test_skew_edges_match_central_build(self):
+        for offset in (-1e-6, 0.0, 1e-6):
+            dist, _send, _recv = self._dist(10.0 + self.SKEW + offset, 10.0)
+            events = [
+                e for sg in dist.subgraphs.values() for e in sg.events()
+            ]
+            dist.build_all()
+            central = InferenceEngine().build_graph(events)
+            assert dist.merged_graph().to_records() == central.to_records()
+
+    def test_find_matching_send_respects_tolerance(self):
+        dist, send, recv = self._dist(10.0 + self.SKEW, 10.0)
+        dist.build_all()
+        assert dist.subgraphs["R2"].find_matching_send(recv) is send
+        dist2, send2, recv2 = self._dist(10.0 + self.SKEW + 1e-6, 10.0)
+        dist2.build_all()
+        assert dist2.subgraphs["R2"].find_matching_send(recv2) is None
+
+    def test_find_matching_send_picks_latest_admissible(self):
+        dist = DistributedHbg()
+        early = _event("R2", IOKind.ROUTE_SEND, 9.0, peer="R1")
+        late = _event("R2", IOKind.ROUTE_SEND, 9.9, peer="R1")
+        over = _event("R2", IOKind.ROUTE_SEND, 10.1, peer="R1")
+        recv = _event("R1", IOKind.ROUTE_RECEIVE, 10.0, peer="R2")
+        dist.ingest_all([early, late, over, recv])
+        dist.build_all()
+        assert dist.subgraphs["R2"].find_matching_send(recv) is late
